@@ -1,0 +1,56 @@
+/// Ablation — hybrid power-law population (the generative-model
+/// direction in the paper's discussion; Devlin et al. 2021). Regenerates
+/// the Fig. 3 degree distribution with and without an adversarial
+/// component layered on the background law, showing the two-slope
+/// signature a coordinated beam adds and how the single-ZM fit reacts.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/degree_analysis.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& env = bench::bench_env();
+  const int log2_nv = std::min(env.log2_nv, 20);
+  std::printf("# ablation at N_V=2^%d (two telescope-only studies)\n", log2_nv);
+
+  auto pure = netgen::Scenario::paper(log2_nv, env.seed);
+  const auto pure_study = core::run_telescope_only(pure, bench::bench_pool());
+
+  auto hybrid = netgen::Scenario::paper(log2_nv, env.seed);
+  hybrid.population.hybrid_share = 0.35;
+  hybrid.population.hybrid_sources = hybrid.population.population / 256;
+  hybrid.population.hybrid_alpha = 1.05;
+  hybrid.population.hybrid_delta = 2.0;
+  const auto hybrid_study = core::run_telescope_only(hybrid, bench::bench_pool());
+
+  const auto a_pure = core::analyze_degrees(pure_study.snapshots[0]);
+  const auto a_hybrid = core::analyze_degrees(hybrid_study.snapshots[0]);
+
+  TextTable table("Ablation: source-packet D(d_i), background vs background+adversarial beam");
+  table.set_header({"d bin", "pure D(d)", "hybrid D(d)", "hybrid/pure"});
+  const int bins = std::max(a_pure.histogram.bin_count(), a_hybrid.histogram.bin_count());
+  for (int b = 0; b < bins; ++b) {
+    const double p = b < a_pure.histogram.bin_count() ? a_pure.dcp[static_cast<std::size_t>(b)] : 0.0;
+    const double h =
+        b < a_hybrid.histogram.bin_count() ? a_hybrid.dcp[static_cast<std::size_t>(b)] : 0.0;
+    table.add_row({"2^" + std::to_string(b), fmt_sci(p, 2), fmt_sci(h, 2),
+                   p > 0.0 ? fmt_double(h / p, 2) : "-"});
+  }
+  table.print(std::cout);
+
+  std::printf("\nZM fit: pure alpha=%.2f delta=%.1f (res %.3f) | hybrid alpha=%.2f delta=%.1f (res %.3f)\n",
+              a_pure.fit.model.alpha, a_pure.fit.model.delta, a_pure.fit.residual,
+              a_hybrid.fit.model.alpha, a_hybrid.fit.model.delta, a_hybrid.fit.residual);
+  std::printf(
+      "the adversarial beam (%.0f%% of traffic in %zu sources) inflates the bright bins\n"
+      "(hybrid/pure ratios above 1 near and above sqrt(N_V)) while the head stays on the\n"
+      "background law — the two-component signature motivating hybrid generative models\n"
+      "of adversarial traffic.\n",
+      hybrid.population.hybrid_share * 100.0, hybrid.population.hybrid_sources);
+  return 0;
+}

@@ -1,0 +1,48 @@
+/// Ablation — visibility mechanism. The paper's Fig. 4 log law is purely
+/// empirical; this bench contrasts the Fig. 4 curve produced by injecting
+/// that law (`EmpiricalLog`) against a mechanistic sensor-coverage model
+/// (`Coverage`: P = 1 − exp(−d/d_half)), showing where the shapes depart
+/// and why the log law is non-trivial to obtain from simple coverage.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/correlation.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& env = bench::bench_env();
+  // A reduced window keeps the double study affordable at any setting.
+  const int log2_nv = std::min(env.log2_nv, 20);
+  std::printf("# ablation at N_V=2^%d (two full studies)\n", log2_nv);
+
+  auto scenario = netgen::Scenario::paper(log2_nv, env.seed);
+  const auto log_study = core::run_study(scenario, bench::bench_pool());
+
+  scenario.visibility.kind = netgen::VisibilityKind::kCoverage;
+  scenario.visibility.coverage_half = std::exp2(static_cast<double>(log2_nv) / 4.0);
+  const auto cov_study = core::run_study(scenario, bench::bench_pool());
+
+  const auto log_bins = core::peak_correlation_all(log_study);
+  const auto cov_bins = core::peak_correlation_all(cov_study);
+
+  TextTable table("Ablation: same-month correlation under two visibility mechanisms");
+  table.set_header({"d bin", "empirical-log fraction", "coverage fraction", "paper log law"});
+  const std::size_t n = std::min(log_bins.size(), cov_bins.size());
+  for (std::size_t b = 0; b < n; ++b) {
+    if (log_bins[b].caida_sources < 50) continue;
+    table.add_row({"2^" + std::to_string(log_bins[b].bin), fmt_double(log_bins[b].fraction, 3),
+                   fmt_double(cov_bins[b].fraction, 3), fmt_double(log_bins[b].model, 3)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nthe coverage mechanism saturates near d_half=2^%.1f and is convex in log2(d);\n"
+      "the observed (injected) law is linear in log2(d) up to sqrt(N_V)=2^%.1f —\n"
+      "matching the paper's framing that the log law needs a dedicated explanation.\n",
+      static_cast<double>(log2_nv) / 4.0, static_cast<double>(log2_nv) / 2.0);
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// Reproduces **Figure 3** — "CAIDA Source Packet Degree Distribution":
+/// the binary-log-binned differential cumulative probability D_t(d_i) of
+/// source packets for each 2^log2_nv-packet snapshot, plus the
+/// two-parameter Zipf–Mandelbrot fit p(d) ∝ 1/(d+δ)^α.
+///
+/// Shape targets: a power law spanning the full degree range, nearly
+/// identical across snapshots taken months apart, well-approximated by a
+/// single ZM model.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/degree_analysis.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& study = bench::shared_study();
+  const auto analyses = core::analyze_all_degrees(study);
+
+  int max_bins = 0;
+  for (const auto& a : analyses) max_bins = std::max(max_bins, a.histogram.bin_count());
+
+  TextTable table("Figure 3: source-packet differential cumulative probability D(d_i)");
+  std::vector<std::string> header{"d bin"};
+  for (const auto& a : analyses) header.push_back(a.label.substr(0, 10));
+  table.set_header(std::move(header));
+  for (int b = 0; b < max_bins; ++b) {
+    std::vector<std::string> row{"2^" + std::to_string(b)};
+    for (const auto& a : analyses) {
+      row.push_back(b < a.histogram.bin_count() ? fmt_sci(a.dcp[static_cast<std::size_t>(b)], 2)
+                                                : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "fig3_dcp");
+
+  std::printf("\n# Zipf-Mandelbrot fits p(d) ~ 1/(d+delta)^alpha, | |^(1/2) norm\n");
+  TextTable fits;
+  fits.set_header({"snapshot", "alpha_zm", "delta_zm", "residual", "sources", "d_max"});
+  for (std::size_t i = 0; i < analyses.size(); ++i) {
+    const auto& a = analyses[i];
+    fits.add_row({a.label, fmt_double(a.fit.model.alpha, 3), fmt_double(a.fit.model.delta, 2),
+                  fmt_double(a.fit.residual, 3), fmt_count(a.histogram.total()),
+                  fmt_count(a.histogram.max_degree())});
+  }
+  fits.print(std::cout);
+
+  // Stability check (the paper's point: distributions barely move).
+  double max_dev = 0.0;
+  for (const auto& a : analyses) {
+    for (std::size_t b = 0; b < 6 && b < a.dcp.size() && b < analyses[0].dcp.size(); ++b) {
+      max_dev = std::max(max_dev, std::abs(a.dcp[b] - analyses[0].dcp[b]));
+    }
+  }
+  std::printf("\nmax head-bin deviation across snapshots: %.4f  (paper: small, curves overlap)\n",
+              max_dev);
+  return 0;
+}

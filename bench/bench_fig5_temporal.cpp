@@ -1,0 +1,60 @@
+/// Reproduces **Figure 5** — "Temporal Correlation": the fraction of the
+/// first snapshot's sources in the brightness bin just below sqrt(N_V)
+/// (the paper's 2^14 <= d < 2^15 at N_V = 2^30) found in the honeyfarm
+/// month by month across the 15-month study, with Gaussian, Cauchy, and
+/// modified-Cauchy fits.
+///
+/// Shape targets: peak at the coeval month, fast initial drop, level-off
+/// to a background; modified Cauchy fits best, Gaussian worst.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/correlation.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& study = bench::shared_study();
+  const int bin = static_cast<int>(study.half_log_nv()) - 1;  // paper: [2^14, 2^15) at 2^30
+
+  const auto curve = core::temporal_correlation(study.snapshots[0], study, bin, 10);
+  if (!curve) {
+    std::printf("bin 2^%d has too few sources at this scale; raise OBSCORR_LOG2_NV\n", bin);
+    return 1;
+  }
+
+  std::printf("tracked: %llu sources of %s with 2^%d <= packets < 2^%d\n",
+              static_cast<unsigned long long>(curve->bin_sources),
+              study.snapshots[0].spec.start_label.c_str(), bin, bin + 1);
+
+  TextTable table("Figure 5: fraction of snapshot sources found in each GreyNoise month");
+  table.set_header({"month", "dt (months)", "fraction", "mod-Cauchy", "Cauchy", "Gaussian"});
+  for (std::size_t i = 0; i < curve->series.dt.size(); ++i) {
+    const double dt = curve->series.dt[i];
+    table.add_row({study.months[i].month.to_string(), fmt_double(dt, 0),
+                   fmt_double(curve->series.fraction[i], 3),
+                   fmt_double(curve->modified_cauchy.amplitude *
+                                  curve->modified_cauchy.model.value(dt), 3),
+                   fmt_double(curve->cauchy.amplitude * curve->cauchy.model.value(dt), 3),
+                   fmt_double(curve->gaussian.amplitude * curve->gaussian.model.value(dt), 3)});
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "fig5_temporal");
+
+  std::printf("\n# fits (| |^(1/2) norm; lower is better)\n");
+  std::printf("modified Cauchy  beta/(beta+|t-t0|^alpha): alpha=%.3f beta=%.3f   residual=%.3f\n",
+              curve->modified_cauchy.model.alpha, curve->modified_cauchy.model.beta,
+              curve->modified_cauchy.residual);
+  std::printf("Cauchy           gamma^2/(gamma^2+dt^2):   gamma=%.3f          residual=%.3f\n",
+              curve->cauchy.model.gamma, curve->cauchy.residual);
+  std::printf("Gaussian         exp(-dt^2/2 sigma^2):     sigma=%.3f          residual=%.3f\n",
+              curve->gaussian.model.sigma, curve->gaussian.residual);
+  std::printf("\npaper: modified Cauchy approximates the data best; ordering here: %s\n",
+              (curve->modified_cauchy.residual <= curve->cauchy.residual &&
+               curve->cauchy.residual <= curve->gaussian.residual)
+                  ? "mod-Cauchy < Cauchy < Gaussian (matches)"
+                  : "differs");
+  return 0;
+}

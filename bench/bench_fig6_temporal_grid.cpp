@@ -1,0 +1,51 @@
+/// Reproduces **Figure 6** — "Temporal Correlation and Packet Degree":
+/// the month-by-month correlation curves for *every* snapshot and every
+/// populated brightness bin, each with its best-fit modified Cauchy
+/// (the black lines in the paper's panel grid).
+///
+/// Shape targets: every panel peaks at its coeval month and decays to a
+/// background level; the modified Cauchy tracks each curve.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/correlation.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& study = bench::shared_study();
+  const auto grid = core::fit_grid(study, /*min_sources=*/20);
+
+  std::printf("panels: %zu (snapshots x populated brightness bins)\n\n", grid.size());
+
+  for (const auto& cell : grid) {
+    const auto& snap = study.snapshots[cell.snapshot];
+    const auto& mc = cell.curve.modified_cauchy;
+    std::printf("-- %s  d in [2^%d, 2^%d)  n=%llu  fit: alpha=%.2f beta=%.2f residual=%.3f\n",
+                snap.spec.start_label.c_str(), cell.curve.bin, cell.curve.bin + 1,
+                static_cast<unsigned long long>(cell.curve.bin_sources), mc.model.alpha,
+                mc.model.beta, mc.residual);
+    std::printf("   dt:   ");
+    for (double dt : cell.curve.series.dt) std::printf("%6.0f", dt);
+    std::printf("\n   data: ");
+    for (double f : cell.curve.series.fraction) std::printf("%6.3f", f);
+    std::printf("\n   fit:  ");
+    for (double dt : cell.curve.series.dt) {
+      std::printf("%6.3f", mc.amplitude * mc.model.value(dt));
+    }
+    std::printf("\n");
+  }
+
+  // Aggregate fit quality.
+  double worst = 0.0, mean = 0.0;
+  for (const auto& cell : grid) {
+    mean += cell.curve.modified_cauchy.residual;
+    worst = std::max(worst, cell.curve.modified_cauchy.residual);
+  }
+  if (!grid.empty()) mean /= static_cast<double>(grid.size());
+  std::printf("\nmean residual %.3f, worst %.3f over %zu panels (| |^(1/2) norm)\n", mean, worst,
+              grid.size());
+  return 0;
+}

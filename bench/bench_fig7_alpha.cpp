@@ -1,0 +1,69 @@
+/// Reproduces **Figure 7** — "Modified Cauchy Distribution α": the
+/// best-fit tail exponent α as a function of CAIDA source packets d,
+/// across all snapshots.
+///
+/// Shape target: α scatters around ~1 (the paper suggests 1 is typical),
+/// with no strong trend in brightness.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "core/correlation.hpp"
+#include "stats/temporal.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& study = bench::shared_study();
+  const auto grid = core::fit_grid(study, /*min_sources=*/20);
+
+  TextTable table("Figure 7: best-fit modified-Cauchy alpha vs source packets");
+  table.set_header({"d bin", "snapshot", "sources", "alpha"});
+  std::map<int, std::vector<double>> per_bin;
+  for (const auto& cell : grid) {
+    table.add_row({"2^" + std::to_string(cell.curve.bin),
+                   study.snapshots[cell.snapshot].spec.start_label,
+                   fmt_count(cell.curve.bin_sources),
+                   fmt_double(cell.curve.modified_cauchy.model.alpha, 3)});
+    per_bin[cell.curve.bin].push_back(cell.curve.modified_cauchy.model.alpha);
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "fig7_alpha");
+
+  std::printf("\n# per-bin mean alpha (paper Fig. 7: values scatter around ~1)\n");
+  TextTable summary;
+  summary.set_header({"d bin", "mean alpha", "n"});
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& [bin, alphas] : per_bin) {
+    double mean = 0.0;
+    for (double a : alphas) mean += a;
+    mean /= static_cast<double>(alphas.size());
+    summary.add_row({"2^" + std::to_string(bin), fmt_double(mean, 3),
+                     std::to_string(alphas.size())});
+    total += mean;
+    ++count;
+  }
+  summary.print(std::cout);
+  std::printf("\ngrand mean alpha: %.3f  (paper: ~1 typical)\n",
+              count ? total / static_cast<double>(count) : 0.0);
+
+  // Extension: the pure two-parameter fit absorbs the stationary
+  // background by deflating alpha; modelling the floor explicitly
+  // (f = (1-c) beta/(beta+|dt|^alpha) + c) recovers the beam's intrinsic
+  // exponent. Report the floored-fit alphas alongside.
+  double floored_total = 0.0;
+  std::size_t floored_count = 0;
+  for (const auto& cell : grid) {
+    const auto floored = stats::fit_floored_modified_cauchy(cell.curve.series);
+    floored_total += floored.model.alpha;
+    ++floored_count;
+  }
+  std::printf("grand mean alpha with explicit background floor: %.3f\n"
+              "(the generator's intrinsic exponent is 1.0; the pure fit deflates it, the\n"
+              " floored fit overshoots on short series — the two bracket the truth)\n",
+              floored_count ? floored_total / static_cast<double>(floored_count) : 0.0);
+  return 0;
+}

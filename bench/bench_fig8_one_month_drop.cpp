@@ -1,0 +1,58 @@
+/// Reproduces **Figure 8** — "One Month Drop": the quantity 1/(β+1), the
+/// relative drop of the temporal correlation one month from its peak,
+/// derived from the modified-Cauchy β fit, as a function of source
+/// packets d.
+///
+/// Shape targets: drops typically above ~20%, peaking toward ~50% at the
+/// mid-brightness (d ≈ 10^3-equivalent) bins, smaller for the brightest
+/// and dimmest sources — the churn dip of the drifting beam.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "core/correlation.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& study = bench::shared_study();
+  const auto grid = core::fit_grid(study, /*min_sources=*/20);
+
+  std::map<int, std::vector<double>> per_bin;
+  for (const auto& cell : grid) {
+    per_bin[cell.curve.bin].push_back(cell.curve.modified_cauchy.model.one_month_drop());
+  }
+
+  TextTable table("Figure 8: one-month drop 1/(beta+1) vs source packets");
+  table.set_header({"d bin", "x=log2(d)/log2(sqrt(N_V))", "mean drop", "min", "max", "n"});
+  const double half_log_nv = study.half_log_nv();
+  int peak_bin = -1;
+  double peak_drop = 0.0;
+  for (const auto& [bin, drops] : per_bin) {
+    double mean = 0.0, lo = 1.0, hi = 0.0;
+    for (double d : drops) {
+      mean += d;
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    mean /= static_cast<double>(drops.size());
+    if (mean > peak_drop) {
+      peak_drop = mean;
+      peak_bin = bin;
+    }
+    table.add_row({"2^" + std::to_string(bin),
+                   fmt_double((static_cast<double>(bin) + 0.5) / half_log_nv, 2),
+                   fmt_percent(mean, 1), fmt_percent(lo, 1), fmt_percent(hi, 1),
+                   std::to_string(drops.size())});
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "fig8_one_month_drop");
+
+  std::printf("\npeak mean drop: %s at d bin 2^%d (x=%.2f)\n", fmt_percent(peak_drop, 1).c_str(),
+              peak_bin, (peak_bin + 0.5) / half_log_nv);
+  std::printf("paper: drops >20%% typically, rising to ~50%% at d ~ 10^3 (x ~ 0.66)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Scaling-relation bench (paper §IV and its refs [13][36]): unique
+/// sources per constant-packet window vs window size. The paper invokes
+/// "the number of unique sources ... approximately proportional to
+/// sqrt(N_V)" as the candidate origin of the Fig. 4 threshold; this bench
+/// measures the ladder and the fitted exponents directly.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/scaling_analysis.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& env = bench::bench_env();
+  const int top = std::min(env.log2_nv, 22);
+  const auto scenario = netgen::Scenario::paper(top, env.seed);
+  std::printf("# window ladder 2^12 .. 2^%d over one month of the synthetic Internet\n\n", top);
+
+  const auto analysis = core::scaling_analysis(scenario, /*month=*/0, 12, top, bench::bench_pool());
+
+  TextTable table("Scaling: network quantities vs window size N_V");
+  table.set_header({"N_V", "unique sources", "sources/sqrt(N_V)", "unique links",
+                    "unique destinations", "max source packets"});
+  for (const auto& p : analysis.points) {
+    table.add_row({"2^" + std::to_string(p.log2_nv), fmt_count(p.unique_sources),
+                   fmt_double(static_cast<double>(p.unique_sources) /
+                                  std::exp2(static_cast<double>(p.log2_nv) / 2.0), 1),
+                   fmt_count(p.unique_links), fmt_count(p.unique_destinations),
+                   fmt_count(static_cast<std::uint64_t>(p.max_source_packets))});
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "scaling_sources");
+
+  std::printf("\nfitted exponents (quantity ~ N_V^e):\n");
+  std::printf("  unique sources      e = %.3f   (paper refs [13][36]: ~0.5)\n",
+              analysis.source_exponent);
+  std::printf("  unique links        e = %.3f   (near-linear: most packets hit fresh pairs)\n",
+              analysis.link_exponent);
+  std::printf("  unique destinations e = %.3f   (saturates toward the darkspace size)\n",
+              analysis.destination_exponent);
+  std::printf("  max source packets  e = %.3f   (head brightness tracks the window)\n",
+              analysis.dmax_exponent);
+  std::printf("\nnote: with a finite synthetic population the source exponent falls below\n"
+              "0.5 as windows approach saturation; read the sub-saturation rows.\n");
+  return 0;
+}

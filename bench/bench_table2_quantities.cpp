@@ -1,0 +1,70 @@
+/// Reproduces **Table II** operationally: every network quantity the
+/// paper defines, computed from each snapshot's hypersparse traffic
+/// matrix, with heavy-tail summary statistics (quantiles, Gini) of the
+/// four per-entity reductions — the Fig. 2 quantities in numbers.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "gbl/quantities.hpp"
+#include "stats/summary.hpp"
+#include "study_cache.hpp"
+
+int main() {
+  using namespace obscorr;
+  const auto& study = bench::shared_study();
+
+  TextTable table("Table II: network quantities per snapshot");
+  table.set_header({"quantity", "2020-06", "2020-07", "2020-09", "2020-10", "2020-12"});
+
+  std::vector<gbl::AggregateQuantities> qs;
+  for (const auto& snap : study.snapshots) {
+    qs.push_back(gbl::aggregate_quantities(snap.matrix));
+  }
+  const auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (const auto& q : qs) cells.push_back(getter(q));
+    table.add_row(std::move(cells));
+  };
+  row("valid packets (1' A 1)", [](const auto& q) {
+    return fmt_count(static_cast<std::uint64_t>(q.valid_packets));
+  });
+  row("unique links (1' |A|0 1)", [](const auto& q) { return fmt_count(q.unique_links); });
+  row("max link packets (max A)", [](const auto& q) { return fmt_double(q.max_link_packets, 0); });
+  row("unique sources (||A 1||0)", [](const auto& q) { return fmt_count(q.unique_sources); });
+  row("max source packets (max A 1)",
+      [](const auto& q) { return fmt_double(q.max_source_packets, 0); });
+  row("max source fan-out (max |A|0 1)",
+      [](const auto& q) { return fmt_double(q.max_source_fanout, 0); });
+  row("unique destinations (||1' A||0)",
+      [](const auto& q) { return fmt_count(q.unique_destinations); });
+  row("max destination packets (max 1' A)",
+      [](const auto& q) { return fmt_double(q.max_destination_packets, 0); });
+  row("max destination fan-in (max 1' |A|0)",
+      [](const auto& q) { return fmt_double(q.max_destination_fanin, 0); });
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "table2_quantities");
+
+  // Heavy-tail summaries of the per-entity reductions for snapshot 1.
+  const auto entity = gbl::entity_quantities(study.snapshots[0].matrix);
+  TextTable summary("\nper-entity distribution summaries (snapshot 2020-06)");
+  summary.set_header({"reduction", "entities", "mean", "p50", "p90", "p99", "max", "Gini"});
+  const auto add_summary = [&](const std::string& name, const gbl::SparseVec& v) {
+    const std::vector<double> values(v.values().begin(), v.values().end());
+    const auto s = stats::summarize(values);
+    summary.add_row({name, fmt_count(s.count), fmt_double(s.mean, 1), fmt_double(s.p50, 0),
+                     fmt_double(s.p90, 0), fmt_double(s.p99, 0), fmt_double(s.max, 0),
+                     fmt_double(s.gini, 3)});
+  };
+  add_summary("source packets (A 1)", entity.source_packets);
+  add_summary("source fan-out (|A|0 1)", entity.source_fanout);
+  add_summary("destination packets (1' A)", entity.destination_packets);
+  add_summary("destination fan-in (1' |A|0)", entity.destination_fanin);
+  summary.print(std::cout);
+
+  std::printf("\nsource-packet Gini near 1 is the heavy-tail signature: a few sources\n"
+              "carry almost all packets, exactly the regime the paper's Fig. 3 plots.\n");
+  return 0;
+}

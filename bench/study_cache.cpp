@@ -1,0 +1,51 @@
+#include "study_cache.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace obscorr::bench {
+
+const BenchEnv& bench_env() {
+  static const BenchEnv env = BenchEnv::from_environment();
+  return env;
+}
+
+ThreadPool& bench_pool() {
+  static ThreadPool pool(bench_env().threads > 0
+                             ? static_cast<std::size_t>(bench_env().threads)
+                             : ThreadPool::default_thread_count());
+  return pool;
+}
+
+const core::StudyData& shared_study() {
+  static const core::StudyData study = [] {
+    const BenchEnv& env = bench_env();
+    std::printf("# scenario: N_V=2^%d seed=%llu threads=%zu (paper: N_V=2^30)\n", env.log2_nv,
+                static_cast<unsigned long long>(env.seed), bench_pool().thread_count());
+    std::fflush(stdout);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = core::run_study(netgen::Scenario::paper(env.log2_nv, env.seed), bench_pool());
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    std::printf("# study generated in %.1fs\n\n", dt.count());
+    return result;
+  }();
+  return study;
+}
+
+bool maybe_write_csv(const TextTable& table, const std::string& name) {
+  const char* dir = std::getenv("OBSCORR_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  table.print_csv(os);
+  std::printf("# wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace obscorr::bench

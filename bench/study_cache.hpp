@@ -1,0 +1,30 @@
+#pragma once
+/// \file study_cache.hpp
+/// Shared setup for the experiment benches: every table/figure binary
+/// replays the same deterministic study, configured by the environment
+/// (OBSCORR_LOG2_NV / OBSCORR_SEED / OBSCORR_THREADS; see common/env.hpp).
+
+#include <string>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/study.hpp"
+
+namespace obscorr::bench {
+
+/// The environment-resolved bench configuration (read once).
+const BenchEnv& bench_env();
+
+/// The worker pool sized per the environment.
+ThreadPool& bench_pool();
+
+/// The full study (telescope + honeyfarm), run once per process and
+/// cached. Prints a one-line provenance header on first use.
+const core::StudyData& shared_study();
+
+/// When OBSCORR_CSV_DIR is set, write `table` as `<dir>/<name>.csv` for
+/// downstream plotting; otherwise a no-op. Returns true when written.
+bool maybe_write_csv(const TextTable& table, const std::string& name);
+
+}  // namespace obscorr::bench

@@ -1,0 +1,105 @@
+/// Beam explorer: the paper's closing interpretation made visible — "a
+/// correlated high frequency beam of sources that drifts on a time scale
+/// of a month". Builds the honeyfarm database over the full study span,
+/// extracts the persistent-scanner core, and shows (a) how month-over-
+/// month membership decays, (b) how persistence correlates with
+/// brightness, (c) the beam's monthly churn rates.
+///
+///   $ ./beam_explorer [log2_nv]   (default 16)
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "d4m/assoc.hpp"
+#include "honeyfarm/database.hpp"
+#include "netgen/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace obscorr;
+  const int log2_nv = argc > 1 ? std::stoi(argv[1]) : 16;
+
+  const auto scenario = netgen::Scenario::paper(log2_nv, 3);
+  const netgen::Population population(scenario.population);
+  const honeyfarm::Honeyfarm farm(population, scenario.visibility,
+                                  scenario.population.seed ^ 0x64E4015EULL);
+  std::vector<honeyfarm::MonthlyObservation> months;
+  for (std::size_t m = 0; m < scenario.months.size(); ++m) {
+    months.push_back(farm.observe_month(scenario.months[m], static_cast<int>(m)));
+  }
+  // Keep an independent copy for churn computation.
+  const std::vector<honeyfarm::MonthlyObservation> monthly(months);
+  const honeyfarm::Database db(std::move(months));
+
+  // (a) Persistence spectrum: how many sources survive k of 15 months.
+  TextTable spectrum("persistence spectrum (population + ephemeral sources)");
+  spectrum.set_header({"months seen >=", "sources", "fraction of catalog"});
+  const double total = static_cast<double>(db.distinct_sources());
+  for (int k : {1, 2, 4, 6, 8, 10, 12, 15}) {
+    const auto persistent = db.persistent_sources(k);
+    spectrum.add_row({std::to_string(k), fmt_count(persistent.size()),
+                      fmt_percent(static_cast<double>(persistent.size()) / total, 2)});
+  }
+  spectrum.print(std::cout);
+
+  // (b) The beam core: sources seen every single month, with brightness.
+  const auto core = db.persistent_sources(static_cast<int>(monthly.size()));
+  std::printf("\nbeam core: %zu sources catalogued in all %zu months\n", core.size(),
+              monthly.size());
+  double core_bright = 0.0;
+  std::size_t matched = 0;
+  for (const std::string& ip : core) {
+    const auto parsed = Ipv4::parse(ip);
+    if (!parsed) continue;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      if (population.source(i).ip == *parsed) {
+        core_bright += population.expected_active_degree(i);
+        ++matched;
+        break;
+      }
+    }
+    if (matched >= 200) break;  // sample is plenty for the mean
+  }
+  if (matched > 0) {
+    std::printf("mean expected window brightness of sampled core members: %.0f packets\n",
+                core_bright / static_cast<double>(matched));
+    std::printf("(brightness threshold sqrt(N_V) = %.0f: the beam is the bright head)\n",
+                std::exp2(static_cast<double>(log2_nv) / 2.0));
+  }
+
+  // (c) Monthly churn, catalog-wide vs persistent-population members.
+  // Ephemeral one-shot noise dominates the raw catalog (as the real
+  // GreyNoise month-to-month totals suggest); the drifting beam lives in
+  // the recurring population subset.
+  const auto population_keys = [&](std::size_t m) {
+    std::vector<std::string> keys;
+    for (const std::string& key : monthly[m].sources.row_keys()) {
+      const auto parsed = Ipv4::parse(key);
+      if (parsed && population.owns_ip(*parsed)) keys.push_back(key);
+    }
+    return keys;
+  };
+  TextTable churn("\nmonth-over-month churn: whole catalog vs the recurring (beam) subset");
+  churn.set_header({"from", "to", "catalog retained", "beam retained"});
+  for (std::size_t m = 0; m + 1 < monthly.size(); ++m) {
+    const auto shared_all =
+        d4m::intersect_keys(monthly[m].sources.row_keys(), monthly[m + 1].sources.row_keys());
+    const double from_all = static_cast<double>(monthly[m].sources.row_keys().size());
+    const auto beam_from = population_keys(m);
+    const auto beam_to = population_keys(m + 1);
+    const auto beam_shared = d4m::intersect_keys(beam_from, beam_to);
+    churn.add_row({monthly[m].month.to_string(), monthly[m + 1].month.to_string(),
+                   fmt_percent(static_cast<double>(shared_all.size()) / from_all, 1),
+                   beam_from.empty()
+                       ? std::string("-")
+                       : fmt_percent(static_cast<double>(beam_shared.size()) /
+                                         static_cast<double>(beam_from.size()), 1)});
+  }
+  churn.print(std::cout);
+  std::printf("\nthe beam subset retains over an order of magnitude more month to month\n"
+              "than the raw catalog — the drifting correlated beam of the paper's\n"
+              "conclusion, and the decay behind the Figs. 5-6 modified Cauchy.\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "common/binning.hpp"
+
+#include <cmath>
+
+namespace obscorr {
+
+double bin_center(int i) {
+  OBSCORR_REQUIRE(i >= 0, "bin index must be non-negative");
+  return std::exp2(static_cast<double>(i) + 0.5);
+}
+
+std::vector<std::uint64_t> bin_edges(int n_bins) {
+  OBSCORR_REQUIRE(n_bins >= 0 && n_bins < 64, "bin count must be in [0,64)");
+  std::vector<std::uint64_t> edges(static_cast<std::size_t>(n_bins) + 1);
+  for (int i = 0; i <= n_bins; ++i) edges[static_cast<std::size_t>(i)] = 1ULL << i;
+  return edges;
+}
+
+}  // namespace obscorr

@@ -1,0 +1,36 @@
+#pragma once
+/// \file binning.hpp
+/// Binary-logarithmic binning, the pooling scheme the paper uses for all
+/// probability distributions: bin i covers degrees [2^i, 2^(i+1)).
+/// Consistent binning across data sets is what makes the Fig. 3-8
+/// comparisons statistically meaningful (Clauset et al. 2009).
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace obscorr {
+
+/// Index of the binary-logarithmic bin containing degree d >= 1:
+/// bin(d) = floor(log2 d), so d in [2^i, 2^(i+1)) maps to i.
+constexpr int log2_bin(std::uint64_t d) {
+  if (d == 0) return -1;
+  return static_cast<int>(std::bit_width(d)) - 1;
+}
+
+/// Lower edge 2^i of bin i.
+constexpr std::uint64_t bin_lower(int i) { return 1ULL << i; }
+
+/// Exclusive upper edge 2^(i+1) of bin i.
+constexpr std::uint64_t bin_upper(int i) { return 2ULL << i; }
+
+/// Geometric mid-point of bin i, the canonical x-coordinate when plotting
+/// log-binned distributions.
+double bin_center(int i);
+
+/// Edges [2^0, 2^1, ..., 2^n] for n bins starting at degree 1.
+std::vector<std::uint64_t> bin_edges(int n_bins);
+
+}  // namespace obscorr

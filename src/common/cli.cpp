@@ -1,0 +1,88 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.hpp"
+
+namespace obscorr {
+
+CliArgs CliArgs::parse(const std::vector<std::string>& args,
+                       const std::vector<std::string>& switches) {
+  CliArgs out;
+  const auto is_switch = [&](const std::string& name) {
+    return std::find(switches.begin(), switches.end(), name) != switches.end();
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (token.rfind("--", 0) != 0) {
+      out.positional_.push_back(token);
+      continue;
+    }
+    OBSCORR_REQUIRE(token.size() > 2, "bare '--' is not a valid option");
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      out.options_[token.substr(2, eq - 2)] = token.substr(eq + 1);
+      continue;
+    }
+    const std::string name = token.substr(2);
+    if (is_switch(name)) {
+      out.options_[name] = "";
+      continue;
+    }
+    OBSCORR_REQUIRE(i + 1 < args.size(), "option --" + name + " needs a value");
+    out.options_[name] = args[++i];
+  }
+  for (const auto& [name, value] : out.options_) out.consumed_[name] = false;
+  return out;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  consumed_[name] = true;
+  return true;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto raw = get(name);
+  if (!raw.has_value()) return fallback;
+  std::int64_t value = 0;
+  const char* begin = raw->data();
+  const char* end = begin + raw->size();
+  auto [p, ec] = std::from_chars(begin, end, value);
+  OBSCORR_REQUIRE(ec == std::errc{} && p == end, "option --" + name + " expects an integer");
+  return value;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto raw = get(name);
+  if (!raw.has_value()) return fallback;
+  double value = 0.0;
+  const char* begin = raw->data();
+  const char* end = begin + raw->size();
+  auto [p, ec] = std::from_chars(begin, end, value);
+  OBSCORR_REQUIRE(ec == std::errc{} && p == end, "option --" + name + " expects a number");
+  return value;
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> names;
+  for (const auto& [name, used] : consumed_) {
+    if (!used) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace obscorr

@@ -1,0 +1,55 @@
+#pragma once
+/// \file cli.hpp
+/// Minimal command-line argument parsing for the obscorr tools: GNU-style
+/// long options (`--name value` or `--name=value`), boolean switches, and
+/// positional arguments, with typed accessors and unknown-option
+/// detection. Deliberately tiny — enough for the tool surface, fully
+/// unit-testable, no global state.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace obscorr {
+
+/// Parsed command line.
+class CliArgs {
+ public:
+  /// Parse argv-style input (excluding the program name). `switches`
+  /// lists option names that take no value; every other `--name` consumes
+  /// the next token (or its `=value` suffix). Throws std::invalid_argument
+  /// on a missing value or a token like `--` with no name.
+  static CliArgs parse(const std::vector<std::string>& args,
+                       const std::vector<std::string>& switches = {});
+
+  /// True when `--name` appeared (switch or valued).
+  bool has(const std::string& name) const;
+
+  /// Value of `--name`; nullopt when absent.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Value of `--name` or `fallback`.
+  std::string get_or(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value of `--name` or `fallback`; throws on non-numeric.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Floating-point value of `--name` or `fallback`; throws on non-numeric.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Tokens that were not options (e.g. the subcommand name).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Option names that were parsed but never queried — typo detection.
+  /// Call after all lookups; returns unconsumed names sorted.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace obscorr

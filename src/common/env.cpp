@@ -1,0 +1,31 @@
+#include "common/env.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace obscorr {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::int64_t value = 0;
+  const char* end = raw;
+  while (*end) ++end;
+  auto [p, ec] = std::from_chars(raw, end, value);
+  if (ec != std::errc{} || p != end) return fallback;
+  return value;
+}
+
+BenchEnv BenchEnv::from_environment() {
+  BenchEnv env;
+  env.log2_nv = static_cast<int>(env_int("OBSCORR_LOG2_NV", env.log2_nv));
+  OBSCORR_REQUIRE(env.log2_nv >= 10 && env.log2_nv <= 34,
+                  "OBSCORR_LOG2_NV must be in [10,34]");
+  env.seed = static_cast<std::uint64_t>(env_int("OBSCORR_SEED", static_cast<std::int64_t>(env.seed)));
+  env.threads = static_cast<int>(env_int("OBSCORR_THREADS", env.threads));
+  return env;
+}
+
+}  // namespace obscorr

@@ -1,0 +1,45 @@
+#pragma once
+/// \file error.hpp
+/// Error handling for the obscorr libraries.
+///
+/// The libraries are exception-based: precondition violations throw
+/// `std::invalid_argument` (caller bug) and internal invariant violations
+/// throw `obscorr::InternalError` (library bug). No error codes, no abort.
+
+#include <stdexcept>
+#include <string>
+
+namespace obscorr {
+
+/// Thrown when an internal invariant of the library is violated.
+/// Seeing this exception always indicates a bug in obscorr itself.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  throw std::invalid_argument(std::string("requirement failed: ") + expr + " at " + file + ":" +
+                              std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file, int line) {
+  throw InternalError(std::string("invariant violated: ") + expr + " at " + file + ":" +
+                      std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace obscorr
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define OBSCORR_REQUIRE(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) ::obscorr::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant; throws obscorr::InternalError.
+#define OBSCORR_INVARIANT(expr)                                                 \
+  do {                                                                          \
+    if (!(expr)) ::obscorr::detail::throw_invariant(#expr, __FILE__, __LINE__); \
+  } while (false)

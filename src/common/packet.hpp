@@ -1,0 +1,20 @@
+#pragma once
+/// \file packet.hpp
+/// The minimal packet record flowing between the traffic generator and
+/// the observatory simulators: an anonymizable (source, destination)
+/// header pair. Everything the paper computes (Table II) derives from
+/// these two fields; payloads never leave the sensors.
+
+#include "common/ipv4.hpp"
+
+namespace obscorr {
+
+/// One captured packet header.
+struct Packet {
+  Ipv4 src;
+  Ipv4 dst;
+
+  friend constexpr bool operator==(const Packet&, const Packet&) = default;
+};
+
+}  // namespace obscorr

@@ -1,0 +1,111 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace obscorr {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  OBSCORR_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::scoped_lock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(pool.thread_count(), n);
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  // Static split: chunk boundaries depend only on (n, chunks).
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t start = begin;
+  // Run chunks on the pool and the final chunk inline so a nested caller
+  // on a pool thread cannot deadlock waiting for itself.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    ranges.emplace_back(start, start + len);
+    start += len;
+  }
+  OBSCORR_INVARIANT(start == end);
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = ranges.size() - 1;
+  for (std::size_t c = 0; c + 1 < ranges.size(); ++c) {
+    pool.submit([&, c] {
+      body(ranges[c].first, ranges[c].second);
+      std::scoped_lock lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  body(ranges.back().first, ranges.back().second);
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(ThreadPool::global(), begin, end, body);
+}
+
+}  // namespace obscorr

@@ -1,0 +1,67 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A small work-stealing-free thread pool with a blocking `parallel_for`.
+///
+/// The GraphBLAS-style kernels (tuple sort, block merge, reductions) are
+/// written against this pool rather than OpenMP so the parallelism is
+/// explicit, testable at any thread count, and deterministic: ranges are
+/// split statically, so results never depend on scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace obscorr {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (>= 1). The default uses hardware concurrency.
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; tasks must not throw (violations terminate).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// max(1, hardware_concurrency).
+  static std::size_t default_thread_count();
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Statically partition [begin, end) into ~`pool.thread_count()` chunks and
+/// run `body(chunk_begin, chunk_end)` on the pool; blocks until complete.
+/// Partitioning depends only on (range, thread count), never on timing, so
+/// any reduction the caller does per-chunk is reproducible.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Convenience overload on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace obscorr

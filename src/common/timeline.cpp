@@ -1,0 +1,52 @@
+#include "common/timeline.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace obscorr {
+
+YearMonth::YearMonth(int year, int month) : year_(year), month_(month) {
+  OBSCORR_REQUIRE(month >= 1 && month <= 12, "month must be in [1,12]");
+}
+
+namespace {
+bool is_leap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+}  // namespace
+
+int YearMonth::days() const {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month_ == 2 && is_leap(year_)) return 29;
+  return kDays[month_ - 1];
+}
+
+YearMonth YearMonth::plus_months(int n) const {
+  const int idx = index() + n;
+  OBSCORR_REQUIRE(idx >= 0, "month arithmetic underflowed year 0");
+  return YearMonth(idx / 12, idx % 12 + 1);
+}
+
+std::string YearMonth::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d", year_, month_);
+  return buf;
+}
+
+std::optional<YearMonth> YearMonth::parse(std::string_view text) {
+  if (text.size() != 7 || text[4] != '-') return std::nullopt;
+  int year = 0;
+  int month = 0;
+  auto [p1, e1] = std::from_chars(text.data(), text.data() + 4, year);
+  auto [p2, e2] = std::from_chars(text.data() + 5, text.data() + 7, month);
+  if (e1 != std::errc{} || e2 != std::errc{} || p1 != text.data() + 4 ||
+      p2 != text.data() + 7) {
+    return std::nullopt;
+  }
+  if (month < 1 || month > 12) return std::nullopt;
+  return YearMonth(year, month);
+}
+
+}  // namespace obscorr

@@ -1,0 +1,53 @@
+#pragma once
+/// \file timeline.hpp
+/// Calendar month arithmetic for the observation timeline. The study spans
+/// 15 GreyNoise months (2020-02 .. 2021-04) with CAIDA snapshots at
+/// ~6-week spacing; temporal correlations are indexed by month offsets
+/// `t - t0`, so months are the natural time unit.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace obscorr {
+
+/// A calendar year-month, with arithmetic in whole months.
+class YearMonth {
+ public:
+  constexpr YearMonth() = default;
+  /// month is 1-based (1 = January).
+  YearMonth(int year, int month);
+
+  int year() const { return year_; }
+  int month() const { return month_; }
+
+  /// Days in this month (Gregorian, leap-aware) — the Table I "duration".
+  int days() const;
+
+  /// Month index since year 0 for offset arithmetic.
+  int index() const { return year_ * 12 + (month_ - 1); }
+
+  /// Signed whole-month distance `*this - other`.
+  int months_since(YearMonth other) const { return index() - other.index(); }
+
+  /// The month `n` steps later (n may be negative).
+  YearMonth plus_months(int n) const;
+
+  /// Render as "2020-02".
+  std::string to_string() const;
+
+  /// Parse "YYYY-MM"; nullopt on malformation.
+  static std::optional<YearMonth> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(const YearMonth&, const YearMonth&) = default;
+
+ private:
+  int year_ = 2020;
+  int month_ = 1;
+};
+
+/// Seconds in a day, used to convert month durations.
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+
+}  // namespace obscorr

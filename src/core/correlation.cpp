@@ -1,0 +1,115 @@
+#include "core/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/binning.hpp"
+#include "common/error.hpp"
+
+namespace obscorr::core {
+
+std::vector<std::string> bin_sources(const SnapshotData& snapshot, int bin) {
+  std::vector<std::string> keys;
+  for (const d4m::Triple& t : snapshot.sources.to_triples()) {
+    if (t.col != "packets") continue;
+    if (t.val >= 1.0 && log2_bin(static_cast<std::uint64_t>(t.val)) == bin) {
+      keys.push_back(t.row);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<PeakCorrelationBin> peak_correlation(const SnapshotData& snapshot,
+                                                 const honeyfarm::MonthlyObservation& month,
+                                                 double half_log_nv) {
+  OBSCORR_REQUIRE(half_log_nv > 0.0, "half_log_nv must be positive");
+  std::vector<PeakCorrelationBin> bins;
+  for (const d4m::Triple& t : snapshot.sources.to_triples()) {
+    if (t.col != "packets" || t.val < 1.0) continue;
+    const int b = log2_bin(static_cast<std::uint64_t>(t.val));
+    if (bins.size() <= static_cast<std::size_t>(b)) {
+      bins.resize(static_cast<std::size_t>(b) + 1);
+      for (std::size_t i = 0; i < bins.size(); ++i) bins[i].bin = static_cast<int>(i);
+    }
+    auto& cell = bins[static_cast<std::size_t>(b)];
+    ++cell.caida_sources;
+    if (month.sources.has_row(t.row)) ++cell.matched;
+  }
+  for (auto& cell : bins) {
+    if (cell.caida_sources > 0) {
+      cell.fraction = static_cast<double>(cell.matched) / static_cast<double>(cell.caida_sources);
+    }
+    // The paper's empirical law evaluated at the bin centre.
+    cell.model = std::min(1.0, (static_cast<double>(cell.bin) + 0.5) / half_log_nv);
+  }
+  return bins;
+}
+
+std::vector<PeakCorrelationBin> peak_correlation_all(const StudyData& study) {
+  std::vector<PeakCorrelationBin> total;
+  for (const SnapshotData& snap : study.snapshots) {
+    OBSCORR_REQUIRE(static_cast<std::size_t>(snap.month_index) < study.months.size(),
+                    "snapshot month outside honeyfarm coverage");
+    const auto bins = peak_correlation(
+        snap, study.months[static_cast<std::size_t>(snap.month_index)], study.half_log_nv());
+    if (total.size() < bins.size()) {
+      const std::size_t old = total.size();
+      total.resize(bins.size());
+      for (std::size_t i = old; i < total.size(); ++i) {
+        total[i].bin = static_cast<int>(i);
+        total[i].model = bins[i].model;
+      }
+    }
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      total[i].caida_sources += bins[i].caida_sources;
+      total[i].matched += bins[i].matched;
+    }
+  }
+  for (auto& cell : total) {
+    if (cell.caida_sources > 0) {
+      cell.fraction = static_cast<double>(cell.matched) / static_cast<double>(cell.caida_sources);
+    }
+  }
+  return total;
+}
+
+std::optional<TemporalCorrelation> temporal_correlation(const SnapshotData& snapshot,
+                                                        const StudyData& study, int bin,
+                                                        std::uint64_t min_sources) {
+  const std::vector<std::string> tracked = bin_sources(snapshot, bin);
+  if (tracked.size() < min_sources) return std::nullopt;
+
+  TemporalCorrelation out;
+  out.bin = bin;
+  out.bin_sources = tracked.size();
+  for (std::size_t m = 0; m < study.months.size(); ++m) {
+    std::uint64_t matched = 0;
+    for (const std::string& ip : tracked) {
+      if (study.months[m].sources.has_row(ip)) ++matched;
+    }
+    out.series.dt.push_back(static_cast<double>(static_cast<int>(m) - snapshot.month_index));
+    out.series.fraction.push_back(static_cast<double>(matched) /
+                                  static_cast<double>(tracked.size()));
+  }
+  out.modified_cauchy = stats::fit_modified_cauchy(out.series);
+  out.cauchy = stats::fit_cauchy(out.series);
+  out.gaussian = stats::fit_gaussian(out.series);
+  return out;
+}
+
+std::vector<FitGridCell> fit_grid(const StudyData& study, std::uint64_t min_sources) {
+  std::vector<FitGridCell> grid;
+  for (std::size_t s = 0; s < study.snapshots.size(); ++s) {
+    const SnapshotData& snap = study.snapshots[s];
+    const int max_bin = log2_bin(static_cast<std::uint64_t>(
+        std::max(1.0, snap.source_packets.reduce_max())));
+    for (int bin = 0; bin <= max_bin; ++bin) {
+      auto curve = temporal_correlation(snap, study, bin, min_sources);
+      if (curve.has_value()) grid.push_back({s, std::move(*curve)});
+    }
+  }
+  return grid;
+}
+
+}  // namespace obscorr::core

@@ -1,0 +1,70 @@
+#pragma once
+/// \file correlation.hpp
+/// Cross-observatory correlation analyses — the paper's §III results.
+///
+///  * `peak_correlation`     — Fig. 4: fraction of telescope sources seen
+///    by the honeyfarm the same month, per brightness bin, with the
+///    empirical log-law overlay.
+///  * `temporal_correlation` — Figs. 5/6: fraction of one snapshot's
+///    sources (in one brightness bin) found in each study month, plus
+///    Gaussian / Cauchy / modified-Cauchy fits.
+///  * `fit_grid`             — Figs. 7/8: best-fit modified-Cauchy (α, β)
+///    across all snapshots and brightness bins.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/study.hpp"
+#include "stats/temporal.hpp"
+
+namespace obscorr::core {
+
+/// One brightness bin of the same-month correlation (Fig. 4).
+struct PeakCorrelationBin {
+  int bin = 0;                     ///< log2 bin: d in [2^bin, 2^(bin+1))
+  std::uint64_t caida_sources = 0; ///< telescope sources in the bin
+  std::uint64_t matched = 0;       ///< of those, present in the honeyfarm month
+  double fraction = 0.0;           ///< matched / caida_sources
+  double model = 0.0;              ///< paper law: min(1, (bin+0.5)/log2(sqrt(N_V)))
+};
+
+/// Fig. 4 for one snapshot against one honeyfarm month.
+std::vector<PeakCorrelationBin> peak_correlation(const SnapshotData& snapshot,
+                                                 const honeyfarm::MonthlyObservation& month,
+                                                 double half_log_nv);
+
+/// Fig. 4 averaged over every snapshot paired with its coeval month.
+std::vector<PeakCorrelationBin> peak_correlation_all(const StudyData& study);
+
+/// One temporal-correlation curve (Figs. 5/6) with its fits.
+struct TemporalCorrelation {
+  int bin = 0;                        ///< brightness bin of the tracked sources
+  std::uint64_t bin_sources = 0;      ///< telescope sources tracked
+  stats::TemporalSeries series;       ///< fraction seen per month offset
+  stats::TemporalFit<stats::ModifiedCauchy> modified_cauchy;
+  stats::TemporalFit<stats::Cauchy> cauchy;
+  stats::TemporalFit<stats::Gaussian> gaussian;
+};
+
+/// Track the snapshot's bin-`bin` sources across every study month.
+/// Returns nullopt when the bin holds fewer than `min_sources` sources
+/// (fits on a handful of sources are noise).
+std::optional<TemporalCorrelation> temporal_correlation(const SnapshotData& snapshot,
+                                                        const StudyData& study, int bin,
+                                                        std::uint64_t min_sources = 20);
+
+/// One cell of the Fig. 6 grid / Figs. 7-8 parameter tables.
+struct FitGridCell {
+  std::size_t snapshot = 0;  ///< index into study.snapshots
+  TemporalCorrelation curve;
+};
+
+/// All (snapshot × brightness-bin) temporal fits with enough sources.
+std::vector<FitGridCell> fit_grid(const StudyData& study, std::uint64_t min_sources = 20);
+
+/// Sources of `snapshot` whose packet count lies in [2^bin, 2^(bin+1)),
+/// as dotted-quad keys (helper shared by the analyses and tests).
+std::vector<std::string> bin_sources(const SnapshotData& snapshot, int bin);
+
+}  // namespace obscorr::core

@@ -1,0 +1,23 @@
+#include "core/degree_analysis.hpp"
+
+namespace obscorr::core {
+
+DegreeAnalysis analyze_degrees(const SnapshotData& snapshot) {
+  DegreeAnalysis out;
+  out.label = snapshot.spec.start_label;
+  out.histogram = stats::LogHistogram::from_sparse_vec(snapshot.source_packets);
+  out.dcp = out.histogram.differential_cumulative();
+  out.fit = stats::fit_zipf_mandelbrot(out.histogram);
+  return out;
+}
+
+std::vector<DegreeAnalysis> analyze_all_degrees(const StudyData& study) {
+  std::vector<DegreeAnalysis> all;
+  all.reserve(study.snapshots.size());
+  for (const SnapshotData& snap : study.snapshots) {
+    all.push_back(analyze_degrees(snap));
+  }
+  return all;
+}
+
+}  // namespace obscorr::core

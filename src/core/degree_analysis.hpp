@@ -1,0 +1,30 @@
+#pragma once
+/// \file degree_analysis.hpp
+/// Source-packet degree-distribution analysis (paper Fig. 3): log-binned
+/// differential cumulative probability of the Table II source-packet
+/// reduction, with the two-parameter Zipf–Mandelbrot fit.
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "stats/histogram.hpp"
+#include "stats/zipf.hpp"
+
+namespace obscorr::core {
+
+/// The Fig. 3 content for one snapshot.
+struct DegreeAnalysis {
+  std::string label;                     ///< snapshot start label
+  stats::LogHistogram histogram;         ///< source-packet histogram
+  std::vector<double> dcp;               ///< D_t(d_i) per log2 bin
+  stats::ZipfFit fit;                    ///< Zipf–Mandelbrot fit
+};
+
+/// Analyze one snapshot's source-packet distribution.
+DegreeAnalysis analyze_degrees(const SnapshotData& snapshot);
+
+/// Analyze every snapshot in the study.
+std::vector<DegreeAnalysis> analyze_all_degrees(const StudyData& study);
+
+}  // namespace obscorr::core

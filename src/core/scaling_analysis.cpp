@@ -1,0 +1,69 @@
+#include "core/scaling_analysis.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gbl/quantities.hpp"
+#include "netgen/traffic.hpp"
+#include "telescope/telescope.hpp"
+
+namespace obscorr::core {
+
+double log_log_slope(const std::vector<int>& log2_x, const std::vector<double>& y) {
+  OBSCORR_REQUIRE(log2_x.size() == y.size(), "log_log_slope: size mismatch");
+  OBSCORR_REQUIRE(log2_x.size() >= 2, "log_log_slope: need at least two points");
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const double n = static_cast<double>(log2_x.size());
+  for (std::size_t i = 0; i < log2_x.size(); ++i) {
+    OBSCORR_REQUIRE(y[i] > 0.0, "log_log_slope: values must be positive");
+    const double x = static_cast<double>(log2_x[i]);
+    const double ly = std::log2(y[i]);
+    sx += x;
+    sy += ly;
+    sxx += x * x;
+    sxy += x * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  OBSCORR_REQUIRE(denom > 0.0, "log_log_slope: degenerate x values");
+  return (n * sxy - sx * sy) / denom;
+}
+
+ScalingAnalysis scaling_analysis(const netgen::Scenario& scenario, int month, int log2_lo,
+                                 int log2_hi, ThreadPool& pool) {
+  OBSCORR_REQUIRE(log2_lo >= 8, "scaling_analysis: windows below 2^8 are all noise");
+  OBSCORR_REQUIRE(log2_hi > log2_lo, "scaling_analysis: need an increasing ladder");
+  OBSCORR_REQUIRE(log2_hi <= static_cast<int>(scenario.population.log2_nv) + 2,
+                  "scaling_analysis: ladder far beyond the scenario scale");
+
+  const netgen::Population population(scenario.population);
+  const netgen::TrafficGenerator generator(population, scenario.traffic);
+  telescope::TelescopeConfig cfg;
+  cfg.darkspace = scenario.traffic.darkspace;
+  cfg.legit_prefixes = {scenario.traffic.legit_prefix};
+  cfg.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
+  telescope::Telescope scope(cfg, pool);
+
+  ScalingAnalysis analysis;
+  std::vector<int> ks;
+  std::vector<double> sources, links, destinations, dmax;
+  for (int k = log2_lo; k <= log2_hi; ++k) {
+    generator.stream_window(month, 1ULL << k, /*salt=*/0x5CA1E000 + static_cast<std::uint64_t>(k),
+                            [&](const Packet& p) { scope.capture(p); });
+    const gbl::DcsrMatrix matrix = scope.finish_window();
+    const gbl::AggregateQuantities q = gbl::aggregate_quantities(matrix);
+    analysis.points.push_back({k, q.unique_sources, q.unique_links, q.unique_destinations,
+                               q.max_source_packets});
+    ks.push_back(k);
+    sources.push_back(static_cast<double>(q.unique_sources));
+    links.push_back(static_cast<double>(q.unique_links));
+    destinations.push_back(static_cast<double>(q.unique_destinations));
+    dmax.push_back(q.max_source_packets);
+  }
+  analysis.source_exponent = log_log_slope(ks, sources);
+  analysis.link_exponent = log_log_slope(ks, links);
+  analysis.destination_exponent = log_log_slope(ks, destinations);
+  analysis.dmax_exponent = log_log_slope(ks, dmax);
+  return analysis;
+}
+
+}  // namespace obscorr::core

@@ -1,0 +1,49 @@
+#pragma once
+/// \file scaling_analysis.hpp
+/// Window-size scaling relations. The paper leans on a prior observation
+/// (its refs [13][36], and the §IV discussion of sqrt(N_V)): the number
+/// of unique sources seen in a constant-packet window grows roughly like
+/// sqrt(N_V), which is also its proposed origin story for the Fig. 4
+/// visibility threshold. This module measures those scaling exponents
+/// directly: capture nested windows of 2^k packets for a ladder of k and
+/// regress log2(quantity) on k.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "netgen/scenario.hpp"
+
+namespace obscorr::core {
+
+/// Quantities of one window size in the ladder.
+struct ScalingPoint {
+  int log2_nv = 0;                  ///< window size 2^k
+  std::uint64_t unique_sources = 0;
+  std::uint64_t unique_links = 0;
+  std::uint64_t unique_destinations = 0;
+  double max_source_packets = 0.0;
+};
+
+/// The measured ladder plus fitted scaling exponents
+/// (quantity ≈ c · N_V^exponent).
+struct ScalingAnalysis {
+  std::vector<ScalingPoint> points;
+  double source_exponent = 0.0;       ///< paper: ≈ 0.5
+  double link_exponent = 0.0;
+  double destination_exponent = 0.0;
+  double dmax_exponent = 0.0;
+};
+
+/// Least-squares slope of log2(y) against log2(N_V) (helper, exposed for
+/// unit testing).
+double log_log_slope(const std::vector<int>& log2_x, const std::vector<double>& y);
+
+/// Capture windows of 2^k packets for k in [log2_lo, log2_hi] from month
+/// `month` of the scenario's world and fit the exponents. Each window is
+/// captured independently (same month, distinct salts), all through the
+/// full telescope pipeline.
+ScalingAnalysis scaling_analysis(const netgen::Scenario& scenario, int month, int log2_lo,
+                                 int log2_hi, ThreadPool& pool);
+
+}  // namespace obscorr::core

@@ -1,0 +1,83 @@
+#include "core/study.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "netgen/traffic.hpp"
+#include "telescope/telescope.hpp"
+
+namespace obscorr::core {
+
+namespace {
+
+SnapshotData take_snapshot(const netgen::Scenario& scenario, const netgen::Population& population,
+                           const netgen::CaidaSnapshotSpec& spec, telescope::Telescope& scope,
+                           ThreadPool& /*pool*/) {
+  SnapshotData snap;
+  snap.spec = spec;
+  snap.month_index = scenario.month_index(spec.month);
+  snap.duration_sec = scenario.scaled_duration_sec(spec);
+
+  const netgen::TrafficGenerator generator(population, scenario.traffic);
+  const std::uint64_t before_discarded = scope.discarded_packets();
+  generator.stream_window(snap.month_index, scenario.nv(), spec.salt,
+                          [&](const Packet& p) { scope.capture(p); });
+  snap.matrix = scope.finish_window();
+  snap.valid_packets = static_cast<std::uint64_t>(snap.matrix.reduce_sum());
+  snap.discarded_packets = scope.discarded_packets() - before_discarded;
+  OBSCORR_INVARIANT(snap.valid_packets == scenario.nv());
+
+  snap.source_packets = snap.matrix.reduce_rows();
+
+  // Trusted exchange (paper §I, sharing approach 1): the anonymized
+  // source ids go back to the telescope operator for deanonymization,
+  // producing the D4M associative array used for correlation.
+  std::vector<d4m::Triple> triples;
+  triples.reserve(snap.source_packets.nnz());
+  const auto ids = snap.source_packets.indices();
+  const auto counts = snap.source_packets.values();
+  for (std::size_t i = 0; i < snap.source_packets.nnz(); ++i) {
+    const Ipv4 original = scope.deanonymize(Ipv4(ids[i]));
+    triples.push_back({original.to_string(), "packets", counts[i]});
+  }
+  snap.sources = d4m::AssocArray::from_triples(std::move(triples));
+  return snap;
+}
+
+StudyData run_impl(const netgen::Scenario& scenario, ThreadPool& pool, bool with_honeyfarm) {
+  OBSCORR_REQUIRE(!scenario.snapshots.empty(), "scenario needs at least one snapshot");
+  StudyData study;
+  study.scenario = scenario;
+  study.population = std::make_shared<netgen::Population>(scenario.population);
+
+  telescope::TelescopeConfig scope_config;
+  scope_config.darkspace = scenario.traffic.darkspace;
+  scope_config.legit_prefixes = {scenario.traffic.legit_prefix};
+  scope_config.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
+  telescope::Telescope scope(scope_config, pool);
+
+  for (const auto& spec : scenario.snapshots) {
+    study.snapshots.push_back(take_snapshot(scenario, *study.population, spec, scope, pool));
+  }
+
+  if (with_honeyfarm) {
+    const honeyfarm::Honeyfarm farm(*study.population, scenario.visibility,
+                                    scenario.population.seed ^ 0x64E4015EULL);
+    for (std::size_t m = 0; m < scenario.months.size(); ++m) {
+      study.months.push_back(farm.observe_month(scenario.months[m], static_cast<int>(m)));
+    }
+  }
+  return study;
+}
+
+}  // namespace
+
+StudyData run_study(const netgen::Scenario& scenario, ThreadPool& pool) {
+  return run_impl(scenario, pool, /*with_honeyfarm=*/true);
+}
+
+StudyData run_telescope_only(const netgen::Scenario& scenario, ThreadPool& pool) {
+  return run_impl(scenario, pool, /*with_honeyfarm=*/false);
+}
+
+}  // namespace obscorr::core

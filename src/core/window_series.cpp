@@ -1,0 +1,64 @@
+#include "core/window_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "netgen/traffic.hpp"
+#include "stats/histogram.hpp"
+#include "telescope/telescope.hpp"
+
+namespace obscorr::core {
+
+WindowSeries intra_month_series(const netgen::Scenario& scenario, int month, int n_windows,
+                                ThreadPool& pool) {
+  OBSCORR_REQUIRE(n_windows >= 2, "intra_month_series: need at least two windows");
+  const netgen::Population population(scenario.population);
+  const netgen::TrafficGenerator generator(population, scenario.traffic);
+
+  telescope::TelescopeConfig cfg;
+  cfg.darkspace = scenario.traffic.darkspace;
+  cfg.legit_prefixes = {scenario.traffic.legit_prefix};
+  cfg.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
+  telescope::Telescope scope(cfg, pool);
+
+  WindowSeries series;
+  for (int w = 0; w < n_windows; ++w) {
+    WindowStats stats;
+    stats.salt = 0x71000 + static_cast<std::uint64_t>(w);
+    generator.stream_window(month, scenario.nv(), stats.salt,
+                            [&](const Packet& p) { scope.capture(p); });
+    const gbl::DcsrMatrix matrix = scope.finish_window();
+    stats.aggregates = gbl::aggregate_quantities(matrix);
+    stats.zipf = stats::fit_zipf_mandelbrot(
+        stats::LogHistogram::from_sparse_vec(matrix.reduce_rows()));
+    series.windows.push_back(std::move(stats));
+  }
+
+  // Stability summaries.
+  double mean_sources = 0.0;
+  double alpha_lo = series.windows[0].zipf.model.alpha;
+  double alpha_hi = alpha_lo;
+  double dmax_lo = series.windows[0].aggregates.max_source_packets;
+  double dmax_hi = dmax_lo;
+  for (const WindowStats& w : series.windows) {
+    mean_sources += static_cast<double>(w.aggregates.unique_sources);
+    alpha_lo = std::min(alpha_lo, w.zipf.model.alpha);
+    alpha_hi = std::max(alpha_hi, w.zipf.model.alpha);
+    dmax_lo = std::min(dmax_lo, w.aggregates.max_source_packets);
+    dmax_hi = std::max(dmax_hi, w.aggregates.max_source_packets);
+  }
+  mean_sources /= static_cast<double>(series.windows.size());
+  double var = 0.0;
+  for (const WindowStats& w : series.windows) {
+    const double dev = static_cast<double>(w.aggregates.unique_sources) - mean_sources;
+    var += dev * dev;
+  }
+  var /= static_cast<double>(series.windows.size());
+  series.source_count_cv = mean_sources > 0.0 ? std::sqrt(var) / mean_sources : 0.0;
+  series.alpha_spread = alpha_hi - alpha_lo;
+  series.dmax_ratio = dmax_lo > 0.0 ? dmax_hi / dmax_lo : 0.0;
+  return series;
+}
+
+}  // namespace obscorr::core

@@ -1,0 +1,41 @@
+#pragma once
+/// \file window_series.hpp
+/// Intra-month window-series analysis: take several consecutive
+/// constant-packet windows inside one study month and track the network
+/// quantities across them. The paper's methodology rests on constant
+/// packet, variable time sampling making the heavy-tail statistics
+/// stable (§I refs [22]-[24]); this module quantifies that stability —
+/// the coefficient of variation of source counts and the spread of the
+/// fitted Zipf–Mandelbrot parameters across adjacent windows.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gbl/quantities.hpp"
+#include "netgen/scenario.hpp"
+#include "stats/zipf.hpp"
+
+namespace obscorr::core {
+
+/// Per-window measurements.
+struct WindowStats {
+  std::uint64_t salt = 0;                 ///< window id within the month
+  gbl::AggregateQuantities aggregates;    ///< all Table II scalars
+  stats::ZipfFit zipf;                    ///< source-packet distribution fit
+};
+
+/// Stability summary across the windows.
+struct WindowSeries {
+  std::vector<WindowStats> windows;
+  double source_count_cv = 0.0;  ///< coefficient of variation of unique sources
+  double alpha_spread = 0.0;     ///< max - min fitted alpha_zm
+  double dmax_ratio = 0.0;       ///< max/min of max-source-packets (tail volatility)
+};
+
+/// Capture `n_windows` consecutive windows of `scenario.nv()` packets in
+/// study month `month` and summarize their stability. Deterministic.
+WindowSeries intra_month_series(const netgen::Scenario& scenario, int month, int n_windows,
+                                ThreadPool& pool);
+
+}  // namespace obscorr::core

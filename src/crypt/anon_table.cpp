@@ -1,0 +1,88 @@
+#include "crypt/anon_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace obscorr::crypt {
+
+namespace {
+constexpr char kMagic[8] = {'O', 'B', 'S', 'C', 'A', 'N', 'T', '1'};
+}  // namespace
+
+AnonymizationTable AnonymizationTable::build(std::span<const Ipv4> observed,
+                                             const CryptoPan& own_scheme,
+                                             const CryptoPan& common_scheme) {
+  AnonymizationTable table;
+  table.mapping_.reserve(observed.size() * 2);
+  for (const Ipv4 addr : observed) {
+    table.mapping_.emplace(own_scheme.anonymize(addr).value(),
+                           common_scheme.anonymize(addr).value());
+  }
+  return table;
+}
+
+std::optional<Ipv4> AnonymizationTable::to_common(Ipv4 own_anon) const {
+  const auto it = mapping_.find(own_anon.value());
+  if (it == mapping_.end()) return std::nullopt;
+  return Ipv4(it->second);
+}
+
+std::vector<Ipv4> AnonymizationTable::translate(std::span<const Ipv4> own_anon) const {
+  std::vector<Ipv4> out;
+  out.reserve(own_anon.size());
+  for (const Ipv4 id : own_anon) {
+    const auto common = to_common(id);
+    if (common.has_value()) out.push_back(*common);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void AnonymizationTable::write(std::ostream& os) const {
+  os.write(kMagic, sizeof kMagic);
+  const std::uint64_t n = mapping_.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof n);
+  // Sorted output keeps the format canonical (hash order is not).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs(mapping_.begin(), mapping_.end());
+  std::sort(pairs.begin(), pairs.end());
+  for (const auto& [own, common] : pairs) {
+    os.write(reinterpret_cast<const char*>(&own), sizeof own);
+    os.write(reinterpret_cast<const char*>(&common), sizeof common);
+  }
+  OBSCORR_REQUIRE(os.good(), "AnonymizationTable::write: stream failure");
+}
+
+AnonymizationTable AnonymizationTable::read(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  OBSCORR_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                  "AnonymizationTable::read: bad magic");
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof n);
+  OBSCORR_REQUIRE(is.good(), "AnonymizationTable::read: truncated header");
+  AnonymizationTable table;
+  table.mapping_.reserve(n * 2);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t pair[2];
+    is.read(reinterpret_cast<char*>(pair), sizeof pair);
+    OBSCORR_REQUIRE(is.good() || (is.eof() && is.gcount() == sizeof pair),
+                    "AnonymizationTable::read: truncated entry");
+    table.mapping_.emplace(pair[0], pair[1]);
+  }
+  return table;
+}
+
+std::vector<Ipv4> intersect_common(std::span<const Ipv4> a, std::span<const Ipv4> b) {
+  OBSCORR_REQUIRE(std::is_sorted(a.begin(), a.end()), "intersect_common: a must be sorted");
+  OBSCORR_REQUIRE(std::is_sorted(b.begin(), b.end()), "intersect_common: b must be sorted");
+  std::vector<Ipv4> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace obscorr::crypt

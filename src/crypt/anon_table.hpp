@@ -1,0 +1,61 @@
+#pragma once
+/// \file anon_table.hpp
+/// Anonymization transformation tables — the paper's trusted-sharing
+/// approach 3: "For larger sets, an anonymization transformation table
+/// provided by the sources allows direct mapping from anonymized data to
+/// the common scheme."
+///
+/// Each observatory anonymizes with its own CryptoPAN key; to correlate
+/// at scale, each source exports a table mapping *its* anonymized ids to
+/// a *common* anonymization scheme (a third key held by the enclave).
+/// The raw addresses never leave the source: the table is built inside
+/// the source's trust boundary and only the (own-anon -> common-anon)
+/// pairs are shared.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ipv4.hpp"
+#include "crypt/cryptopan.hpp"
+
+namespace obscorr::crypt {
+
+/// A shareable own-scheme -> common-scheme mapping for a set of
+/// addresses the source observed.
+class AnonymizationTable {
+ public:
+  AnonymizationTable() = default;
+
+  /// Build inside the source's trust boundary: for every raw address in
+  /// `observed`, map own_scheme(addr) -> common_scheme(addr). The raw
+  /// addresses are not retained.
+  static AnonymizationTable build(std::span<const Ipv4> observed, const CryptoPan& own_scheme,
+                                  const CryptoPan& common_scheme);
+
+  std::size_t size() const { return mapping_.size(); }
+
+  /// Translate one of this source's anonymized ids into the common
+  /// scheme; nullopt when the id is not covered by the table.
+  std::optional<Ipv4> to_common(Ipv4 own_anon) const;
+
+  /// Translate a whole id list, dropping ids outside the table; the
+  /// result is sorted and deduplicated (a set in the common scheme).
+  std::vector<Ipv4> translate(std::span<const Ipv4> own_anon) const;
+
+  /// Serialize as binary pairs (u32 own, u32 common) with a header.
+  void write(std::ostream& os) const;
+  static AnonymizationTable read(std::istream& is);
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> mapping_;
+};
+
+/// Intersect two observatories' common-scheme id sets (sorted vectors) —
+/// correlation without anyone revealing raw addresses.
+std::vector<Ipv4> intersect_common(std::span<const Ipv4> a, std::span<const Ipv4> b);
+
+}  // namespace obscorr::crypt

@@ -1,0 +1,42 @@
+#pragma once
+/// \file cryptopan.hpp
+/// CryptoPAN prefix-preserving IPv4 anonymization (Fan, Xu, Ammar & Moon,
+/// Computer Networks 2004) — the anonymizer the CAIDA Telescope pipeline
+/// applies before building shared GraphBLAS traffic matrices.
+///
+/// Prefix preservation: if two addresses share their first k bits, their
+/// anonymized forms share exactly their first k bits too. Subnet
+/// structure (and therefore every permutation-invariant Table II
+/// quantity) survives anonymization; the mapping is a bijection.
+
+#include <array>
+#include <cstdint>
+
+#include "common/ipv4.hpp"
+#include "crypt/aes128.hpp"
+
+namespace obscorr::crypt {
+
+/// Stateless prefix-preserving anonymizer keyed by a 32-byte secret
+/// (16 bytes AES key + 16 bytes padding secret, per the reference
+/// implementation).
+class CryptoPan {
+ public:
+  using Secret = std::array<std::uint8_t, 32>;
+
+  explicit CryptoPan(const Secret& secret);
+
+  /// Convenience: derive the 32-byte secret from a 64-bit seed through
+  /// SplitMix64 (deterministic, for simulations).
+  static CryptoPan from_seed(std::uint64_t seed);
+
+  /// Anonymize one address; prefix-preserving bijection on 2^32.
+  Ipv4 anonymize(Ipv4 addr) const;
+
+ private:
+  Aes128 aes_;
+  std::array<std::uint8_t, 16> pad_;
+  std::uint32_t pad_word_ = 0;  // first 4 pad bytes as big-endian word
+};
+
+}  // namespace obscorr::crypt

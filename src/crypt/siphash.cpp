@@ -1,0 +1,65 @@
+#include "crypt/siphash.hpp"
+
+namespace obscorr::crypt {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2, std::uint64_t& v3) {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t siphash24(std::span<const std::uint8_t> data, std::uint64_t k0, std::uint64_t k1) {
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t n = data.size();
+  const std::size_t full = n & ~std::size_t{7};
+  for (std::size_t off = 0; off < full; off += 8) {
+    std::uint64_t m = 0;
+    for (std::size_t b = 0; b < 8; ++b) m |= std::uint64_t{data[off + b]} << (8 * b);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+  std::uint64_t tail = std::uint64_t{n & 0xff} << 56;
+  for (std::size_t b = 0; b < (n & 7); ++b) tail |= std::uint64_t{data[full + b]} << (8 * b);
+  v3 ^= tail;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= tail;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t siphash24(std::string_view data, std::uint64_t k0, std::uint64_t k1) {
+  return siphash24(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()), data.size()),
+      k0, k1);
+}
+
+}  // namespace obscorr::crypt

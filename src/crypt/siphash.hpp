@@ -1,0 +1,20 @@
+#pragma once
+/// \file siphash.hpp
+/// SipHash-2-4 (Aumasson & Bernstein 2012): a keyed 64-bit PRF over byte
+/// strings. Used to derive stable per-source random streams from string
+/// keys (e.g. per-IP persistence draws that must agree between the
+/// telescope and honeyfarm simulators without shared state).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace obscorr::crypt {
+
+/// SipHash-2-4 of `data` under the 128-bit key (k0, k1).
+std::uint64_t siphash24(std::span<const std::uint8_t> data, std::uint64_t k0, std::uint64_t k1);
+
+/// Convenience overload for strings.
+std::uint64_t siphash24(std::string_view data, std::uint64_t k0, std::uint64_t k1);
+
+}  // namespace obscorr::crypt

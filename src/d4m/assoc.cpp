@@ -1,0 +1,288 @@
+#include "d4m/assoc.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace obscorr::d4m {
+
+AssocArray::AssocArray() { row_ptr_.push_back(0); }
+
+namespace {
+
+bool triple_key_less(const Triple& a, const Triple& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+
+std::uint32_t key_index(const std::vector<std::string>& keys, std::string_view key) {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  OBSCORR_INVARIANT(it != keys.end() && *it == key);
+  return static_cast<std::uint32_t>(it - keys.begin());
+}
+
+}  // namespace
+
+AssocArray AssocArray::from_triples(std::vector<Triple> triples) {
+  std::sort(triples.begin(), triples.end(), triple_key_less);
+  // Accumulate duplicates (plus semiring).
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < triples.size(); ++i) {
+    if (triples[out].row == triples[i].row && triples[out].col == triples[i].col) {
+      triples[out].val += triples[i].val;
+    } else if (++out != i) {  // guard against self-move when nothing was combined
+      triples[out] = std::move(triples[i]);
+    }
+  }
+  if (!triples.empty()) triples.resize(out + 1);
+
+  AssocArray a;
+  if (triples.empty()) return a;
+
+  for (const Triple& t : triples) {
+    if (a.row_keys_.empty() || a.row_keys_.back() != t.row) a.row_keys_.push_back(t.row);
+  }
+  std::set<std::string> cols;
+  for (const Triple& t : triples) cols.insert(t.col);
+  a.col_keys_.assign(cols.begin(), cols.end());
+
+  a.row_ptr_.clear();
+  a.col_idx_.reserve(triples.size());
+  a.val_.reserve(triples.size());
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    const Triple& t = triples[i];
+    if (i == 0 || triples[i - 1].row != t.row) {
+      a.row_ptr_.push_back(static_cast<std::uint64_t>(i));
+    }
+    a.col_idx_.push_back(key_index(a.col_keys_, t.col));
+    a.val_.push_back(t.val);
+  }
+  a.row_ptr_.push_back(static_cast<std::uint64_t>(triples.size()));
+  OBSCORR_INVARIANT(a.row_ptr_.size() == a.row_keys_.size() + 1);
+  return a;
+}
+
+AssocArray AssocArray::from_column(std::span<const std::string> row_keys,
+                                   std::span<const double> values, std::string col_key) {
+  OBSCORR_REQUIRE(row_keys.size() == values.size(),
+                  "from_column: key/value arrays must have equal length");
+  std::vector<Triple> triples;
+  triples.reserve(row_keys.size());
+  for (std::size_t i = 0; i < row_keys.size(); ++i) {
+    triples.push_back({row_keys[i], col_key, values[i]});
+  }
+  return from_triples(std::move(triples));
+}
+
+double AssocArray::at(std::string_view row, std::string_view col) const {
+  const auto rit = std::lower_bound(row_keys_.begin(), row_keys_.end(), row);
+  if (rit == row_keys_.end() || *rit != row) return 0.0;
+  const auto cit = std::lower_bound(col_keys_.begin(), col_keys_.end(), col);
+  if (cit == col_keys_.end() || *cit != col) return 0.0;
+  const std::size_t r = static_cast<std::size_t>(rit - row_keys_.begin());
+  const auto c = static_cast<std::uint32_t>(cit - col_keys_.begin());
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return val_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+bool AssocArray::has_row(std::string_view row) const {
+  return std::binary_search(row_keys_.begin(), row_keys_.end(), row);
+}
+
+namespace {
+
+enum class MergeOp { kAdd, kMult, kMax };
+
+AssocArray merge(const AssocArray& a, const AssocArray& b, MergeOp op) {
+  const bool intersect = op == MergeOp::kMult;
+  auto ta = a.to_triples();
+  auto tb = b.to_triples();
+  std::vector<Triple> out;
+  std::size_t i = 0, j = 0;
+  const auto combine = [op](double x, double y) {
+    switch (op) {
+      case MergeOp::kAdd:
+        return x + y;
+      case MergeOp::kMult:
+        return x * y;
+      case MergeOp::kMax:
+        return std::max(x, y);
+    }
+    OBSCORR_INVARIANT(false);
+  };
+  while (i < ta.size() && j < tb.size()) {
+    const Triple& x = ta[i];
+    const Triple& y = tb[j];
+    if (x.row == y.row && x.col == y.col) {
+      out.push_back({x.row, x.col, combine(x.val, y.val)});
+      ++i;
+      ++j;
+    } else if (triple_key_less(x, y)) {
+      if (!intersect) out.push_back(x);
+      ++i;
+    } else {
+      if (!intersect) out.push_back(y);
+      ++j;
+    }
+  }
+  if (!intersect) {
+    out.insert(out.end(), ta.begin() + static_cast<std::ptrdiff_t>(i), ta.end());
+    out.insert(out.end(), tb.begin() + static_cast<std::ptrdiff_t>(j), tb.end());
+  }
+  return AssocArray::from_triples(std::move(out));
+}
+
+}  // namespace
+
+AssocArray AssocArray::ewise_add(const AssocArray& a, const AssocArray& b) {
+  return merge(a, b, MergeOp::kAdd);
+}
+
+AssocArray AssocArray::ewise_mult(const AssocArray& a, const AssocArray& b) {
+  return merge(a, b, MergeOp::kMult);
+}
+
+AssocArray AssocArray::ewise_max(const AssocArray& a, const AssocArray& b) {
+  return merge(a, b, MergeOp::kMax);
+}
+
+AssocArray AssocArray::logical() const {
+  AssocArray a = *this;
+  std::fill(a.val_.begin(), a.val_.end(), 1.0);
+  return a;
+}
+
+AssocArray AssocArray::transpose() const {
+  auto triples = to_triples();
+  for (Triple& t : triples) std::swap(t.row, t.col);
+  return from_triples(std::move(triples));
+}
+
+AssocArray AssocArray::select_rows(std::span<const std::string> keys) const {
+  std::vector<std::string> wanted(keys.begin(), keys.end());
+  std::sort(wanted.begin(), wanted.end());
+  return select_rows_if([&](std::string_view key) {
+    return std::binary_search(wanted.begin(), wanted.end(), key);
+  });
+}
+
+AssocArray AssocArray::select_rows_if(const std::function<bool(std::string_view)>& pred) const {
+  std::vector<Triple> kept;
+  for (std::size_t r = 0; r < row_keys_.size(); ++r) {
+    if (!pred(row_keys_[r])) continue;
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      kept.push_back({row_keys_[r], col_keys_[col_idx_[k]], val_[k]});
+    }
+  }
+  return from_triples(std::move(kept));
+}
+
+AssocArray AssocArray::select_rows_prefix(std::string_view prefix) const {
+  return select_rows_if([&](std::string_view key) { return key.starts_with(prefix); });
+}
+
+AssocArray AssocArray::select_cols(std::span<const std::string> keys) const {
+  std::vector<std::string> wanted(keys.begin(), keys.end());
+  std::sort(wanted.begin(), wanted.end());
+  std::vector<Triple> kept;
+  for (std::size_t r = 0; r < row_keys_.size(); ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::string& col = col_keys_[col_idx_[k]];
+      if (std::binary_search(wanted.begin(), wanted.end(), col)) {
+        kept.push_back({row_keys_[r], col, val_[k]});
+      }
+    }
+  }
+  return from_triples(std::move(kept));
+}
+
+AssocArray AssocArray::select_cols_prefix(std::string_view prefix) const {
+  std::vector<Triple> kept;
+  for (std::size_t r = 0; r < row_keys_.size(); ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::string& col = col_keys_[col_idx_[k]];
+      if (col.size() >= prefix.size() && std::string_view(col).substr(0, prefix.size()) == prefix) {
+        kept.push_back({row_keys_[r], col, val_[k]});
+      }
+    }
+  }
+  return from_triples(std::move(kept));
+}
+
+AssocArray AssocArray::row_sum() const {
+  std::vector<Triple> sums;
+  sums.reserve(row_keys_.size());
+  for (std::size_t r = 0; r < row_keys_.size(); ++r) {
+    double total = 0.0;
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) total += val_[k];
+    sums.push_back({row_keys_[r], "sum", total});
+  }
+  return from_triples(std::move(sums));
+}
+
+AssocArray AssocArray::col_sum() const { return transpose().row_sum(); }
+
+double AssocArray::reduce_sum() const {
+  double total = 0.0;
+  for (double v : val_) total += v;
+  return total;
+}
+
+std::vector<Triple> AssocArray::to_triples() const {
+  std::vector<Triple> triples;
+  triples.reserve(nnz());
+  for (std::size_t r = 0; r < row_keys_.size(); ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      triples.push_back({row_keys_[r], col_keys_[col_idx_[k]], val_[k]});
+    }
+  }
+  return triples;
+}
+
+void AssocArray::write_tsv(std::ostream& os) const {
+  char buf[64];
+  for (const Triple& t : to_triples()) {
+    std::snprintf(buf, sizeof buf, "%.17g", t.val);
+    os << t.row << '\t' << t.col << '\t' << buf << '\n';
+  }
+}
+
+AssocArray AssocArray::read_tsv(std::istream& is) {
+  std::vector<Triple> triples;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto tab1 = line.find('\t');
+    const auto tab2 = tab1 == std::string::npos ? std::string::npos : line.find('\t', tab1 + 1);
+    OBSCORR_REQUIRE(tab2 != std::string::npos, "read_tsv: malformed line: " + line);
+    double val = 0.0;
+    const char* begin = line.data() + tab2 + 1;
+    const char* end = line.data() + line.size();
+    auto [p, ec] = std::from_chars(begin, end, val);
+    OBSCORR_REQUIRE(ec == std::errc{} && p == end, "read_tsv: malformed value: " + line);
+    triples.push_back({line.substr(0, tab1), line.substr(tab1 + 1, tab2 - tab1 - 1), val});
+  }
+  return from_triples(std::move(triples));
+}
+
+std::vector<std::string> intersect_keys(std::span<const std::string> a,
+                                        std::span<const std::string> b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> union_keys(std::span<const std::string> a,
+                                    std::span<const std::string> b) {
+  std::vector<std::string> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace obscorr::d4m

@@ -1,0 +1,134 @@
+#pragma once
+/// \file assoc.hpp
+/// D4M associative arrays (Kepner & Jananthan, "Mathematics of Big Data").
+///
+/// An associative array is a sparse matrix whose rows and columns are
+/// indexed by *strings* (here: dotted-quad IPs, month labels, metadata
+/// columns) instead of integers. The paper stores GreyNoise observations
+/// as associative arrays and converts reduced GraphBLAS results to
+/// associative arrays for correlation.
+///
+/// String-valued data (e.g. GreyNoise classifications) is represented in
+/// the canonical D4M *exploded schema*: the value moves into the column
+/// key, `A('1.2.3.4', 'intent|malicious') = 1`, keeping stored values
+/// numeric. Intersection of observatories then reduces to element-wise
+/// multiplication — pure associative-array algebra.
+
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obscorr::d4m {
+
+/// One (row, col, value) triple with string keys.
+struct Triple {
+  std::string row;
+  std::string col;
+  double val = 0.0;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// Immutable associative array. Row and column key sets are sorted and
+/// deduplicated; entries are stored CSR-style over the key indices.
+class AssocArray {
+ public:
+  /// The empty array.
+  AssocArray();
+
+  /// Build from triples; duplicate (row, col) values are summed
+  /// (GraphBLAS "plus" accumulation, the D4M default).
+  static AssocArray from_triples(std::vector<Triple> triples);
+
+  /// Build a one-column array mapping each key to a value — the shape of
+  /// a reduced GraphBLAS result (e.g. source -> packet count).
+  static AssocArray from_column(std::span<const std::string> row_keys,
+                                std::span<const double> values, std::string col_key);
+
+  std::size_t nnz() const { return col_idx_.size(); }
+  bool empty() const { return nnz() == 0; }
+
+  /// Sorted unique row / column key sets.
+  std::span<const std::string> row_keys() const { return row_keys_; }
+  std::span<const std::string> col_keys() const { return col_keys_; }
+
+  /// Value at (row, col); 0 when absent.
+  double at(std::string_view row, std::string_view col) const;
+
+  /// True when the row key has at least one stored entry.
+  bool has_row(std::string_view row) const;
+
+  /// Element-wise sum over the union of cells (D4M `A + B`).
+  static AssocArray ewise_add(const AssocArray& a, const AssocArray& b);
+
+  /// Element-wise product over the intersection of cells (D4M `A & B`);
+  /// the correlation primitive: nonzeros are cells present in both.
+  static AssocArray ewise_mult(const AssocArray& a, const AssocArray& b);
+
+  /// Element-wise maximum over the union of cells (the D4M max semiring,
+  /// e.g. peak monthly contact counts across a span of months).
+  static AssocArray ewise_max(const AssocArray& a, const AssocArray& b);
+
+  /// Zero-norm |A|₀: every stored value becomes 1.
+  AssocArray logical() const;
+
+  /// Transpose Aᵀ.
+  AssocArray transpose() const;
+
+  /// Sub-array of the rows whose key is in `keys` (D4M `A(keys, :)`).
+  AssocArray select_rows(std::span<const std::string> keys) const;
+
+  /// Sub-array of rows whose key satisfies `pred`.
+  AssocArray select_rows_if(const std::function<bool(std::string_view)>& pred) const;
+
+  /// Sub-array of rows whose key starts with `prefix` (the D4M
+  /// `A('1.2.*', :)` idiom, e.g. all sources inside a /16).
+  AssocArray select_rows_prefix(std::string_view prefix) const;
+
+  /// Sub-array of the columns whose key is in `keys` (D4M `A(:, keys)`).
+  AssocArray select_cols(std::span<const std::string> keys) const;
+
+  /// Sub-array of columns whose key starts with `prefix` (the D4M
+  /// `A(:, 'intent|*')` idiom over an exploded schema).
+  AssocArray select_cols_prefix(std::string_view prefix) const;
+
+  /// Row sums `A·1` as a one-column array (column key "sum").
+  AssocArray row_sum() const;
+
+  /// Column sums `1ᵀ·A` as a one-column array over the transposed keys.
+  AssocArray col_sum() const;
+
+  /// Sum of all stored values.
+  double reduce_sum() const;
+
+  /// Export all entries as sorted triples.
+  std::vector<Triple> to_triples() const;
+
+  /// Tab-separated triples "row\tcol\tval", sorted; the D4M interchange
+  /// format used to move data between observatories.
+  void write_tsv(std::ostream& os) const;
+  static AssocArray read_tsv(std::istream& is);
+
+  friend bool operator==(const AssocArray&, const AssocArray&) = default;
+
+ private:
+  std::vector<std::string> row_keys_;
+  std::vector<std::string> col_keys_;
+  std::vector<std::uint64_t> row_ptr_;  // size row_keys_.size() + 1
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> val_;
+};
+
+/// Sorted intersection of two key sets; the paper's "sources seen by both
+/// observatories" operation.
+std::vector<std::string> intersect_keys(std::span<const std::string> a,
+                                        std::span<const std::string> b);
+
+/// Sorted union of two key sets.
+std::vector<std::string> union_keys(std::span<const std::string> a,
+                                    std::span<const std::string> b);
+
+}  // namespace obscorr::d4m

@@ -1,0 +1,40 @@
+#include "d4m/gbl_bridge.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/ipv4.hpp"
+
+namespace obscorr::d4m {
+
+AssocArray from_sparse_vec(const gbl::SparseVec& vec, std::string col_key) {
+  std::vector<Triple> triples;
+  triples.reserve(vec.nnz());
+  const auto idx = vec.indices();
+  const auto val = vec.values();
+  for (std::size_t i = 0; i < vec.nnz(); ++i) {
+    triples.push_back({Ipv4(idx[i]).to_string(), col_key, val[i]});
+  }
+  return AssocArray::from_triples(std::move(triples));
+}
+
+gbl::SparseVec to_sparse_vec(const AssocArray& assoc, const std::string& col_key) {
+  std::vector<std::pair<gbl::Index, gbl::Value>> entries;
+  for (const Triple& t : assoc.to_triples()) {
+    if (t.col != col_key) continue;
+    const auto ip = Ipv4::parse(t.row);
+    OBSCORR_REQUIRE(ip.has_value(), "to_sparse_vec: row key is not an IPv4 address: " + t.row);
+    entries.emplace_back(ip->value(), t.val);
+  }
+  // Dotted-quad string order differs from numeric order; re-sort.
+  std::sort(entries.begin(), entries.end());
+  std::vector<gbl::Index> idx(entries.size());
+  std::vector<gbl::Value> val(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    idx[i] = entries[i].first;
+    val[i] = entries[i].second;
+  }
+  return gbl::SparseVec(std::move(idx), std::move(val));
+}
+
+}  // namespace obscorr::d4m

@@ -1,0 +1,27 @@
+#pragma once
+/// \file gbl_bridge.hpp
+/// Bridge between GraphBLAS-lite results and D4M associative arrays.
+///
+/// The paper's workflow: network quantities are computed from hypersparse
+/// GraphBLAS matrices, then "the reduced results are converted to D4M
+/// associative arrays to facilitate correlation" with the GreyNoise
+/// associative arrays. These adapters are that conversion — sparse vectors
+/// over uint32 IPv4 ids become one-column associative arrays keyed by
+/// dotted-quad strings.
+
+#include <string>
+
+#include "d4m/assoc.hpp"
+#include "gbl/sparse_vec.hpp"
+
+namespace obscorr::d4m {
+
+/// Convert a reduced GraphBLAS vector (e.g. source packets `A·1`) to a
+/// one-column associative array keyed by dotted-quad IPv4 strings.
+AssocArray from_sparse_vec(const gbl::SparseVec& vec, std::string col_key);
+
+/// Recover a sparse vector from a one-column associative array whose row
+/// keys are dotted-quad IPv4 strings (inverse of `from_sparse_vec`).
+gbl::SparseVec to_sparse_vec(const AssocArray& assoc, const std::string& col_key);
+
+}  // namespace obscorr::d4m

@@ -1,0 +1,198 @@
+#include "d4m/str_assoc.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace obscorr::d4m {
+
+StrAssoc::StrAssoc() { row_ptr_.push_back(0); }
+
+namespace {
+
+bool key_less(const StrTriple& a, const StrTriple& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+
+std::uint32_t index_of(const std::vector<std::string>& keys, std::string_view key) {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  OBSCORR_INVARIANT(it != keys.end() && *it == key);
+  return static_cast<std::uint32_t>(it - keys.begin());
+}
+
+}  // namespace
+
+StrAssoc StrAssoc::from_triples(std::vector<StrTriple> triples) {
+  for (const StrTriple& t : triples) {
+    OBSCORR_REQUIRE(!t.val.empty(), "StrAssoc: empty values are not storable");
+  }
+  std::sort(triples.begin(), triples.end(), key_less);
+  // Max-collision policy: for equal cells keep the largest value.
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < triples.size(); ++i) {
+    if (triples[out].row == triples[i].row && triples[out].col == triples[i].col) {
+      if (triples[i].val > triples[out].val) triples[out].val = std::move(triples[i].val);
+    } else if (++out != i) {
+      triples[out] = std::move(triples[i]);
+    }
+  }
+  if (!triples.empty()) triples.resize(out + 1);
+
+  StrAssoc a;
+  if (triples.empty()) return a;
+
+  std::set<std::string> cols, vals;
+  for (const StrTriple& t : triples) {
+    if (a.row_keys_.empty() || a.row_keys_.back() != t.row) a.row_keys_.push_back(t.row);
+    cols.insert(t.col);
+    vals.insert(t.val);
+  }
+  a.col_keys_.assign(cols.begin(), cols.end());
+  a.value_keys_.assign(vals.begin(), vals.end());
+
+  a.row_ptr_.clear();
+  a.col_idx_.reserve(triples.size());
+  a.val_idx_.reserve(triples.size());
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    if (i == 0 || triples[i - 1].row != triples[i].row) {
+      a.row_ptr_.push_back(static_cast<std::uint64_t>(i));
+    }
+    a.col_idx_.push_back(index_of(a.col_keys_, triples[i].col));
+    a.val_idx_.push_back(index_of(a.value_keys_, triples[i].val));
+  }
+  a.row_ptr_.push_back(static_cast<std::uint64_t>(triples.size()));
+  OBSCORR_INVARIANT(a.row_ptr_.size() == a.row_keys_.size() + 1);
+  return a;
+}
+
+StrAssoc StrAssoc::from_numeric(const AssocArray& numeric) {
+  std::vector<StrTriple> triples;
+  triples.reserve(numeric.nnz());
+  char buf[64];
+  for (const Triple& t : numeric.to_triples()) {
+    std::snprintf(buf, sizeof buf, "%.17g", t.val);
+    triples.push_back({t.row, t.col, buf});
+  }
+  return from_triples(std::move(triples));
+}
+
+std::optional<std::string> StrAssoc::at(std::string_view row, std::string_view col) const {
+  const auto rit = std::lower_bound(row_keys_.begin(), row_keys_.end(), row);
+  if (rit == row_keys_.end() || *rit != row) return std::nullopt;
+  const auto cit = std::lower_bound(col_keys_.begin(), col_keys_.end(), col);
+  if (cit == col_keys_.end() || *cit != col) return std::nullopt;
+  const std::size_t r = static_cast<std::size_t>(rit - row_keys_.begin());
+  const auto c = static_cast<std::uint32_t>(cit - col_keys_.begin());
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return std::nullopt;
+  return value_keys_[val_idx_[static_cast<std::size_t>(it - col_idx_.begin())]];
+}
+
+bool StrAssoc::has_row(std::string_view row) const {
+  return std::binary_search(row_keys_.begin(), row_keys_.end(), row);
+}
+
+namespace {
+
+StrAssoc merge_str(const StrAssoc& a, const StrAssoc& b, bool intersect) {
+  auto ta = a.to_triples();
+  auto tb = b.to_triples();
+  std::vector<StrTriple> out;
+  std::size_t i = 0, j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (ta[i].row == tb[j].row && ta[i].col == tb[j].col) {
+      const bool a_larger = ta[i].val > tb[j].val;
+      // max for union semantics, min for intersection semantics.
+      const StrTriple& pick = intersect == a_larger ? tb[j] : ta[i];
+      out.push_back(pick);
+      ++i;
+      ++j;
+    } else if (key_less(ta[i], tb[j])) {
+      if (!intersect) out.push_back(ta[i]);
+      ++i;
+    } else {
+      if (!intersect) out.push_back(tb[j]);
+      ++j;
+    }
+  }
+  if (!intersect) {
+    out.insert(out.end(), ta.begin() + static_cast<std::ptrdiff_t>(i), ta.end());
+    out.insert(out.end(), tb.begin() + static_cast<std::ptrdiff_t>(j), tb.end());
+  }
+  return StrAssoc::from_triples(std::move(out));
+}
+
+}  // namespace
+
+StrAssoc StrAssoc::ewise_max(const StrAssoc& a, const StrAssoc& b) {
+  return merge_str(a, b, /*intersect=*/false);
+}
+
+StrAssoc StrAssoc::ewise_min(const StrAssoc& a, const StrAssoc& b) {
+  return merge_str(a, b, /*intersect=*/true);
+}
+
+AssocArray StrAssoc::logical() const {
+  std::vector<Triple> ones;
+  ones.reserve(nnz());
+  for (const StrTriple& t : to_triples()) ones.push_back({t.row, t.col, 1.0});
+  return AssocArray::from_triples(std::move(ones));
+}
+
+AssocArray StrAssoc::to_numeric() const {
+  std::vector<Triple> numeric;
+  for (const StrTriple& t : to_triples()) {
+    double value = 0.0;
+    const char* begin = t.val.data();
+    const char* end = begin + t.val.size();
+    auto [p, ec] = std::from_chars(begin, end, value);
+    if (ec == std::errc{} && p == end) numeric.push_back({t.row, t.col, value});
+  }
+  return AssocArray::from_triples(std::move(numeric));
+}
+
+StrAssoc StrAssoc::transpose() const {
+  auto triples = to_triples();
+  for (StrTriple& t : triples) std::swap(t.row, t.col);
+  return from_triples(std::move(triples));
+}
+
+std::vector<StrTriple> StrAssoc::to_triples() const {
+  std::vector<StrTriple> triples;
+  triples.reserve(nnz());
+  for (std::size_t r = 0; r < row_keys_.size(); ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      triples.push_back({row_keys_[r], col_keys_[col_idx_[k]], value_keys_[val_idx_[k]]});
+    }
+  }
+  return triples;
+}
+
+void StrAssoc::write_tsv(std::ostream& os) const {
+  for (const StrTriple& t : to_triples()) {
+    os << t.row << '\t' << t.col << '\t' << t.val << '\n';
+  }
+}
+
+StrAssoc StrAssoc::read_tsv(std::istream& is) {
+  std::vector<StrTriple> triples;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto tab1 = line.find('\t');
+    const auto tab2 = tab1 == std::string::npos ? std::string::npos : line.find('\t', tab1 + 1);
+    OBSCORR_REQUIRE(tab2 != std::string::npos, "StrAssoc::read_tsv: malformed line: " + line);
+    triples.push_back({line.substr(0, tab1), line.substr(tab1 + 1, tab2 - tab1 - 1),
+                       line.substr(tab2 + 1)});
+  }
+  return from_triples(std::move(triples));
+}
+
+}  // namespace obscorr::d4m

@@ -1,0 +1,97 @@
+#pragma once
+/// \file str_assoc.hpp
+/// String-valued D4M associative arrays — the full D4M value model. The
+/// paper's example stores the GreyNoise data as
+///
+///     A_t('1.1.1.1', '2.2.2.2') = '3'
+///
+/// i.e. values are *strings from a sortable set*, not numbers. `StrAssoc`
+/// implements that model: row keys, column keys, and value keys are all
+/// sorted string sets; each entry references a value key. Collisions
+/// resolve to the lexicographically larger value (the D4M max-collision
+/// default), and union/intersection combine with string min/max — the
+/// (max, min) algebra D4M defines on sortable value sets. Conversions to
+/// and from the numeric `AssocArray` cover the paper's reduce-then-
+/// correlate flow.
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "d4m/assoc.hpp"
+
+namespace obscorr::d4m {
+
+/// One (row, col, value) string triple.
+struct StrTriple {
+  std::string row;
+  std::string col;
+  std::string val;
+
+  friend bool operator==(const StrTriple&, const StrTriple&) = default;
+};
+
+/// Immutable string-valued associative array.
+class StrAssoc {
+ public:
+  StrAssoc();
+
+  /// Build from triples; duplicate (row, col) cells keep the
+  /// lexicographically largest value. Empty values are disallowed (an
+  /// empty string is D4M's "not stored").
+  static StrAssoc from_triples(std::vector<StrTriple> triples);
+
+  /// Lift a numeric array: every value formatted with %.17g.
+  static StrAssoc from_numeric(const AssocArray& numeric);
+
+  std::size_t nnz() const { return col_idx_.size(); }
+  bool empty() const { return nnz() == 0; }
+
+  std::span<const std::string> row_keys() const { return row_keys_; }
+  std::span<const std::string> col_keys() const { return col_keys_; }
+  /// The sorted set of distinct stored values.
+  std::span<const std::string> value_keys() const { return value_keys_; }
+
+  /// Value at (row, col); nullopt when the cell is not stored.
+  std::optional<std::string> at(std::string_view row, std::string_view col) const;
+  bool has_row(std::string_view row) const;
+
+  /// Union keeping the string-max per cell (D4M `A | B` over the value
+  /// order); associative, commutative, idempotent.
+  static StrAssoc ewise_max(const StrAssoc& a, const StrAssoc& b);
+
+  /// Intersection keeping the string-min per shared cell (D4M `A & B`).
+  static StrAssoc ewise_min(const StrAssoc& a, const StrAssoc& b);
+
+  /// Pattern as a numeric array (1 per stored cell).
+  AssocArray logical() const;
+
+  /// Parse every value as a number (the paper's '3' -> 3.0); cells whose
+  /// value is not numeric are dropped.
+  AssocArray to_numeric() const;
+
+  StrAssoc transpose() const;
+
+  /// All entries as sorted triples.
+  std::vector<StrTriple> to_triples() const;
+
+  /// TSV interchange "row\tcol\tvalue" (values may contain anything but
+  /// tabs and newlines).
+  void write_tsv(std::ostream& os) const;
+  static StrAssoc read_tsv(std::istream& is);
+
+  friend bool operator==(const StrAssoc&, const StrAssoc&) = default;
+
+ private:
+  std::vector<std::string> row_keys_;
+  std::vector<std::string> col_keys_;
+  std::vector<std::string> value_keys_;
+  std::vector<std::uint64_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<std::uint32_t> val_idx_;
+};
+
+}  // namespace obscorr::d4m

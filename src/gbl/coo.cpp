@@ -1,0 +1,83 @@
+#include "gbl/coo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace obscorr::gbl {
+
+namespace {
+
+/// Sum values of equal cells in a sorted run; returns the compacted size.
+std::vector<Tuple> combine_sorted(std::vector<Tuple> tuples) {
+  if (tuples.empty()) return tuples;
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < tuples.size(); ++i) {
+    if (same_cell(tuples[out], tuples[i])) {
+      tuples[out].val += tuples[i].val;
+    } else {
+      tuples[++out] = tuples[i];
+    }
+  }
+  tuples.resize(out + 1);
+  return tuples;
+}
+
+}  // namespace
+
+std::vector<Tuple> sort_and_combine(std::vector<Tuple> tuples, ThreadPool& pool) {
+  const std::size_t n = tuples.size();
+  const std::size_t threads = pool.thread_count();
+  if (n < 1 << 14 || threads <= 1) {
+    return sort_and_combine(std::move(tuples));
+  }
+
+  // Phase 1: sort static chunks in parallel.
+  const std::size_t chunks = std::min<std::size_t>(threads, 64);
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+  parallel_for(pool, 0, chunks, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      std::sort(tuples.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
+                tuples.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]), tuple_less);
+    }
+  });
+
+  // Phase 2: pairwise merge tree; the tree shape depends only on the chunk
+  // count, so the result is identical at any thread count.
+  std::vector<std::size_t> level(bounds);
+  while (level.size() > 2) {
+    const std::size_t pairs = (level.size() - 1) / 2;
+    parallel_for(pool, 0, pairs, [&](std::size_t pb, std::size_t pe) {
+      for (std::size_t p = pb; p < pe; ++p) {
+        auto first = tuples.begin() + static_cast<std::ptrdiff_t>(level[2 * p]);
+        auto mid = tuples.begin() + static_cast<std::ptrdiff_t>(level[2 * p + 1]);
+        auto last = tuples.begin() + static_cast<std::ptrdiff_t>(level[2 * p + 2]);
+        std::inplace_merge(first, mid, last, tuple_less);
+      }
+    });
+    std::vector<std::size_t> next;
+    next.reserve(level.size() / 2 + 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) next.push_back(level[i]);
+    if ((level.size() - 1) % 2 == 1) next.push_back(level.back());
+    if (next.back() != n) next.push_back(n);
+    level = std::move(next);
+  }
+  OBSCORR_INVARIANT(std::is_sorted(tuples.begin(), tuples.end(), tuple_less));
+  return combine_sorted(std::move(tuples));
+}
+
+std::vector<Tuple> sort_and_combine(std::vector<Tuple> tuples) {
+  std::sort(tuples.begin(), tuples.end(), tuple_less);
+  return combine_sorted(std::move(tuples));
+}
+
+std::vector<Tuple> CooBuilder::finish(ThreadPool& pool) && {
+  return sort_and_combine(std::move(tuples_), pool);
+}
+
+std::vector<Tuple> CooBuilder::finish() && {
+  return sort_and_combine(std::move(tuples_));
+}
+
+}  // namespace obscorr::gbl

@@ -1,0 +1,48 @@
+#pragma once
+/// \file coo.hpp
+/// COO tuple assembly: the streaming-insert front end of the hypersparse
+/// pipeline. Packets append (src, dst, 1) tuples; `sort_and_combine`
+/// produces the canonical sorted, duplicate-accumulated tuple list that
+/// DCSR construction consumes. Sorting is the dominant cost at telescope
+/// scale, so it is parallelized over a thread pool with a deterministic
+/// merge tree (results are independent of thread count).
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gbl/types.hpp"
+
+namespace obscorr::gbl {
+
+/// Sort tuples row-major and sum values of duplicate (row, col) cells,
+/// in place; returns the combined tuples. Uses `pool` for the sort.
+std::vector<Tuple> sort_and_combine(std::vector<Tuple> tuples, ThreadPool& pool);
+
+/// Single-threaded overload (still deterministic, used by small paths).
+std::vector<Tuple> sort_and_combine(std::vector<Tuple> tuples);
+
+/// Growable tuple buffer with O(1) amortized append.
+class CooBuilder {
+ public:
+  CooBuilder() = default;
+
+  /// Reserve capacity for n tuples.
+  void reserve(std::size_t n) { tuples_.reserve(n); }
+
+  /// Append one entry; duplicates are allowed and later accumulated.
+  void add(Index row, Index col, Value val) { tuples_.push_back({row, col, val}); }
+
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  std::span<const Tuple> tuples() const { return tuples_; }
+
+  /// Consume the buffer: sorted, duplicate-combined tuples.
+  std::vector<Tuple> finish(ThreadPool& pool) &&;
+  std::vector<Tuple> finish() &&;
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace obscorr::gbl

@@ -1,0 +1,258 @@
+#include "gbl/dcsr.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "gbl/coo.hpp"
+
+namespace obscorr::gbl {
+
+DcsrMatrix DcsrMatrix::from_sorted_tuples(std::span<const Tuple> tuples) {
+  DcsrMatrix m;
+  m.col_.reserve(tuples.size());
+  m.val_.reserve(tuples.size());
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    const Tuple& t = tuples[i];
+    if (i > 0) {
+      OBSCORR_REQUIRE(tuple_less(tuples[i - 1], t),
+                      "from_sorted_tuples: tuples must be sorted with unique cells");
+    }
+    if (m.row_ids_.empty() || m.row_ids_.back() != t.row) {
+      m.row_ids_.push_back(t.row);
+      m.row_ptr_.push_back(static_cast<std::uint64_t>(i));
+    }
+    m.col_.push_back(t.col);
+    m.val_.push_back(t.val);
+  }
+  // row_ptr_ was default-initialized with a single 0 for the empty matrix;
+  // rebuild the sentinel layout: one offset per stored row plus the end.
+  if (!m.row_ids_.empty()) {
+    m.row_ptr_.erase(m.row_ptr_.begin());  // drop the constructor's 0 (first row re-added it)
+    m.row_ptr_.push_back(static_cast<std::uint64_t>(tuples.size()));
+  }
+  OBSCORR_INVARIANT(m.row_ptr_.size() == m.row_ids_.size() + 1);
+  return m;
+}
+
+DcsrMatrix DcsrMatrix::from_tuples(std::vector<Tuple> tuples) {
+  const auto sorted = sort_and_combine(std::move(tuples));
+  return from_sorted_tuples(sorted);
+}
+
+DcsrMatrix DcsrMatrix::from_tuples(std::vector<Tuple> tuples, ThreadPool& pool) {
+  const auto sorted = sort_and_combine(std::move(tuples), pool);
+  return from_sorted_tuples(sorted);
+}
+
+std::size_t DcsrMatrix::nonempty_cols() const {
+  std::vector<Index> cols(col_.begin(), col_.end());
+  std::sort(cols.begin(), cols.end());
+  return static_cast<std::size_t>(std::unique(cols.begin(), cols.end()) - cols.begin());
+}
+
+Value DcsrMatrix::at(Index row, Index col) const {
+  const auto rit = std::lower_bound(row_ids_.begin(), row_ids_.end(), row);
+  if (rit == row_ids_.end() || *rit != row) return 0.0;
+  const std::size_t r = static_cast<std::size_t>(rit - row_ids_.begin());
+  const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto cit = std::lower_bound(begin, end, col);
+  if (cit == end || *cit != col) return 0.0;
+  return val_[static_cast<std::size_t>(cit - col_.begin())];
+}
+
+Value DcsrMatrix::reduce_sum() const {
+  Value total = 0.0;
+  for (Value v : val_) total += v;
+  return total;
+}
+
+Value DcsrMatrix::reduce_max() const {
+  Value best = 0.0;
+  for (Value v : val_) best = std::max(best, v);
+  return best;
+}
+
+SparseVec DcsrMatrix::reduce_rows() const {
+  std::vector<Index> idx(row_ids_.begin(), row_ids_.end());
+  std::vector<Value> sums(row_ids_.size(), 0.0);
+  for (std::size_t r = 0; r < row_ids_.size(); ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sums[r] += val_[k];
+  }
+  return SparseVec(std::move(idx), std::move(sums));
+}
+
+SparseVec DcsrMatrix::reduce_rows(ThreadPool& pool) const {
+  std::vector<Index> idx(row_ids_.begin(), row_ids_.end());
+  std::vector<Value> sums(row_ids_.size(), 0.0);
+  parallel_for(pool, 0, row_ids_.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sums[r] += val_[k];
+    }
+  });
+  return SparseVec(std::move(idx), std::move(sums));
+}
+
+SparseVec DcsrMatrix::reduce_rows_pattern() const {
+  std::vector<Index> idx(row_ids_.begin(), row_ids_.end());
+  std::vector<Value> counts(row_ids_.size(), 0.0);
+  for (std::size_t r = 0; r < row_ids_.size(); ++r) {
+    counts[r] = static_cast<Value>(row_ptr_[r + 1] - row_ptr_[r]);
+  }
+  return SparseVec(std::move(idx), std::move(counts));
+}
+
+namespace {
+
+SparseVec reduce_columns(std::span<const Index> col, std::span<const Value> val, bool pattern) {
+  // Gather (col, value) pairs, sort by column, and fold runs.
+  std::vector<std::pair<Index, Value>> pairs(col.size());
+  for (std::size_t k = 0; k < col.size(); ++k) {
+    pairs[k] = {col[k], pattern ? 1.0 : val[k]};
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Index> idx;
+  std::vector<Value> sums;
+  for (const auto& [c, v] : pairs) {
+    if (idx.empty() || idx.back() != c) {
+      idx.push_back(c);
+      sums.push_back(v);
+    } else {
+      sums.back() += v;
+    }
+  }
+  return SparseVec(std::move(idx), std::move(sums));
+}
+
+}  // namespace
+
+SparseVec DcsrMatrix::reduce_cols() const { return reduce_columns(col_, val_, false); }
+
+SparseVec DcsrMatrix::reduce_cols_pattern() const { return reduce_columns(col_, val_, true); }
+
+DcsrMatrix DcsrMatrix::pattern() const {
+  DcsrMatrix m = *this;
+  std::fill(m.val_.begin(), m.val_.end(), 1.0);
+  return m;
+}
+
+DcsrMatrix DcsrMatrix::transpose() const {
+  std::vector<Tuple> tuples;
+  tuples.reserve(nnz());
+  for_each([&](Index r, Index c, Value v) { tuples.push_back({c, r, v}); });
+  // Cells stay unique under transposition; only the order changes.
+  std::sort(tuples.begin(), tuples.end(), tuple_less);
+  return from_sorted_tuples(tuples);
+}
+
+DcsrMatrix DcsrMatrix::ewise_add(const DcsrMatrix& a, const DcsrMatrix& b) {
+  std::vector<Tuple> merged;
+  merged.reserve(a.nnz() + b.nnz());
+  auto ta = a.to_tuples();
+  auto tb = b.to_tuples();
+  std::size_t i = 0, j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (same_cell(ta[i], tb[j])) {
+      merged.push_back({ta[i].row, ta[i].col, ta[i].val + tb[j].val});
+      ++i;
+      ++j;
+    } else if (tuple_less(ta[i], tb[j])) {
+      merged.push_back(ta[i++]);
+    } else {
+      merged.push_back(tb[j++]);
+    }
+  }
+  merged.insert(merged.end(), ta.begin() + static_cast<std::ptrdiff_t>(i), ta.end());
+  merged.insert(merged.end(), tb.begin() + static_cast<std::ptrdiff_t>(j), tb.end());
+  return from_sorted_tuples(merged);
+}
+
+DcsrMatrix DcsrMatrix::ewise_mult(const DcsrMatrix& a, const DcsrMatrix& b) {
+  std::vector<Tuple> merged;
+  auto ta = a.to_tuples();
+  auto tb = b.to_tuples();
+  std::size_t i = 0, j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (same_cell(ta[i], tb[j])) {
+      merged.push_back({ta[i].row, ta[i].col, ta[i].val * tb[j].val});
+      ++i;
+      ++j;
+    } else if (tuple_less(ta[i], tb[j])) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return from_sorted_tuples(merged);
+}
+
+DcsrMatrix DcsrMatrix::mxm(const DcsrMatrix& a, const DcsrMatrix& b) {
+  // Gustavson's row-wise SpGEMM with a hash accumulator per output row;
+  // B's rows are looked up by binary search in its compressed row list.
+  std::vector<Tuple> out;
+  std::unordered_map<Index, Value> acc;
+  const auto b_rows = b.row_ids();
+  for (std::size_t ra = 0; ra < a.row_ids_.size(); ++ra) {
+    acc.clear();
+    for (std::uint64_t ka = a.row_ptr_[ra]; ka < a.row_ptr_[ra + 1]; ++ka) {
+      const Index k = a.col_[ka];
+      const auto it = std::lower_bound(b_rows.begin(), b_rows.end(), k);
+      if (it == b_rows.end() || *it != k) continue;
+      const std::size_t rb = static_cast<std::size_t>(it - b_rows.begin());
+      const Value av = a.val_[ka];
+      for (std::uint64_t kb = b.row_ptr_[rb]; kb < b.row_ptr_[rb + 1]; ++kb) {
+        acc[b.col_[kb]] += av * b.val_[kb];
+      }
+    }
+    const std::size_t start = out.size();
+    for (const auto& [col, val] : acc) out.push_back({a.row_ids_[ra], col, val});
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(), tuple_less);
+  }
+  return from_sorted_tuples(out);
+}
+
+DcsrMatrix DcsrMatrix::extract_rows(Index row_begin, Index row_end) const {
+  OBSCORR_REQUIRE(row_begin <= row_end, "extract_rows: empty or inverted range");
+  std::vector<Tuple> kept;
+  const auto lo = std::lower_bound(row_ids_.begin(), row_ids_.end(), row_begin);
+  const auto hi = std::lower_bound(row_ids_.begin(), row_ids_.end(), row_end);
+  for (auto it = lo; it != hi; ++it) {
+    const std::size_t r = static_cast<std::size_t>(it - row_ids_.begin());
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      kept.push_back({row_ids_[r], col_[k], val_[k]});
+    }
+  }
+  return from_sorted_tuples(kept);
+}
+
+DcsrMatrix DcsrMatrix::select(const std::function<bool(Index, Index)>& keep) const {
+  std::vector<Tuple> kept;
+  for_each([&](Index r, Index c, Value v) {
+    if (keep(r, c)) kept.push_back({r, c, v});
+  });
+  return from_sorted_tuples(kept);
+}
+
+void DcsrMatrix::for_each(const std::function<void(Index, Index, Value)>& visit) const {
+  for (std::size_t r = 0; r < row_ids_.size(); ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      visit(row_ids_[r], col_[k], val_[k]);
+    }
+  }
+}
+
+std::vector<Tuple> DcsrMatrix::to_tuples() const {
+  std::vector<Tuple> tuples;
+  tuples.reserve(nnz());
+  for_each([&](Index r, Index c, Value v) { tuples.push_back({r, c, v}); });
+  return tuples;
+}
+
+std::size_t DcsrMatrix::memory_bytes() const {
+  return row_ids_.capacity() * sizeof(Index) + row_ptr_.capacity() * sizeof(std::uint64_t) +
+         col_.capacity() * sizeof(Index) + val_.capacity() * sizeof(Value);
+}
+
+}  // namespace obscorr::gbl

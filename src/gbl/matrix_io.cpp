@@ -1,0 +1,100 @@
+#include "gbl/matrix_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace obscorr::gbl {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'B', 'S', 'C', 'G', 'B', 'L', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+void write_array(std::ostream& os, std::span<const T> values) {
+  os.write(reinterpret_cast<const char*>(values.data()),
+           static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  OBSCORR_REQUIRE(is.good(), "read_matrix: truncated stream");
+  return value;
+}
+
+template <typename T>
+std::vector<T> read_array(std::istream& is, std::size_t n) {
+  std::vector<T> values(n);
+  is.read(reinterpret_cast<char*>(values.data()), static_cast<std::streamsize>(n * sizeof(T)));
+  OBSCORR_REQUIRE(is.good() || (is.eof() && is.gcount() == static_cast<std::streamsize>(n * sizeof(T))),
+                  "read_matrix: truncated stream");
+  return values;
+}
+
+}  // namespace
+
+void write_matrix(std::ostream& os, const DcsrMatrix& m) {
+  os.write(kMagic, sizeof kMagic);
+  write_pod<std::uint64_t>(os, m.nonempty_rows());
+  write_pod<std::uint64_t>(os, m.nnz());
+  write_array(os, m.row_ids());
+  write_array(os, m.row_ptr());
+  write_array(os, m.col());
+  write_array(os, m.val());
+  OBSCORR_REQUIRE(os.good(), "write_matrix: stream failure");
+}
+
+DcsrMatrix read_matrix(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  OBSCORR_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                  "read_matrix: bad magic");
+  const auto rows = read_pod<std::uint64_t>(is);
+  const auto nnz = read_pod<std::uint64_t>(is);
+  OBSCORR_REQUIRE(rows <= nnz, "read_matrix: more rows than entries");
+  // Reject absurd counts before allocating (hostile or corrupted
+  // headers must fail cleanly, not with bad_alloc).
+  OBSCORR_REQUIRE(nnz <= (1ULL << 40), "read_matrix: implausible entry count");
+  const auto row_ids = read_array<Index>(is, rows);
+  const auto row_ptr = read_array<std::uint64_t>(is, rows + 1);
+  const auto col = read_array<Index>(is, nnz);
+  const auto val = read_array<Value>(is, nnz);
+  OBSCORR_REQUIRE(row_ptr.front() == 0 && row_ptr.back() == nnz,
+                  "read_matrix: inconsistent row offsets");
+
+  // Rebuild through the validated tuple path so every structural
+  // invariant (sortedness, uniqueness) is re-checked on load.
+  std::vector<Tuple> tuples;
+  tuples.reserve(nnz);
+  for (std::size_t r = 0; r < rows; ++r) {
+    OBSCORR_REQUIRE(row_ptr[r] <= row_ptr[r + 1], "read_matrix: descending offsets");
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      tuples.push_back({row_ids[r], col[k], val[k]});
+    }
+  }
+  return DcsrMatrix::from_sorted_tuples(tuples);
+}
+
+void save_matrix(const std::string& path, const DcsrMatrix& m) {
+  std::ofstream os(path, std::ios::binary);
+  OBSCORR_REQUIRE(os.is_open(), "save_matrix: cannot open " + path);
+  write_matrix(os, m);
+}
+
+DcsrMatrix load_matrix(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  OBSCORR_REQUIRE(is.is_open(), "load_matrix: cannot open " + path);
+  return read_matrix(is);
+}
+
+}  // namespace obscorr::gbl

@@ -1,0 +1,37 @@
+#pragma once
+/// \file matrix_io.hpp
+/// Binary serialization of hypersparse matrices — the archive format of
+/// the pipeline. The real telescope archives trillions of packets as
+/// anonymized GraphBLAS traffic matrices at a supercomputing center;
+/// this is the equivalent on-disk representation: a small header (magic,
+/// version, counts) followed by the raw DCSR arrays, written
+/// little-endian.
+///
+/// Format v1:
+///   8 bytes  magic "OBSCGBL1"
+///   u64      nonempty rows
+///   u64      nnz
+///   u32[rows]  row ids
+///   u64[rows+1] row offsets
+///   u32[nnz]   column ids
+///   f64[nnz]   values
+
+#include <iosfwd>
+#include <string>
+
+#include "gbl/dcsr.hpp"
+
+namespace obscorr::gbl {
+
+/// Serialize `m` to a binary stream; throws on stream failure.
+void write_matrix(std::ostream& os, const DcsrMatrix& m);
+
+/// Deserialize a matrix; throws std::invalid_argument on malformed input
+/// (bad magic, truncation, inconsistent offsets).
+DcsrMatrix read_matrix(std::istream& is);
+
+/// Convenience file helpers.
+void save_matrix(const std::string& path, const DcsrMatrix& m);
+DcsrMatrix load_matrix(const std::string& path);
+
+}  // namespace obscorr::gbl

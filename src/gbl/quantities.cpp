@@ -1,0 +1,32 @@
+#include "gbl/quantities.hpp"
+
+namespace obscorr::gbl {
+
+AggregateQuantities aggregate_quantities(const DcsrMatrix& a) {
+  AggregateQuantities q;
+  q.valid_packets = a.reduce_sum();
+  q.unique_links = a.nnz();
+  q.max_link_packets = a.reduce_max();
+  const SparseVec src_packets = a.reduce_rows();
+  const SparseVec src_fanout = a.reduce_rows_pattern();
+  const SparseVec dst_packets = a.reduce_cols();
+  const SparseVec dst_fanin = a.reduce_cols_pattern();
+  q.unique_sources = src_packets.nnz();
+  q.max_source_packets = src_packets.reduce_max();
+  q.max_source_fanout = src_fanout.reduce_max();
+  q.unique_destinations = dst_packets.nnz();
+  q.max_destination_packets = dst_packets.reduce_max();
+  q.max_destination_fanin = dst_fanin.reduce_max();
+  return q;
+}
+
+EntityQuantities entity_quantities(const DcsrMatrix& a) {
+  return EntityQuantities{
+      .source_packets = a.reduce_rows(),
+      .source_fanout = a.reduce_rows_pattern(),
+      .destination_packets = a.reduce_cols(),
+      .destination_fanin = a.reduce_cols_pattern(),
+  };
+}
+
+}  // namespace obscorr::gbl

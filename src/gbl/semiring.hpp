@@ -1,0 +1,141 @@
+#pragma once
+/// \file semiring.hpp
+/// Semiring-generic GraphBLAS operations. The GraphBLAS mathematical
+/// foundation (Kepner et al. 2016, the paper's ref [45]) defines graph
+/// algorithms as matrix algebra over arbitrary semirings; the concrete
+/// plus-times members on DcsrMatrix cover the traffic statistics, and
+/// these templates provide the general form:
+///
+///   * plus-times  — packet counting (the default)
+///   * min-plus    — tropical / shortest paths
+///   * max-min     — bottleneck capacity
+///   * or-and      — boolean reachability
+///
+/// Operations are free templates over a `Semiring` policy (add, multiply,
+/// and the additive identity `zero`), header-only.
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "gbl/dcsr.hpp"
+#include "gbl/types.hpp"
+
+namespace obscorr::gbl {
+
+/// Arithmetic (plus, times, 0): the traffic-counting semiring.
+struct PlusTimes {
+  static constexpr Value zero = 0.0;
+  static Value add(Value a, Value b) { return a + b; }
+  static Value multiply(Value a, Value b) { return a * b; }
+};
+
+/// Tropical (min, plus, +inf): path lengths.
+struct MinPlus {
+  static constexpr Value zero = std::numeric_limits<Value>::infinity();
+  static Value add(Value a, Value b) { return std::min(a, b); }
+  static Value multiply(Value a, Value b) { return a + b; }
+};
+
+/// Bottleneck (max, min, -inf): widest-path capacity.
+struct MaxMin {
+  static constexpr Value zero = -std::numeric_limits<Value>::infinity();
+  static Value add(Value a, Value b) { return std::max(a, b); }
+  static Value multiply(Value a, Value b) { return std::min(a, b); }
+};
+
+/// Boolean (or, and, false) over the 0/1 encoding: reachability.
+struct OrAnd {
+  static constexpr Value zero = 0.0;
+  static Value add(Value a, Value b) { return (a != 0.0 || b != 0.0) ? 1.0 : 0.0; }
+  static Value multiply(Value a, Value b) { return (a != 0.0 && b != 0.0) ? 1.0 : 0.0; }
+};
+
+/// Element-wise union under the semiring's additive monoid: stored cells
+/// present in both operands combine with `add`; cells present in one
+/// survive unchanged (GraphBLAS eWiseAdd).
+template <typename Semiring>
+DcsrMatrix ewise_add_semiring(const DcsrMatrix& a, const DcsrMatrix& b) {
+  auto ta = a.to_tuples();
+  auto tb = b.to_tuples();
+  std::vector<Tuple> out;
+  out.reserve(ta.size() + tb.size());
+  std::size_t i = 0, j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (same_cell(ta[i], tb[j])) {
+      out.push_back({ta[i].row, ta[i].col, Semiring::add(ta[i].val, tb[j].val)});
+      ++i;
+      ++j;
+    } else if (tuple_less(ta[i], tb[j])) {
+      out.push_back(ta[i++]);
+    } else {
+      out.push_back(tb[j++]);
+    }
+  }
+  out.insert(out.end(), ta.begin() + static_cast<std::ptrdiff_t>(i), ta.end());
+  out.insert(out.end(), tb.begin() + static_cast<std::ptrdiff_t>(j), tb.end());
+  return DcsrMatrix::from_sorted_tuples(out);
+}
+
+/// Element-wise intersection under the semiring's multiplicative monoid
+/// (GraphBLAS eWiseMult).
+template <typename Semiring>
+DcsrMatrix ewise_mult_semiring(const DcsrMatrix& a, const DcsrMatrix& b) {
+  auto ta = a.to_tuples();
+  auto tb = b.to_tuples();
+  std::vector<Tuple> out;
+  std::size_t i = 0, j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (same_cell(ta[i], tb[j])) {
+      out.push_back({ta[i].row, ta[i].col, Semiring::multiply(ta[i].val, tb[j].val)});
+      ++i;
+      ++j;
+    } else if (tuple_less(ta[i], tb[j])) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return DcsrMatrix::from_sorted_tuples(out);
+}
+
+/// Matrix-matrix product under the semiring (GraphBLAS mxm): Gustavson
+/// row-wise expansion with an accumulator seeded at `Semiring::zero`.
+/// Accumulated values equal to the additive identity are dropped (they
+/// are structural zeros of the semiring).
+template <typename Semiring>
+DcsrMatrix mxm_semiring(const DcsrMatrix& a, const DcsrMatrix& b) {
+  std::vector<Tuple> out;
+  std::unordered_map<Index, Value> acc;
+  const auto b_rows = b.row_ids();
+  const auto a_rows = a.row_ids();
+  const auto a_ptr = a.row_ptr();
+  const auto a_col = a.col();
+  const auto a_val = a.val();
+  const auto b_ptr = b.row_ptr();
+  const auto b_col = b.col();
+  const auto b_val = b.val();
+  for (std::size_t ra = 0; ra < a_rows.size(); ++ra) {
+    acc.clear();
+    for (std::uint64_t ka = a_ptr[ra]; ka < a_ptr[ra + 1]; ++ka) {
+      const Index k = a_col[ka];
+      const auto it = std::lower_bound(b_rows.begin(), b_rows.end(), k);
+      if (it == b_rows.end() || *it != k) continue;
+      const std::size_t rb = static_cast<std::size_t>(it - b_rows.begin());
+      for (std::uint64_t kb = b_ptr[rb]; kb < b_ptr[rb + 1]; ++kb) {
+        const Value product = Semiring::multiply(a_val[ka], b_val[kb]);
+        auto [slot, inserted] = acc.try_emplace(b_col[kb], product);
+        if (!inserted) slot->second = Semiring::add(slot->second, product);
+      }
+    }
+    const std::size_t start = out.size();
+    for (const auto& [col, val] : acc) {
+      if (val != Semiring::zero) out.push_back({a_rows[ra], col, val});
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(), tuple_less);
+  }
+  return DcsrMatrix::from_sorted_tuples(out);
+}
+
+}  // namespace obscorr::gbl

@@ -1,0 +1,48 @@
+#include "gbl/sparse_vec.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace obscorr::gbl {
+
+SparseVec::SparseVec(std::vector<Index> indices, std::vector<Value> values)
+    : indices_(std::move(indices)), values_(std::move(values)) {
+  OBSCORR_REQUIRE(indices_.size() == values_.size(),
+                  "SparseVec: index/value arrays must have equal length");
+  OBSCORR_REQUIRE(std::adjacent_find(indices_.begin(), indices_.end(),
+                                     [](Index a, Index b) { return a >= b; }) == indices_.end(),
+                  "SparseVec: indices must be strictly increasing");
+}
+
+Value SparseVec::at(Index i) const {
+  const auto it = std::lower_bound(indices_.begin(), indices_.end(), i);
+  if (it == indices_.end() || *it != i) return 0.0;
+  return values_[static_cast<std::size_t>(it - indices_.begin())];
+}
+
+Value SparseVec::reduce_sum() const {
+  Value total = 0.0;
+  for (Value v : values_) total += v;
+  return total;
+}
+
+Value SparseVec::reduce_max() const {
+  Value best = 0.0;
+  for (Value v : values_) best = std::max(best, v);
+  return best;
+}
+
+std::size_t SparseVec::count_in_range(Value lo, Value hi) const {
+  std::size_t n = 0;
+  for (Value v : values_) {
+    if (v >= lo && v < hi) ++n;
+  }
+  return n;
+}
+
+bool SparseVec::all_positive() const {
+  return std::all_of(values_.begin(), values_.end(), [](Value v) { return v > 0.0; });
+}
+
+}  // namespace obscorr::gbl

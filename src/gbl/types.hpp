@@ -1,0 +1,39 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental types of the GraphBLAS-lite (gbl) hypersparse matrix
+/// library. Matrices live in the full 2^32 x 2^32 IPv4 x IPv4 index space
+/// (uint32 row/column ids, as in the paper), values are double (GraphBLAS
+/// FP64; packet counts are exactly representable up to 2^53).
+
+#include <compare>
+#include <cstdint>
+
+namespace obscorr::gbl {
+
+/// Row/column index: an IPv4 address value in host order.
+using Index = std::uint32_t;
+
+/// Matrix value: a (possibly accumulated) packet count.
+using Value = double;
+
+/// One (row, col, value) entry, the unit of matrix construction.
+/// A packet from source s to destination d contributes {s, d, 1}.
+struct Tuple {
+  Index row = 0;
+  Index col = 0;
+  Value val = 0.0;
+
+  friend constexpr bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+/// Row-major ordering used by every sorted-tuple invariant in gbl.
+constexpr bool tuple_less(const Tuple& a, const Tuple& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+
+/// True when a and b address the same matrix cell.
+constexpr bool same_cell(const Tuple& a, const Tuple& b) {
+  return a.row == b.row && a.col == b.col;
+}
+
+}  // namespace obscorr::gbl

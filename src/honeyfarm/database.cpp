@@ -1,0 +1,68 @@
+#include "honeyfarm/database.hpp"
+
+#include "common/error.hpp"
+
+namespace obscorr::honeyfarm {
+
+Database::Database(std::vector<MonthlyObservation> months) : months_(std::move(months)) {
+  OBSCORR_REQUIRE(!months_.empty(), "Database: need at least one month");
+  for (std::size_t m = 1; m < months_.size(); ++m) {
+    OBSCORR_REQUIRE(months_[m].month.months_since(months_[m - 1].month) == 1,
+                    "Database: months must be consecutive");
+  }
+  // months_seen: fold of |A_m "seen" column|0 under plus.
+  // peak_contacts: fold of the contacts column under max.
+  const std::vector<std::string> contacts_col{"contacts"};
+  for (const MonthlyObservation& obs : months_) {
+    const d4m::AssocArray seen =
+        obs.sources.logical().row_sum().logical();  // ip -> ("sum", 1)
+    months_seen_ = d4m::AssocArray::ewise_add(months_seen_, seen);
+    peak_contacts_ = d4m::AssocArray::ewise_max(peak_contacts_,
+                                                obs.sources.select_cols(contacts_col));
+  }
+}
+
+std::size_t Database::distinct_sources() const { return months_seen_.row_keys().size(); }
+
+std::optional<SourceProfile> Database::lookup(const std::string& ip) const {
+  if (!months_seen_.has_row(ip)) return std::nullopt;
+  SourceProfile profile;
+  profile.ip = ip;
+  profile.months_seen = static_cast<int>(months_seen_.at(ip, "sum"));
+  profile.peak_contacts = peak_contacts_.at(ip, "contacts");
+  for (const MonthlyObservation& obs : months_) {
+    if (!obs.sources.has_row(ip)) continue;
+    if (!profile.first_seen) profile.first_seen = obs.month;
+    profile.last_seen = obs.month;
+    if (profile.classification.empty()) {
+      // Hold the sub-arrays: col_keys() is a span into them (a bare
+      // range-for over the temporary would dangle in C++20).
+      const d4m::AssocArray cls = obs.sources.select_cols_prefix("classification|");
+      for (const std::string& col : cls.col_keys()) {
+        if (obs.sources.at(ip, col) > 0.0) {
+          profile.classification = col.substr(std::string("classification|").size());
+          break;
+        }
+      }
+      const d4m::AssocArray intent = obs.sources.select_cols_prefix("intent|");
+      for (const std::string& col : intent.col_keys()) {
+        if (obs.sources.at(ip, col) > 0.0) {
+          profile.intent = col.substr(std::string("intent|").size());
+          break;
+        }
+      }
+    }
+  }
+  return profile;
+}
+
+std::vector<std::string> Database::persistent_sources(int min_months) const {
+  OBSCORR_REQUIRE(min_months >= 1, "persistent_sources: min_months must be >= 1");
+  std::vector<std::string> out;
+  for (const d4m::Triple& t : months_seen_.to_triples()) {
+    if (t.val >= static_cast<double>(min_months)) out.push_back(t.row);
+  }
+  return out;
+}
+
+}  // namespace obscorr::honeyfarm

@@ -1,0 +1,61 @@
+#pragma once
+/// \file database.hpp
+/// The outpost's query service: what the honeyfarm actually sells is a
+/// lookup API over its accumulated monthly catalogs ("have you seen this
+/// IP? what is it? how noisy?"). `Database` aggregates a span of
+/// MonthlyObservation arrays and answers per-source queries using pure
+/// associative-array algebra: months-seen via logical sums, peak
+/// activity via the max semiring, facet labels via exploded-schema
+/// column prefixes.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "honeyfarm/honeyfarm.hpp"
+
+namespace obscorr::honeyfarm {
+
+/// The answer to a source lookup.
+struct SourceProfile {
+  std::string ip;
+  int months_seen = 0;                 ///< number of catalog months containing it
+  std::optional<YearMonth> first_seen;
+  std::optional<YearMonth> last_seen;
+  std::string classification;          ///< "malicious" / "benign" / "unknown"
+  std::string intent;                  ///< e.g. "scan"; empty for ephemerals
+  double peak_contacts = 0.0;          ///< max monthly contact count
+};
+
+/// Aggregated monthly catalogs with O(log) per-month lookups.
+class Database {
+ public:
+  /// Build from a chronological span of monthly observations.
+  explicit Database(std::vector<MonthlyObservation> months);
+
+  std::size_t month_count() const { return months_.size(); }
+
+  /// Distinct sources across the whole span.
+  std::size_t distinct_sources() const;
+
+  /// Full profile for one source; nullopt when never seen.
+  std::optional<SourceProfile> lookup(const std::string& ip) const;
+
+  /// All sources seen in at least `min_months` months — the "persistent
+  /// scanner" population (drifting-beam members).
+  std::vector<std::string> persistent_sources(int min_months) const;
+
+  /// Per-source peak monthly contacts across the span (max semiring fold).
+  const d4m::AssocArray& peak_contacts() const { return peak_contacts_; }
+
+  /// Per-source count of months seen (logical sum fold).
+  const d4m::AssocArray& months_seen() const { return months_seen_; }
+
+ private:
+  std::vector<MonthlyObservation> months_;
+  d4m::AssocArray months_seen_;    // ip -> "months" count
+  d4m::AssocArray peak_contacts_;  // ip -> "contacts" max
+};
+
+}  // namespace obscorr::honeyfarm

@@ -1,0 +1,88 @@
+#include "honeyfarm/honeyfarm.hpp"
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace obscorr::honeyfarm {
+
+namespace {
+
+/// Enrichment vocabularies: what the outpost's conversation layer labels
+/// sources with. Chosen per source deterministically.
+constexpr std::array<const char*, 3> kClassifications = {"malicious", "benign", "unknown"};
+constexpr std::array<const char*, 4> kIntents = {"scan", "backscatter", "worm", "botnet-c2"};
+constexpr std::array<const char*, 3> kProtocols = {"tcp", "udp", "icmp"};
+
+}  // namespace
+
+Honeyfarm::Honeyfarm(const netgen::Population& population, netgen::VisibilityModel visibility,
+                     std::uint64_t seed)
+    : population_(population), visibility_(visibility), seed_(seed) {}
+
+MonthlyObservation Honeyfarm::observe_month(const netgen::GreyNoiseMonthSpec& spec,
+                                            int month_index) const {
+  OBSCORR_REQUIRE(month_index >= 0, "month index must be non-negative");
+  OBSCORR_REQUIRE(spec.coverage > 0.0, "coverage must be positive");
+  OBSCORR_REQUIRE(spec.ephemeral_factor >= 0.0, "ephemeral_factor must be non-negative");
+
+  MonthlyObservation obs;
+  obs.month = spec.month;
+  std::vector<d4m::Triple> triples;
+
+  // Ground-truth population sources: active this month AND detected.
+  const std::size_t n = population_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!population_.active(i, month_index)) continue;
+    const double degree = population_.expected_active_degree(i);
+    const double p = std::min(1.0, visibility_.probability(degree) * spec.coverage);
+    // Per-(source, month) detection stream, independent of the activity
+    // stream (0x500... base) and of evaluation order.
+    Rng rng(seed_, std::uint64_t{0x500000000} + static_cast<std::uint64_t>(month_index) * n + i);
+    if (!rng.bernoulli(p)) continue;
+
+    const std::string ip = population_.source(i).ip.to_string();
+    // Deterministic per-source enrichment (stable across months, as a
+    // scanner's behaviour profile would be).
+    Rng enrich(seed_, std::uint64_t{0x600000000} + i);
+    const auto& cls = kClassifications[enrich.uniform_u64(kClassifications.size())];
+    const auto& intent = kIntents[enrich.uniform_u64(kIntents.size())];
+    const auto& proto = kProtocols[enrich.uniform_u64(kProtocols.size())];
+    // Monthly interaction count: the outpost converses over the whole
+    // month, so counts scale with the source's rate.
+    const std::uint64_t contacts = 1 + rng.poisson(std::min(degree, 1e6) * 0.25);
+
+    triples.push_back({ip, std::string("classification|") + cls, 1.0});
+    triples.push_back({ip, std::string("intent|") + intent, 1.0});
+    triples.push_back({ip, std::string("protocol|") + proto, 1.0});
+    triples.push_back({ip, "contacts", static_cast<double>(contacts)});
+    ++obs.population_sources;
+  }
+
+  // Ephemeral one-month noise sources: random addresses outside the
+  // persistent population, labelled unknown.
+  const auto ephemeral_target =
+      static_cast<std::uint64_t>(spec.ephemeral_factor * static_cast<double>(n));
+  Rng eph_rng(seed_, std::uint64_t{0x700000000} + static_cast<std::uint64_t>(month_index));
+  std::uint64_t made = 0;
+  while (made < ephemeral_target) {
+    const std::uint32_t candidate = eph_rng.next_u32();
+    const std::uint32_t top = candidate >> 24;
+    if (top == 0 || top == 10 || top == 77 || top == 127 || top >= 224) continue;
+    const Ipv4 ip(candidate);
+    if (population_.owns_ip(ip)) continue;
+    const std::string key = ip.to_string();
+    triples.push_back({key, "classification|unknown", 1.0});
+    triples.push_back({key, "contacts", 1.0});
+    ++made;
+  }
+  obs.ephemeral_sources = made;
+
+  obs.sources = d4m::AssocArray::from_triples(std::move(triples));
+  return obs;
+}
+
+}  // namespace obscorr::honeyfarm

@@ -1,0 +1,65 @@
+#pragma once
+/// \file scenario.hpp
+/// Study scenarios: the full observation timeline of Table I, scaled to a
+/// configurable window size. A scenario fixes the ground-truth population,
+/// the traffic configuration, the honeyfarm visibility model, the 15
+/// GreyNoise collection months (with the two sensor-configuration-change
+/// coverage jumps), and the 5 CAIDA constant-packet snapshots at ~6-week
+/// spacing.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timeline.hpp"
+#include "netgen/population.hpp"
+#include "netgen/traffic.hpp"
+#include "netgen/visibility.hpp"
+
+namespace obscorr::netgen {
+
+/// One GreyNoise collection month.
+struct GreyNoiseMonthSpec {
+  YearMonth month;
+  /// Multiplier on the visibility probability; >1 models the sensor
+  /// expansions behind the 2020-03 / 2021-04 source-count jumps.
+  double coverage = 1.0;
+  /// One-month-only noise sources outside the persistent population, as
+  /// a fraction of the population size (misconfigurations, one-shot
+  /// scanners; they inflate monthly source counts but never recur).
+  double ephemeral_factor = 0.0;
+};
+
+/// One CAIDA constant-packet snapshot.
+struct CaidaSnapshotSpec {
+  YearMonth month;
+  std::string start_label;       ///< e.g. "2020-06-17-12:00:00" (Table I)
+  double paper_duration_sec = 0; ///< duration of the 2^30-packet window in the paper
+  std::uint64_t salt = 0;        ///< decorrelates windows within a month
+};
+
+/// The full study configuration.
+struct Scenario {
+  PopulationConfig population;
+  TrafficConfig traffic;
+  VisibilityModel visibility;
+  std::vector<GreyNoiseMonthSpec> months;
+  std::vector<CaidaSnapshotSpec> snapshots;
+
+  /// Study-month index (0-based) of a calendar month; checked.
+  int month_index(YearMonth ym) const;
+
+  /// Packets per snapshot window at this scenario's scale.
+  std::uint64_t nv() const { return 1ULL << population.log2_nv; }
+
+  /// Window duration at this scale: the paper's implied telescope packet
+  /// rate (2^30 / paper duration) applied to the scaled window.
+  double scaled_duration_sec(const CaidaSnapshotSpec& snap) const;
+
+  /// The paper's Table I timeline (2020-02 .. 2021-04, 5 snapshots),
+  /// scaled to N_V = 2^log2_nv packets per window.
+  static Scenario paper(int log2_nv, std::uint64_t seed);
+};
+
+}  // namespace obscorr::netgen

@@ -1,0 +1,111 @@
+#include "netgen/traffic.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace obscorr::netgen {
+
+TrafficGenerator::TrafficGenerator(const Population& population, TrafficConfig config)
+    : population_(population), config_(config) {
+  OBSCORR_REQUIRE(config.legit_fraction >= 0.0 && config.legit_fraction < 1.0,
+                  "legit_fraction must be in [0,1)");
+  OBSCORR_REQUIRE(config.uniform_weight >= 0.0 && config.sequential_weight >= 0.0 &&
+                      config.subnet_weight >= 0.0,
+                  "strategy weights must be non-negative");
+  OBSCORR_REQUIRE(config.uniform_weight + config.sequential_weight + config.subnet_weight > 0.0,
+                  "at least one strategy weight must be positive");
+}
+
+ScanStrategy TrafficGenerator::strategy_of(std::size_t i) const {
+  OBSCORR_REQUIRE(i < population_.size(), "strategy_of: source index out of range");
+  const double total =
+      config_.uniform_weight + config_.sequential_weight + config_.subnet_weight;
+  // Deterministic per (seed, source) draw, independent of traffic order.
+  Rng rng(population_.config().seed, std::uint64_t{0x800000000} + i);
+  const double u = rng.uniform() * total;
+  if (u < config_.uniform_weight) return ScanStrategy::kUniform;
+  if (u < config_.uniform_weight + config_.sequential_weight) return ScanStrategy::kSequential;
+  return ScanStrategy::kSubnet;
+}
+
+std::uint64_t TrafficGenerator::stream_window(
+    int month, std::uint64_t valid_count, std::uint64_t salt,
+    const std::function<void(const Packet&)>& sink) const {
+  const std::vector<std::uint32_t> active = population_.active_sources(month);
+  OBSCORR_REQUIRE(!active.empty(), "stream_window: no active sources this month");
+
+  std::vector<double> weights(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    weights[i] = population_.source(active[i]).weight;
+  }
+  const AliasTable alias(weights);
+
+  // Per-source scan state for the window: strategy, sweep cursor or
+  // subnet base, derived lazily for sources actually sampled.
+  struct ScanState {
+    ScanStrategy strategy = ScanStrategy::kUniform;
+    std::uint64_t cursor = 0;      // sequential: next offset
+    std::uint64_t subnet_base = 0; // subnet: offset of the /24-equivalent block
+    bool initialized = false;
+  };
+  std::vector<ScanState> state(active.size());
+
+  // Two independent streams: source selection (alias + validity) and
+  // destination choice. Splitting them makes the source-packet sequence
+  // — the quantity every correlation analysis reduces to — invariant
+  // under the scan-strategy mixture, which only consumes dst_rng.
+  Rng rng(population_.config().seed,
+          std::uint64_t{0x300000000} + static_cast<std::uint64_t>(month) * std::uint64_t{0x10001} +
+              salt);
+  Rng dst_rng(population_.config().seed,
+              std::uint64_t{0xA00000000} +
+                  static_cast<std::uint64_t>(month) * std::uint64_t{0x10001} + salt);
+
+  const std::uint64_t dark_size = config_.darkspace.size();
+  // Subnet blocks: 256 addresses, or the whole darkspace when smaller.
+  const std::uint64_t block = std::min<std::uint64_t>(256, dark_size);
+  std::uint64_t emitted = 0;
+  std::uint64_t valid = 0;
+  while (valid < valid_count) {
+    Packet p;
+    if (rng.bernoulli(config_.legit_fraction)) {
+      // Legitimate noise: a host inside the legit prefix touching the
+      // darkspace (e.g. a mistyped address) — discarded by the filter.
+      p.src = config_.legit_prefix.at(rng.uniform_u64(config_.legit_prefix.size()));
+      p.dst = config_.darkspace.at(dst_rng.uniform_u64(dark_size));
+    } else {
+      const std::size_t pick = alias.sample(rng);
+      const std::size_t source_index = active[pick];
+      p.src = population_.source(source_index).ip;
+      ScanState& s = state[pick];
+      if (!s.initialized) {
+        s.strategy = strategy_of(source_index);
+        Rng init(population_.config().seed,
+                 std::uint64_t{0x900000000} + source_index * 31 + salt);
+        s.cursor = init.uniform_u64(dark_size);
+        s.subnet_base = (init.uniform_u64(dark_size) / block) * block;
+        s.initialized = true;
+      }
+      switch (s.strategy) {
+        case ScanStrategy::kUniform:
+          p.dst = config_.darkspace.at(dst_rng.uniform_u64(dark_size));
+          break;
+        case ScanStrategy::kSequential:
+          p.dst = config_.darkspace.at(s.cursor);
+          s.cursor = (s.cursor + 1) % dark_size;
+          break;
+        case ScanStrategy::kSubnet:
+          p.dst = config_.darkspace.at(s.subnet_base + dst_rng.uniform_u64(block));
+          break;
+      }
+      ++valid;
+    }
+    sink(p);
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace obscorr::netgen

@@ -1,0 +1,72 @@
+#pragma once
+/// \file traffic.hpp
+/// Packet-stream generation: the synthetic stand-in for the raw darknet
+/// capture feed. For a given study month, packets are multinomial draws
+/// over the *active* sources' Zipf–Mandelbrot weights, each aimed at a
+/// uniform address inside the telescope darkspace (scanners and
+/// backscatter have no preference within an unused /8). A configurable
+/// trickle of non-valid "legitimate" traffic is interleaved so the
+/// telescope's validity filter has something to discard, as on the real
+/// instrument.
+
+#include <cstdint>
+#include <functional>
+
+#include "common/ipv4.hpp"
+#include "common/packet.hpp"
+#include "netgen/population.hpp"
+
+namespace obscorr::netgen {
+
+/// How a source picks destinations inside the darkspace. Real scanners
+/// are not all uniform: worms sweep sequentially, targeted scanners camp
+/// on subnets, backscatter lands anywhere. The strategy shapes the
+/// fan-out quantities of Table II without touching the source-packet
+/// statistics the correlation analyses rest on.
+enum class ScanStrategy {
+  kUniform,     ///< independent uniform addresses (backscatter/spray)
+  kSequential,  ///< linear sweep from a per-source offset (worm style)
+  kSubnet,      ///< uniform within one random /24 of the darkspace
+};
+
+/// Traffic-stream configuration.
+struct TrafficConfig {
+  /// The telescope darkspace: a routed /8 with no allocated hosts.
+  Ipv4Prefix darkspace{Ipv4(77, 0, 0, 0), 8};
+  /// Prefix whose traffic counts as legitimate (discarded by the filter);
+  /// the population never allocates sources here.
+  Ipv4Prefix legit_prefix{Ipv4(10, 0, 0, 0), 8};
+  /// Fraction of emitted packets that are legitimate noise.
+  double legit_fraction = 0.001;
+  /// Mixture over scan strategies (uniform, sequential, subnet); need
+  /// not be normalized. Sources are assigned a strategy deterministically
+  /// from these odds.
+  double uniform_weight = 0.6;
+  double sequential_weight = 0.25;
+  double subnet_weight = 0.15;
+};
+
+/// Generates packet streams for telescope windows.
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const Population& population, TrafficConfig config);
+
+  const TrafficConfig& config() const { return config_; }
+
+  /// Emit packets for one constant-packet window in study month `month`
+  /// until exactly `valid_count` valid (non-legit) packets have been
+  /// produced, calling `sink` for every packet including the legitimate
+  /// noise. `salt` decorrelates windows taken in the same month.
+  /// Returns the total number of packets emitted (valid + legit).
+  std::uint64_t stream_window(int month, std::uint64_t valid_count, std::uint64_t salt,
+                              const std::function<void(const Packet&)>& sink) const;
+
+  /// Deterministic strategy assignment of population source `i`.
+  ScanStrategy strategy_of(std::size_t i) const;
+
+ private:
+  const Population& population_;
+  TrafficConfig config_;
+};
+
+}  // namespace obscorr::netgen

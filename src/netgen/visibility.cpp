@@ -1,0 +1,25 @@
+#include "netgen/visibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obscorr::netgen {
+
+double VisibilityModel::probability(double degree) const {
+  OBSCORR_REQUIRE(degree >= 0.0, "visibility: degree must be non-negative");
+  switch (kind) {
+    case VisibilityKind::kEmpiricalLog: {
+      const double half_log_nv = static_cast<double>(log2_nv) / 2.0;
+      if (degree <= 1.0) return std::min(1.0, 0.5 / half_log_nv);  // sub-1-packet floor
+      return std::clamp(std::log2(degree) / half_log_nv, 0.0, 1.0);
+    }
+    case VisibilityKind::kCoverage:
+      OBSCORR_REQUIRE(coverage_half > 0.0, "visibility: coverage_half must be positive");
+      return 1.0 - std::exp(-degree / coverage_half);
+  }
+  OBSCORR_INVARIANT(false);
+}
+
+}  // namespace obscorr::netgen

@@ -1,0 +1,42 @@
+#pragma once
+/// \file visibility.hpp
+/// Honeyfarm visibility models: the probability that an active source is
+/// catalogued by the outpost during one month.
+///
+/// The paper's Fig. 4 finding is empirical: sources brighter than
+/// sqrt(N_V) telescope packets are nearly always in GreyNoise the same
+/// month, and below that the probability is log2(d)/log2(sqrt(N_V)).
+/// The paper offers no generating mechanism (it flags the law as a target
+/// for theory), so the simulator supports two modes:
+///
+///  * `kEmpiricalLog` — injects the paper's law directly; the analysis
+///    pipeline must then *recover* it from raw simulated observations
+///    (the default, used for the Fig. 4 reproduction).
+///  * `kCoverage` — a mechanistic sensor-coverage model
+///    P = 1 − exp(−d / d_half): a honeyfarm covering a fraction of the
+///    address space sees at least one probe from a rate-d source with
+///    exponentially saturating probability. Used by the ablation bench to
+///    show where the mechanistic shape departs from the observed law.
+
+#include <cstdint>
+
+namespace obscorr::netgen {
+
+/// Which detection law the honeyfarm follows.
+enum class VisibilityKind {
+  kEmpiricalLog,  ///< the paper's log2(d)/log2(sqrt(N_V)) law
+  kCoverage,      ///< mechanistic 1 − exp(−d/d_half) saturation
+};
+
+/// Visibility model configuration + evaluation.
+struct VisibilityModel {
+  VisibilityKind kind = VisibilityKind::kEmpiricalLog;
+  int log2_nv = 22;        ///< telescope window size (sets sqrt(N_V))
+  double coverage_half = 256.0;  ///< d_half for kCoverage
+
+  /// Detection probability for a source whose expected in-window degree
+  /// is `degree`, in [0, 1], monotone non-decreasing in `degree`.
+  double probability(double degree) const;
+};
+
+}  // namespace obscorr::netgen

@@ -1,0 +1,55 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "common/binning.hpp"
+#include "common/error.hpp"
+
+namespace obscorr::stats {
+
+LogHistogram LogHistogram::from_degrees(std::span<const double> degrees) {
+  LogHistogram h;
+  for (double d : degrees) {
+    if (d < 1.0) continue;
+    OBSCORR_REQUIRE(std::isfinite(d), "degree values must be finite");
+    const int bin = log2_bin(static_cast<std::uint64_t>(d));
+    if (h.counts_.size() <= static_cast<std::size_t>(bin)) {
+      h.counts_.resize(static_cast<std::size_t>(bin) + 1, 0);
+    }
+    ++h.counts_[static_cast<std::size_t>(bin)];
+    ++h.total_;
+    h.max_degree_ = std::max(h.max_degree_, static_cast<std::uint64_t>(d));
+  }
+  return h;
+}
+
+LogHistogram LogHistogram::from_sparse_vec(const gbl::SparseVec& vec) {
+  return from_degrees(vec.values());
+}
+
+std::uint64_t LogHistogram::count(int bin) const {
+  if (bin < 0 || static_cast<std::size_t>(bin) >= counts_.size()) return 0;
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+std::vector<double> LogHistogram::differential_cumulative() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ == 0) return d;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return d;
+}
+
+std::vector<double> LogHistogram::cumulative() const {
+  std::vector<double> c(counts_.size(), 0.0);
+  if (total_ == 0) return c;
+  double run = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    run += static_cast<double>(counts_[i]);
+    c[i] = run / static_cast<double>(total_);
+  }
+  return c;
+}
+
+}  // namespace obscorr::stats

@@ -1,0 +1,52 @@
+#pragma once
+/// \file histogram.hpp
+/// Degree histograms and the paper's §II probability machinery: for a
+/// network quantity with values d, the histogram n_t(d), probability
+/// p_t(d) = n_t(d)/Σn_t, cumulative P_t(d), and the binary-log-binned
+/// *differential cumulative probability* D_t(d_i) = P_t(d_i) − P_t(d_{i−1})
+/// with d_i = 2^i — the quantity plotted in Fig. 3.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbl/sparse_vec.hpp"
+
+namespace obscorr::stats {
+
+/// Histogram over binary-logarithmic bins [2^i, 2^(i+1)).
+class LogHistogram {
+ public:
+  LogHistogram() = default;
+
+  /// Count the values of a reduced network quantity (values < 1 ignored:
+  /// a source with zero packets is not observed).
+  static LogHistogram from_degrees(std::span<const double> degrees);
+  static LogHistogram from_sparse_vec(const gbl::SparseVec& vec);
+
+  /// Raw count in bin i (0 when out of range).
+  std::uint64_t count(int bin) const;
+
+  /// Number of populated bins (highest occupied bin + 1).
+  int bin_count() const { return static_cast<int>(counts_.size()); }
+
+  /// Total observations Σ_d n_t(d).
+  std::uint64_t total() const { return total_; }
+
+  /// Largest observed degree d_max.
+  std::uint64_t max_degree() const { return max_degree_; }
+
+  /// Differential cumulative probability D_t(d_i) per bin; sums to 1
+  /// (within rounding) when any observation exists.
+  std::vector<double> differential_cumulative() const;
+
+  /// Cumulative probability P_t at each bin upper edge.
+  std::vector<double> cumulative() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_degree_ = 0;
+};
+
+}  // namespace obscorr::stats

@@ -1,0 +1,50 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace obscorr::stats {
+
+double kolmogorov_tail(double lambda) {
+  OBSCORR_REQUIRE(lambda >= 0.0, "kolmogorov_tail: lambda must be non-negative");
+  if (lambda < 1e-3) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult two_sample_ks(std::span<const double> a, std::span<const double> b) {
+  OBSCORR_REQUIRE(!a.empty() && !b.empty(), "two_sample_ks: empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    // Advance both past every observation equal to x (tie handling).
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+
+  const double ne = na * nb / (na + nb);
+  // Asymptotic p-value with the standard small-sample correction.
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  return KsResult{d, kolmogorov_tail(lambda)};
+}
+
+}  // namespace obscorr::stats

@@ -1,0 +1,27 @@
+#pragma once
+/// \file ks_test.hpp
+/// Two-sample Kolmogorov–Smirnov comparison. The paper argues the Fig. 3
+/// distributions from different months "have similar statistical
+/// distributions with small variations"; this makes the claim
+/// quantitative: the KS statistic between two degree samples plus the
+/// asymptotic significance level (Smirnov's formula), usable for any two
+/// network-quantity samples.
+
+#include <span>
+
+namespace obscorr::stats {
+
+/// Result of a two-sample KS comparison.
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F̂_a − F̂_b|
+  double p_value = 1.0;    ///< asymptotic P(D > statistic) under H0
+};
+
+/// Asymptotic Kolmogorov distribution tail Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+double kolmogorov_tail(double lambda);
+
+/// Two-sample KS test between samples `a` and `b` (unsorted, any sizes
+/// ≥ 1). Ties are handled; returns statistic and asymptotic p-value.
+KsResult two_sample_ks(std::span<const double> a, std::span<const double> b);
+
+}  // namespace obscorr::stats

@@ -1,0 +1,31 @@
+#pragma once
+/// \file norms.hpp
+/// Residual norms for empirical fits. The paper selects fit parameters by
+/// minimizing the | |^{1/2} norm — sub-linear residual powers weight the
+/// many small-count tail bins comparably to the peak, which is what makes
+/// the heavy-tail fits stable (§III).
+
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace obscorr::stats {
+
+/// Σ_i |a_i − b_i|^p for p > 0 (p = 0.5 is the paper's choice).
+inline double lp_residual(std::span<const double> a, std::span<const double> b, double p) {
+  OBSCORR_REQUIRE(a.size() == b.size(), "lp_residual: size mismatch");
+  OBSCORR_REQUIRE(p > 0.0, "lp_residual: p must be positive");
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += std::pow(std::abs(a[i] - b[i]), p);
+  }
+  return total;
+}
+
+/// The paper's default residual: p = 1/2.
+inline double half_norm_residual(std::span<const double> a, std::span<const double> b) {
+  return lp_residual(a, b, 0.5);
+}
+
+}  // namespace obscorr::stats

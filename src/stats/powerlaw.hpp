@@ -1,0 +1,40 @@
+#pragma once
+/// \file powerlaw.hpp
+/// Discrete power-law tail estimation following Clauset, Shalizi &
+/// Newman 2009 (the paper's ref [48], whose binning conventions §II
+/// adopts): maximum-likelihood exponent for p(d) ∝ d^(−α), d ≥ d_min,
+/// with d_min chosen to minimize the Kolmogorov–Smirnov distance between
+/// the empirical tail and the fitted model. Complements the
+/// Zipf–Mandelbrot `| |^{1/2}` fit with a likelihood-based cross-check.
+
+#include <cstdint>
+#include <span>
+
+namespace obscorr::stats {
+
+/// Hurwitz zeta ζ(s, q) = Σ_{k≥0} (q+k)^(−s) for s > 1, q ≥ 1
+/// (direct summation with an Euler–Maclaurin tail).
+double hurwitz_zeta(double s, double q);
+
+/// MLE exponent for a discrete power law over degrees ≥ d_min
+/// (Clauset et al. eq. 3.7 approximation: α ≈ 1 + n / Σ ln(d/(d_min−½))).
+/// Requires at least 2 tail observations.
+double power_law_alpha_mle(std::span<const double> degrees, std::uint64_t d_min);
+
+/// Result of the full tail fit.
+struct PowerLawFit {
+  double alpha = 0.0;        ///< MLE exponent at the chosen d_min
+  std::uint64_t d_min = 1;   ///< tail start minimizing the KS distance
+  double ks = 0.0;           ///< KS distance at the optimum
+  std::size_t tail_count = 0;  ///< observations with d >= d_min
+};
+
+/// Kolmogorov–Smirnov distance between the empirical distribution of
+/// the degrees ≥ d_min and the discrete power law (alpha, d_min).
+double power_law_ks(std::span<const double> degrees, double alpha, std::uint64_t d_min);
+
+/// Scan candidate d_min values (powers of two up to the point where the
+/// tail gets thinner than `min_tail`) and return the KS-optimal fit.
+PowerLawFit fit_power_law(std::span<const double> degrees, std::size_t min_tail = 50);
+
+}  // namespace obscorr::stats

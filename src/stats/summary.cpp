@@ -1,0 +1,68 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace obscorr::stats {
+
+namespace {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  OBSCORR_REQUIRE(!values.empty(), "quantile: empty sample");
+  OBSCORR_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double gini_coefficient(std::span<const double> values) {
+  OBSCORR_REQUIRE(!values.empty(), "gini: empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  double total = 0.0;
+  for (double v : sorted) {
+    OBSCORR_REQUIRE(v >= 0.0 && std::isfinite(v), "gini: values must be finite and >= 0");
+    total += v;
+  }
+  OBSCORR_REQUIRE(total > 0.0, "gini: total must be positive");
+  std::sort(sorted.begin(), sorted.end());
+  // G = (2 Σ_i i·x_(i) / (n Σ x)) - (n+1)/n with 1-based ranks.
+  const double n = static_cast<double>(sorted.size());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+Summary summarize(std::span<const double> values) {
+  OBSCORR_REQUIRE(!values.empty(), "summarize: empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  double total = 0.0;
+  for (double v : sorted) total += v;
+  s.mean = total / static_cast<double>(sorted.size());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = quantile_sorted(sorted, 0.5);
+  s.p90 = quantile_sorted(sorted, 0.9);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  s.gini = gini_coefficient(sorted);
+  return s;
+}
+
+}  // namespace obscorr::stats

@@ -1,0 +1,33 @@
+#pragma once
+/// \file summary.hpp
+/// Distribution summary statistics for network quantities: quantiles,
+/// mean, and the Gini coefficient — the single-number inequality measure
+/// that captures how strongly the Zipf–Mandelbrot head dominates (darknet
+/// source-packet distributions are extremely unequal; Gini near 1).
+
+#include <span>
+
+namespace obscorr::stats {
+
+/// Summary of a positive-valued sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;   ///< median
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double gini = 0.0;  ///< in [0, 1); 0 = equal, ->1 = one value dominates
+};
+
+/// Quantile of a sample by linear interpolation (q in [0,1]).
+double quantile(std::span<const double> values, double q);
+
+/// Gini coefficient of a non-negative sample with positive total.
+double gini_coefficient(std::span<const double> values);
+
+/// All summary statistics in one pass (values need not be sorted).
+Summary summarize(std::span<const double> values);
+
+}  // namespace obscorr::stats

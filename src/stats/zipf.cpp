@@ -1,0 +1,109 @@
+#include "stats/zipf.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/norms.hpp"
+
+namespace obscorr::stats {
+
+double ZipfMandelbrot::weight(double d) const {
+  OBSCORR_REQUIRE(d >= 1.0, "weight: degree must be >= 1");
+  return std::pow(d + delta, -alpha);
+}
+
+std::vector<double> ZipfMandelbrot::rank_weights(std::size_t n) const {
+  std::vector<double> w(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1) + delta, -alpha);
+  }
+  return w;
+}
+
+namespace {
+
+/// ∫ (x+δ)^(−α) dx over [lo, hi]: closed form, handling α = 1.
+double power_integral(double lo, double hi, double alpha, double delta) {
+  if (std::abs(alpha - 1.0) < 1e-12) {
+    return std::log(hi + delta) - std::log(lo + delta);
+  }
+  const double e = 1.0 - alpha;
+  return (std::pow(hi + delta, e) - std::pow(lo + delta, e)) / e;
+}
+
+}  // namespace
+
+std::vector<double> ZipfMandelbrot::binned_mass(int n_bins) const {
+  OBSCORR_REQUIRE(n_bins > 0, "binned_mass: need at least one bin");
+  std::vector<double> mass(static_cast<std::size_t>(n_bins));
+  double total = 0.0;
+  for (int i = 0; i < n_bins; ++i) {
+    const double lo = std::exp2(static_cast<double>(i));
+    const double hi = std::exp2(static_cast<double>(i + 1));
+    mass[static_cast<std::size_t>(i)] = power_integral(lo, hi, alpha, delta);
+    total += mass[static_cast<std::size_t>(i)];
+  }
+  OBSCORR_INVARIANT(total > 0.0);
+  for (double& m : mass) m /= total;
+  return mass;
+}
+
+ZipfFit fit_zipf_mandelbrot(const LogHistogram& hist) {
+  OBSCORR_REQUIRE(hist.total() > 0, "fit_zipf_mandelbrot: empty histogram");
+  const std::vector<double> data = hist.differential_cumulative();
+  const int n_bins = hist.bin_count();
+
+  const auto objective = [&](double alpha, double delta) {
+    const ZipfMandelbrot zm{alpha, delta};
+    return half_norm_residual(data, zm.binned_mass(n_bins));
+  };
+
+  // Coarse grid over the physically plausible range (network-traffic
+  // exponents land in [0.5, 4]; offsets rarely exceed the bin scale).
+  double best_alpha = 2.0;
+  double best_delta = 0.0;
+  double best = objective(best_alpha, best_delta);
+  for (double alpha = 0.5; alpha <= 4.0; alpha += 0.125) {
+    for (double delta : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+      const double r = objective(alpha, delta);
+      if (r < best) {
+        best = r;
+        best_alpha = alpha;
+        best_delta = delta;
+      }
+    }
+  }
+
+  // Coordinate refinement with a shrinking step.
+  double alpha_step = 0.125;
+  double delta_step = std::max(0.25, best_delta * 0.5);
+  for (int iter = 0; iter < 60; ++iter) {
+    bool improved = false;
+    for (const double a : {best_alpha - alpha_step, best_alpha + alpha_step}) {
+      if (a <= 0.05) continue;
+      const double r = objective(a, best_delta);
+      if (r < best) {
+        best = r;
+        best_alpha = a;
+        improved = true;
+      }
+    }
+    for (const double d : {best_delta - delta_step, best_delta + delta_step}) {
+      if (d < 0.0) continue;
+      const double r = objective(best_alpha, d);
+      if (r < best) {
+        best = r;
+        best_delta = d;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      alpha_step *= 0.5;
+      delta_step *= 0.5;
+      if (alpha_step < 1e-4 && delta_step < 1e-4) break;
+    }
+  }
+  return ZipfFit{{best_alpha, best_delta}, best};
+}
+
+}  // namespace obscorr::stats

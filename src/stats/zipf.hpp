@@ -1,0 +1,42 @@
+#pragma once
+/// \file zipf.hpp
+/// The Zipf–Mandelbrot distribution p(d) ∝ 1/(d + δ)^α — the two-parameter
+/// power law the paper fits to the CAIDA source-packet distribution
+/// (Fig. 3) and the rank law the traffic generator samples sources from.
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace obscorr::stats {
+
+/// Zipf–Mandelbrot parameters.
+struct ZipfMandelbrot {
+  double alpha = 2.0;  ///< exponent α_zm > 0
+  double delta = 0.0;  ///< offset δ_zm >= 0
+
+  /// Unnormalized density at degree (or rank) d >= 1.
+  double weight(double d) const;
+
+  /// Rank weights w_r = 1/(r+δ)^α for r = 1..n (generator population law).
+  std::vector<double> rank_weights(std::size_t n) const;
+
+  /// Probability mass per binary-log bin for degrees in [1, 2^n_bins),
+  /// normalized to sum to 1 — directly comparable to
+  /// LogHistogram::differential_cumulative().
+  std::vector<double> binned_mass(int n_bins) const;
+};
+
+/// Result of fitting a Zipf–Mandelbrot model to a log-binned distribution.
+struct ZipfFit {
+  ZipfMandelbrot model;
+  double residual = 0.0;  ///< | |^{1/2} residual at the optimum
+};
+
+/// Fit (α, δ) to a histogram's differential cumulative probability by
+/// coarse grid search plus coordinate refinement, minimizing the
+/// | |^{1/2} norm (the paper's procedure). Empty histograms are invalid.
+ZipfFit fit_zipf_mandelbrot(const LogHistogram& hist);
+
+}  // namespace obscorr::stats

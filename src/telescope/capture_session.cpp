@@ -1,0 +1,33 @@
+#include "telescope/capture_session.hpp"
+
+#include "common/error.hpp"
+
+namespace obscorr::telescope {
+
+CaptureSession::CaptureSession(Telescope& telescope, CaptureSessionConfig config)
+    : telescope_(telescope), config_(config), timing_(config.timing_seed, 0x7173) {
+  OBSCORR_REQUIRE(config.window_packets > 0, "CaptureSession: window must be positive");
+  OBSCORR_REQUIRE(config.mean_packet_rate > 0.0, "CaptureSession: rate must be positive");
+}
+
+void CaptureSession::offer(const Packet& packet,
+                           const std::function<void(CaptureWindow&&)>& on_window) {
+  // Every packet (valid or not) advances the Poisson clock; only valid
+  // packets advance the constant-packet window.
+  clock_sec_ += timing_.exponential(config_.mean_packet_rate);
+  if (!telescope_.capture(packet)) return;
+  if (telescope_.valid_packets() < config_.window_packets) return;
+
+  CaptureWindow window;
+  window.index = windows_;
+  window.matrix = telescope_.finish_window();
+  window.start_sec = window_start_sec_;
+  window.duration_sec = clock_sec_ - window_start_sec_;
+  window.discarded = telescope_.discarded_packets() - discarded_at_window_start_;
+  ++windows_;
+  window_start_sec_ = clock_sec_;
+  discarded_at_window_start_ = telescope_.discarded_packets();
+  on_window(std::move(window));
+}
+
+}  // namespace obscorr::telescope

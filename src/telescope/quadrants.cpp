@@ -1,0 +1,22 @@
+#include "telescope/quadrants.hpp"
+
+namespace obscorr::telescope {
+
+Quadrants partition_quadrants(const gbl::DcsrMatrix& matrix, const Ipv4Prefix& internal) {
+  Quadrants q;
+  q.external_to_internal = matrix.select([&](gbl::Index r, gbl::Index c) {
+    return !internal.contains(Ipv4(r)) && internal.contains(Ipv4(c));
+  });
+  q.internal_to_external = matrix.select([&](gbl::Index r, gbl::Index c) {
+    return internal.contains(Ipv4(r)) && !internal.contains(Ipv4(c));
+  });
+  q.internal_to_internal = matrix.select([&](gbl::Index r, gbl::Index c) {
+    return internal.contains(Ipv4(r)) && internal.contains(Ipv4(c));
+  });
+  q.external_to_external = matrix.select([&](gbl::Index r, gbl::Index c) {
+    return !internal.contains(Ipv4(r)) && !internal.contains(Ipv4(c));
+  });
+  return q;
+}
+
+}  // namespace obscorr::telescope

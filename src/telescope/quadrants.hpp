@@ -1,0 +1,29 @@
+#pragma once
+/// \file quadrants.hpp
+/// Traffic-matrix quadrant partitioning (paper Fig. 1): with a set of
+/// monitored "internal" addresses, any traffic matrix splits into
+/// external→internal, internal→external, internal→internal, and
+/// external→external flows. A darkspace telescope only populates the
+/// external→internal quadrant; an outpost that answers probes populates
+/// internal→external too. The partition is computed with prefix
+/// membership tests, so it works equally on CryptoPAN-anonymized
+/// matrices using the anonymized prefix.
+
+#include "common/ipv4.hpp"
+#include "gbl/dcsr.hpp"
+
+namespace obscorr::telescope {
+
+/// The four quadrants of a traffic matrix.
+struct Quadrants {
+  gbl::DcsrMatrix external_to_internal;
+  gbl::DcsrMatrix internal_to_external;
+  gbl::DcsrMatrix internal_to_internal;
+  gbl::DcsrMatrix external_to_external;
+};
+
+/// Partition `matrix` by membership of row (source) and column
+/// (destination) in the internal prefix.
+Quadrants partition_quadrants(const gbl::DcsrMatrix& matrix, const Ipv4Prefix& internal);
+
+}  // namespace obscorr::telescope

@@ -1,0 +1,56 @@
+#include "telescope/telescope.hpp"
+
+#include "common/error.hpp"
+
+namespace obscorr::telescope {
+
+Telescope::Telescope(TelescopeConfig config, ThreadPool& pool)
+    : config_(std::move(config)),
+      cryptopan_(crypt::CryptoPan::from_seed(config_.cryptopan_seed)),
+      accumulator_(config_.block_log2, pool) {}
+
+bool Telescope::is_valid(const Packet& packet) const {
+  if (!config_.darkspace.contains(packet.dst)) return false;
+  for (const Ipv4Prefix& legit : config_.legit_prefixes) {
+    if (legit.contains(packet.src)) return false;
+  }
+  return true;
+}
+
+bool Telescope::capture(const Packet& packet) {
+  if (!is_valid(packet)) {
+    ++discarded_;
+    return false;
+  }
+  const Ipv4 src = anonymize(packet.src);
+  const Ipv4 dst = anonymize(packet.dst);
+  accumulator_.add_packet(src.value(), dst.value());
+  return true;
+}
+
+gbl::DcsrMatrix Telescope::finish_window() { return accumulator_.finish(); }
+
+Ipv4 Telescope::anonymize(Ipv4 addr) const {
+  const auto it = anon_cache_.find(addr.value());
+  if (it != anon_cache_.end()) return Ipv4(it->second);
+  const Ipv4 anon = cryptopan_.anonymize(addr);
+  anon_cache_.emplace(addr.value(), anon.value());
+  dictionary_.emplace(anon.value(), addr.value());
+  return anon;
+}
+
+Ipv4 Telescope::deanonymize(Ipv4 anon) const {
+  const auto it = dictionary_.find(anon.value());
+  OBSCORR_REQUIRE(it != dictionary_.end(),
+                  "deanonymize: id never produced by this telescope: " + anon.to_string());
+  return Ipv4(it->second);
+}
+
+Ipv4Prefix Telescope::anonymized_darkspace() const {
+  // Prefix preservation: the darkspace base maps to the anonymized base
+  // of a prefix with identical length.
+  const Ipv4 anon_base = cryptopan_.anonymize(config_.darkspace.base());
+  return Ipv4Prefix(anon_base, config_.darkspace.length());
+}
+
+}  // namespace obscorr::telescope

@@ -1,0 +1,89 @@
+#pragma once
+/// \file telescope.hpp
+/// The darknet telescope simulator: the CAIDA-style Internet observatory.
+///
+/// The instrument monitors a routed darkspace prefix. Incoming packets
+/// pass a validity filter (destination inside the darkspace, source not
+/// in a known-legitimate prefix — the real telescope discards the small
+/// amount of legitimate traffic), are CryptoPAN-anonymized, and stream
+/// into a hierarchical hypersparse GraphBLAS accumulator in blocks of
+/// 2^block_log2 valid packets, exactly the paper's matrix-construction
+/// pipeline. Because CryptoPAN is prefix-preserving, the anonymized
+/// darkspace is still a single /len prefix and quadrant partitioning
+/// (Fig. 1) keeps working on anonymized data.
+///
+/// The telescope retains the anonymization dictionary so that, inside the
+/// paper's trusted-sharing framework (§I, approach 1), observed source
+/// ids can be "sent back to the source" for deanonymization during
+/// cross-observatory correlation.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ipv4.hpp"
+#include "common/packet.hpp"
+#include "common/thread_pool.hpp"
+#include "crypt/cryptopan.hpp"
+#include "gbl/dcsr.hpp"
+#include "gbl/hierarchical.hpp"
+
+namespace obscorr::telescope {
+
+/// Telescope instrument configuration.
+struct TelescopeConfig {
+  /// The monitored darkspace (the paper's is a /8; simulations scale it
+  /// with the window size to keep per-address density realistic).
+  Ipv4Prefix darkspace{Ipv4(77, 0, 0, 0), 16};
+  /// Source prefixes whose traffic is considered legitimate and dropped.
+  std::vector<Ipv4Prefix> legit_prefixes{Ipv4Prefix(Ipv4(10, 0, 0, 0), 8)};
+  /// log2 of the GraphBLAS leaf block (paper: 2^17 packets).
+  int block_log2 = 17;
+  /// CryptoPAN key seed (the telescope operator's secret).
+  std::uint64_t cryptopan_seed = 0xCA1DA;
+};
+
+/// Streaming darknet capture into one constant-packet window.
+class Telescope {
+ public:
+  Telescope(TelescopeConfig config, ThreadPool& pool);
+
+  const TelescopeConfig& config() const { return config_; }
+
+  /// Offer one packet; returns true when it was valid and captured.
+  bool capture(const Packet& packet);
+
+  /// Valid packets captured in the current window.
+  std::uint64_t valid_packets() const { return accumulator_.packets(); }
+
+  /// Packets discarded by the validity filter so far (across windows).
+  std::uint64_t discarded_packets() const { return discarded_; }
+
+  /// Close the window: the anonymized ext->int traffic matrix. Resets
+  /// the window state; the anonymization dictionary persists.
+  gbl::DcsrMatrix finish_window();
+
+  /// Anonymize an address with the telescope's key (memoized; CryptoPAN
+  /// costs 32 AES calls per fresh address).
+  Ipv4 anonymize(Ipv4 addr) const;
+
+  /// Trusted-exchange deanonymization: inverts `anonymize` for addresses
+  /// this telescope has anonymized before; throws for unknown ids.
+  Ipv4 deanonymize(Ipv4 anon) const;
+
+  /// The anonymized image of the darkspace prefix (prefix preservation
+  /// keeps it a single prefix of the same length).
+  Ipv4Prefix anonymized_darkspace() const;
+
+ private:
+  bool is_valid(const Packet& packet) const;
+
+  TelescopeConfig config_;
+  crypt::CryptoPan cryptopan_;
+  gbl::HierarchicalAccumulator accumulator_;
+  std::uint64_t discarded_ = 0;
+  mutable std::unordered_map<std::uint32_t, std::uint32_t> anon_cache_;
+  mutable std::unordered_map<std::uint32_t, std::uint32_t> dictionary_;  // anon -> original
+};
+
+}  // namespace obscorr::telescope

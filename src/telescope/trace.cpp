@@ -1,0 +1,82 @@
+#include "telescope/trace.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace obscorr::telescope {
+
+namespace {
+constexpr char kMagic[8] = {'O', 'B', 'S', 'C', 'T', 'R', 'C', '1'};
+constexpr std::uint64_t kCountPlaceholder = ~0ULL;
+}  // namespace
+
+struct TraceWriter::Impl {
+  std::ofstream os;
+  bool closed = false;
+};
+
+TraceWriter::TraceWriter(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  impl_->os.open(path, std::ios::binary);
+  OBSCORR_REQUIRE(impl_->os.is_open(), "TraceWriter: cannot open " + path);
+  impl_->os.write(kMagic, sizeof kMagic);
+  impl_->os.write(reinterpret_cast<const char*>(&kCountPlaceholder), sizeof kCountPlaceholder);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::write(const Packet& packet) {
+  OBSCORR_REQUIRE(!impl_->closed, "TraceWriter: write after close");
+  const std::uint32_t pair[2] = {packet.src.value(), packet.dst.value()};
+  impl_->os.write(reinterpret_cast<const char*>(pair), sizeof pair);
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (impl_->closed) return;
+  impl_->closed = true;
+  // Back-patch the packet count. No exceptions here: close() also runs
+  // from the destructor, where throwing would terminate.
+  impl_->os.seekp(sizeof kMagic, std::ios::beg);
+  impl_->os.write(reinterpret_cast<const char*>(&count_), sizeof count_);
+  impl_->os.flush();
+}
+
+std::uint64_t replay_trace(const std::string& path,
+                           const std::function<void(const Packet&)>& sink) {
+  std::ifstream is(path, std::ios::binary);
+  OBSCORR_REQUIRE(is.is_open(), "replay_trace: cannot open " + path);
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  OBSCORR_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                  "replay_trace: bad magic in " + path);
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof count);
+  OBSCORR_REQUIRE(is.good() && count != kCountPlaceholder,
+                  "replay_trace: unfinalized or truncated header in " + path);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t pair[2];
+    is.read(reinterpret_cast<char*>(pair), sizeof pair);
+    OBSCORR_REQUIRE(is.good() || (is.eof() && is.gcount() == sizeof pair),
+                    "replay_trace: truncated record in " + path);
+    sink({Ipv4(pair[0]), Ipv4(pair[1])});
+  }
+  // No trailing garbage allowed.
+  char extra;
+  is.read(&extra, 1);
+  OBSCORR_REQUIRE(is.eof(), "replay_trace: trailing bytes after " + std::to_string(count) +
+                                " packets in " + path);
+  return count;
+}
+
+std::uint64_t record_trace(
+    const std::string& path,
+    const std::function<void(const std::function<void(const Packet&)>&)>& producer) {
+  TraceWriter writer(path);
+  producer([&](const Packet& p) { writer.write(p); });
+  writer.close();
+  return writer.count();
+}
+
+}  // namespace obscorr::telescope

@@ -1,0 +1,61 @@
+#include "common/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace obscorr {
+namespace {
+
+TEST(BinningTest, PowerOfTwoBoundaries) {
+  EXPECT_EQ(log2_bin(1), 0);
+  EXPECT_EQ(log2_bin(2), 1);
+  EXPECT_EQ(log2_bin(3), 1);
+  EXPECT_EQ(log2_bin(4), 2);
+  EXPECT_EQ(log2_bin(7), 2);
+  EXPECT_EQ(log2_bin(8), 3);
+  EXPECT_EQ(log2_bin(1ULL << 30), 30);
+  EXPECT_EQ(log2_bin((1ULL << 31) - 1), 30);
+}
+
+TEST(BinningTest, ZeroDegreeIsSentinel) { EXPECT_EQ(log2_bin(0), -1); }
+
+TEST(BinningTest, EdgesAreConsistentWithBinIndex) {
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(log2_bin(bin_lower(i)), i);
+    EXPECT_EQ(log2_bin(bin_upper(i) - 1), i);
+    EXPECT_EQ(log2_bin(bin_upper(i)), i + 1);
+  }
+}
+
+TEST(BinningTest, CenterIsGeometricMidpoint) {
+  EXPECT_DOUBLE_EQ(bin_center(0), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(bin_center(4), std::sqrt(16.0 * 32.0));
+  EXPECT_THROW(bin_center(-1), std::invalid_argument);
+}
+
+TEST(BinningTest, EdgesVector) {
+  const auto edges = bin_edges(4);
+  ASSERT_EQ(edges.size(), 5u);
+  EXPECT_EQ(edges.front(), 1u);
+  EXPECT_EQ(edges.back(), 16u);
+  EXPECT_THROW(bin_edges(64), std::invalid_argument);
+  EXPECT_THROW(bin_edges(-1), std::invalid_argument);
+}
+
+class Log2BinPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Log2BinPropertyTest, DegreeLiesWithinItsBin) {
+  const std::uint64_t d = GetParam();
+  const int bin = log2_bin(d);
+  ASSERT_GE(bin, 0);
+  EXPECT_LE(bin_lower(bin), d);
+  EXPECT_LT(d, bin_upper(bin));
+}
+
+INSTANTIATE_TEST_SUITE_P(RepresentativeDegrees, Log2BinPropertyTest,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 100ULL, 1023ULL, 1024ULL,
+                                           123456789ULL, 1ULL << 40, (1ULL << 62) + 7));
+
+}  // namespace
+}  // namespace obscorr

@@ -1,0 +1,73 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obscorr {
+namespace {
+
+TEST(CliArgsTest, ValuedOptionsBothForms) {
+  const CliArgs args = CliArgs::parse({"--out", "file.trc", "--seed=7"});
+  EXPECT_EQ(args.get_or("out", ""), "file.trc");
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+}
+
+TEST(CliArgsTest, SwitchesTakeNoValue) {
+  const CliArgs args = CliArgs::parse({"--verbose", "positional"}, {"verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(CliArgsTest, PositionalArguments) {
+  const CliArgs args = CliArgs::parse({"study", "--seed", "3", "extra"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"study", "extra"}));
+}
+
+TEST(CliArgsTest, MissingOptionFallsBack) {
+  const CliArgs args = CliArgs::parse({});
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_FALSE(args.get("x").has_value());
+  EXPECT_EQ(args.get_or("x", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("x", 9), 9);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+}
+
+TEST(CliArgsTest, TypedAccessors) {
+  const CliArgs args = CliArgs::parse({"--n", "-12", "--f", "2.5"});
+  EXPECT_EQ(args.get_int("n", 0), -12);
+  EXPECT_DOUBLE_EQ(args.get_double("f", 0.0), 2.5);
+}
+
+TEST(CliArgsTest, TypedAccessorRejectsGarbage) {
+  const CliArgs args = CliArgs::parse({"--n", "12x", "--f", "abc"});
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("f", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgsTest, ParseErrors) {
+  EXPECT_THROW(CliArgs::parse({"--"}), std::invalid_argument);
+  EXPECT_THROW(CliArgs::parse({"--name"}), std::invalid_argument);  // missing value
+}
+
+TEST(CliArgsTest, UnusedTracksUnqueriedOptions) {
+  const CliArgs args = CliArgs::parse({"--a", "1", "--b", "2", "--c", "3"});
+  EXPECT_EQ(args.get_int("a", 0), 1);
+  args.has("b");
+  const auto stray = args.unused();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "c");
+}
+
+TEST(CliArgsTest, EmptyStringValueViaEquals) {
+  const CliArgs args = CliArgs::parse({"--name="});
+  EXPECT_TRUE(args.has("name"));
+  EXPECT_EQ(args.get_or("name", "x"), "");
+}
+
+TEST(CliArgsTest, LastOccurrenceWins) {
+  const CliArgs args = CliArgs::parse({"--n", "1", "--n", "2"});
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace obscorr

@@ -1,0 +1,84 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace obscorr {
+namespace {
+
+// setenv/unsetenv are process-global; these tests restore state and the
+// suite runs single-threaded within one binary, so that is safe.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (old_.empty()) {
+      ::unsetenv(name_);
+    } else {
+      ::setenv(name_, old_.c_str(), 1);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string old_;
+};
+
+TEST(EnvIntTest, FallbackWhenUnset) {
+  ::unsetenv("OBSCORR_TEST_UNSET");
+  EXPECT_EQ(env_int("OBSCORR_TEST_UNSET", 17), 17);
+}
+
+TEST(EnvIntTest, ParsesInteger) {
+  EnvGuard guard("OBSCORR_TEST_INT", "123");
+  EXPECT_EQ(env_int("OBSCORR_TEST_INT", 0), 123);
+}
+
+TEST(EnvIntTest, ParsesNegative) {
+  EnvGuard guard("OBSCORR_TEST_INT", "-5");
+  EXPECT_EQ(env_int("OBSCORR_TEST_INT", 0), -5);
+}
+
+TEST(EnvIntTest, FallbackOnGarbage) {
+  EnvGuard guard("OBSCORR_TEST_INT", "12abc");
+  EXPECT_EQ(env_int("OBSCORR_TEST_INT", 9), 9);
+  EnvGuard guard2("OBSCORR_TEST_INT", "");
+  EXPECT_EQ(env_int("OBSCORR_TEST_INT", 9), 9);
+}
+
+TEST(BenchEnvTest, Defaults) {
+  ::unsetenv("OBSCORR_LOG2_NV");
+  ::unsetenv("OBSCORR_SEED");
+  ::unsetenv("OBSCORR_THREADS");
+  const BenchEnv env = BenchEnv::from_environment();
+  EXPECT_EQ(env.log2_nv, 22);
+  EXPECT_EQ(env.seed, 42u);
+  EXPECT_EQ(env.threads, 0);
+  EXPECT_EQ(env.nv(), 1ULL << 22);
+}
+
+TEST(BenchEnvTest, ReadsOverrides) {
+  EnvGuard a("OBSCORR_LOG2_NV", "18");
+  EnvGuard b("OBSCORR_SEED", "7");
+  EnvGuard c("OBSCORR_THREADS", "3");
+  const BenchEnv env = BenchEnv::from_environment();
+  EXPECT_EQ(env.log2_nv, 18);
+  EXPECT_EQ(env.seed, 7u);
+  EXPECT_EQ(env.threads, 3);
+  EXPECT_EQ(env.nv(), 1ULL << 18);
+}
+
+TEST(BenchEnvTest, RejectsOutOfRangeWindow) {
+  EnvGuard guard("OBSCORR_LOG2_NV", "50");
+  EXPECT_THROW(BenchEnv::from_environment(), std::invalid_argument);
+  EnvGuard low("OBSCORR_LOG2_NV", "2");
+  EXPECT_THROW(BenchEnv::from_environment(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr

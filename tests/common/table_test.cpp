@@ -1,0 +1,81 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace obscorr {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table("demo");
+  table.set_header({"name", "count"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "12345"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+}
+
+TEST(TextTableTest, RowWidthMustMatchHeader) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, HeaderAfterRowsRejected) {
+  TextTable table;
+  table.add_row({"x"});
+  EXPECT_THROW(table.set_header({"a"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, EmptyTablePrintsNothing) {
+  TextTable table;
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(TextTableTest, CsvEscapesCommas) {
+  TextTable table;
+  table.set_header({"k", "v"});
+  table.add_row({"a,b", "2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"a,b\",2\n");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable table;
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(FormatTest, FixedPrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, Scientific) { EXPECT_EQ(fmt_sci(12345.678, 2), "1.23e+04"); }
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(fmt_percent(0.756, 1), "75.6%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, ThousandsSeparatedCounts) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(2752690), "2,752,690");  // Table I first row
+  EXPECT_EQ(fmt_count(1073741824), "1,073,741,824");  // 2^30
+}
+
+}  // namespace
+}  // namespace obscorr

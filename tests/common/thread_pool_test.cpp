@@ -1,0 +1,117 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace obscorr {
+namespace {
+
+TEST(ThreadPoolTest, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), std::invalid_argument); }
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+class ParallelForTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelForTest, SumReductionMatchesSerial) {
+  ThreadPool pool(GetParam());
+  std::vector<int> data(12345);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long long> total{0};
+  parallel_for(pool, 0, data.size(), [&](std::size_t b, std::size_t e) {
+    long long local = 0;
+    for (std::size_t i = b; i < e; ++i) local += data[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 12345LL * 12344 / 2);
+}
+
+TEST_P(ParallelForTest, EmptyRangeDoesNothing) {
+  ThreadPool pool(GetParam());
+  bool called = false;
+  parallel_for(pool, 5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(ParallelForTest, OffsetRangeRespected) {
+  ThreadPool pool(GetParam());
+  std::atomic<std::size_t> min_seen{~std::size_t{0}};
+  std::atomic<std::size_t> max_seen{0};
+  parallel_for(pool, 100, 200, [&](std::size_t b, std::size_t e) {
+    std::size_t expected = min_seen.load();
+    while (b < expected && !min_seen.compare_exchange_weak(expected, b)) {
+    }
+    expected = max_seen.load();
+    while (e > expected && !max_seen.compare_exchange_weak(expected, e)) {
+    }
+  });
+  EXPECT_EQ(min_seen.load(), 100u);
+  EXPECT_EQ(max_seen.load(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForTest, ::testing::Values(1, 2, 3, 8));
+
+TEST(ParallelForTest, SingleElementRange) {
+  ThreadPool pool(4);
+  int calls = 0;
+  parallel_for(pool, 7, 8, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 7u);
+    EXPECT_EQ(e, 8u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, MoreThreadsThanElements) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace obscorr

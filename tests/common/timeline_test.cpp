@@ -1,0 +1,66 @@
+#include "common/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obscorr {
+namespace {
+
+TEST(YearMonthTest, MonthValidation) {
+  EXPECT_NO_THROW(YearMonth(2020, 1));
+  EXPECT_NO_THROW(YearMonth(2020, 12));
+  EXPECT_THROW(YearMonth(2020, 0), std::invalid_argument);
+  EXPECT_THROW(YearMonth(2020, 13), std::invalid_argument);
+}
+
+TEST(YearMonthTest, DaysPerMonthIncludingLeapYears) {
+  EXPECT_EQ(YearMonth(2020, 2).days(), 29);  // 2020 is a leap year (Table I: 29 days)
+  EXPECT_EQ(YearMonth(2021, 2).days(), 28);
+  EXPECT_EQ(YearMonth(2020, 3).days(), 31);
+  EXPECT_EQ(YearMonth(2020, 4).days(), 30);
+  EXPECT_EQ(YearMonth(1900, 2).days(), 28);  // century rule
+  EXPECT_EQ(YearMonth(2000, 2).days(), 29);  // 400-year rule
+}
+
+TEST(YearMonthTest, MonthsSinceIsSignedDistance) {
+  const YearMonth a(2020, 2), b(2021, 4);
+  EXPECT_EQ(b.months_since(a), 14);
+  EXPECT_EQ(a.months_since(b), -14);
+  EXPECT_EQ(a.months_since(a), 0);
+}
+
+TEST(YearMonthTest, PlusMonthsCrossesYearBoundaries) {
+  EXPECT_EQ(YearMonth(2020, 11).plus_months(3), YearMonth(2021, 2));
+  EXPECT_EQ(YearMonth(2020, 1).plus_months(-1), YearMonth(2019, 12));
+  EXPECT_EQ(YearMonth(2020, 6).plus_months(0), YearMonth(2020, 6));
+  EXPECT_EQ(YearMonth(2020, 6).plus_months(24), YearMonth(2022, 6));
+}
+
+TEST(YearMonthTest, ToStringFormat) {
+  EXPECT_EQ(YearMonth(2020, 2).to_string(), "2020-02");
+  EXPECT_EQ(YearMonth(2021, 12).to_string(), "2021-12");
+}
+
+TEST(YearMonthTest, ParseRoundTrip) {
+  const auto ym = YearMonth::parse("2020-07");
+  ASSERT_TRUE(ym.has_value());
+  EXPECT_EQ(*ym, YearMonth(2020, 7));
+  EXPECT_FALSE(YearMonth::parse("2020-13").has_value());
+  EXPECT_FALSE(YearMonth::parse("2020-00").has_value());
+  EXPECT_FALSE(YearMonth::parse("202007").has_value());
+  EXPECT_FALSE(YearMonth::parse("2020-7").has_value());
+  EXPECT_FALSE(YearMonth::parse("abcd-ef").has_value());
+}
+
+TEST(YearMonthTest, OrderingIsChronological) {
+  EXPECT_LT(YearMonth(2020, 12), YearMonth(2021, 1));
+  EXPECT_LT(YearMonth(2020, 1), YearMonth(2020, 2));
+}
+
+TEST(YearMonthTest, StudyTimelineHas15Months) {
+  // The paper's study window: 2020-02 .. 2021-04 inclusive.
+  const YearMonth start(2020, 2), end(2021, 4);
+  EXPECT_EQ(end.months_since(start) + 1, 15);
+}
+
+}  // namespace
+}  // namespace obscorr

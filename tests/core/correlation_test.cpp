@@ -1,0 +1,193 @@
+#include "core/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <cmath>
+
+#include "common/binning.hpp"
+
+namespace obscorr::core {
+namespace {
+
+class CorrelationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pool_ = new ThreadPool(2);
+    study_ = new StudyData(run_study(netgen::Scenario::paper(/*log2_nv=*/16, /*seed=*/42), *pool_));
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete pool_;
+    study_ = nullptr;
+    pool_ = nullptr;
+  }
+  static StudyData* study_;
+  static ThreadPool* pool_;
+};
+
+StudyData* CorrelationTest::study_ = nullptr;
+ThreadPool* CorrelationTest::pool_ = nullptr;
+
+TEST_F(CorrelationTest, BinSourcesPartitionTheSnapshot) {
+  const SnapshotData& snap = study_->snapshots[0];
+  std::size_t total = 0;
+  const int max_bin = log2_bin(static_cast<std::uint64_t>(snap.source_packets.reduce_max()));
+  for (int b = 0; b <= max_bin; ++b) {
+    const auto keys = bin_sources(snap, b);
+    total += keys.size();
+    for (const std::string& key : keys) {
+      const double d = snap.sources.at(key, "packets");
+      EXPECT_EQ(log2_bin(static_cast<std::uint64_t>(d)), b) << key;
+    }
+  }
+  EXPECT_EQ(total, snap.sources.row_keys().size());
+}
+
+TEST_F(CorrelationTest, PeakCorrelationFractionsAreValid) {
+  const auto bins = peak_correlation_all(*study_);
+  ASSERT_GT(bins.size(), 5u);
+  std::uint64_t total_sources = 0;
+  for (const auto& b : bins) {
+    EXPECT_LE(b.matched, b.caida_sources);
+    EXPECT_GE(b.fraction, 0.0);
+    EXPECT_LE(b.fraction, 1.0);
+    EXPECT_GE(b.model, 0.0);
+    EXPECT_LE(b.model, 1.0);
+    total_sources += b.caida_sources;
+  }
+  std::uint64_t expected = 0;
+  for (const auto& s : study_->snapshots) expected += s.sources.row_keys().size();
+  EXPECT_EQ(total_sources, expected);
+}
+
+TEST_F(CorrelationTest, BrightSourcesNearlyAlwaysSeen) {
+  // Paper Fig. 4: above sqrt(N_V) (bin 8 at 2^16) the overlap ~ 1.
+  const auto bins = peak_correlation_all(*study_);
+  const int threshold_bin = 8;
+  for (const auto& b : bins) {
+    if (b.bin >= threshold_bin && b.caida_sources >= 20) {
+      EXPECT_GT(b.fraction, 0.9) << "bin " << b.bin;
+    }
+  }
+}
+
+TEST_F(CorrelationTest, DimSourceOverlapTracksLogLaw) {
+  const auto bins = peak_correlation_all(*study_);
+  for (const auto& b : bins) {
+    if (b.bin >= 1 && b.bin <= 6 && b.caida_sources >= 200) {
+      EXPECT_NEAR(b.fraction, b.model, 0.12) << "bin " << b.bin;
+    }
+  }
+  // And monotone increase with brightness over the well-populated range.
+  for (std::size_t i = 2; i < bins.size() && bins[i].caida_sources >= 100; ++i) {
+    EXPECT_GE(bins[i].fraction, bins[i - 1].fraction - 0.05) << "bin " << bins[i].bin;
+  }
+}
+
+TEST_F(CorrelationTest, ModelColumnIsPaperFormula) {
+  const auto bins = peak_correlation_all(*study_);
+  const double half_log_nv = study_->half_log_nv();
+  for (const auto& b : bins) {
+    EXPECT_NEAR(b.model, std::min(1.0, (b.bin + 0.5) / half_log_nv), 1e-12);
+  }
+}
+
+TEST_F(CorrelationTest, TemporalCurvePeaksNearCoevalMonth) {
+  const auto curve = temporal_correlation(study_->snapshots[0], *study_, /*bin=*/5, 20);
+  ASSERT_TRUE(curve.has_value());
+  ASSERT_EQ(curve->series.dt.size(), study_->months.size());
+  // Find the dt=0 sample and check it is the maximum.
+  double at_zero = -1.0, best = -1.0;
+  for (std::size_t i = 0; i < curve->series.dt.size(); ++i) {
+    if (curve->series.dt[i] == 0.0) at_zero = curve->series.fraction[i];
+    best = std::max(best, curve->series.fraction[i]);
+  }
+  EXPECT_GE(at_zero, best - 0.05);
+  EXPECT_GT(at_zero, 0.3);
+}
+
+TEST_F(CorrelationTest, TemporalCurveDecaysToBackgroundNotZero) {
+  const auto curve = temporal_correlation(study_->snapshots[0], *study_, /*bin=*/4, 20);
+  ASSERT_TRUE(curve.has_value());
+  double at_zero = 0.0, tail = 0.0;
+  for (std::size_t i = 0; i < curve->series.dt.size(); ++i) {
+    if (curve->series.dt[i] == 0.0) at_zero = curve->series.fraction[i];
+    if (curve->series.dt[i] >= 8.0) tail = std::max(tail, curve->series.fraction[i]);
+  }
+  EXPECT_LT(tail, at_zero * 0.85);  // real decay
+  EXPECT_GT(tail, 0.0);             // but a floor remains
+}
+
+TEST_F(CorrelationTest, ModifiedCauchyFitsBestOnTemporalCurves) {
+  // The paper's Fig. 5 ordering: modified Cauchy <= Cauchy and Gaussian.
+  int wins = 0, curves = 0;
+  for (int bin = 2; bin <= 6; ++bin) {
+    const auto curve = temporal_correlation(study_->snapshots[0], *study_, bin, 30);
+    if (!curve) continue;
+    ++curves;
+    if (curve->modified_cauchy.residual <= curve->cauchy.residual + 1e-9 &&
+        curve->modified_cauchy.residual <= curve->gaussian.residual + 1e-9) {
+      ++wins;
+    }
+  }
+  ASSERT_GT(curves, 2);
+  EXPECT_EQ(wins, curves);  // the 3-parameter family dominates by construction
+}
+
+TEST_F(CorrelationTest, SmallBinsAreRejected) {
+  const auto curve = temporal_correlation(study_->snapshots[0], *study_, /*bin=*/30, 20);
+  EXPECT_FALSE(curve.has_value());
+}
+
+TEST_F(CorrelationTest, FitGridCoversSnapshotsAndBins) {
+  const auto grid = fit_grid(*study_, 30);
+  ASSERT_GT(grid.size(), 20u);
+  std::set<std::size_t> snapshots_seen;
+  for (const auto& cell : grid) {
+    snapshots_seen.insert(cell.snapshot);
+    EXPECT_GE(cell.curve.bin_sources, 30u);
+    EXPECT_GT(cell.curve.modified_cauchy.model.alpha, 0.0);
+    EXPECT_GT(cell.curve.modified_cauchy.model.beta, 0.0);
+  }
+  EXPECT_EQ(snapshots_seen.size(), study_->snapshots.size());
+}
+
+TEST_F(CorrelationTest, FitAlphaInPaperRange) {
+  // Fig. 7: alpha scatters around ~1 (the paper shows ~0.2..1.6).
+  const auto grid = fit_grid(*study_, 100);
+  ASSERT_GT(grid.size(), 10u);
+  double sum = 0.0;
+  for (const auto& cell : grid) {
+    EXPECT_GT(cell.curve.modified_cauchy.model.alpha, 0.1);
+    EXPECT_LT(cell.curve.modified_cauchy.model.alpha, 2.5);
+    sum += cell.curve.modified_cauchy.model.alpha;
+  }
+  const double mean = sum / static_cast<double>(grid.size());
+  EXPECT_GT(mean, 0.4);
+  EXPECT_LT(mean, 1.5);
+}
+
+TEST_F(CorrelationTest, OneMonthDropInPaperRange) {
+  // Fig. 8: drops between ~10% and ~50%, peaking at mid brightness.
+  const auto grid = fit_grid(*study_, 100);
+  double max_drop = 0.0;
+  for (const auto& cell : grid) {
+    const double drop = cell.curve.modified_cauchy.model.one_month_drop();
+    // Near-flat curves (a bright bin whose few sources never churn) can
+    // fit arbitrarily large beta, so only the upper bound is universal.
+    EXPECT_LT(drop, 0.6);
+    max_drop = std::max(max_drop, drop);
+  }
+  EXPECT_GT(max_drop, 0.15);  // the churny mid-brightness bins are there
+}
+
+TEST_F(CorrelationTest, PeakCorrelationRequiresValidHalfLogNv) {
+  EXPECT_THROW(
+      peak_correlation(study_->snapshots[0], study_->months[4], 0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::core

@@ -1,0 +1,84 @@
+#include "core/degree_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace obscorr::core {
+namespace {
+
+class DegreeAnalysisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pool_ = new ThreadPool(2);
+    study_ = new StudyData(
+        run_telescope_only(netgen::Scenario::paper(/*log2_nv=*/16, /*seed=*/42), *pool_));
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete pool_;
+    study_ = nullptr;
+    pool_ = nullptr;
+  }
+  static StudyData* study_;
+  static ThreadPool* pool_;
+};
+
+StudyData* DegreeAnalysisTest::study_ = nullptr;
+ThreadPool* DegreeAnalysisTest::pool_ = nullptr;
+
+TEST_F(DegreeAnalysisTest, HistogramCountsAllSources) {
+  const DegreeAnalysis a = analyze_degrees(study_->snapshots[0]);
+  EXPECT_EQ(a.histogram.total(), study_->snapshots[0].source_packets.nnz());
+  EXPECT_EQ(a.label, "2020-06-17-12:00:00");
+}
+
+TEST_F(DegreeAnalysisTest, DcpSumsToOne) {
+  const DegreeAnalysis a = analyze_degrees(study_->snapshots[0]);
+  EXPECT_NEAR(std::accumulate(a.dcp.begin(), a.dcp.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST_F(DegreeAnalysisTest, DistributionIsHeavyTailed) {
+  // Fig. 3 shape: mass spans many octaves; the tail bins are small but
+  // non-empty, and the head holds most sources.
+  const DegreeAnalysis a = analyze_degrees(study_->snapshots[0]);
+  ASSERT_GE(a.histogram.bin_count(), 8);
+  double head = 0.0;
+  for (int b = 0; b < 3; ++b) head += a.dcp[static_cast<std::size_t>(b)];
+  EXPECT_GT(head, 0.5);
+  EXPECT_LT(a.dcp.back(), 0.01);
+}
+
+TEST_F(DegreeAnalysisTest, ZipfFitIsPlausible) {
+  const DegreeAnalysis a = analyze_degrees(study_->snapshots[0]);
+  EXPECT_GT(a.fit.model.alpha, 1.0);
+  EXPECT_LT(a.fit.model.alpha, 3.5);
+  EXPECT_GE(a.fit.model.delta, 0.0);
+  EXPECT_LT(a.fit.residual, 2.0);
+}
+
+TEST_F(DegreeAnalysisTest, SnapshotsShareTheSameDistributionShape) {
+  // Paper Fig. 3: samples collected months apart have near-identical
+  // log-binned distributions.
+  const auto all = analyze_all_degrees(*study_);
+  ASSERT_EQ(all.size(), 5u);
+  const auto& ref = all.front().dcp;
+  for (const DegreeAnalysis& a : all) {
+    ASSERT_GE(a.dcp.size(), 8u);
+    for (std::size_t b = 0; b < 8; ++b) {
+      EXPECT_NEAR(a.dcp[b], ref[b], 0.04) << a.label << " bin " << b;
+    }
+    EXPECT_NEAR(a.fit.model.alpha, all.front().fit.model.alpha, 0.6) << a.label;
+  }
+}
+
+TEST_F(DegreeAnalysisTest, MaxDegreeExceedsSqrtNv) {
+  // Fig. 4's x-axis extends well beyond sqrt(N_V): the generator must
+  // produce sources brighter than the threshold.
+  const DegreeAnalysis a = analyze_degrees(study_->snapshots[0]);
+  EXPECT_GT(static_cast<double>(a.histogram.max_degree()), std::exp2(study_->half_log_nv()));
+}
+
+}  // namespace
+}  // namespace obscorr::core

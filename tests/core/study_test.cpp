@@ -1,0 +1,156 @@
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netgen/traffic.hpp"
+
+namespace obscorr::core {
+namespace {
+
+// One shared small study: the pipeline is deterministic, so every test
+// can interrogate the same run (SetUpTestSuite keeps ctest time sane).
+class StudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto scenario = netgen::Scenario::paper(/*log2_nv=*/14, /*seed=*/42);
+    pool_ = new ThreadPool(2);
+    study_ = new StudyData(run_study(scenario, *pool_));
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete pool_;
+    study_ = nullptr;
+    pool_ = nullptr;
+  }
+  static StudyData* study_;
+  static ThreadPool* pool_;
+};
+
+StudyData* StudyTest::study_ = nullptr;
+ThreadPool* StudyTest::pool_ = nullptr;
+
+TEST_F(StudyTest, ProducesAllObservations) {
+  EXPECT_EQ(study_->snapshots.size(), 5u);
+  EXPECT_EQ(study_->months.size(), 15u);
+  EXPECT_NE(study_->population, nullptr);
+}
+
+TEST_F(StudyTest, SnapshotsAreConstantPacketWindows) {
+  for (const SnapshotData& s : study_->snapshots) {
+    EXPECT_EQ(s.valid_packets, study_->scenario.nv()) << s.spec.start_label;
+    EXPECT_EQ(s.matrix.reduce_sum(), static_cast<double>(study_->scenario.nv()));
+    EXPECT_GT(s.discarded_packets, 0u);  // the legit trickle was filtered
+    EXPECT_LT(s.discarded_packets, study_->scenario.nv() / 100);
+  }
+}
+
+TEST_F(StudyTest, SnapshotMonthIndicesMatchTimeline) {
+  EXPECT_EQ(study_->snapshots[0].month_index, 4);   // 2020-06
+  EXPECT_EQ(study_->snapshots[1].month_index, 5);   // 2020-07
+  EXPECT_EQ(study_->snapshots[2].month_index, 7);   // 2020-09
+  EXPECT_EQ(study_->snapshots[3].month_index, 8);   // 2020-10
+  EXPECT_EQ(study_->snapshots[4].month_index, 10);  // 2020-12
+}
+
+TEST_F(StudyTest, SourceReductionsAreConsistent) {
+  for (const SnapshotData& s : study_->snapshots) {
+    EXPECT_EQ(s.source_packets.nnz(), s.matrix.nonempty_rows());
+    EXPECT_NEAR(s.source_packets.reduce_sum(), s.matrix.reduce_sum(), 1e-6);
+    EXPECT_EQ(s.sources.row_keys().size(), s.source_packets.nnz());
+  }
+}
+
+TEST_F(StudyTest, DeanonymizedSourcesAreRealPopulationIps) {
+  for (const SnapshotData& s : study_->snapshots) {
+    for (const std::string& key : s.sources.row_keys()) {
+      const auto ip = Ipv4::parse(key);
+      ASSERT_TRUE(ip.has_value()) << key;
+      EXPECT_TRUE(study_->population->owns_ip(*ip)) << key;
+    }
+  }
+}
+
+TEST_F(StudyTest, MatrixRowIdsAreAnonymized) {
+  // Anonymized row ids should (essentially) never equal the original ip:
+  // the assoc row keys (deanonymized) and matrix ids differ.
+  const SnapshotData& s = study_->snapshots[0];
+  std::size_t identical = 0;
+  const auto ids = s.source_packets.indices();
+  for (std::size_t k = 0; k < 2; ++k) {
+    const auto original = Ipv4::parse(s.sources.row_keys()[k]);
+    ASSERT_TRUE(original.has_value());
+    for (const auto id : ids) {
+      identical += id == original->value();
+    }
+  }
+  EXPECT_EQ(identical, 0u);
+}
+
+TEST_F(StudyTest, MatrixSourcesSitOutsideAnonymizedDarkspace) {
+  // A darknet matrix must be purely ext->int even after anonymization:
+  // all columns inside one /len prefix, no rows inside it.
+  const SnapshotData& s = study_->snapshots[0];
+  const int len = study_->scenario.traffic.darkspace.length();
+  const Ipv4Prefix anon_dark(Ipv4(s.matrix.col()[0]), len);
+  s.matrix.for_each([&](gbl::Index r, gbl::Index c, gbl::Value) {
+    EXPECT_TRUE(anon_dark.contains(Ipv4(c)));
+    EXPECT_FALSE(anon_dark.contains(Ipv4(r)));
+  });
+}
+
+TEST_F(StudyTest, DurationsFollowPaperRates) {
+  // duration = N_V / (2^30 / paper_duration).
+  const double expected = 1594.0 * std::exp2(14.0 - 30.0);
+  EXPECT_NEAR(study_->snapshots[0].duration_sec, expected, 1e-9);
+}
+
+TEST_F(StudyTest, HoneyfarmMonthsFollowScenario) {
+  for (std::size_t m = 0; m < study_->months.size(); ++m) {
+    EXPECT_EQ(study_->months[m].month, study_->scenario.months[m].month);
+    EXPECT_GT(study_->months[m].total_sources(), 0u);
+  }
+}
+
+TEST_F(StudyTest, ConfigChangeMonthsShowSourceSurges) {
+  // Table I shape: 2020-03 (idx 1) and 2021-04 (idx 14) dominate.
+  const auto total = [&](int idx) {
+    return study_->months[static_cast<std::size_t>(idx)].total_sources();
+  };
+  EXPECT_GT(total(1), 4 * total(2));
+  EXPECT_GT(total(14), 4 * total(2));
+  EXPECT_GT(total(10), 2 * total(2));
+}
+
+TEST_F(StudyTest, RunIsDeterministic) {
+  ThreadPool pool(3);  // different thread count must not matter
+  const StudyData again = run_telescope_only(netgen::Scenario::paper(14, 42), pool);
+  ASSERT_EQ(again.snapshots.size(), study_->snapshots.size());
+  for (std::size_t i = 0; i < again.snapshots.size(); ++i) {
+    EXPECT_EQ(again.snapshots[i].matrix, study_->snapshots[i].matrix) << i;
+    EXPECT_EQ(again.snapshots[i].sources, study_->snapshots[i].sources) << i;
+  }
+}
+
+TEST_F(StudyTest, DifferentSeedDifferentWorld) {
+  ThreadPool pool(2);
+  const StudyData other = run_telescope_only(netgen::Scenario::paper(14, 43), pool);
+  EXPECT_NE(other.snapshots[0].matrix, study_->snapshots[0].matrix);
+}
+
+TEST(StudyValidationTest, EmptyScenarioRejected) {
+  netgen::Scenario s = netgen::Scenario::paper(14, 42);
+  s.snapshots.clear();
+  ThreadPool pool(2);
+  EXPECT_THROW(run_study(s, pool), std::invalid_argument);
+}
+
+TEST(StudyValidationTest, HalfLogNvHelper) {
+  StudyData d;
+  d.scenario = netgen::Scenario::paper(22, 42);
+  EXPECT_DOUBLE_EQ(d.half_log_nv(), 11.0);
+}
+
+}  // namespace
+}  // namespace obscorr::core

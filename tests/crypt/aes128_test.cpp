@@ -1,0 +1,73 @@
+#include "crypt/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obscorr::crypt {
+namespace {
+
+Aes128::Block hex_block(const char* hex) {
+  Aes128::Block b{};
+  for (int i = 0; i < 16; ++i) {
+    auto nibble = [&](char c) -> std::uint8_t {
+      if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+      return static_cast<std::uint8_t>(c - 'a' + 10);
+    };
+    b[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1]));
+  }
+  return b;
+}
+
+TEST(Aes128Test, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: the canonical AES-128 known-answer test.
+  const Aes128 aes(hex_block("000102030405060708090a0b0c0d0e0f"));
+  const auto cipher = aes.encrypt(hex_block("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(cipher, hex_block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+}
+
+TEST(Aes128Test, Fips197Section5Vector) {
+  // FIPS-197 §B worked example.
+  const Aes128 aes(hex_block("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto cipher = aes.encrypt(hex_block("3243f6a8885a308d313198a2e0370734"));
+  EXPECT_EQ(cipher, hex_block("3925841d02dc09fbdc118597196a0b32"));
+}
+
+TEST(Aes128Test, NistSp800_38aEcbVectors) {
+  // NIST SP 800-38A F.1.1 ECB-AES128 encrypt blocks 1 and 2.
+  const Aes128 aes(hex_block("2b7e151628aed2a6abf7158809cf4f3c"));
+  EXPECT_EQ(aes.encrypt(hex_block("6bc1bee22e409f96e93d7e117393172a")),
+            hex_block("3ad77bb40d7a3660a89ecaf32466ef97"));
+  EXPECT_EQ(aes.encrypt(hex_block("ae2d8a571e03ac9c9eb76fac45af8e51")),
+            hex_block("f5d3d58503b9699de785895a96fdbaaf"));
+}
+
+TEST(Aes128Test, DeterministicPerKey) {
+  const Aes128 aes(hex_block("00000000000000000000000000000000"));
+  const auto block = hex_block("80000000000000000000000000000000");
+  EXPECT_EQ(aes.encrypt(block), aes.encrypt(block));
+}
+
+TEST(Aes128Test, DistinctKeysGiveDistinctCiphertexts) {
+  const auto plain = hex_block("00112233445566778899aabbccddeeff");
+  const Aes128 a(hex_block("000102030405060708090a0b0c0d0e0f"));
+  const Aes128 b(hex_block("000102030405060708090a0b0c0d0e10"));
+  EXPECT_NE(a.encrypt(plain), b.encrypt(plain));
+}
+
+TEST(Aes128Test, SingleBitPlaintextChangeAvalanches) {
+  const Aes128 aes(hex_block("000102030405060708090a0b0c0d0e0f"));
+  auto p1 = hex_block("00112233445566778899aabbccddeeff");
+  auto p2 = p1;
+  p2[0] ^= 0x01;
+  const auto c1 = aes.encrypt(p1);
+  const auto c2 = aes.encrypt(p2);
+  int differing_bits = 0;
+  for (int i = 0; i < 16; ++i) {
+    differing_bits += __builtin_popcount(static_cast<unsigned>(c1[static_cast<std::size_t>(i)] ^
+                                                               c2[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_GT(differing_bits, 32);  // ~64 expected for a good cipher
+}
+
+}  // namespace
+}  // namespace obscorr::crypt

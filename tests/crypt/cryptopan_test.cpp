@@ -1,0 +1,112 @@
+#include "crypt/cryptopan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/prng.hpp"
+
+namespace obscorr::crypt {
+namespace {
+
+int common_prefix_length(Ipv4 a, Ipv4 b) {
+  const std::uint32_t diff = a.value() ^ b.value();
+  if (diff == 0) return 32;
+  return __builtin_clz(diff);
+}
+
+TEST(CryptoPanTest, DeterministicPerKey) {
+  const CryptoPan pan = CryptoPan::from_seed(42);
+  const Ipv4 ip(192, 168, 1, 1);
+  EXPECT_EQ(pan.anonymize(ip), pan.anonymize(ip));
+}
+
+TEST(CryptoPanTest, DifferentKeysGiveDifferentMappings) {
+  const CryptoPan a = CryptoPan::from_seed(1);
+  const CryptoPan b = CryptoPan::from_seed(2);
+  int same = 0;
+  Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const Ipv4 ip(rng.next_u32());
+    same += a.anonymize(ip) == b.anonymize(ip);
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(CryptoPanTest, ActuallyChangesAddresses) {
+  const CryptoPan pan = CryptoPan::from_seed(7);
+  Rng rng(9);
+  int unchanged = 0;
+  for (int i = 0; i < 256; ++i) {
+    const Ipv4 ip(rng.next_u32());
+    unchanged += pan.anonymize(ip) == ip;
+  }
+  EXPECT_LT(unchanged, 3);
+}
+
+class PrefixPreservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixPreservationTest, SharedPrefixLengthIsExactlyPreserved) {
+  // The defining CryptoPAN property (Fan et al. 2004): anonymized
+  // addresses share exactly as many leading bits as the originals.
+  const CryptoPan pan = CryptoPan::from_seed(GetParam());
+  Rng rng(GetParam() ^ 0x5555);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Ipv4 a(rng.next_u32());
+    // Flip one bit at a chosen depth to fix the shared prefix length.
+    const int k = static_cast<int>(rng.uniform_u64(32));
+    const Ipv4 b(a.value() ^ (1u << (31 - k)));
+    const int original = common_prefix_length(a, b);
+    const int anonymized = common_prefix_length(pan.anonymize(a), pan.anonymize(b));
+    EXPECT_EQ(anonymized, original) << a.to_string() << " vs " << b.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, PrefixPreservationTest, ::testing::Values(1, 42, 0xCA1DA));
+
+TEST(CryptoPanTest, IsInjectiveOnSample) {
+  // A bijection restricted to any sample must be injective.
+  const CryptoPan pan = CryptoPan::from_seed(11);
+  Rng rng(13);
+  std::unordered_set<std::uint32_t> inputs, outputs;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t v = rng.next_u32();
+    if (!inputs.insert(v).second) continue;
+    EXPECT_TRUE(outputs.insert(pan.anonymize(Ipv4(v)).value()).second)
+        << "collision at " << Ipv4(v).to_string();
+  }
+}
+
+TEST(CryptoPanTest, WholePrefixMapsToSinglePrefix) {
+  // A /24 maps into one /24 (prefix preservation applied to a subnet):
+  // the property that keeps quadrant partitioning valid on anonymized
+  // traffic matrices.
+  const CryptoPan pan = CryptoPan::from_seed(17);
+  const Ipv4 base = pan.anonymize(Ipv4(77, 12, 5, 0));
+  for (std::uint32_t host = 0; host < 256; ++host) {
+    const Ipv4 anon = pan.anonymize(Ipv4(Ipv4(77, 12, 5, 0).value() | host));
+    EXPECT_EQ(anon.value() >> 8, base.value() >> 8);
+  }
+}
+
+TEST(CryptoPanTest, AdjacentPrefixesDiverge) {
+  // Addresses in different /8s share at most their true common prefix;
+  // anonymization must not merge them.
+  const CryptoPan pan = CryptoPan::from_seed(19);
+  const Ipv4 a = pan.anonymize(Ipv4(10, 0, 0, 1));
+  const Ipv4 b = pan.anonymize(Ipv4(11, 0, 0, 1));
+  EXPECT_EQ(common_prefix_length(a, b), common_prefix_length(Ipv4(10, 0, 0, 1), Ipv4(11, 0, 0, 1)));
+}
+
+TEST(CryptoPanTest, SecretConstructorMatchesSeedDerivation) {
+  const CryptoPan a = CryptoPan::from_seed(123);
+  const CryptoPan b = CryptoPan::from_seed(123);
+  Rng rng(21);
+  for (int i = 0; i < 32; ++i) {
+    const Ipv4 ip(rng.next_u32());
+    EXPECT_EQ(a.anonymize(ip), b.anonymize(ip));
+  }
+}
+
+}  // namespace
+}  // namespace obscorr::crypt

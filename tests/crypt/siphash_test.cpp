@@ -1,0 +1,53 @@
+#include "crypt/siphash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace obscorr::crypt {
+namespace {
+
+TEST(SipHashTest, ReferenceVectors) {
+  // Official SipHash-2-4 test vectors (Aumasson & Bernstein reference
+  // implementation): key 000102...0f, message 00,01,02,... of length n.
+  const std::uint64_t k0 = 0x0706050403020100ULL;
+  const std::uint64_t k1 = 0x0f0e0d0c0b0a0908ULL;
+  const std::array<std::uint64_t, 8> expected = {
+      0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+      0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+      0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL,
+  };
+  std::vector<std::uint8_t> msg;
+  for (std::size_t n = 0; n < expected.size(); ++n) {
+    EXPECT_EQ(siphash24(msg, k0, k1), expected[n]) << "length " << n;
+    msg.push_back(static_cast<std::uint8_t>(n));
+  }
+}
+
+TEST(SipHashTest, EightByteBlockBoundary) {
+  // Length-8 exercises the full-block path + empty tail.
+  const std::uint64_t k0 = 0x0706050403020100ULL;
+  const std::uint64_t k1 = 0x0f0e0d0c0b0a0908ULL;
+  const std::vector<std::uint8_t> msg{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(siphash24(msg, k0, k1), 0x93f5f5799a932462ULL);
+}
+
+TEST(SipHashTest, StringOverloadMatchesBytes) {
+  const std::string s = "1.2.3.4";
+  std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(siphash24(s, 1, 2), siphash24(bytes, 1, 2));
+}
+
+TEST(SipHashTest, KeySensitivity) {
+  EXPECT_NE(siphash24("telescope", 1, 2), siphash24("telescope", 1, 3));
+  EXPECT_NE(siphash24("telescope", 1, 2), siphash24("telescope", 2, 2));
+}
+
+TEST(SipHashTest, MessageSensitivity) {
+  EXPECT_NE(siphash24("10.0.0.1", 1, 2), siphash24("10.0.0.2", 1, 2));
+  EXPECT_NE(siphash24("", 1, 2), siphash24(std::string_view("\0", 1), 1, 2));
+}
+
+}  // namespace
+}  // namespace obscorr::crypt

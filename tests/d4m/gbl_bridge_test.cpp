@@ -1,0 +1,67 @@
+#include "d4m/gbl_bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ipv4.hpp"
+#include "common/prng.hpp"
+
+namespace obscorr::d4m {
+namespace {
+
+TEST(GblBridgeTest, SparseVecToAssocUsesDottedQuadKeys) {
+  // 16843009 == 1.1.1.1 (the paper's example).
+  const gbl::SparseVec v({16843009u, 33686018u}, {3.0, 7.0});
+  const AssocArray a = from_sparse_vec(v, "packets");
+  EXPECT_EQ(a.at("1.1.1.1", "packets"), 3.0);
+  EXPECT_EQ(a.at("2.2.2.2", "packets"), 7.0);
+  EXPECT_EQ(a.nnz(), 2u);
+}
+
+TEST(GblBridgeTest, RoundTripPreservesVector) {
+  Rng rng(5);
+  std::vector<gbl::Index> idx;
+  std::vector<gbl::Value> val;
+  std::uint32_t cur = 0;
+  for (int i = 0; i < 1000; ++i) {
+    cur += 1 + static_cast<std::uint32_t>(rng.uniform_u64(1 << 20));
+    idx.push_back(cur);
+    val.push_back(static_cast<double>(1 + rng.uniform_u64(1000)));
+  }
+  const gbl::SparseVec v(idx, val);
+  const gbl::SparseVec back = to_sparse_vec(from_sparse_vec(v, "packets"), "packets");
+  EXPECT_EQ(back, v);
+}
+
+TEST(GblBridgeTest, ToSparseVecFiltersOtherColumns) {
+  const AssocArray a = AssocArray::from_triples({
+      {"1.1.1.1", "packets", 3.0},
+      {"1.1.1.1", "fanout", 2.0},
+  });
+  const gbl::SparseVec v = to_sparse_vec(a, "packets");
+  EXPECT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.at(16843009u), 3.0);
+}
+
+TEST(GblBridgeTest, NonIpRowKeyRejected) {
+  const AssocArray a = AssocArray::from_triples({{"not-an-ip", "packets", 1.0}});
+  EXPECT_THROW(to_sparse_vec(a, "packets"), std::invalid_argument);
+}
+
+TEST(GblBridgeTest, EmptyVectorGivesEmptyAssoc) {
+  const AssocArray a = from_sparse_vec(gbl::SparseVec{}, "packets");
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(to_sparse_vec(a, "packets").nnz(), 0u);
+}
+
+TEST(GblBridgeTest, StringOrderDiffersFromNumericOrderButRoundTrips) {
+  // "10.0.0.2" sorts before "9.0.0.1" lexically although 10.* > 9.*
+  // numerically; the bridge must re-sort on the way back.
+  const gbl::SparseVec v(std::vector<gbl::Index>{Ipv4(9, 0, 0, 1).value(), Ipv4(10, 0, 0, 2).value()},
+                         std::vector<gbl::Value>{1.0, 2.0});
+  const AssocArray a = from_sparse_vec(v, "c");
+  EXPECT_EQ(a.row_keys()[0], "10.0.0.2");  // lexicographic in D4M space
+  EXPECT_EQ(to_sparse_vec(a, "c"), v);     // numeric in GraphBLAS space
+}
+
+}  // namespace
+}  // namespace obscorr::d4m

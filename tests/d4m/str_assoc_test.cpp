@@ -1,0 +1,132 @@
+#include "d4m/str_assoc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace obscorr::d4m {
+namespace {
+
+StrAssoc paper_example() {
+  // The paper's D4M representation: A_t('1.1.1.1','2.2.2.2') = '3'.
+  return StrAssoc::from_triples({
+      {"1.1.1.1", "2.2.2.2", "3"},
+      {"1.1.1.1", "5.5.5.5", "1"},
+      {"4.4.4.4", "2.2.2.2", "7"},
+  });
+}
+
+TEST(StrAssocTest, PaperExampleLookup) {
+  const StrAssoc a = paper_example();
+  EXPECT_EQ(a.at("1.1.1.1", "2.2.2.2"), "3");
+  EXPECT_EQ(a.at("4.4.4.4", "2.2.2.2"), "7");
+  EXPECT_FALSE(a.at("9.9.9.9", "2.2.2.2").has_value());
+  EXPECT_FALSE(a.at("1.1.1.1", "9.9.9.9").has_value());
+  EXPECT_TRUE(a.has_row("1.1.1.1"));
+  EXPECT_FALSE(a.has_row("2.2.2.2"));
+}
+
+TEST(StrAssocTest, KeySetsAreSortedAndUnique) {
+  const StrAssoc a = paper_example();
+  EXPECT_EQ(a.nnz(), 3u);
+  ASSERT_EQ(a.row_keys().size(), 2u);
+  EXPECT_EQ(a.row_keys()[0], "1.1.1.1");
+  ASSERT_EQ(a.value_keys().size(), 3u);
+  EXPECT_EQ(a.value_keys()[0], "1");
+  EXPECT_EQ(a.value_keys()[2], "7");
+}
+
+TEST(StrAssocTest, EmptyArrayAndEmptyValueRules) {
+  const StrAssoc empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.at("x", "y").has_value());
+  EXPECT_THROW(StrAssoc::from_triples({{"r", "c", ""}}), std::invalid_argument);
+}
+
+TEST(StrAssocTest, CollisionKeepsLexMax) {
+  const StrAssoc a = StrAssoc::from_triples({
+      {"r", "c", "apple"},
+      {"r", "c", "banana"},
+      {"r", "c", "aardvark"},
+  });
+  EXPECT_EQ(a.nnz(), 1u);
+  EXPECT_EQ(a.at("r", "c"), "banana");
+}
+
+TEST(StrAssocTest, EwiseMaxUnionSemantics) {
+  const StrAssoc a = StrAssoc::from_triples({{"r", "c", "scan"}, {"s", "c", "worm"}});
+  const StrAssoc b = StrAssoc::from_triples({{"r", "c", "voip"}, {"t", "c", "dns"}});
+  const StrAssoc u = StrAssoc::ewise_max(a, b);
+  EXPECT_EQ(u.nnz(), 3u);
+  EXPECT_EQ(u.at("r", "c"), "voip");  // max("scan","voip")
+  EXPECT_EQ(u.at("s", "c"), "worm");
+  EXPECT_EQ(u.at("t", "c"), "dns");
+  // Idempotent and commutative.
+  EXPECT_EQ(StrAssoc::ewise_max(a, a), a);
+  EXPECT_EQ(StrAssoc::ewise_max(a, b), StrAssoc::ewise_max(b, a));
+}
+
+TEST(StrAssocTest, EwiseMinIntersectionSemantics) {
+  const StrAssoc a = StrAssoc::from_triples({{"r", "c", "scan"}, {"s", "c", "worm"}});
+  const StrAssoc b = StrAssoc::from_triples({{"r", "c", "voip"}});
+  const StrAssoc m = StrAssoc::ewise_min(a, b);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.at("r", "c"), "scan");  // min("scan","voip")
+}
+
+TEST(StrAssocTest, NumericRoundTrip) {
+  const AssocArray numeric = AssocArray::from_triples({
+      {"1.1.1.1", "packets", 3.0},
+      {"2.2.2.2", "packets", 1048576.0},
+  });
+  const StrAssoc lifted = StrAssoc::from_numeric(numeric);
+  EXPECT_EQ(lifted.at("1.1.1.1", "packets"), "3");
+  EXPECT_EQ(lifted.to_numeric(), numeric);
+}
+
+TEST(StrAssocTest, ToNumericDropsNonNumericValues) {
+  const StrAssoc a = StrAssoc::from_triples({
+      {"r", "count", "42"},
+      {"r", "intent", "scan"},
+  });
+  const AssocArray numeric = a.to_numeric();
+  EXPECT_EQ(numeric.nnz(), 1u);
+  EXPECT_EQ(numeric.at("r", "count"), 42.0);
+}
+
+TEST(StrAssocTest, LogicalPattern) {
+  const AssocArray pattern = paper_example().logical();
+  EXPECT_EQ(pattern.nnz(), 3u);
+  EXPECT_EQ(pattern.at("1.1.1.1", "2.2.2.2"), 1.0);
+  EXPECT_EQ(pattern.reduce_sum(), 3.0);
+}
+
+TEST(StrAssocTest, TransposeInvolution) {
+  const StrAssoc a = paper_example();
+  const StrAssoc t = a.transpose();
+  EXPECT_EQ(t.at("2.2.2.2", "1.1.1.1"), "3");
+  EXPECT_EQ(t.transpose(), a);
+}
+
+TEST(StrAssocTest, TsvRoundTrip) {
+  const StrAssoc a = paper_example();
+  std::stringstream ss;
+  a.write_tsv(ss);
+  EXPECT_EQ(StrAssoc::read_tsv(ss), a);
+  std::stringstream bad("one-field-only\n");
+  EXPECT_THROW(StrAssoc::read_tsv(bad), std::invalid_argument);
+}
+
+TEST(StrAssocTest, LargeUniqueBuildKeepsKeys) {
+  std::vector<StrTriple> triples;
+  for (int i = 0; i < 5000; ++i) {
+    triples.push_back({"r" + std::to_string(i), "c", "v" + std::to_string(i % 97)});
+  }
+  const StrAssoc a = StrAssoc::from_triples(std::move(triples));
+  EXPECT_EQ(a.row_keys().size(), 5000u);
+  EXPECT_EQ(a.value_keys().size(), 97u);
+  EXPECT_EQ(a.at("r4999", "c"), "v" + std::to_string(4999 % 97));
+}
+
+}  // namespace
+}  // namespace obscorr::d4m

@@ -1,0 +1,107 @@
+#include "gbl/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/prng.hpp"
+
+namespace obscorr::gbl {
+namespace {
+
+TEST(SortAndCombineTest, EmptyInput) {
+  EXPECT_TRUE(sort_and_combine({}).empty());
+}
+
+TEST(SortAndCombineTest, SortsRowMajor) {
+  std::vector<Tuple> in{{2, 1, 1.0}, {1, 2, 1.0}, {1, 1, 1.0}, {2, 0, 1.0}};
+  const auto out = sort_and_combine(std::move(in));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], (Tuple{1, 1, 1.0}));
+  EXPECT_EQ(out[1], (Tuple{1, 2, 1.0}));
+  EXPECT_EQ(out[2], (Tuple{2, 0, 1.0}));
+  EXPECT_EQ(out[3], (Tuple{2, 1, 1.0}));
+}
+
+TEST(SortAndCombineTest, AccumulatesDuplicates) {
+  std::vector<Tuple> in{{5, 5, 1.0}, {5, 5, 2.0}, {5, 5, 4.0}, {5, 6, 1.0}};
+  const auto out = sort_and_combine(std::move(in));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Tuple{5, 5, 7.0}));
+  EXPECT_EQ(out[1], (Tuple{5, 6, 1.0}));
+}
+
+TEST(SortAndCombineTest, PreservesTotalMass) {
+  Rng rng(1);
+  std::vector<Tuple> in;
+  double mass = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(0.5, 2.0);
+    in.push_back({static_cast<Index>(rng.uniform_u64(100)),
+                  static_cast<Index>(rng.uniform_u64(100)), v});
+    mass += v;
+  }
+  const auto out = sort_and_combine(std::move(in));
+  double out_mass = 0.0;
+  for (const Tuple& t : out) out_mass += t.val;
+  EXPECT_NEAR(out_mass, mass, 1e-6);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), tuple_less));
+  // All cells unique.
+  EXPECT_EQ(std::adjacent_find(out.begin(), out.end(), same_cell), out.end());
+}
+
+class ParallelSortTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelSortTest, MatchesSerialResultAtAnyThreadCount) {
+  // Determinism property: the parallel merge tree must produce results
+  // bit-identical to the serial path at every thread count.
+  Rng rng(7);
+  std::vector<Tuple> in;
+  in.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    in.push_back({static_cast<Index>(rng.uniform_u64(5000)),
+                  static_cast<Index>(rng.uniform_u64(5000)), 1.0});
+  }
+  const auto serial = sort_and_combine(std::vector<Tuple>(in));
+  ThreadPool pool(GetParam());
+  const auto parallel = sort_and_combine(std::vector<Tuple>(in), pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelSortTest, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(ParallelSortTest, SmallInputFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::vector<Tuple> in{{3, 3, 1.0}, {1, 1, 1.0}, {1, 1, 1.0}};
+  const auto out = sort_and_combine(std::move(in), pool);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Tuple{1, 1, 2.0}));
+}
+
+TEST(CooBuilderTest, AccumulatesViaFinish) {
+  CooBuilder builder;
+  builder.reserve(4);
+  builder.add(1, 1, 1.0);
+  builder.add(1, 1, 1.0);
+  builder.add(0, 9, 2.5);
+  EXPECT_EQ(builder.size(), 3u);
+  EXPECT_FALSE(builder.empty());
+  const auto out = std::move(builder).finish();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Tuple{0, 9, 2.5}));
+  EXPECT_EQ(out[1], (Tuple{1, 1, 2.0}));
+}
+
+TEST(CooBuilderTest, FullIndexSpaceExtremes) {
+  // Hypersparse: indices span the whole uint32 space.
+  CooBuilder builder;
+  builder.add(0, 0, 1.0);
+  builder.add(0xFFFFFFFFu, 0xFFFFFFFFu, 1.0);
+  builder.add(0xFFFFFFFFu, 0, 1.0);
+  const auto out = std::move(builder).finish();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], (Tuple{0xFFFFFFFFu, 0xFFFFFFFFu, 1.0}));
+}
+
+}  // namespace
+}  // namespace obscorr::gbl

@@ -1,0 +1,196 @@
+/// Tests for the extended GraphBLAS-lite operations: element-wise
+/// multiply (intersection), sparse matrix-matrix multiply, row-range
+/// extraction, and binary matrix serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/prng.hpp"
+#include "gbl/dcsr.hpp"
+#include "gbl/matrix_io.hpp"
+
+namespace obscorr::gbl {
+namespace {
+
+TEST(EwiseMultTest, IntersectionSemantics) {
+  const DcsrMatrix a = DcsrMatrix::from_tuples({{1, 1, 2.0}, {2, 2, 3.0}, {3, 3, 4.0}});
+  const DcsrMatrix b = DcsrMatrix::from_tuples({{2, 2, 5.0}, {3, 3, 6.0}, {4, 4, 7.0}});
+  const DcsrMatrix c = DcsrMatrix::ewise_mult(a, b);
+  EXPECT_EQ(c.nnz(), 2u);
+  EXPECT_EQ(c.at(2, 2), 15.0);
+  EXPECT_EQ(c.at(3, 3), 24.0);
+  EXPECT_EQ(c.at(1, 1), 0.0);
+}
+
+TEST(EwiseMultTest, WithEmptyIsEmpty) {
+  const DcsrMatrix a = DcsrMatrix::from_tuples({{1, 1, 2.0}});
+  EXPECT_EQ(DcsrMatrix::ewise_mult(a, DcsrMatrix{}).nnz(), 0u);
+  EXPECT_EQ(DcsrMatrix::ewise_mult(DcsrMatrix{}, a).nnz(), 0u);
+}
+
+TEST(EwiseMultTest, PatternIntersectionCountsSharedCells) {
+  Rng rng(1);
+  std::vector<Tuple> ta, tb;
+  for (int i = 0; i < 2000; ++i) {
+    ta.push_back({static_cast<Index>(rng.uniform_u64(64)),
+                  static_cast<Index>(rng.uniform_u64(64)), 1.0});
+    tb.push_back({static_cast<Index>(rng.uniform_u64(64)),
+                  static_cast<Index>(rng.uniform_u64(64)), 1.0});
+  }
+  const DcsrMatrix a = DcsrMatrix::from_tuples(std::move(ta)).pattern();
+  const DcsrMatrix b = DcsrMatrix::from_tuples(std::move(tb)).pattern();
+  const DcsrMatrix both = DcsrMatrix::ewise_mult(a, b);
+  // Every surviving cell must exist in both operands with value 1.
+  both.for_each([&](Index r, Index c, Value v) {
+    EXPECT_EQ(v, 1.0);
+    EXPECT_EQ(a.at(r, c), 1.0);
+    EXPECT_EQ(b.at(r, c), 1.0);
+  });
+  // And the distributive identity add = mult + symmetric difference.
+  EXPECT_EQ(DcsrMatrix::ewise_add(a, b).nnz() + both.nnz(), a.nnz() + b.nnz());
+}
+
+TEST(MxmTest, HandComputedProduct) {
+  // A (2x2 dense block at rows 1,2) times B.
+  const DcsrMatrix a = DcsrMatrix::from_tuples({{1, 10, 2.0}, {1, 11, 3.0}, {2, 10, 1.0}});
+  const DcsrMatrix b = DcsrMatrix::from_tuples({{10, 5, 4.0}, {11, 5, 1.0}, {11, 6, 2.0}});
+  const DcsrMatrix c = DcsrMatrix::mxm(a, b);
+  EXPECT_EQ(c.at(1, 5), 2.0 * 4.0 + 3.0 * 1.0);
+  EXPECT_EQ(c.at(1, 6), 3.0 * 2.0);
+  EXPECT_EQ(c.at(2, 5), 1.0 * 4.0);
+  EXPECT_EQ(c.at(2, 6), 0.0);
+  EXPECT_EQ(c.nnz(), 3u);
+}
+
+TEST(MxmTest, EmptyOperands) {
+  const DcsrMatrix a = DcsrMatrix::from_tuples({{1, 2, 1.0}});
+  EXPECT_EQ(DcsrMatrix::mxm(a, DcsrMatrix{}).nnz(), 0u);
+  EXPECT_EQ(DcsrMatrix::mxm(DcsrMatrix{}, a).nnz(), 0u);
+}
+
+TEST(MxmTest, NoOverlapGivesEmptyProduct) {
+  const DcsrMatrix a = DcsrMatrix::from_tuples({{1, 5, 1.0}});
+  const DcsrMatrix b = DcsrMatrix::from_tuples({{6, 2, 1.0}});  // row 6 != col 5
+  EXPECT_EQ(DcsrMatrix::mxm(a, b).nnz(), 0u);
+}
+
+TEST(MxmTest, CoOccurrenceMatrixIsSymmetricWithCorrectDiagonal) {
+  // Aᵀ·A over a pattern matrix: diagonal (j,j) counts the sources that
+  // touched destination j; the matrix is symmetric.
+  Rng rng(7);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 3000; ++i) {
+    tuples.push_back({static_cast<Index>(rng.uniform_u64(100)),
+                      static_cast<Index>(rng.uniform_u64(40)), 1.0});
+  }
+  const DcsrMatrix a = DcsrMatrix::from_tuples(std::move(tuples)).pattern();
+  const DcsrMatrix cooc = DcsrMatrix::mxm(a.transpose(), a);
+  const SparseVec fanin = a.reduce_cols_pattern();
+  for (const Index j : fanin.indices()) {
+    EXPECT_EQ(cooc.at(j, j), fanin.at(j)) << "destination " << j;
+  }
+  cooc.for_each([&](Index r, Index c, Value v) { EXPECT_EQ(cooc.at(c, r), v); });
+}
+
+TEST(MxmTest, RowSumsMatchVectorIdentity) {
+  // (A·B)·1 == A·(B·1): check via reductions.
+  Rng rng(9);
+  std::vector<Tuple> ta, tb;
+  for (int i = 0; i < 1000; ++i) {
+    ta.push_back({static_cast<Index>(rng.uniform_u64(50)),
+                  static_cast<Index>(rng.uniform_u64(50)), 1.0});
+    tb.push_back({static_cast<Index>(rng.uniform_u64(50)),
+                  static_cast<Index>(rng.uniform_u64(50)), 1.0});
+  }
+  const DcsrMatrix a = DcsrMatrix::from_tuples(std::move(ta));
+  const DcsrMatrix b = DcsrMatrix::from_tuples(std::move(tb));
+  const SparseVec lhs = DcsrMatrix::mxm(a, b).reduce_rows();
+  // A·(B·1): scale each A entry by the corresponding row sum of B.
+  const SparseVec b_rows = b.reduce_rows();
+  std::vector<Tuple> scaled;
+  a.for_each([&](Index r, Index c, Value v) {
+    const Value s = b_rows.at(c);
+    if (s != 0.0) scaled.push_back({r, c, v * s});
+  });
+  const SparseVec rhs = DcsrMatrix::from_sorted_tuples(scaled).reduce_rows();
+  ASSERT_EQ(lhs.nnz(), rhs.nnz());
+  for (std::size_t i = 0; i < lhs.nnz(); ++i) {
+    EXPECT_NEAR(lhs.values()[i], rhs.values()[i], 1e-9);
+  }
+}
+
+TEST(ExtractRowsTest, HalfOpenRange) {
+  const DcsrMatrix m =
+      DcsrMatrix::from_tuples({{1, 1, 1.0}, {5, 5, 2.0}, {9, 9, 3.0}, {10, 10, 4.0}});
+  const DcsrMatrix sub = m.extract_rows(5, 10);
+  EXPECT_EQ(sub.nnz(), 2u);
+  EXPECT_EQ(sub.at(5, 5), 2.0);
+  EXPECT_EQ(sub.at(9, 9), 3.0);
+  EXPECT_EQ(sub.at(10, 10), 0.0);
+  EXPECT_EQ(m.extract_rows(2, 5).nnz(), 0u);
+  EXPECT_THROW(m.extract_rows(7, 3), std::invalid_argument);
+}
+
+TEST(ExtractRowsTest, FullRangeIsIdentity) {
+  Rng rng(11);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 500; ++i) {
+    tuples.push_back({rng.next_u32() >> 1, rng.next_u32(), 1.0});
+  }
+  const DcsrMatrix m = DcsrMatrix::from_tuples(std::move(tuples));
+  EXPECT_EQ(m.extract_rows(0, 0xFFFFFFFFu), m);  // rows < 2^31 here
+}
+
+TEST(MatrixIoTest, RoundTripSmall) {
+  const DcsrMatrix m = DcsrMatrix::from_tuples({{1, 1, 2.5}, {9, 4000000000u, 7.0}});
+  std::stringstream ss;
+  write_matrix(ss, m);
+  EXPECT_EQ(read_matrix(ss), m);
+}
+
+TEST(MatrixIoTest, RoundTripEmpty) {
+  std::stringstream ss;
+  write_matrix(ss, DcsrMatrix{});
+  EXPECT_EQ(read_matrix(ss), DcsrMatrix{});
+}
+
+TEST(MatrixIoTest, RoundTripRandomized) {
+  Rng rng(13);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 20000; ++i) {
+    tuples.push_back({rng.next_u32(), rng.next_u32(),
+                      static_cast<Value>(1 + rng.uniform_u64(100))});
+  }
+  const DcsrMatrix m = DcsrMatrix::from_tuples(std::move(tuples));
+  std::stringstream ss;
+  write_matrix(ss, m);
+  EXPECT_EQ(read_matrix(ss), m);
+}
+
+TEST(MatrixIoTest, RejectsBadMagic) {
+  std::stringstream ss("NOTAMATRIXFILE..................");
+  EXPECT_THROW(read_matrix(ss), std::invalid_argument);
+}
+
+TEST(MatrixIoTest, RejectsTruncation) {
+  const DcsrMatrix m = DcsrMatrix::from_tuples({{1, 1, 2.5}, {2, 2, 3.5}});
+  std::stringstream ss;
+  write_matrix(ss, m);
+  const std::string full = ss.str();
+  for (std::size_t cut : {full.size() - 1, full.size() / 2, std::size_t{10}}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(read_matrix(truncated), std::invalid_argument) << "cut at " << cut;
+  }
+}
+
+TEST(MatrixIoTest, FileHelpers) {
+  const DcsrMatrix m = DcsrMatrix::from_tuples({{3, 4, 5.0}});
+  const std::string path = ::testing::TempDir() + "/obscorr_matrix_io_test.gbl";
+  save_matrix(path, m);
+  EXPECT_EQ(load_matrix(path), m);
+  EXPECT_THROW(load_matrix(path + ".does-not-exist"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::gbl

@@ -1,0 +1,94 @@
+#include "gbl/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "gbl/coo.hpp"
+
+namespace obscorr::gbl {
+namespace {
+
+TEST(HierarchicalTest, RejectsBadBlockSize) {
+  ThreadPool pool(2);
+  EXPECT_THROW(HierarchicalAccumulator(3, pool), std::invalid_argument);
+  EXPECT_THROW(HierarchicalAccumulator(31, pool), std::invalid_argument);
+}
+
+TEST(HierarchicalTest, EmptyFinishGivesEmptyMatrix) {
+  ThreadPool pool(2);
+  HierarchicalAccumulator acc(4, pool);
+  EXPECT_EQ(acc.finish().nnz(), 0u);
+}
+
+TEST(HierarchicalTest, CountsPackets) {
+  ThreadPool pool(2);
+  HierarchicalAccumulator acc(4, pool);
+  for (int i = 0; i < 37; ++i) acc.add_packet(1, 2);
+  EXPECT_EQ(acc.packets(), 37u);
+}
+
+class HierarchicalEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HierarchicalEquivalenceTest, MatchesFlatBuildExactly) {
+  // The central property (refs [34][35]): hierarchical block accumulation
+  // must be bit-identical to building one flat matrix from all packets,
+  // at any packet count relative to the block size (partial final block,
+  // exact multiples, cascaded carries).
+  const std::uint64_t packets = GetParam();
+  ThreadPool pool(2);
+  HierarchicalAccumulator acc(/*block_log2=*/6, pool);
+
+  Rng rng(packets);  // per-case stream
+  std::vector<Tuple> flat;
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    const auto src = static_cast<Index>(rng.uniform_u64(500));
+    const auto dst = static_cast<Index>(rng.uniform_u64(500));
+    acc.add_packet(src, dst);
+    flat.push_back({src, dst, 1.0});
+  }
+  const DcsrMatrix hierarchical = acc.finish();
+  const DcsrMatrix reference = DcsrMatrix::from_tuples(std::move(flat));
+  EXPECT_EQ(hierarchical, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(PacketCounts, HierarchicalEquivalenceTest,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 128, 129, 1000, 4096, 10000));
+
+TEST(HierarchicalTest, MergeCountMatchesCarryArithmetic) {
+  // With block size 2^4 and 8 full blocks, the binary carry tree performs
+  // exactly 7 pairwise merges (a full binary reduction).
+  ThreadPool pool(2);
+  HierarchicalAccumulator acc(4, pool);
+  for (int i = 0; i < 16 * 8; ++i) acc.add_packet(static_cast<Index>(i % 50), 1);
+  const DcsrMatrix m = acc.finish();
+  EXPECT_EQ(m.reduce_sum(), 128.0);
+  EXPECT_EQ(acc.merges(), 7u);
+}
+
+TEST(HierarchicalTest, ReusableAfterFinish) {
+  ThreadPool pool(2);
+  HierarchicalAccumulator acc(4, pool);
+  for (int i = 0; i < 100; ++i) acc.add_packet(1, 1);
+  const DcsrMatrix first = acc.finish();
+  EXPECT_EQ(first.reduce_sum(), 100.0);
+  EXPECT_EQ(acc.packets(), 0u);
+  for (int i = 0; i < 50; ++i) acc.add_packet(2, 2);
+  const DcsrMatrix second = acc.finish();
+  EXPECT_EQ(second.reduce_sum(), 50.0);
+  EXPECT_EQ(second.at(1, 1), 0.0);  // no leakage across windows
+}
+
+TEST(HierarchicalTest, PacketSumInvariant) {
+  // 1' A 1 == number of packets streamed, whatever the block layout.
+  ThreadPool pool(3);
+  HierarchicalAccumulator acc(5, pool);
+  Rng rng(99);
+  const std::uint64_t n = 7777;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    acc.add_packet(rng.next_u32(), rng.next_u32());
+  }
+  EXPECT_EQ(acc.finish().reduce_sum(), static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace obscorr::gbl

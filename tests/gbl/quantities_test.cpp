@@ -1,0 +1,106 @@
+#include "gbl/quantities.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/prng.hpp"
+
+namespace obscorr::gbl {
+namespace {
+
+DcsrMatrix fig2_example() {
+  // A small traffic matrix exercising every Table II quantity:
+  //   src 1 -> dst 10 (x3), src 1 -> dst 11 (x1)
+  //   src 2 -> dst 10 (x2)
+  //   src 3 -> dst 12 (x1)
+  return DcsrMatrix::from_tuples(
+      {{1, 10, 3.0}, {1, 11, 1.0}, {2, 10, 2.0}, {3, 12, 1.0}});
+}
+
+TEST(QuantitiesTest, AggregateMatchesHandComputation) {
+  const AggregateQuantities q = aggregate_quantities(fig2_example());
+  EXPECT_EQ(q.valid_packets, 7.0);          // 1' A 1
+  EXPECT_EQ(q.unique_links, 4u);            // 1' |A|0 1
+  EXPECT_EQ(q.max_link_packets, 3.0);       // max(A)
+  EXPECT_EQ(q.unique_sources, 3u);          // ||A 1||0
+  EXPECT_EQ(q.max_source_packets, 4.0);     // max(A 1): source 1
+  EXPECT_EQ(q.max_source_fanout, 2.0);      // max(|A|0 1): source 1
+  EXPECT_EQ(q.unique_destinations, 3u);     // ||1' A||0
+  EXPECT_EQ(q.max_destination_packets, 5.0);  // max(1' A): dst 10
+  EXPECT_EQ(q.max_destination_fanin, 2.0);  // max(1' |A|0): dst 10
+}
+
+TEST(QuantitiesTest, EntityReductionsMatchHandComputation) {
+  const EntityQuantities q = entity_quantities(fig2_example());
+  EXPECT_EQ(q.source_packets.at(1), 4.0);
+  EXPECT_EQ(q.source_packets.at(2), 2.0);
+  EXPECT_EQ(q.source_fanout.at(1), 2.0);
+  EXPECT_EQ(q.source_fanout.at(3), 1.0);
+  EXPECT_EQ(q.destination_packets.at(10), 5.0);
+  EXPECT_EQ(q.destination_fanin.at(10), 2.0);
+  EXPECT_EQ(q.destination_fanin.at(12), 1.0);
+}
+
+TEST(QuantitiesTest, EmptyMatrixYieldsZeros) {
+  const AggregateQuantities q = aggregate_quantities(DcsrMatrix{});
+  EXPECT_EQ(q.valid_packets, 0.0);
+  EXPECT_EQ(q.unique_links, 0u);
+  EXPECT_EQ(q.unique_sources, 0u);
+  EXPECT_EQ(q.unique_destinations, 0u);
+}
+
+class PermutationInvarianceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationInvarianceTest, AggregatesSurviveIndexPermutation) {
+  // The paper's anonymization argument: every Table II aggregate is
+  // invariant under row/column permutations, so CryptoPAN'd matrices give
+  // identical statistics. We apply a random bijective index mapping and
+  // compare all aggregates.
+  Rng rng(GetParam());
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 5000; ++i) {
+    tuples.push_back({static_cast<Index>(rng.uniform_u64(300)),
+                      static_cast<Index>(rng.uniform_u64(300)), 1.0});
+  }
+  // Bijection via an affine map over a prime modulus > index range.
+  const auto permute = [](Index v) {
+    return static_cast<Index>((static_cast<std::uint64_t>(v) * 2654435761ULL + 12345) & 0xFFFFFFFFULL);
+  };
+  std::vector<Tuple> permuted;
+  permuted.reserve(tuples.size());
+  for (const Tuple& t : tuples) permuted.push_back({permute(t.row), permute(t.col), t.val});
+
+  const AggregateQuantities a = aggregate_quantities(DcsrMatrix::from_tuples(std::move(tuples)));
+  const AggregateQuantities b = aggregate_quantities(DcsrMatrix::from_tuples(std::move(permuted)));
+  EXPECT_EQ(a.valid_packets, b.valid_packets);
+  EXPECT_EQ(a.unique_links, b.unique_links);
+  EXPECT_EQ(a.max_link_packets, b.max_link_packets);
+  EXPECT_EQ(a.unique_sources, b.unique_sources);
+  EXPECT_EQ(a.max_source_packets, b.max_source_packets);
+  EXPECT_EQ(a.max_source_fanout, b.max_source_fanout);
+  EXPECT_EQ(a.unique_destinations, b.unique_destinations);
+  EXPECT_EQ(a.max_destination_packets, b.max_destination_packets);
+  EXPECT_EQ(a.max_destination_fanin, b.max_destination_fanin);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationInvarianceTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(QuantitiesTest, FanoutBoundedBySourcePackets) {
+  // A source's fan-out can never exceed its packet count.
+  Rng rng(77);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 10000; ++i) {
+    tuples.push_back({static_cast<Index>(rng.uniform_u64(100)),
+                      static_cast<Index>(rng.uniform_u64(1000)), 1.0});
+  }
+  const EntityQuantities q = entity_quantities(DcsrMatrix::from_tuples(std::move(tuples)));
+  const auto idx = q.source_packets.indices();
+  for (Index i : idx) {
+    EXPECT_LE(q.source_fanout.at(i), q.source_packets.at(i)) << "source " << i;
+    EXPECT_GE(q.source_fanout.at(i), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace obscorr::gbl

@@ -1,0 +1,84 @@
+#include "gbl/semiring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace obscorr::gbl {
+namespace {
+
+TEST(SemiringTest, PlusTimesMatchesConcreteOps) {
+  Rng rng(1);
+  std::vector<Tuple> ta, tb;
+  for (int i = 0; i < 1500; ++i) {
+    ta.push_back({static_cast<Index>(rng.uniform_u64(40)),
+                  static_cast<Index>(rng.uniform_u64(40)),
+                  static_cast<Value>(1 + rng.uniform_u64(5))});
+    tb.push_back({static_cast<Index>(rng.uniform_u64(40)),
+                  static_cast<Index>(rng.uniform_u64(40)),
+                  static_cast<Value>(1 + rng.uniform_u64(5))});
+  }
+  const DcsrMatrix a = DcsrMatrix::from_tuples(std::move(ta));
+  const DcsrMatrix b = DcsrMatrix::from_tuples(std::move(tb));
+  EXPECT_EQ(ewise_add_semiring<PlusTimes>(a, b), DcsrMatrix::ewise_add(a, b));
+  EXPECT_EQ(ewise_mult_semiring<PlusTimes>(a, b), DcsrMatrix::ewise_mult(a, b));
+  EXPECT_EQ(mxm_semiring<PlusTimes>(a, b), DcsrMatrix::mxm(a, b));
+}
+
+TEST(SemiringTest, MinPlusShortestTwoHopPaths) {
+  // Edge weights as distances; (A minplus A)(i,k) = min over j of
+  // A(i,j)+A(j,k): the classic two-hop shortest path.
+  const DcsrMatrix g = DcsrMatrix::from_tuples({
+      {1, 2, 5.0}, {1, 3, 2.0}, {2, 4, 1.0}, {3, 4, 7.0}, {3, 2, 1.0},
+  });
+  const DcsrMatrix two_hop = mxm_semiring<MinPlus>(g, g);
+  EXPECT_EQ(two_hop.at(1, 4), 6.0);  // 1->2->4 (5+1) beats 1->3->4 (2+7)
+  EXPECT_EQ(two_hop.at(1, 2), 3.0);  // 1->3->2 (2+1)
+  EXPECT_EQ(two_hop.at(3, 4), 2.0);  // 3->2->4 (1+1)
+}
+
+TEST(SemiringTest, MaxMinBottleneckCapacity) {
+  // Edge weights as capacities; the bottleneck of a two-hop route is the
+  // minimum edge, and the best route maximizes it.
+  const DcsrMatrix g = DcsrMatrix::from_tuples({
+      {1, 2, 10.0}, {1, 3, 4.0}, {2, 4, 3.0}, {3, 4, 9.0},
+  });
+  const DcsrMatrix two_hop = mxm_semiring<MaxMin>(g, g);
+  EXPECT_EQ(two_hop.at(1, 4), 4.0);  // min(1->3,3->4)=4 beats min(10,3)=3
+}
+
+TEST(SemiringTest, OrAndReachability) {
+  const DcsrMatrix g = DcsrMatrix::from_tuples({{1, 2, 1.0}, {2, 3, 1.0}, {3, 1, 1.0}});
+  const DcsrMatrix two_hop = mxm_semiring<OrAnd>(g, g);
+  EXPECT_EQ(two_hop.at(1, 3), 1.0);
+  EXPECT_EQ(two_hop.at(2, 1), 1.0);
+  EXPECT_EQ(two_hop.at(1, 2), 0.0);  // no 2-step path 1->2
+  EXPECT_EQ(two_hop.nnz(), 3u);
+}
+
+TEST(SemiringTest, EwiseAddMinPlusKeepsMinimum) {
+  const DcsrMatrix a = DcsrMatrix::from_tuples({{1, 1, 5.0}, {2, 2, 3.0}});
+  const DcsrMatrix b = DcsrMatrix::from_tuples({{1, 1, 2.0}, {3, 3, 9.0}});
+  const DcsrMatrix m = ewise_add_semiring<MinPlus>(a, b);
+  EXPECT_EQ(m.at(1, 1), 2.0);
+  EXPECT_EQ(m.at(2, 2), 3.0);
+  EXPECT_EQ(m.at(3, 3), 9.0);
+}
+
+TEST(SemiringTest, MxmDropsAdditiveIdentityResults) {
+  // OrAnd over values that multiply to the identity must not store
+  // structural zeros.
+  const DcsrMatrix a = DcsrMatrix::from_tuples({{1, 2, 1.0}});
+  const DcsrMatrix b = DcsrMatrix::from_tuples({{2, 3, 0.0}});  // "false" edge
+  EXPECT_EQ(mxm_semiring<OrAnd>(a, b).nnz(), 0u);
+}
+
+TEST(SemiringTest, EmptyOperands) {
+  const DcsrMatrix a = DcsrMatrix::from_tuples({{1, 2, 1.0}});
+  EXPECT_EQ(ewise_add_semiring<MaxMin>(a, DcsrMatrix{}), a);
+  EXPECT_EQ(ewise_mult_semiring<MaxMin>(a, DcsrMatrix{}).nnz(), 0u);
+  EXPECT_EQ(mxm_semiring<MinPlus>(DcsrMatrix{}, a).nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace obscorr::gbl

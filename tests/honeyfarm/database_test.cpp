@@ -1,0 +1,137 @@
+#include "honeyfarm/database.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obscorr::honeyfarm {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    netgen::PopulationConfig pc;
+    pc.population = 4096;
+    pc.log2_nv = 14;
+    pc.seed = 42;
+    population_ = new netgen::Population(pc);
+    netgen::VisibilityModel vis;
+    vis.log2_nv = 14;
+    const Honeyfarm farm(*population_, vis, 7);
+    std::vector<MonthlyObservation> months;
+    for (int m = 0; m < 6; ++m) {
+      months.push_back(farm.observe_month(
+          {YearMonth(2020, 2).plus_months(m), 1.0, /*ephemeral=*/0.05}, m));
+    }
+    db_ = new Database(std::move(months));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete population_;
+    db_ = nullptr;
+    population_ = nullptr;
+  }
+  static netgen::Population* population_;
+  static Database* db_;
+};
+
+netgen::Population* DatabaseTest::population_ = nullptr;
+Database* DatabaseTest::db_ = nullptr;
+
+TEST_F(DatabaseTest, BasicCounts) {
+  EXPECT_EQ(db_->month_count(), 6u);
+  EXPECT_GT(db_->distinct_sources(), 100u);
+}
+
+TEST_F(DatabaseTest, LookupUnknownSourceIsEmpty) {
+  EXPECT_FALSE(db_->lookup("203.0.113.99").has_value());
+}
+
+TEST_F(DatabaseTest, MonthsSeenMatchesManualCount) {
+  // Cross-check the fold against a per-month scan for a sample of rows.
+  const auto keys = db_->months_seen().row_keys();
+  ASSERT_GT(keys.size(), 10u);
+  for (std::size_t i = 0; i < keys.size(); i += keys.size() / 10) {
+    const auto profile = db_->lookup(keys[i]);
+    ASSERT_TRUE(profile.has_value()) << keys[i];
+    EXPECT_GE(profile->months_seen, 1);
+    EXPECT_LE(profile->months_seen, 6);
+    ASSERT_TRUE(profile->first_seen.has_value());
+    ASSERT_TRUE(profile->last_seen.has_value());
+    EXPECT_LE(profile->first_seen->months_since(*profile->last_seen), 0);
+    // A source cannot be seen in more months than its first..last span.
+    EXPECT_LE(profile->months_seen,
+              profile->last_seen->months_since(*profile->first_seen) + 1);
+  }
+}
+
+TEST_F(DatabaseTest, ProfileFacetsForPopulationSources) {
+  // The brightest persistent source must have full enrichment.
+  const auto persistent = db_->persistent_sources(4);
+  ASSERT_FALSE(persistent.empty());
+  const auto profile = db_->lookup(persistent.front());
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_FALSE(profile->classification.empty());
+  EXPECT_GE(profile->peak_contacts, 1.0);
+}
+
+TEST_F(DatabaseTest, PersistentSourcesShrinkWithThreshold) {
+  const auto p1 = db_->persistent_sources(1);
+  const auto p3 = db_->persistent_sources(3);
+  const auto p6 = db_->persistent_sources(6);
+  EXPECT_GT(p1.size(), p3.size());
+  EXPECT_GT(p3.size(), p6.size());
+  EXPECT_EQ(p1.size(), db_->distinct_sources());
+  EXPECT_THROW(db_->persistent_sources(0), std::invalid_argument);
+}
+
+TEST_F(DatabaseTest, PeakContactsIsMaxAcrossMonths) {
+  const auto persistent = db_->persistent_sources(5);
+  ASSERT_FALSE(persistent.empty());
+  const std::string& ip = persistent.front();
+  const double peak = db_->peak_contacts().at(ip, "contacts");
+  EXPECT_GE(peak, 1.0);
+  // Peak must be attained in some month and never exceeded.
+  netgen::VisibilityModel vis;
+  vis.log2_nv = 14;
+  const Honeyfarm farm(*population_, vis, 7);
+  double best = 0.0;
+  for (int m = 0; m < 6; ++m) {
+    const auto obs =
+        farm.observe_month({YearMonth(2020, 2).plus_months(m), 1.0, 0.05}, m);
+    best = std::max(best, obs.sources.at(ip, "contacts"));
+  }
+  EXPECT_EQ(peak, best);
+}
+
+TEST_F(DatabaseTest, EphemeralSourcesAppearOnce) {
+  // One-month noise sources should have months_seen == 1.
+  int ephemeral_checked = 0;
+  for (const std::string& ip : db_->months_seen().row_keys()) {
+    const auto parsed = Ipv4::parse(ip);
+    ASSERT_TRUE(parsed.has_value());
+    if (population_->owns_ip(*parsed)) continue;
+    const auto profile = db_->lookup(ip);
+    ASSERT_TRUE(profile.has_value());
+    EXPECT_EQ(profile->months_seen, 1) << ip;
+    EXPECT_EQ(profile->classification, "unknown") << ip;
+    if (++ephemeral_checked > 50) break;
+  }
+  EXPECT_GT(ephemeral_checked, 10);
+}
+
+TEST(DatabaseValidationTest, RejectsEmptyAndGappyMonths) {
+  EXPECT_THROW(Database({}), std::invalid_argument);
+  netgen::PopulationConfig pc;
+  pc.population = 256;
+  pc.log2_nv = 12;
+  const netgen::Population pop(pc);
+  netgen::VisibilityModel vis;
+  vis.log2_nv = 12;
+  const Honeyfarm farm(pop, vis, 1);
+  std::vector<MonthlyObservation> gappy;
+  gappy.push_back(farm.observe_month({YearMonth(2020, 2), 1.0, 0.0}, 0));
+  gappy.push_back(farm.observe_month({YearMonth(2020, 4), 1.0, 0.0}, 2));  // gap!
+  EXPECT_THROW(Database(std::move(gappy)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::honeyfarm

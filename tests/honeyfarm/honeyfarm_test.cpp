@@ -1,0 +1,161 @@
+#include "honeyfarm/honeyfarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace obscorr::honeyfarm {
+namespace {
+
+netgen::PopulationConfig pop_config(std::uint64_t seed = 42) {
+  netgen::PopulationConfig c;
+  c.population = 8192;
+  c.log2_nv = 16;
+  c.seed = seed;
+  return c;
+}
+
+netgen::VisibilityModel vis_model() {
+  netgen::VisibilityModel v;
+  v.log2_nv = 16;
+  return v;
+}
+
+netgen::GreyNoiseMonthSpec month_spec(double coverage = 1.0, double ephemeral = 0.0) {
+  return {YearMonth(2020, 6), coverage, ephemeral};
+}
+
+TEST(HoneyfarmTest, ObservationIsDeterministic) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto a = farm.observe_month(month_spec(), 0);
+  const auto b = farm.observe_month(month_spec(), 0);
+  EXPECT_EQ(a.sources, b.sources);
+  EXPECT_EQ(a.population_sources, b.population_sources);
+}
+
+TEST(HoneyfarmTest, DetectedSourcesAreActivePopulationMembers) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto obs = farm.observe_month(month_spec(), 2);
+  for (const std::string& key : obs.sources.row_keys()) {
+    const auto ip = Ipv4::parse(key);
+    ASSERT_TRUE(ip.has_value()) << key;
+    EXPECT_TRUE(pop.owns_ip(*ip)) << key;  // no ephemerals in this spec
+  }
+}
+
+TEST(HoneyfarmTest, ExplodedSchemaColumnsPresent) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto obs = farm.observe_month(month_spec(), 0);
+  ASSERT_GT(obs.population_sources, 0u);
+  const auto cls = obs.sources.select_cols_prefix("classification|");
+  const auto intent = obs.sources.select_cols_prefix("intent|");
+  const auto proto = obs.sources.select_cols_prefix("protocol|");
+  // Every detected population source carries one label per facet.
+  EXPECT_EQ(cls.nnz(), obs.population_sources);
+  EXPECT_EQ(intent.nnz(), obs.population_sources);
+  EXPECT_EQ(proto.nnz(), obs.population_sources);
+  // Contacts column is positive everywhere.
+  const std::vector<std::string> contacts_col{"contacts"};
+  for (const auto& t : obs.sources.select_cols(contacts_col).to_triples()) {
+    EXPECT_GE(t.val, 1.0);
+  }
+}
+
+TEST(HoneyfarmTest, EnrichmentIsStableAcrossMonths) {
+  // A scanner's behaviour profile should not flip month to month.
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto m0 = farm.observe_month(month_spec(), 0);
+  const auto m1 = farm.observe_month(month_spec(), 1);
+  const auto shared = d4m::intersect_keys(m0.sources.row_keys(), m1.sources.row_keys());
+  ASSERT_GT(shared.size(), 10u);
+  const auto cls0 = m0.sources.select_cols_prefix("classification|");
+  const auto cls1 = m1.sources.select_cols_prefix("classification|");
+  for (const std::string& ip : shared) {
+    for (const char* label :
+         {"classification|malicious", "classification|benign", "classification|unknown"}) {
+      EXPECT_EQ(cls0.at(ip, label), cls1.at(ip, label)) << ip << " " << label;
+    }
+  }
+}
+
+TEST(HoneyfarmTest, BrightSourcesAlwaysDetectedWhenActive) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto obs = farm.observe_month(month_spec(), 0);
+  const double threshold = std::exp2(8.0);  // sqrt(2^16)
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (!pop.active(i, 0)) continue;
+    if (pop.expected_active_degree(i) >= threshold) {
+      EXPECT_TRUE(obs.sources.has_row(pop.source(i).ip.to_string()))
+          << pop.source(i).ip.to_string();
+    }
+  }
+}
+
+TEST(HoneyfarmTest, EphemeralSourcesAreDisjointFromPopulation) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto obs = farm.observe_month(month_spec(1.0, 0.5), 0);
+  EXPECT_NEAR(static_cast<double>(obs.ephemeral_sources), 0.5 * 8192, 2.0);
+  std::uint64_t pop_rows = 0, eph_rows = 0;
+  for (const std::string& key : obs.sources.row_keys()) {
+    const auto ip = Ipv4::parse(key);
+    ASSERT_TRUE(ip.has_value());
+    if (pop.owns_ip(*ip)) {
+      ++pop_rows;
+    } else {
+      ++eph_rows;
+    }
+  }
+  EXPECT_EQ(pop_rows, obs.population_sources);
+  // Random ephemeral IPs may occasionally collide with each other, so
+  // row count can fall a hair short of the target.
+  EXPECT_NEAR(static_cast<double>(eph_rows), static_cast<double>(obs.ephemeral_sources), 3.0);
+}
+
+TEST(HoneyfarmTest, CoverageBoostsDetections) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto lo = farm.observe_month(month_spec(1.0), 0);
+  const auto hi = farm.observe_month(month_spec(2.5), 0);
+  EXPECT_GT(hi.population_sources, lo.population_sources);
+}
+
+TEST(HoneyfarmTest, DifferentMonthsDifferentEphemerals) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto m0 = farm.observe_month({YearMonth(2020, 6), 1.0, 0.2}, 0);
+  const auto m1 = farm.observe_month({YearMonth(2020, 7), 1.0, 0.2}, 1);
+  // Ephemeral keys should essentially never repeat across months.
+  std::vector<std::string> eph0, eph1;
+  for (const std::string& k : m0.sources.row_keys()) {
+    if (!pop.owns_ip(*Ipv4::parse(k))) eph0.push_back(k);
+  }
+  for (const std::string& k : m1.sources.row_keys()) {
+    if (!pop.owns_ip(*Ipv4::parse(k))) eph1.push_back(k);
+  }
+  EXPECT_LT(d4m::intersect_keys(eph0, eph1).size(), 3u);
+}
+
+TEST(HoneyfarmTest, InputValidation) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  EXPECT_THROW(farm.observe_month(month_spec(), -1), std::invalid_argument);
+  EXPECT_THROW(farm.observe_month({YearMonth(2020, 6), 0.0, 0.0}, 0), std::invalid_argument);
+  EXPECT_THROW(farm.observe_month({YearMonth(2020, 6), 1.0, -0.5}, 0), std::invalid_argument);
+}
+
+TEST(HoneyfarmTest, TotalsAddUp) {
+  const netgen::Population pop(pop_config());
+  const Honeyfarm farm(pop, vis_model(), 7);
+  const auto obs = farm.observe_month(month_spec(1.0, 0.3), 0);
+  EXPECT_EQ(obs.total_sources(), obs.population_sources + obs.ephemeral_sources);
+  EXPECT_EQ(obs.month, YearMonth(2020, 6));
+}
+
+}  // namespace
+}  // namespace obscorr::honeyfarm

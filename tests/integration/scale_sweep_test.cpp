@@ -1,0 +1,82 @@
+/// Cross-scale property sweep: the invariants every analysis rests on
+/// must hold at every window size, not just the sizes the other tests
+/// happen to use — plus coverage for error paths and parallel-reduction
+/// determinism that no other suite exercises.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/correlation.hpp"
+#include "core/study.hpp"
+#include "gbl/dcsr.hpp"
+
+namespace obscorr {
+namespace {
+
+class ScaleSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleSweepTest, CoreInvariantsHoldAtEveryScale) {
+  const int log2_nv = GetParam();
+  ThreadPool pool(2);
+  const auto study = core::run_study(netgen::Scenario::paper(log2_nv, 99), pool);
+
+  // Constant-packet windows at any scale.
+  for (const auto& snap : study.snapshots) {
+    EXPECT_EQ(snap.valid_packets, 1ULL << log2_nv);
+    EXPECT_EQ(snap.sources.row_keys().size(), snap.source_packets.nnz());
+  }
+  // Fig. 4 fractions are probabilities and grow with brightness over the
+  // well-populated range.
+  const auto bins = core::peak_correlation_all(study);
+  double prev = 0.0;
+  for (const auto& b : bins) {
+    EXPECT_GE(b.fraction, 0.0);
+    EXPECT_LE(b.fraction, 1.0);
+    if (b.caida_sources >= 300 && b.bin >= 2) {
+      EXPECT_GE(b.fraction, prev - 0.08) << "bin " << b.bin << " at 2^" << log2_nv;
+      prev = b.fraction;
+    }
+  }
+  // The brightest populated bin is essentially always seen.
+  for (auto it = bins.rbegin(); it != bins.rend(); ++it) {
+    if (it->caida_sources >= 10) {
+      EXPECT_GT(it->fraction, 0.85) << "at 2^" << log2_nv;
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, ScaleSweepTest, ::testing::Values(12, 14, 16));
+
+TEST(CoverageEdgeTest, SnapshotOutsideHoneyfarmCoverageIsRejected) {
+  ThreadPool pool(2);
+  auto scenario = netgen::Scenario::paper(12, 5);
+  auto study = core::run_study(scenario, pool);
+  // Truncate the honeyfarm months so a snapshot's month has no coverage.
+  study.months.resize(4);  // first snapshot sits in study month 4
+  EXPECT_THROW(core::peak_correlation_all(study), std::invalid_argument);
+}
+
+TEST(ParallelReduceTest, MatchesSerialAtEveryThreadCount) {
+  Rng rng(7);
+  std::vector<gbl::Tuple> tuples;
+  for (int i = 0; i < 60000; ++i) {
+    tuples.push_back({rng.next_u32() >> 8, rng.next_u32() >> 16,
+                      static_cast<gbl::Value>(1 + rng.uniform_u64(9))});
+  }
+  const gbl::DcsrMatrix m = gbl::DcsrMatrix::from_tuples(std::move(tuples));
+  const gbl::SparseVec serial = m.reduce_rows();
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(m.reduce_rows(pool), serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelReduceTest, EmptyMatrix) {
+  ThreadPool pool(4);
+  EXPECT_EQ(gbl::DcsrMatrix{}.reduce_rows(pool).nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace obscorr

@@ -1,0 +1,84 @@
+/// Tests for the hybrid power-law extension (Devlin et al. 2021): an
+/// adversarial source component with its own rank law layered on the
+/// background population.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netgen/population.hpp"
+
+namespace obscorr::netgen {
+namespace {
+
+PopulationConfig hybrid_config(double share, std::size_t sources) {
+  PopulationConfig c;
+  c.population = 8192;
+  c.log2_nv = 16;
+  c.seed = 42;
+  c.hybrid_share = share;
+  c.hybrid_sources = sources;
+  c.hybrid_alpha = 1.05;
+  c.hybrid_delta = 2.0;
+  return c;
+}
+
+TEST(HybridPopulationTest, DisabledByDefault) {
+  PopulationConfig c;
+  EXPECT_EQ(c.hybrid_share, 0.0);
+  c.population = 1024;
+  const Population pop(c);  // must construct fine with pure background law
+  EXPECT_GT(pop.total_weight(), 0.0);
+}
+
+TEST(HybridPopulationTest, SharesAreNormalized) {
+  const Population pop(hybrid_config(0.3, 256));
+  double adv = 0.0, bg = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    (i < 256 ? adv : bg) += pop.source(i).weight;
+  }
+  EXPECT_NEAR(adv, 0.3, 1e-9);
+  EXPECT_NEAR(bg, 0.7, 1e-9);
+  EXPECT_NEAR(pop.total_weight(), 1.0, 1e-9);
+}
+
+TEST(HybridPopulationTest, ComponentsFollowTheirOwnRankLaws) {
+  const auto cfg = hybrid_config(0.3, 256);
+  const Population pop(cfg);
+  // Within each component, weight ratios follow that component's law.
+  const double adv_ratio = pop.source(0).weight / pop.source(10).weight;
+  EXPECT_NEAR(adv_ratio, std::pow((1.0 + cfg.hybrid_delta) / (11.0 + cfg.hybrid_delta),
+                                  -cfg.hybrid_alpha),
+              1e-9);
+  const double bg_ratio = pop.source(256).weight / pop.source(266).weight;
+  EXPECT_NEAR(bg_ratio,
+              std::pow((1.0 + cfg.zm_delta) / (11.0 + cfg.zm_delta), -cfg.zm_alpha), 1e-9);
+}
+
+TEST(HybridPopulationTest, AdversarialComponentDecaysFlatterInItsTail) {
+  // The adversarial beam has a smaller exponent, so once ranks dwarf the
+  // delta offsets its decay across a fixed rank span is flatter than the
+  // background component's decay across the same span.
+  const Population hybrid(hybrid_config(0.4, 512));
+  const double adv_decay = hybrid.source(100).weight / hybrid.source(400).weight;
+  // Background ranks 100 and 400 sit at population indices 512+100/400.
+  const double bg_decay = hybrid.source(612).weight / hybrid.source(912).weight;
+  EXPECT_LT(adv_decay, bg_decay);
+}
+
+TEST(HybridPopulationTest, ExpectedDegreesStillSumToWindow) {
+  const Population pop(hybrid_config(0.25, 128));
+  double total = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) total += pop.expected_window_degree(i);
+  EXPECT_NEAR(total, std::exp2(16.0), 1e-3);
+}
+
+TEST(HybridPopulationTest, ConfigValidation) {
+  EXPECT_THROW(Population(hybrid_config(1.0, 128)), std::invalid_argument);
+  EXPECT_THROW(Population(hybrid_config(-0.1, 128)), std::invalid_argument);
+  EXPECT_THROW(Population(hybrid_config(0.3, 0)), std::invalid_argument);
+  EXPECT_THROW(Population(hybrid_config(0.3, 8192)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::netgen

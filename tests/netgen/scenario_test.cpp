@@ -1,0 +1,87 @@
+#include "netgen/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obscorr::netgen {
+namespace {
+
+TEST(ScenarioTest, PaperTimelineShape) {
+  const Scenario s = Scenario::paper(22, 42);
+  ASSERT_EQ(s.months.size(), 15u);  // 2020-02 .. 2021-04
+  EXPECT_EQ(s.months.front().month, YearMonth(2020, 2));
+  EXPECT_EQ(s.months.back().month, YearMonth(2021, 4));
+  ASSERT_EQ(s.snapshots.size(), 5u);
+  EXPECT_EQ(s.snapshots.front().month, YearMonth(2020, 6));
+  EXPECT_EQ(s.snapshots.back().month, YearMonth(2020, 12));
+}
+
+TEST(ScenarioTest, MonthsAreConsecutive) {
+  const Scenario s = Scenario::paper(22, 42);
+  for (std::size_t i = 1; i < s.months.size(); ++i) {
+    EXPECT_EQ(s.months[i].month.months_since(s.months[i - 1].month), 1);
+  }
+}
+
+TEST(ScenarioTest, MonthIndexRoundTrips) {
+  const Scenario s = Scenario::paper(22, 42);
+  EXPECT_EQ(s.month_index(YearMonth(2020, 2)), 0);
+  EXPECT_EQ(s.month_index(YearMonth(2020, 6)), 4);
+  EXPECT_EQ(s.month_index(YearMonth(2021, 4)), 14);
+  EXPECT_THROW(s.month_index(YearMonth(2020, 1)), std::invalid_argument);
+  EXPECT_THROW(s.month_index(YearMonth(2021, 5)), std::invalid_argument);
+}
+
+TEST(ScenarioTest, ConfigChangeMonthsHaveEphemeralSurges) {
+  // Table I: 2020-03 and 2021-04 jump by ~10x from configuration
+  // changes; 2020-12 is also elevated.
+  const Scenario s = Scenario::paper(22, 42);
+  const auto factor = [&](int y, int m) {
+    return s.months[static_cast<std::size_t>(s.month_index(YearMonth(y, m)))].ephemeral_factor;
+  };
+  EXPECT_GT(factor(2020, 3), 5.0 * factor(2020, 4));
+  EXPECT_GT(factor(2021, 4), 5.0 * factor(2020, 4));
+  EXPECT_GT(factor(2020, 12), 3.0 * factor(2020, 4));
+}
+
+TEST(ScenarioTest, SnapshotDurationsScaleWithWindow) {
+  const Scenario big = Scenario::paper(30, 42);
+  const Scenario small = Scenario::paper(22, 42);
+  // At the paper's scale the published duration is recovered exactly.
+  EXPECT_NEAR(big.scaled_duration_sec(big.snapshots[0]), 1594.0, 1e-9);
+  // At 2^22 the same implied packet rate gives a 2^-8 shorter window.
+  EXPECT_NEAR(small.scaled_duration_sec(small.snapshots[0]), 1594.0 / 256.0, 1e-9);
+}
+
+TEST(ScenarioTest, DarkspaceScalesWithWindow) {
+  EXPECT_EQ(Scenario::paper(30, 42).traffic.darkspace.length(), 8);
+  EXPECT_EQ(Scenario::paper(22, 42).traffic.darkspace.length(), 16);
+  EXPECT_EQ(Scenario::paper(14, 42).traffic.darkspace.length(), 24);
+}
+
+TEST(ScenarioTest, PopulationScalesWithSqrtWindow) {
+  EXPECT_EQ(Scenario::paper(22, 42).population.population, std::size_t{1} << 17);
+  EXPECT_EQ(Scenario::paper(20, 42).population.population, std::size_t{1} << 16);
+}
+
+TEST(ScenarioTest, VisibilityThresholdTracksWindow) {
+  EXPECT_EQ(Scenario::paper(24, 42).visibility.log2_nv, 24);
+}
+
+TEST(ScenarioTest, SeedIsPropagated) {
+  EXPECT_EQ(Scenario::paper(22, 99).population.seed, 99u);
+}
+
+TEST(ScenarioTest, RejectsOutOfRangeWindow) {
+  EXPECT_THROW(Scenario::paper(9, 42), std::invalid_argument);
+  EXPECT_THROW(Scenario::paper(35, 42), std::invalid_argument);
+}
+
+TEST(ScenarioTest, SnapshotLabelsMatchTableOne) {
+  const Scenario s = Scenario::paper(22, 42);
+  EXPECT_EQ(s.snapshots[0].start_label, "2020-06-17-12:00:00");
+  EXPECT_EQ(s.snapshots[2].start_label, "2020-09-16-12:00:00");
+  EXPECT_EQ(s.snapshots[2].paper_duration_sec, 997.0);
+}
+
+}  // namespace
+}  // namespace obscorr::netgen

@@ -1,0 +1,112 @@
+#include "netgen/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include <map>
+
+namespace obscorr::netgen {
+namespace {
+
+Population make_population(std::uint64_t seed = 42) {
+  PopulationConfig c;
+  c.population = 2048;
+  c.log2_nv = 14;
+  c.seed = seed;
+  return Population(c);
+}
+
+TEST(TrafficTest, EmitsExactValidCount) {
+  const Population pop = make_population();
+  TrafficConfig cfg;
+  const TrafficGenerator gen(pop, cfg);
+  std::uint64_t valid = 0, legit = 0;
+  const std::uint64_t emitted =
+      gen.stream_window(0, 10000, 1, [&](const Packet& p) {
+        if (cfg.legit_prefix.contains(p.src)) {
+          ++legit;
+        } else {
+          ++valid;
+        }
+      });
+  EXPECT_EQ(valid, 10000u);
+  EXPECT_EQ(emitted, valid + legit);
+  EXPECT_GT(legit, 0u);  // legit_fraction 0.001 over 10k packets: ~10 expected
+  EXPECT_LT(legit, 100u);
+}
+
+TEST(TrafficTest, AllDestinationsInDarkspace) {
+  const Population pop = make_population();
+  TrafficConfig cfg;
+  const TrafficGenerator gen(pop, cfg);
+  gen.stream_window(0, 5000, 1, [&](const Packet& p) {
+    EXPECT_TRUE(cfg.darkspace.contains(p.dst)) << p.dst.to_string();
+  });
+}
+
+TEST(TrafficTest, ValidSourcesBelongToActivePopulation) {
+  const Population pop = make_population();
+  TrafficConfig cfg;
+  const TrafficGenerator gen(pop, cfg);
+  const auto active = pop.active_sources(2);
+  std::set<std::uint32_t> active_ips;
+  for (std::uint32_t i : active) active_ips.insert(pop.source(i).ip.value());
+  gen.stream_window(2, 5000, 1, [&](const Packet& p) {
+    if (cfg.legit_prefix.contains(p.src)) return;
+    EXPECT_TRUE(active_ips.contains(p.src.value())) << p.src.to_string();
+  });
+}
+
+TEST(TrafficTest, DeterministicPerSalt) {
+  const Population pop = make_population();
+  const TrafficGenerator gen(pop, TrafficConfig{});
+  std::vector<Packet> a, b, c;
+  gen.stream_window(0, 1000, 7, [&](const Packet& p) { a.push_back(p); });
+  gen.stream_window(0, 1000, 7, [&](const Packet& p) { b.push_back(p); });
+  gen.stream_window(0, 1000, 8, [&](const Packet& p) { c.push_back(p); });
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TrafficTest, BrightSourcesDominatePacketShare) {
+  // The Zipf-Mandelbrot head must carry most packets.
+  const Population pop = make_population();
+  const TrafficGenerator gen(pop, TrafficConfig{});
+  std::map<std::uint32_t, std::uint64_t> counts;
+  TrafficConfig cfg;
+  gen.stream_window(0, 50000, 1, [&](const Packet& p) {
+    if (!cfg.legit_prefix.contains(p.src)) ++counts[p.src.value()];
+  });
+  std::vector<std::uint64_t> sorted;
+  for (const auto& [ip, n] : counts) sorted.push_back(n);
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::uint64_t top10 = 0, total = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i < 10) top10 += sorted[i];
+    total += sorted[i];
+  }
+  EXPECT_GT(static_cast<double>(top10) / static_cast<double>(total), 0.15);
+}
+
+TEST(TrafficTest, LegitFractionValidation) {
+  const Population pop = make_population();
+  TrafficConfig cfg;
+  cfg.legit_fraction = 1.0;
+  EXPECT_THROW(TrafficGenerator(pop, cfg), std::invalid_argument);
+  cfg.legit_fraction = -0.1;
+  EXPECT_THROW(TrafficGenerator(pop, cfg), std::invalid_argument);
+}
+
+TEST(TrafficTest, ZeroLegitFractionEmitsOnlyValid) {
+  const Population pop = make_population();
+  TrafficConfig cfg;
+  cfg.legit_fraction = 0.0;
+  const TrafficGenerator gen(pop, cfg);
+  const std::uint64_t emitted = gen.stream_window(0, 3000, 1, [](const Packet&) {});
+  EXPECT_EQ(emitted, 3000u);
+}
+
+}  // namespace
+}  // namespace obscorr::netgen

@@ -1,0 +1,94 @@
+#include "netgen/visibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace obscorr::netgen {
+namespace {
+
+TEST(VisibilityTest, EmpiricalLogMatchesPaperFormula) {
+  // p(d) = log2(d) / log2(sqrt(N_V)) below the threshold (paper Fig. 4).
+  VisibilityModel m;
+  m.kind = VisibilityKind::kEmpiricalLog;
+  m.log2_nv = 30;
+  EXPECT_NEAR(m.probability(std::exp2(7.5)), 7.5 / 15.0, 1e-12);
+  EXPECT_NEAR(m.probability(1024.0), 10.0 / 15.0, 1e-12);
+}
+
+TEST(VisibilityTest, EmpiricalLogSaturatesAtSqrtNv) {
+  VisibilityModel m;
+  m.log2_nv = 30;
+  EXPECT_DOUBLE_EQ(m.probability(std::exp2(15.0)), 1.0);   // d = sqrt(N_V)
+  EXPECT_DOUBLE_EQ(m.probability(std::exp2(20.0)), 1.0);   // brighter
+}
+
+TEST(VisibilityTest, EmpiricalLogFloorForSubUnitDegrees) {
+  VisibilityModel m;
+  m.log2_nv = 30;
+  const double floor = m.probability(0.5);
+  EXPECT_GT(floor, 0.0);
+  EXPECT_LT(floor, 0.1);
+  EXPECT_EQ(m.probability(0.0), floor);
+}
+
+TEST(VisibilityTest, EmpiricalLogScalesWithWindowSize) {
+  // The threshold is sqrt(N_V): the same degree is more visible against
+  // a smaller window.
+  VisibilityModel big;
+  big.log2_nv = 30;
+  VisibilityModel small;
+  small.log2_nv = 20;
+  EXPECT_GT(small.probability(256.0), big.probability(256.0));
+  EXPECT_DOUBLE_EQ(small.probability(std::exp2(10.0)), 1.0);
+}
+
+TEST(VisibilityTest, CoverageSaturatesExponentially) {
+  VisibilityModel m;
+  m.kind = VisibilityKind::kCoverage;
+  m.coverage_half = 100.0;
+  EXPECT_NEAR(m.probability(100.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(m.probability(0.0), 0.0, 1e-12);
+  EXPECT_GT(m.probability(1000.0), 0.9999);
+}
+
+TEST(VisibilityTest, BothModelsMonotone) {
+  for (VisibilityKind kind : {VisibilityKind::kEmpiricalLog, VisibilityKind::kCoverage}) {
+    VisibilityModel m;
+    m.kind = kind;
+    m.log2_nv = 22;
+    double prev = 0.0;
+    for (double d = 1.0; d < 1e7; d *= 2.0) {
+      const double p = m.probability(d);
+      EXPECT_GE(p, prev - 1e-12);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      prev = p;
+    }
+  }
+}
+
+TEST(VisibilityTest, ShapesDivergeInTheMidRange) {
+  // The ablation's point: the mechanistic coverage model saturates far
+  // faster than the observed log law.
+  VisibilityModel log_law;
+  log_law.log2_nv = 30;
+  VisibilityModel coverage;
+  coverage.kind = VisibilityKind::kCoverage;
+  coverage.coverage_half = 256.0;
+  // At d = 2^11 (an eighth of the way to saturation in log space) the
+  // coverage model is already ~1 while the log law is ~0.73.
+  EXPECT_GT(coverage.probability(2048.0), 0.99);
+  EXPECT_LT(log_law.probability(2048.0), 0.8);
+}
+
+TEST(VisibilityTest, InputValidation) {
+  VisibilityModel m;
+  EXPECT_THROW(m.probability(-1.0), std::invalid_argument);
+  m.kind = VisibilityKind::kCoverage;
+  m.coverage_half = 0.0;
+  EXPECT_THROW(m.probability(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::netgen

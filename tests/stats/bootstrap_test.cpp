@@ -1,0 +1,79 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace obscorr::stats {
+namespace {
+
+TEST(BootstrapTest, PointEstimateIsExactFraction) {
+  const FractionCi ci = bootstrap_fraction(30, 100, 0.95, 1);
+  EXPECT_DOUBLE_EQ(ci.fraction, 0.3);
+}
+
+TEST(BootstrapTest, IntervalBracketsEstimate) {
+  const FractionCi ci = bootstrap_fraction(300, 1000, 0.95, 2);
+  EXPECT_LE(ci.lo, ci.fraction);
+  EXPECT_GE(ci.hi, ci.fraction);
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(BootstrapTest, WidthMatchesBinomialTheory) {
+  // 95% CI half-width ~ 1.96 sqrt(p(1-p)/n).
+  const std::uint64_t n = 1000;
+  const double p = 0.4;
+  const FractionCi ci = bootstrap_fraction(static_cast<std::uint64_t>(p * n), n, 0.95, 3, 4000);
+  const double theory = 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  EXPECT_NEAR(ci.hi - ci.fraction, theory, theory * 0.25);
+  EXPECT_NEAR(ci.fraction - ci.lo, theory, theory * 0.25);
+}
+
+TEST(BootstrapTest, LargeTrialsUseNormalPathConsistently) {
+  // Above the binomial/normal switch the width must still match theory.
+  const std::uint64_t n = 100000;
+  const FractionCi ci = bootstrap_fraction(50000, n, 0.95, 4, 4000);
+  const double theory = 1.96 * std::sqrt(0.25 / static_cast<double>(n));
+  EXPECT_NEAR(ci.hi - ci.lo, 2.0 * theory, theory);
+}
+
+TEST(BootstrapTest, WidthShrinksWithSampleSize) {
+  const FractionCi small = bootstrap_fraction(50, 100, 0.95, 5);
+  const FractionCi large = bootstrap_fraction(5000, 10000, 0.95, 5);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(BootstrapTest, HigherLevelWiderInterval) {
+  const FractionCi narrow = bootstrap_fraction(40, 100, 0.80, 6, 4000);
+  const FractionCi wide = bootstrap_fraction(40, 100, 0.99, 6, 4000);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(BootstrapTest, DeterministicPerSeed) {
+  const FractionCi a = bootstrap_fraction(33, 200, 0.9, 7);
+  const FractionCi b = bootstrap_fraction(33, 200, 0.9, 7);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, DegenerateFractions) {
+  const FractionCi zero = bootstrap_fraction(0, 100, 0.95, 8);
+  EXPECT_EQ(zero.fraction, 0.0);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_EQ(zero.hi, 0.0);  // resampling all-failures stays at zero
+  const FractionCi one = bootstrap_fraction(100, 100, 0.95, 8);
+  EXPECT_EQ(one.fraction, 1.0);
+  EXPECT_EQ(one.lo, 1.0);
+}
+
+TEST(BootstrapTest, InputValidation) {
+  EXPECT_THROW(bootstrap_fraction(1, 0, 0.95, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_fraction(5, 3, 0.95, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_fraction(1, 10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_fraction(1, 10, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_fraction(1, 10, 0.95, 1, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::stats

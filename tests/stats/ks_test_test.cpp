@@ -1,0 +1,98 @@
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace obscorr::stats {
+namespace {
+
+TEST(KolmogorovTailTest, KnownValues) {
+  // Q(0) = 1; Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_DOUBLE_EQ(kolmogorov_tail(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_tail(1.36), 0.049, 0.002);
+  EXPECT_NEAR(kolmogorov_tail(1.63), 0.010, 0.002);
+  EXPECT_LT(kolmogorov_tail(3.0), 1e-6);
+  EXPECT_THROW(kolmogorov_tail(-1.0), std::invalid_argument);
+}
+
+TEST(KolmogorovTailTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double lambda = 0.1; lambda < 3.0; lambda += 0.1) {
+    const double q = kolmogorov_tail(lambda);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(TwoSampleKsTest, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const KsResult r = two_sample_ks(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(TwoSampleKsTest, DisjointSamplesHaveUnitStatistic) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 11, 12};
+  const KsResult r = two_sample_ks(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 0.1);
+}
+
+TEST(TwoSampleKsTest, SameDistributionAccepts) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.0, 1.0));
+  }
+  const KsResult r = two_sample_ks(a, b);
+  EXPECT_LT(r.statistic, 0.05);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(TwoSampleKsTest, ShiftedDistributionRejects) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.3, 1.0));
+  }
+  const KsResult r = two_sample_ks(a, b);
+  EXPECT_GT(r.statistic, 0.08);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(TwoSampleKsTest, HandlesTiesAndDiscreteData) {
+  // Log-binned degree data is heavily tied; statistic must stay in [0,1].
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(static_cast<double>(1 + rng.uniform_u64(8)));
+    b.push_back(static_cast<double>(1 + rng.uniform_u64(8)));
+  }
+  const KsResult r = two_sample_ks(a, b);
+  EXPECT_GE(r.statistic, 0.0);
+  EXPECT_LE(r.statistic, 1.0);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(TwoSampleKsTest, AsymmetricSampleSizes) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) a.push_back(rng.uniform());
+  for (int i = 0; i < 10000; ++i) b.push_back(rng.uniform());
+  const KsResult r = two_sample_ks(a, b);
+  EXPECT_LT(r.statistic, 0.2);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(TwoSampleKsTest, RejectsEmpty) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(two_sample_ks(a, {}), std::invalid_argument);
+  EXPECT_THROW(two_sample_ks({}, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::stats

@@ -1,0 +1,105 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+
+namespace obscorr::stats {
+namespace {
+
+TEST(QuantileTest, ExactOnSmallSamples) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 1.5);  // interpolation
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  const std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(QuantileTest, Validation) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(GiniTest, EqualValuesGiveZero) {
+  const std::vector<double> v{3, 3, 3, 3};
+  EXPECT_NEAR(gini_coefficient(v), 0.0, 1e-12);
+}
+
+TEST(GiniTest, SingleDominatorApproachesOne) {
+  std::vector<double> v(1000, 0.0);
+  v[0] = 100.0;
+  EXPECT_NEAR(gini_coefficient(v), 1.0 - 1.0 / 1000.0, 1e-9);
+}
+
+TEST(GiniTest, KnownTwoValueCase) {
+  // {0, 1}: G = 0.5 by the rank formula.
+  const std::vector<double> v{0.0, 1.0};
+  EXPECT_NEAR(gini_coefficient(v), 0.5, 1e-12);
+}
+
+TEST(GiniTest, UniformSampleMatchesTheory) {
+  // Uniform(0,1): G = 1/3.
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 100000; ++i) v.push_back(rng.uniform());
+  EXPECT_NEAR(gini_coefficient(v), 1.0 / 3.0, 0.01);
+}
+
+TEST(GiniTest, HeavyTailBeatsLightTail) {
+  // Pareto-ish sample must be more unequal than uniform.
+  Rng rng(2);
+  std::vector<double> pareto, uniform;
+  for (int i = 0; i < 20000; ++i) {
+    pareto.push_back(std::pow(1.0 - rng.uniform(), -1.0 / 1.2));
+    uniform.push_back(rng.uniform());
+  }
+  EXPECT_GT(gini_coefficient(pareto), gini_coefficient(uniform) + 0.2);
+}
+
+TEST(GiniTest, Validation) {
+  EXPECT_THROW(gini_coefficient({}), std::invalid_argument);
+  const std::vector<double> neg{1.0, -1.0};
+  EXPECT_THROW(gini_coefficient(neg), std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(gini_coefficient(zeros), std::invalid_argument);
+}
+
+TEST(SummaryTest, AllFieldsConsistent) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(1.0 + rng.uniform_u64(100));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, v.size());
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GT(s.mean, s.min);
+  EXPECT_LT(s.mean, s.max);
+  EXPECT_GT(s.gini, 0.0);
+  EXPECT_LT(s.gini, 1.0);
+  EXPECT_NEAR(s.mean, 51.0, 1.5);
+}
+
+TEST(SummaryTest, SingleValue) {
+  const std::vector<double> v{7.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_EQ(s.p50, 7.0);
+  EXPECT_NEAR(s.gini, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace obscorr::stats

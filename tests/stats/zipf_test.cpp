@@ -1,0 +1,118 @@
+#include "stats/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/prng.hpp"
+#include "stats/norms.hpp"
+
+namespace obscorr::stats {
+namespace {
+
+TEST(ZipfModelTest, WeightDecreasesWithDegree) {
+  const ZipfMandelbrot zm{2.0, 5.0};
+  EXPECT_GT(zm.weight(1.0), zm.weight(2.0));
+  EXPECT_GT(zm.weight(100.0), zm.weight(1000.0));
+  EXPECT_THROW(zm.weight(0.5), std::invalid_argument);
+}
+
+TEST(ZipfModelTest, DeltaFlattensHead) {
+  // Larger delta flattens the head: weight(1)/weight(2) shrinks.
+  const ZipfMandelbrot sharp{2.0, 0.0};
+  const ZipfMandelbrot flat{2.0, 50.0};
+  EXPECT_GT(sharp.weight(1.0) / sharp.weight(2.0), flat.weight(1.0) / flat.weight(2.0));
+}
+
+TEST(ZipfModelTest, RankWeightsMatchFormula) {
+  const ZipfMandelbrot zm{1.5, 3.0};
+  const auto w = zm.rank_weights(10);
+  ASSERT_EQ(w.size(), 10u);
+  for (std::size_t r = 0; r < w.size(); ++r) {
+    EXPECT_DOUBLE_EQ(w[r], std::pow(static_cast<double>(r + 1) + 3.0, -1.5));
+  }
+}
+
+TEST(ZipfModelTest, BinnedMassNormalized) {
+  for (double alpha : {0.8, 1.0, 1.7, 2.5}) {
+    const ZipfMandelbrot zm{alpha, 2.0};
+    const auto mass = zm.binned_mass(20);
+    const double total = std::accumulate(mass.begin(), mass.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "alpha " << alpha;
+    for (double m : mass) EXPECT_GT(m, 0.0);
+  }
+}
+
+TEST(ZipfModelTest, BinnedMassAlphaOneClosedForm) {
+  // At alpha = 1, delta = 0 the mass of every binary-log bin is equal:
+  // integral of 1/x over [2^i, 2^(i+1)) is ln 2 for all i.
+  const ZipfMandelbrot zm{1.0, 0.0};
+  const auto mass = zm.binned_mass(8);
+  for (double m : mass) EXPECT_NEAR(m, 1.0 / 8.0, 1e-9);
+}
+
+TEST(ZipfModelTest, SteeperAlphaConcentratesHead) {
+  const auto m1 = ZipfMandelbrot{1.2, 0.0}.binned_mass(15);
+  const auto m2 = ZipfMandelbrot{2.5, 0.0}.binned_mass(15);
+  EXPECT_GT(m2[0], m1[0]);
+  EXPECT_LT(m2[10], m1[10]);
+}
+
+LogHistogram sample_zipf(const ZipfMandelbrot& zm, std::size_t n, std::uint64_t seed,
+                         std::uint64_t dmax) {
+  // Sample degrees directly from the binned model via inverse CDF over
+  // fine integer degrees (ground truth for fit-recovery tests).
+  Rng rng(seed);
+  std::vector<double> weights;
+  for (std::uint64_t d = 1; d <= dmax; ++d) weights.push_back(zm.weight(static_cast<double>(d)));
+  AliasTable table(weights);
+  std::vector<double> degrees;
+  degrees.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    degrees.push_back(static_cast<double>(table.sample(rng) + 1));
+  }
+  return LogHistogram::from_degrees(degrees);
+}
+
+struct FitRecoveryCase {
+  double alpha;
+  double delta;
+};
+
+class ZipfFitRecoveryTest : public ::testing::TestWithParam<FitRecoveryCase> {};
+
+TEST_P(ZipfFitRecoveryTest, RecoversGeneratingParameters) {
+  const auto param = GetParam();
+  const ZipfMandelbrot truth{param.alpha, param.delta};
+  const LogHistogram hist = sample_zipf(truth, 200000, 12345, 1 << 14);
+  const ZipfFit fit = fit_zipf_mandelbrot(hist);
+  EXPECT_NEAR(fit.model.alpha, truth.alpha, 0.15)
+      << "delta fit " << fit.model.delta << " residual " << fit.residual;
+  // The fitted model must describe the data at least as well as a
+  // mildly perturbed truth (goodness sanity).
+  const auto data = hist.differential_cumulative();
+  const ZipfMandelbrot perturbed{truth.alpha + 0.3, truth.delta};
+  EXPECT_LE(fit.residual,
+            half_norm_residual(data, perturbed.binned_mass(hist.bin_count())) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ParameterSweep, ZipfFitRecoveryTest,
+                         ::testing::Values(FitRecoveryCase{1.3, 0.0}, FitRecoveryCase{1.7, 2.0},
+                                           FitRecoveryCase{2.0, 8.0}, FitRecoveryCase{2.5, 0.5}));
+
+TEST(ZipfFitTest, RejectsEmptyHistogram) {
+  EXPECT_THROW(fit_zipf_mandelbrot(LogHistogram{}), std::invalid_argument);
+}
+
+TEST(ZipfFitTest, ResidualIsHalfNormOfFit) {
+  const ZipfMandelbrot truth{1.8, 1.0};
+  const LogHistogram hist = sample_zipf(truth, 50000, 777, 1 << 12);
+  const ZipfFit fit = fit_zipf_mandelbrot(hist);
+  const auto data = hist.differential_cumulative();
+  EXPECT_NEAR(fit.residual, half_norm_residual(data, fit.model.binned_mass(hist.bin_count())),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace obscorr::stats

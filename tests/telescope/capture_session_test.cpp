@@ -1,0 +1,137 @@
+#include "telescope/capture_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+
+namespace obscorr::telescope {
+namespace {
+
+TelescopeConfig small_config() {
+  TelescopeConfig c;
+  c.darkspace = Ipv4Prefix(Ipv4(77, 0, 0, 0), 16);
+  c.block_log2 = 6;
+  return c;
+}
+
+Packet random_valid_packet(Rng& rng) {
+  Ipv4 src(rng.next_u32());
+  if (src.octet(0) == 10 || src.octet(0) == 77) src = Ipv4(1, 2, 3, 4);
+  return {src, Ipv4(Ipv4(77, 0, 0, 0).value() | (rng.next_u32() & 0xFFFF))};
+}
+
+TEST(CaptureSessionTest, EmitsConstantPacketWindows) {
+  ThreadPool pool(2);
+  Telescope scope(small_config(), pool);
+  CaptureSessionConfig cfg;
+  cfg.window_packets = 512;
+  cfg.mean_packet_rate = 1000.0;
+  CaptureSession session(scope, cfg);
+
+  Rng rng(1);
+  std::vector<CaptureWindow> windows;
+  for (int i = 0; i < 512 * 4 + 100; ++i) {
+    session.offer(random_valid_packet(rng), [&](CaptureWindow&& w) {
+      windows.push_back(std::move(w));
+    });
+  }
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(session.windows_completed(), 4u);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].index, i);
+    EXPECT_EQ(windows[i].matrix.reduce_sum(), 512.0);  // constant packet
+    EXPECT_GT(windows[i].duration_sec, 0.0);           // variable time
+  }
+}
+
+TEST(CaptureSessionTest, DurationsFluctuateAroundMean) {
+  // Poisson arrivals: window duration ~ Gamma(n, rate); mean n/rate with
+  // relative sd 1/sqrt(n). Durations must differ window to window (the
+  // Table I signature) yet hug the mean.
+  ThreadPool pool(2);
+  Telescope scope(small_config(), pool);
+  CaptureSessionConfig cfg;
+  cfg.window_packets = 4096;
+  cfg.mean_packet_rate = 1e6;
+  CaptureSession session(scope, cfg);
+
+  Rng rng(2);
+  std::vector<double> durations;
+  while (durations.size() < 8) {
+    session.offer(random_valid_packet(rng),
+                  [&](CaptureWindow&& w) { durations.push_back(w.duration_sec); });
+  }
+  const double expected = 4096.0 / 1e6;
+  double lo = durations[0], hi = durations[0];
+  for (double d : durations) {
+    EXPECT_NEAR(d, expected, expected * 0.1) << "window duration off the Poisson mean";
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GT(hi - lo, expected * 0.001);  // genuinely variable time
+}
+
+TEST(CaptureSessionTest, DiscardedPacketsAdvanceClockNotWindow) {
+  ThreadPool pool(2);
+  Telescope scope(small_config(), pool);
+  CaptureSessionConfig cfg;
+  cfg.window_packets = 100;
+  cfg.mean_packet_rate = 1000.0;
+  CaptureSession session(scope, cfg);
+
+  Rng rng(3);
+  std::vector<CaptureWindow> windows;
+  const auto collect = [&](CaptureWindow&& w) { windows.push_back(std::move(w)); };
+  // Interleave one invalid (legit-source) packet per valid packet.
+  for (int i = 0; i < 100; ++i) {
+    session.offer({Ipv4(10, 0, 0, 1), Ipv4(77, 0, 0, 1)}, collect);  // discarded
+    session.offer(random_valid_packet(rng), collect);
+  }
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].matrix.reduce_sum(), 100.0);
+  EXPECT_EQ(windows[0].discarded, 100u);
+  // The clock advanced for all 200 packets: duration ~ 200/rate.
+  EXPECT_NEAR(windows[0].duration_sec, 200.0 / 1000.0, 0.2 * 0.5);
+}
+
+TEST(CaptureSessionTest, StreamTimeIsMonotone) {
+  ThreadPool pool(2);
+  Telescope scope(small_config(), pool);
+  CaptureSession session(scope, {64, 100.0, 9});
+  Rng rng(4);
+  double prev = session.now_sec();
+  for (int i = 0; i < 500; ++i) {
+    session.offer(random_valid_packet(rng), [](CaptureWindow&&) {});
+    EXPECT_GT(session.now_sec(), prev);
+    prev = session.now_sec();
+  }
+}
+
+TEST(CaptureSessionTest, WindowStartsChain) {
+  ThreadPool pool(2);
+  Telescope scope(small_config(), pool);
+  CaptureSession session(scope, {128, 1000.0, 5});
+  Rng rng(5);
+  std::vector<CaptureWindow> windows;
+  for (int i = 0; i < 128 * 3; ++i) {
+    session.offer(random_valid_packet(rng),
+                  [&](CaptureWindow&& w) { windows.push_back(std::move(w)); });
+  }
+  ASSERT_EQ(windows.size(), 3u);
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_NEAR(windows[i].start_sec, windows[i - 1].start_sec + windows[i - 1].duration_sec,
+                1e-12);
+  }
+}
+
+TEST(CaptureSessionTest, ConfigValidation) {
+  ThreadPool pool(2);
+  Telescope scope(small_config(), pool);
+  EXPECT_THROW(CaptureSession(scope, {0, 100.0, 1}), std::invalid_argument);
+  EXPECT_THROW(CaptureSession(scope, {100, 0.0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::telescope

@@ -1,0 +1,93 @@
+#include "telescope/quadrants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "crypt/cryptopan.hpp"
+
+namespace obscorr::telescope {
+namespace {
+
+TEST(QuadrantsTest, PartitionCoversMatrixExactly) {
+  // Every entry lands in exactly one quadrant; totals add up (Fig. 1).
+  Rng rng(1);
+  std::vector<gbl::Tuple> tuples;
+  for (int i = 0; i < 5000; ++i) {
+    tuples.push_back({rng.next_u32(), rng.next_u32(), 1.0});
+  }
+  const gbl::DcsrMatrix m = gbl::DcsrMatrix::from_tuples(std::move(tuples));
+  const Ipv4Prefix internal(Ipv4(77, 0, 0, 0), 8);
+  const Quadrants q = partition_quadrants(m, internal);
+  EXPECT_EQ(q.external_to_internal.nnz() + q.internal_to_external.nnz() +
+                q.internal_to_internal.nnz() + q.external_to_external.nnz(),
+            m.nnz());
+  EXPECT_EQ(q.external_to_internal.reduce_sum() + q.internal_to_external.reduce_sum() +
+                q.internal_to_internal.reduce_sum() + q.external_to_external.reduce_sum(),
+            m.reduce_sum());
+}
+
+TEST(QuadrantsTest, MembershipIsCorrectPerQuadrant) {
+  const Ipv4Prefix internal(Ipv4(77, 0, 0, 0), 8);
+  const gbl::DcsrMatrix m = gbl::DcsrMatrix::from_tuples({
+      {Ipv4(1, 0, 0, 1).value(), Ipv4(77, 0, 0, 1).value(), 1.0},   // ext->int
+      {Ipv4(77, 0, 0, 1).value(), Ipv4(1, 0, 0, 1).value(), 2.0},   // int->ext
+      {Ipv4(77, 0, 0, 1).value(), Ipv4(77, 0, 0, 2).value(), 3.0},  // int->int
+      {Ipv4(1, 0, 0, 1).value(), Ipv4(2, 0, 0, 1).value(), 4.0},    // ext->ext
+  });
+  const Quadrants q = partition_quadrants(m, internal);
+  EXPECT_EQ(q.external_to_internal.reduce_sum(), 1.0);
+  EXPECT_EQ(q.internal_to_external.reduce_sum(), 2.0);
+  EXPECT_EQ(q.internal_to_internal.reduce_sum(), 3.0);
+  EXPECT_EQ(q.external_to_external.reduce_sum(), 4.0);
+}
+
+TEST(QuadrantsTest, DarknetTelescopeOnlyPopulatesExtToInt) {
+  // The paper's Fig. 1 statement: a darkspace has no internal senders.
+  const Ipv4Prefix internal(Ipv4(77, 0, 0, 0), 8);
+  Rng rng(3);
+  std::vector<gbl::Tuple> tuples;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t src = rng.next_u32();
+    if ((src >> 24) == 77) src ^= 0x80000000u;  // keep sources external
+    tuples.push_back({src, Ipv4(77, 0, 0, 0).value() | (rng.next_u32() >> 8), 1.0});
+  }
+  const Quadrants q =
+      partition_quadrants(gbl::DcsrMatrix::from_tuples(std::move(tuples)), internal);
+  EXPECT_EQ(q.external_to_internal.reduce_sum(), 2000.0);
+  EXPECT_EQ(q.internal_to_external.nnz(), 0u);
+  EXPECT_EQ(q.internal_to_internal.nnz(), 0u);
+  EXPECT_EQ(q.external_to_external.nnz(), 0u);
+}
+
+TEST(QuadrantsTest, WorksOnAnonymizedMatrixWithAnonymizedPrefix) {
+  // The permutation-invariance argument end-to-end: partition counts are
+  // identical before and after CryptoPAN when the prefix is mapped too.
+  const crypt::CryptoPan pan = crypt::CryptoPan::from_seed(99);
+  const Ipv4Prefix internal(Ipv4(77, 0, 0, 0), 8);
+  const Ipv4Prefix anon_internal(pan.anonymize(Ipv4(77, 0, 0, 0)), 8);
+
+  Rng rng(7);
+  std::vector<gbl::Tuple> raw, anon;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint32_t src = rng.next_u32();
+    const std::uint32_t dst = rng.next_u32();
+    raw.push_back({src, dst, 1.0});
+    anon.push_back({pan.anonymize(Ipv4(src)).value(), pan.anonymize(Ipv4(dst)).value(), 1.0});
+  }
+  const Quadrants q_raw = partition_quadrants(gbl::DcsrMatrix::from_tuples(std::move(raw)), internal);
+  const Quadrants q_anon =
+      partition_quadrants(gbl::DcsrMatrix::from_tuples(std::move(anon)), anon_internal);
+  EXPECT_EQ(q_raw.external_to_internal.reduce_sum(), q_anon.external_to_internal.reduce_sum());
+  EXPECT_EQ(q_raw.internal_to_external.reduce_sum(), q_anon.internal_to_external.reduce_sum());
+  EXPECT_EQ(q_raw.internal_to_internal.reduce_sum(), q_anon.internal_to_internal.reduce_sum());
+  EXPECT_EQ(q_raw.external_to_external.reduce_sum(), q_anon.external_to_external.reduce_sum());
+}
+
+TEST(QuadrantsTest, EmptyMatrix) {
+  const Quadrants q = partition_quadrants(gbl::DcsrMatrix{}, Ipv4Prefix(Ipv4(77, 0, 0, 0), 8));
+  EXPECT_EQ(q.external_to_internal.nnz(), 0u);
+  EXPECT_EQ(q.external_to_external.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace obscorr::telescope

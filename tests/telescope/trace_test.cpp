@@ -1,0 +1,131 @@
+#include "telescope/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/prng.hpp"
+#include "telescope/telescope.hpp"
+
+namespace obscorr::telescope {
+namespace {
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(TraceTest, RoundTripPackets) {
+  const std::string path = temp_path("trace_roundtrip.trc");
+  Rng rng(1);
+  std::vector<Packet> original;
+  for (int i = 0; i < 5000; ++i) {
+    original.push_back({Ipv4(rng.next_u32()), Ipv4(rng.next_u32())});
+  }
+  {
+    TraceWriter writer(path);
+    for (const Packet& p : original) writer.write(p);
+    EXPECT_EQ(writer.count(), original.size());
+  }  // destructor finalizes
+  std::vector<Packet> replayed;
+  const std::uint64_t n = replay_trace(path, [&](const Packet& p) { replayed.push_back(p); });
+  EXPECT_EQ(n, original.size());
+  EXPECT_EQ(replayed, original);
+}
+
+TEST(TraceTest, EmptyTrace) {
+  const std::string path = temp_path("trace_empty.trc");
+  {
+    TraceWriter writer(path);
+    writer.close();
+  }
+  EXPECT_EQ(replay_trace(path, [](const Packet&) { FAIL() << "no packets expected"; }), 0u);
+}
+
+TEST(TraceTest, WriteAfterCloseRejected) {
+  const std::string path = temp_path("trace_closed.trc");
+  TraceWriter writer(path);
+  writer.close();
+  EXPECT_THROW(writer.write({Ipv4(1u), Ipv4(2u)}), std::invalid_argument);
+}
+
+TEST(TraceTest, CloseIsIdempotent) {
+  const std::string path = temp_path("trace_idem.trc");
+  TraceWriter writer(path);
+  writer.write({Ipv4(1u), Ipv4(2u)});
+  writer.close();
+  writer.close();
+  EXPECT_EQ(replay_trace(path, [](const Packet&) {}), 1u);
+}
+
+TEST(TraceTest, RejectsMissingFile) {
+  EXPECT_THROW(replay_trace(temp_path("nope.trc"), [](const Packet&) {}),
+               std::invalid_argument);
+}
+
+TEST(TraceTest, RejectsBadMagic) {
+  const std::string path = temp_path("trace_badmagic.trc");
+  std::ofstream(path, std::ios::binary) << "THIS-IS-NOT-A-TRACE-FILE";
+  EXPECT_THROW(replay_trace(path, [](const Packet&) {}), std::invalid_argument);
+}
+
+TEST(TraceTest, RejectsTruncatedRecords) {
+  const std::string path = temp_path("trace_trunc.trc");
+  {
+    TraceWriter writer(path);
+    for (int i = 0; i < 10; ++i) writer.write({Ipv4(1u), Ipv4(2u)});
+  }
+  // Chop the last record in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary) << bytes.substr(0, bytes.size() - 4);
+  EXPECT_THROW(replay_trace(path, [](const Packet&) {}), std::invalid_argument);
+}
+
+TEST(TraceTest, RejectsTrailingGarbage) {
+  const std::string path = temp_path("trace_trailing.trc");
+  {
+    TraceWriter writer(path);
+    writer.write({Ipv4(1u), Ipv4(2u)});
+  }
+  std::ofstream(path, std::ios::binary | std::ios::app) << "junk";
+  EXPECT_THROW(replay_trace(path, [](const Packet&) {}), std::invalid_argument);
+}
+
+TEST(TraceTest, RecordHelperCapturesProducerOutput) {
+  const std::string path = temp_path("trace_record.trc");
+  const std::uint64_t n = record_trace(path, [](const std::function<void(const Packet&)>& sink) {
+    for (int i = 0; i < 25; ++i) sink({Ipv4(static_cast<std::uint32_t>(i)), Ipv4(7u)});
+  });
+  EXPECT_EQ(n, 25u);
+  std::uint64_t seen = 0;
+  replay_trace(path, [&](const Packet& p) {
+    EXPECT_EQ(p.dst, Ipv4(7u));
+    ++seen;
+  });
+  EXPECT_EQ(seen, 25u);
+}
+
+TEST(TraceTest, ReplayedTraceProducesIdenticalTelescopeMatrix) {
+  // Record a window, replay it into a second telescope, and expect the
+  // same anonymized matrix — capture-from-archive equals capture-live.
+  const std::string path = temp_path("trace_capture.trc");
+  ThreadPool pool(2);
+  TelescopeConfig cfg;
+  cfg.darkspace = Ipv4Prefix(Ipv4(77, 0, 0, 0), 16);
+  Telescope live(cfg, pool);
+  Rng rng(9);
+  {
+    TraceWriter writer(path);
+    for (int i = 0; i < 4000; ++i) {
+      const Packet p{Ipv4(rng.next_u32()),
+                     Ipv4(Ipv4(77, 0, 0, 0).value() | (rng.next_u32() & 0xFFFF))};
+      writer.write(p);
+      live.capture(p);
+    }
+  }
+  Telescope replayed(cfg, pool);
+  replay_trace(path, [&](const Packet& p) { replayed.capture(p); });
+  EXPECT_EQ(replayed.finish_window(), live.finish_window());
+}
+
+}  // namespace
+}  // namespace obscorr::telescope

@@ -1,0 +1,161 @@
+/// End-to-end tests of the `obscorr` CLI subcommands through the public
+/// command functions, exercising generate -> capture -> quantities ->
+/// degrees as a chained workflow plus lookup/scaling/usage behaviour.
+
+#include "commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "netgen/population.hpp"
+#include "netgen/scenario.hpp"
+
+namespace obscorr::tools {
+namespace {
+
+std::string temp(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(CliToolTest, HelpAndUnknownCommand) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"help"}, out), 0);
+  EXPECT_NE(out.str().find("usage: obscorr"), std::string::npos);
+  std::ostringstream err;
+  EXPECT_EQ(run({"frobnicate"}, err), 2);
+  EXPECT_NE(err.str().find("unknown command"), std::string::npos);
+  std::ostringstream empty;
+  EXPECT_EQ(run({}, empty), 2);
+}
+
+TEST(CliToolTest, MissingRequiredOptionIsUsageError) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"generate"}, out), 2);
+  EXPECT_NE(out.str().find("--out"), std::string::npos);
+  std::ostringstream out2;
+  EXPECT_EQ(run({"quantities"}, out2), 2);
+}
+
+TEST(CliToolTest, UnknownOptionRejected) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"generate", "--out", temp("x.trc"), "--banana", "3"}, out), 2);
+  EXPECT_NE(out.str().find("banana"), std::string::npos);
+}
+
+TEST(CliToolTest, GenerateCaptureQuantitiesDegreesChain) {
+  const std::string trace = temp("cli_chain.trc");
+  const std::string matrix = temp("cli_chain.gbl");
+
+  std::ostringstream gen;
+  ASSERT_EQ(run({"generate", "--out", trace, "--log2-nv", "14", "--seed", "5"}, gen), 0);
+  EXPECT_NE(gen.str().find("16,384 valid"), std::string::npos);
+
+  std::ostringstream cap;
+  ASSERT_EQ(run({"capture", "--trace", trace, "--out", matrix, "--log2-nv", "14", "--seed", "5"},
+                cap),
+            0);
+  EXPECT_NE(cap.str().find("captured 16,384 valid"), std::string::npos);
+
+  std::ostringstream quant;
+  ASSERT_EQ(run({"quantities", "--matrix", matrix}, quant), 0);
+  EXPECT_NE(quant.str().find("valid packets"), std::string::npos);
+  EXPECT_NE(quant.str().find("16,384"), std::string::npos);
+
+  std::ostringstream deg;
+  ASSERT_EQ(run({"degrees", "--matrix", matrix}, deg), 0);
+  EXPECT_NE(deg.str().find("Zipf-Mandelbrot"), std::string::npos);
+  EXPECT_NE(deg.str().find("power-law MLE"), std::string::npos);
+
+  std::remove(trace.c_str());
+  std::remove(matrix.c_str());
+}
+
+TEST(CliToolTest, CaptureRejectsMissingTrace) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"capture", "--trace", temp("nope.trc"), "--out", temp("nope.gbl")}, out), 2);
+}
+
+TEST(CliToolTest, StudyPrintsCampaignSummary) {
+  std::ostringstream out;
+  ASSERT_EQ(run({"study", "--log2-nv", "14", "--seed", "5"}, out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("campaign inventory"), std::string::npos);
+  EXPECT_NE(text.find("2020-06-17-12:00:00"), std::string::npos);
+  EXPECT_NE(text.find("same-month overlap"), std::string::npos);
+  EXPECT_NE(text.find("modified Cauchy"), std::string::npos);
+}
+
+TEST(CliToolTest, LookupFindsAPersistentSourceAndMissesAStranger) {
+  // The rank-0 source is nearly always catalogued; grab its IP from the
+  // deterministic population and look it up.
+  const auto scenario = netgen::Scenario::paper(14, 5);
+  const netgen::Population population(scenario.population);
+  const std::string bright_ip = population.source(0).ip.to_string();
+
+  std::ostringstream hit;
+  ASSERT_EQ(run({"lookup", "--ip", bright_ip, "--log2-nv", "14", "--seed", "5"}, hit), 0);
+  EXPECT_NE(hit.str().find("seen in"), std::string::npos);
+
+  std::ostringstream miss;
+  ASSERT_EQ(run({"lookup", "--ip", "203.0.113.7", "--log2-nv", "14", "--seed", "5"}, miss), 0);
+  EXPECT_NE(miss.str().find("never observed"), std::string::npos);
+
+  std::ostringstream bad;
+  EXPECT_EQ(run({"lookup", "--ip", "not-an-ip", "--log2-nv", "14"}, bad), 2);
+}
+
+TEST(CliToolTest, ReportWritesAllArtifacts) {
+  const std::string dir = ::testing::TempDir();
+  std::ostringstream out;
+  ASSERT_EQ(run({"report", "--out", dir, "--log2-nv", "14", "--seed", "5"}, out), 0);
+  for (const char* name :
+       {"table1_inventory.csv", "fig3_degree_distribution.csv", "fig4_peak_correlation.csv",
+        "fig5_fig6_temporal_curves.csv", "fig7_fig8_fit_parameters.csv", "REPORT.md"}) {
+    std::ifstream file(dir + "/" + name);
+    EXPECT_TRUE(file.is_open()) << name;
+    std::string first_line;
+    std::getline(file, first_line);
+    EXPECT_FALSE(first_line.empty()) << name;
+    std::remove((dir + "/" + name).c_str());
+  }
+  std::ostringstream err;
+  EXPECT_EQ(run({"report", "--out", dir + "/no/such/dir"}, err), 2);
+}
+
+TEST(CliToolTest, PrefixesAnalyzesArchivedMatrix) {
+  const std::string trace = temp("cli_prefix.trc");
+  const std::string matrix = temp("cli_prefix.gbl");
+  std::ostringstream io;
+  ASSERT_EQ(run({"generate", "--out", trace, "--log2-nv", "14", "--seed", "5"}, io), 0);
+  ASSERT_EQ(run({"capture", "--trace", trace, "--out", matrix, "--log2-nv", "14", "--seed", "5"},
+                io),
+            0);
+  std::ostringstream out;
+  ASSERT_EQ(run({"prefixes", "--matrix", matrix, "--length", "12"}, out), 0);
+  EXPECT_NE(out.str().find("top-10 packet share"), std::string::npos);
+  EXPECT_NE(out.str().find("Gini"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(matrix.c_str());
+}
+
+TEST(CliToolTest, OutOfRangeScaleIsUsageError) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"study", "--log2-nv", "5"}, out), 2);
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+  std::ostringstream out2;
+  EXPECT_EQ(run({"lookup", "--ip", "1.2.3.4", "--log2-nv", "99"}, out2), 2);
+}
+
+TEST(CliToolTest, NonNumericOptionIsUsageError) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"study", "--log2-nv", "abc"}, out), 2);
+}
+
+TEST(CliToolTest, ScalingPrintsExponent) {
+  std::ostringstream out;
+  ASSERT_EQ(run({"scaling", "--log2-nv", "13", "--seed", "5"}, out), 0);
+  EXPECT_NE(out.str().find("fitted source exponent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obscorr::tools

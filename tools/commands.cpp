@@ -1,0 +1,424 @@
+#include "commands.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/correlation.hpp"
+#include "core/degree_analysis.hpp"
+#include "core/prefix_analysis.hpp"
+#include "core/scaling_analysis.hpp"
+#include "core/study.hpp"
+#include "gbl/matrix_io.hpp"
+#include "gbl/quantities.hpp"
+#include "honeyfarm/database.hpp"
+#include "netgen/scenario.hpp"
+#include "netgen/traffic.hpp"
+#include "stats/histogram.hpp"
+#include "stats/powerlaw.hpp"
+#include "stats/zipf.hpp"
+#include "telescope/telescope.hpp"
+#include "telescope/trace.hpp"
+
+namespace obscorr::tools {
+
+namespace {
+
+/// Shared option plumbing: every subcommand accepts --log2-nv / --seed.
+struct Common {
+  int log2_nv;
+  std::uint64_t seed;
+};
+
+Common common_options(const CliArgs& args, int default_log2_nv) {
+  Common c;
+  c.log2_nv = static_cast<int>(args.get_int("log2-nv", default_log2_nv));
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return c;
+}
+
+void reject_unused(const CliArgs& args) {
+  const auto stray = args.unused();
+  OBSCORR_REQUIRE(stray.empty(), "unknown option --" + (stray.empty() ? "" : stray.front()));
+}
+
+telescope::TelescopeConfig scope_config(const netgen::Scenario& scenario) {
+  telescope::TelescopeConfig cfg;
+  cfg.darkspace = scenario.traffic.darkspace;
+  cfg.legit_prefixes = {scenario.traffic.legit_prefix};
+  cfg.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
+  return cfg;
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(obscorr — Internet observatory/outpost correlation toolkit
+
+usage: obscorr <command> [options]
+
+commands:
+  generate    write one constant-packet capture window to a trace file
+                --out FILE [--log2-nv K=18] [--seed S] [--month-index M=0]
+  capture     replay a trace through the telescope into an archived matrix
+                --trace FILE --out FILE [--log2-nv K=18] [--seed S]
+  quantities  print every Table II network quantity of an archived matrix
+                --matrix FILE
+  degrees     source-packet distribution + Zipf-Mandelbrot and power-law fits
+                --matrix FILE
+  study       run the full 15-month campaign and print the headline results
+                [--log2-nv K=16] [--seed S]
+  lookup      query the honeyfarm database for a source profile
+                --ip A.B.C.D [--log2-nv K=16] [--seed S]
+  scaling     window-size scaling ladder (sources ~ sqrt(N_V))
+                [--log2-nv K=18] [--seed S]
+  report      regenerate every table/figure as CSV + REPORT.md in a directory
+                --out DIR [--log2-nv K=16] [--seed S]
+  prefixes    prefix-level concentration of an archived matrix's sources
+                --matrix FILE [--length L=16]
+  help        this text
+
+environment: results are deterministic per --seed; sizes scale with --log2-nv.
+)";
+}
+
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const Common c = common_options(cli, 18);
+  const auto path = cli.get("out");
+  OBSCORR_REQUIRE(path.has_value(), "generate: --out FILE is required");
+  const int month = static_cast<int>(cli.get_int("month-index", 0));
+  reject_unused(cli);
+
+  const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
+  const netgen::Population population(scenario.population);
+  const netgen::TrafficGenerator generator(population, scenario.traffic);
+  const std::uint64_t packets = telescope::record_trace(
+      *path, [&](const std::function<void(const Packet&)>& sink) {
+        generator.stream_window(month, scenario.nv(), 1, sink);
+      });
+  out << "wrote " << fmt_count(packets) << " packets (" << fmt_count(scenario.nv())
+      << " valid) to " << *path << '\n';
+  return 0;
+}
+
+int cmd_capture(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const Common c = common_options(cli, 18);
+  const auto trace = cli.get("trace");
+  const auto matrix_path = cli.get("out");
+  OBSCORR_REQUIRE(trace.has_value() && matrix_path.has_value(),
+                  "capture: --trace FILE and --out FILE are required");
+  reject_unused(cli);
+
+  const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
+  ThreadPool pool;
+  telescope::Telescope scope(scope_config(scenario), pool);
+  const std::uint64_t replayed =
+      telescope::replay_trace(*trace, [&](const Packet& p) { scope.capture(p); });
+  const gbl::DcsrMatrix matrix = scope.finish_window();
+  gbl::save_matrix(*matrix_path, matrix);
+  out << "replayed " << fmt_count(replayed) << " packets, captured "
+      << fmt_count(static_cast<std::uint64_t>(matrix.reduce_sum())) << " valid ("
+      << fmt_count(scope.discarded_packets()) << " discarded), archived "
+      << fmt_count(matrix.nnz()) << " matrix entries to " << *matrix_path << '\n';
+  return 0;
+}
+
+int cmd_quantities(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const auto path = cli.get("matrix");
+  OBSCORR_REQUIRE(path.has_value(), "quantities: --matrix FILE is required");
+  reject_unused(cli);
+
+  const gbl::DcsrMatrix matrix = gbl::load_matrix(*path);
+  const gbl::AggregateQuantities q = gbl::aggregate_quantities(matrix);
+  TextTable table("Table II network quantities of " + *path);
+  table.set_header({"quantity", "value"});
+  table.add_row({"valid packets", fmt_count(static_cast<std::uint64_t>(q.valid_packets))});
+  table.add_row({"unique links", fmt_count(q.unique_links)});
+  table.add_row({"max link packets", fmt_double(q.max_link_packets, 0)});
+  table.add_row({"unique sources", fmt_count(q.unique_sources)});
+  table.add_row({"max source packets", fmt_double(q.max_source_packets, 0)});
+  table.add_row({"max source fan-out", fmt_double(q.max_source_fanout, 0)});
+  table.add_row({"unique destinations", fmt_count(q.unique_destinations)});
+  table.add_row({"max destination packets", fmt_double(q.max_destination_packets, 0)});
+  table.add_row({"max destination fan-in", fmt_double(q.max_destination_fanin, 0)});
+  table.print(out);
+  return 0;
+}
+
+int cmd_degrees(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const auto path = cli.get("matrix");
+  OBSCORR_REQUIRE(path.has_value(), "degrees: --matrix FILE is required");
+  reject_unused(cli);
+
+  const gbl::DcsrMatrix matrix = gbl::load_matrix(*path);
+  const gbl::SparseVec sources = matrix.reduce_rows();
+  const auto hist = stats::LogHistogram::from_sparse_vec(sources);
+  OBSCORR_REQUIRE(hist.total() > 0, "degrees: matrix has no sources");
+  const auto dcp = hist.differential_cumulative();
+
+  TextTable table("source-packet differential cumulative probability");
+  table.set_header({"d bin", "sources", "D(d)"});
+  for (int b = 0; b < hist.bin_count(); ++b) {
+    table.add_row({"2^" + std::to_string(b), fmt_count(hist.count(b)),
+                   fmt_sci(dcp[static_cast<std::size_t>(b)], 3)});
+  }
+  table.print(out);
+
+  const auto zm = stats::fit_zipf_mandelbrot(hist);
+  out << "\nZipf-Mandelbrot: p(d) ~ 1/(d + " << fmt_double(zm.model.delta, 2) << ")^"
+      << fmt_double(zm.model.alpha, 3) << "  (| |^(1/2) residual " << fmt_double(zm.residual, 3)
+      << ")\n";
+  const std::vector<double> degrees(sources.values().begin(), sources.values().end());
+  const auto pl = stats::fit_power_law(degrees, 25);
+  out << "power-law MLE:   alpha=" << fmt_double(pl.alpha, 3) << " for d >= " << pl.d_min
+      << "  (KS " << fmt_double(pl.ks, 4) << ", tail n=" << fmt_count(pl.tail_count) << ")\n";
+  return 0;
+}
+
+int cmd_study(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const Common c = common_options(cli, 16);
+  reject_unused(cli);
+
+  ThreadPool pool;
+  const auto study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
+
+  TextTable inventory("campaign inventory (Table I shape)");
+  inventory.set_header({"month", "GreyNoise sources", "CAIDA snapshot", "CAIDA sources"});
+  for (std::size_t m = 0; m < study.months.size(); ++m) {
+    std::string snap_label, snap_sources;
+    for (const auto& snap : study.snapshots) {
+      if (snap.month_index == static_cast<int>(m)) {
+        snap_label = snap.spec.start_label;
+        snap_sources = fmt_count(snap.sources.row_keys().size());
+      }
+    }
+    inventory.add_row({study.months[m].month.to_string(),
+                       fmt_count(study.months[m].total_sources()), snap_label, snap_sources});
+  }
+  inventory.print(out);
+
+  out << "\nsame-month overlap by brightness (Fig. 4 shape):\n";
+  for (const auto& b : core::peak_correlation_all(study)) {
+    if (b.caida_sources < 50) continue;
+    out << "  d in [2^" << b.bin << ",2^" << b.bin + 1 << "): " << fmt_percent(b.fraction, 1)
+        << " seen (log-law " << fmt_percent(b.model, 1) << ")\n";
+  }
+
+  const int bin = static_cast<int>(study.half_log_nv()) - 2;
+  const auto curve = core::temporal_correlation(study.snapshots[0], study, bin, 10);
+  if (curve) {
+    out << "\ntemporal fit for d in [2^" << bin << ",2^" << bin + 1
+        << "): modified Cauchy alpha=" << fmt_double(curve->modified_cauchy.model.alpha, 2)
+        << " beta=" << fmt_double(curve->modified_cauchy.model.beta, 2) << " (one-month drop "
+        << fmt_percent(curve->modified_cauchy.model.one_month_drop(), 1) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_lookup(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const Common c = common_options(cli, 16);
+  const auto ip_text = cli.get("ip");
+  OBSCORR_REQUIRE(ip_text.has_value(), "lookup: --ip A.B.C.D is required");
+  reject_unused(cli);
+  OBSCORR_REQUIRE(Ipv4::parse(*ip_text).has_value(), "lookup: malformed address " + *ip_text);
+
+  const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
+  const netgen::Population population(scenario.population);
+  const honeyfarm::Honeyfarm farm(population, scenario.visibility,
+                                  scenario.population.seed ^ 0x64E4015EULL);
+  std::vector<honeyfarm::MonthlyObservation> months;
+  for (std::size_t m = 0; m < scenario.months.size(); ++m) {
+    months.push_back(farm.observe_month(scenario.months[m], static_cast<int>(m)));
+  }
+  const honeyfarm::Database db(std::move(months));
+  out << "database: " << fmt_count(db.distinct_sources()) << " distinct sources over "
+      << db.month_count() << " months\n";
+
+  const auto profile = db.lookup(*ip_text);
+  if (!profile) {
+    out << *ip_text << ": never observed\n";
+    return 0;
+  }
+  out << profile->ip << ": seen in " << profile->months_seen << " months ("
+      << profile->first_seen->to_string() << " .. " << profile->last_seen->to_string()
+      << "), classification=" << profile->classification
+      << (profile->intent.empty() ? "" : ", intent=" + profile->intent)
+      << ", peak contacts=" << fmt_count(static_cast<std::uint64_t>(profile->peak_contacts))
+      << '\n';
+  return 0;
+}
+
+int cmd_scaling(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const Common c = common_options(cli, 18);
+  reject_unused(cli);
+
+  ThreadPool pool;
+  const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
+  const auto analysis = core::scaling_analysis(scenario, 0, 10, c.log2_nv, pool);
+  TextTable table("window-size scaling");
+  table.set_header({"N_V", "unique sources", "sources/sqrt(N_V)"});
+  for (const auto& p : analysis.points) {
+    table.add_row({"2^" + std::to_string(p.log2_nv), fmt_count(p.unique_sources),
+                   fmt_double(static_cast<double>(p.unique_sources) /
+                                  std::exp2(static_cast<double>(p.log2_nv) / 2.0), 1)});
+  }
+  table.print(out);
+  out << "fitted source exponent: " << fmt_double(analysis.source_exponent, 3)
+      << "  (paper: ~0.5)\n";
+  return 0;
+}
+
+int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const Common c = common_options(cli, 16);
+  const auto dir = cli.get("out");
+  OBSCORR_REQUIRE(dir.has_value(), "report: --out DIR is required");
+  reject_unused(cli);
+
+  const auto csv = [&](const TextTable& table, const std::string& name) {
+    const std::string path = *dir + "/" + name + ".csv";
+    std::ofstream os(path);
+    OBSCORR_REQUIRE(os.is_open(), "report: cannot write " + path);
+    table.print_csv(os);
+    out << "wrote " << path << '\n';
+  };
+
+  ThreadPool pool;
+  const auto study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
+
+  // Table I.
+  TextTable t1;
+  t1.set_header({"month", "greynoise_sources", "caida_label", "caida_sources",
+                 "caida_duration_sec"});
+  for (std::size_t m = 0; m < study.months.size(); ++m) {
+    std::string label, sources, duration;
+    for (const auto& snap : study.snapshots) {
+      if (snap.month_index == static_cast<int>(m)) {
+        label = snap.spec.start_label;
+        sources = std::to_string(snap.sources.row_keys().size());
+        duration = fmt_double(snap.duration_sec, 3);
+      }
+    }
+    t1.add_row({study.months[m].month.to_string(),
+                std::to_string(study.months[m].total_sources()), label, sources, duration});
+  }
+  csv(t1, "table1_inventory");
+
+  // Figure 3.
+  const auto analyses = core::analyze_all_degrees(study);
+  TextTable f3;
+  f3.set_header({"d_bin", "snapshot", "dcp"});
+  for (const auto& a : analyses) {
+    for (int b = 0; b < a.histogram.bin_count(); ++b) {
+      f3.add_row({std::to_string(b), a.label, fmt_sci(a.dcp[static_cast<std::size_t>(b)], 6)});
+    }
+  }
+  csv(f3, "fig3_degree_distribution");
+
+  // Figure 4.
+  TextTable f4;
+  f4.set_header({"d_bin", "caida_sources", "matched", "fraction", "log_law"});
+  for (const auto& b : core::peak_correlation_all(study)) {
+    if (b.caida_sources == 0) continue;
+    f4.add_row({std::to_string(b.bin), std::to_string(b.caida_sources),
+                std::to_string(b.matched), fmt_double(b.fraction, 6), fmt_double(b.model, 6)});
+  }
+  csv(f4, "fig4_peak_correlation");
+
+  // Figures 5-8 from the fit grid.
+  const auto grid = core::fit_grid(study, 20);
+  TextTable f6;
+  f6.set_header({"snapshot", "d_bin", "dt_months", "fraction", "fit"});
+  TextTable f78;
+  f78.set_header({"snapshot", "d_bin", "sources", "alpha", "beta", "one_month_drop"});
+  for (const auto& cell : grid) {
+    const auto& snap = study.snapshots[cell.snapshot].spec.start_label;
+    const auto& mc = cell.curve.modified_cauchy;
+    for (std::size_t i = 0; i < cell.curve.series.dt.size(); ++i) {
+      f6.add_row({snap, std::to_string(cell.curve.bin),
+                  fmt_double(cell.curve.series.dt[i], 0),
+                  fmt_double(cell.curve.series.fraction[i], 6),
+                  fmt_double(mc.amplitude * mc.model.value(cell.curve.series.dt[i]), 6)});
+    }
+    f78.add_row({snap, std::to_string(cell.curve.bin), std::to_string(cell.curve.bin_sources),
+                 fmt_double(mc.model.alpha, 4), fmt_double(mc.model.beta, 4),
+                 fmt_double(mc.model.one_month_drop(), 4)});
+  }
+  csv(f6, "fig5_fig6_temporal_curves");
+  csv(f78, "fig7_fig8_fit_parameters");
+
+  // REPORT.md: the headline summary.
+  const std::string report_path = *dir + "/REPORT.md";
+  std::ofstream report(report_path);
+  OBSCORR_REQUIRE(report.is_open(), "report: cannot write " + report_path);
+  report << "# obscorr reproduction report\n\n"
+         << "- window: N_V = 2^" << c.log2_nv << " packets (paper: 2^30), seed " << c.seed
+         << "\n- snapshots: " << study.snapshots.size() << ", honeyfarm months: "
+         << study.months.size() << "\n- CSV series: table1_inventory, "
+         << "fig3_degree_distribution, fig4_peak_correlation, fig5_fig6_temporal_curves, "
+         << "fig7_fig8_fit_parameters\n\n"
+         << "See EXPERIMENTS.md in the repository root for paper-vs-measured analysis.\n";
+  out << "wrote " << report_path << '\n';
+  return 0;
+}
+
+int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const auto path = cli.get("matrix");
+  OBSCORR_REQUIRE(path.has_value(), "prefixes: --matrix FILE is required");
+  const int length = static_cast<int>(cli.get_int("length", 16));
+  reject_unused(cli);
+
+  const gbl::DcsrMatrix matrix = gbl::load_matrix(*path);
+  const auto analysis = core::analyze_prefixes(matrix.reduce_rows(), length);
+  TextTable table("source concentration by /" + std::to_string(length) +
+                  " prefix (anonymized ids; prefix structure is CryptoPAN-invariant)");
+  table.set_header({"rank", "prefix bits", "sources", "packets"});
+  for (std::size_t i = 0; i < analysis.buckets.size() && i < 15; ++i) {
+    const auto& b = analysis.buckets[i];
+    table.add_row({std::to_string(i + 1), std::to_string(b.prefix_bits), fmt_count(b.sources),
+                   fmt_count(static_cast<std::uint64_t>(b.packets))});
+  }
+  table.print(out);
+  out << "prefixes: " << fmt_count(analysis.buckets.size())
+      << ", top-10 packet share: " << fmt_percent(analysis.top10_packet_share, 1)
+      << ", source Gini: " << fmt_double(analysis.source_gini, 3) << '\n';
+  return 0;
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args.front() == "help" || args.front() == "--help") {
+    out << usage();
+    return args.empty() ? 2 : 0;
+  }
+  const std::string command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "generate") return cmd_generate(rest, out);
+    if (command == "capture") return cmd_capture(rest, out);
+    if (command == "quantities") return cmd_quantities(rest, out);
+    if (command == "degrees") return cmd_degrees(rest, out);
+    if (command == "study") return cmd_study(rest, out);
+    if (command == "lookup") return cmd_lookup(rest, out);
+    if (command == "scaling") return cmd_scaling(rest, out);
+    if (command == "report") return cmd_report(rest, out);
+    if (command == "prefixes") return cmd_prefixes(rest, out);
+  } catch (const std::invalid_argument& e) {
+    out << "error: " << e.what() << '\n';
+    return 2;
+  }
+  out << "error: unknown command '" << command << "'\n\n" << usage();
+  return 2;
+}
+
+}  // namespace obscorr::tools

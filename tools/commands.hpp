@@ -1,0 +1,34 @@
+#pragma once
+/// \file commands.hpp
+/// The `obscorr` command-line tool: every subcommand as a testable
+/// function of (args, output stream). The tool drives the public library
+/// API end to end — generate traffic, capture windows, archive matrices,
+/// analyze distributions, run the full cross-observatory study, and query
+/// the honeyfarm database — so a downstream user can reproduce the
+/// paper's workflow without writing C++.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace obscorr::tools {
+
+/// Dispatch `args` (subcommand first) writing human-readable output to
+/// `out`. Returns a process exit code (0 success, 2 usage error).
+int run(const std::vector<std::string>& args, std::ostream& out);
+
+/// Individual subcommands (exposed for unit tests).
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out);
+int cmd_capture(const std::vector<std::string>& args, std::ostream& out);
+int cmd_quantities(const std::vector<std::string>& args, std::ostream& out);
+int cmd_degrees(const std::vector<std::string>& args, std::ostream& out);
+int cmd_study(const std::vector<std::string>& args, std::ostream& out);
+int cmd_lookup(const std::vector<std::string>& args, std::ostream& out);
+int cmd_scaling(const std::vector<std::string>& args, std::ostream& out);
+int cmd_report(const std::vector<std::string>& args, std::ostream& out);
+int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out);
+
+/// The usage text printed by `obscorr help` and on errors.
+std::string usage();
+
+}  // namespace obscorr::tools

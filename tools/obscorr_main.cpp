@@ -1,0 +1,14 @@
+/// Entry point of the `obscorr` command-line tool; all logic lives in
+/// the testable commands library.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return obscorr::tools::run(args, std::cout);
+}
