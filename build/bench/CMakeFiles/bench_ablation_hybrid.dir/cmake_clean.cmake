@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hybrid.dir/bench_ablation_hybrid.cpp.o"
+  "CMakeFiles/bench_ablation_hybrid.dir/bench_ablation_hybrid.cpp.o.d"
+  "CMakeFiles/bench_ablation_hybrid.dir/study_cache.cpp.o"
+  "CMakeFiles/bench_ablation_hybrid.dir/study_cache.cpp.o.d"
+  "bench_ablation_hybrid"
+  "bench_ablation_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

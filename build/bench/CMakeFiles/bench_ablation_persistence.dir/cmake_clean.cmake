@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_persistence.dir/bench_ablation_persistence.cpp.o"
+  "CMakeFiles/bench_ablation_persistence.dir/bench_ablation_persistence.cpp.o.d"
+  "CMakeFiles/bench_ablation_persistence.dir/study_cache.cpp.o"
+  "CMakeFiles/bench_ablation_persistence.dir/study_cache.cpp.o.d"
+  "bench_ablation_persistence"
+  "bench_ablation_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_degree_dist.dir/bench_fig3_degree_dist.cpp.o"
+  "CMakeFiles/bench_fig3_degree_dist.dir/bench_fig3_degree_dist.cpp.o.d"
+  "CMakeFiles/bench_fig3_degree_dist.dir/study_cache.cpp.o"
+  "CMakeFiles/bench_fig3_degree_dist.dir/study_cache.cpp.o.d"
+  "bench_fig3_degree_dist"
+  "bench_fig3_degree_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_degree_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_peak_corr.dir/bench_fig4_peak_corr.cpp.o"
+  "CMakeFiles/bench_fig4_peak_corr.dir/bench_fig4_peak_corr.cpp.o.d"
+  "CMakeFiles/bench_fig4_peak_corr.dir/study_cache.cpp.o"
+  "CMakeFiles/bench_fig4_peak_corr.dir/study_cache.cpp.o.d"
+  "bench_fig4_peak_corr"
+  "bench_fig4_peak_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_peak_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

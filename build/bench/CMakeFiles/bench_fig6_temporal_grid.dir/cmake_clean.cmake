@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_temporal_grid.dir/bench_fig6_temporal_grid.cpp.o"
+  "CMakeFiles/bench_fig6_temporal_grid.dir/bench_fig6_temporal_grid.cpp.o.d"
+  "CMakeFiles/bench_fig6_temporal_grid.dir/study_cache.cpp.o"
+  "CMakeFiles/bench_fig6_temporal_grid.dir/study_cache.cpp.o.d"
+  "bench_fig6_temporal_grid"
+  "bench_fig6_temporal_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_temporal_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

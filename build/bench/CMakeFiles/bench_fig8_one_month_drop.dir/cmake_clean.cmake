@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_one_month_drop.dir/bench_fig8_one_month_drop.cpp.o"
+  "CMakeFiles/bench_fig8_one_month_drop.dir/bench_fig8_one_month_drop.cpp.o.d"
+  "CMakeFiles/bench_fig8_one_month_drop.dir/study_cache.cpp.o"
+  "CMakeFiles/bench_fig8_one_month_drop.dir/study_cache.cpp.o.d"
+  "bench_fig8_one_month_drop"
+  "bench_fig8_one_month_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_one_month_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_crypt.dir/bench_perf_crypt.cpp.o"
+  "CMakeFiles/bench_perf_crypt.dir/bench_perf_crypt.cpp.o.d"
+  "bench_perf_crypt"
+  "bench_perf_crypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_crypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_d4m.dir/bench_perf_d4m.cpp.o"
+  "CMakeFiles/bench_perf_d4m.dir/bench_perf_d4m.cpp.o.d"
+  "bench_perf_d4m"
+  "bench_perf_d4m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_d4m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_hypersparse.dir/bench_perf_hypersparse.cpp.o"
+  "CMakeFiles/bench_perf_hypersparse.dir/bench_perf_hypersparse.cpp.o.d"
+  "bench_perf_hypersparse"
+  "bench_perf_hypersparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_hypersparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_sources.dir/bench_scaling_sources.cpp.o"
+  "CMakeFiles/bench_scaling_sources.dir/bench_scaling_sources.cpp.o.d"
+  "CMakeFiles/bench_scaling_sources.dir/study_cache.cpp.o"
+  "CMakeFiles/bench_scaling_sources.dir/study_cache.cpp.o.d"
+  "bench_scaling_sources"
+  "bench_scaling_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_quantities.dir/bench_table2_quantities.cpp.o"
+  "CMakeFiles/bench_table2_quantities.dir/bench_table2_quantities.cpp.o.d"
+  "CMakeFiles/bench_table2_quantities.dir/study_cache.cpp.o"
+  "CMakeFiles/bench_table2_quantities.dir/study_cache.cpp.o.d"
+  "bench_table2_quantities"
+  "bench_table2_quantities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_quantities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymize_share.dir/anonymize_share.cpp.o"
+  "CMakeFiles/anonymize_share.dir/anonymize_share.cpp.o.d"
+  "anonymize_share"
+  "anonymize_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymize_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

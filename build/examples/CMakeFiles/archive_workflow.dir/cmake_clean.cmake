@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_workflow.dir/archive_workflow.cpp.o"
+  "CMakeFiles/archive_workflow.dir/archive_workflow.cpp.o.d"
+  "archive_workflow"
+  "archive_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

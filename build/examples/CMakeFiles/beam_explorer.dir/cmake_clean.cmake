@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_explorer.dir/beam_explorer.cpp.o"
+  "CMakeFiles/beam_explorer.dir/beam_explorer.cpp.o.d"
+  "beam_explorer"
+  "beam_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cross_observatory.cpp" "examples/CMakeFiles/cross_observatory.dir/cross_observatory.cpp.o" "gcc" "examples/CMakeFiles/cross_observatory.dir/cross_observatory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/obscorr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/honeyfarm/CMakeFiles/obscorr_honeyfarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/obscorr_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/obscorr_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/obscorr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypt/CMakeFiles/obscorr_crypt.dir/DependInfo.cmake"
+  "/root/repo/build/src/d4m/CMakeFiles/obscorr_d4m.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbl/CMakeFiles/obscorr_gbl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_observatory.dir/cross_observatory.cpp.o"
+  "CMakeFiles/cross_observatory.dir/cross_observatory.cpp.o.d"
+  "cross_observatory"
+  "cross_observatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_observatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darknet_monitor.dir/darknet_monitor.cpp.o"
+  "CMakeFiles/darknet_monitor.dir/darknet_monitor.cpp.o.d"
+  "darknet_monitor"
+  "darknet_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darknet_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

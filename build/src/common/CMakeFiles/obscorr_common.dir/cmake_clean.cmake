@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_common.dir/binning.cpp.o"
+  "CMakeFiles/obscorr_common.dir/binning.cpp.o.d"
+  "CMakeFiles/obscorr_common.dir/cli.cpp.o"
+  "CMakeFiles/obscorr_common.dir/cli.cpp.o.d"
+  "CMakeFiles/obscorr_common.dir/env.cpp.o"
+  "CMakeFiles/obscorr_common.dir/env.cpp.o.d"
+  "CMakeFiles/obscorr_common.dir/ipv4.cpp.o"
+  "CMakeFiles/obscorr_common.dir/ipv4.cpp.o.d"
+  "CMakeFiles/obscorr_common.dir/prng.cpp.o"
+  "CMakeFiles/obscorr_common.dir/prng.cpp.o.d"
+  "CMakeFiles/obscorr_common.dir/table.cpp.o"
+  "CMakeFiles/obscorr_common.dir/table.cpp.o.d"
+  "CMakeFiles/obscorr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/obscorr_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/obscorr_common.dir/timeline.cpp.o"
+  "CMakeFiles/obscorr_common.dir/timeline.cpp.o.d"
+  "libobscorr_common.a"
+  "libobscorr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

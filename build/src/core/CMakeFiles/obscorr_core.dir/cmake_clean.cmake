@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_core.dir/correlation.cpp.o"
+  "CMakeFiles/obscorr_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/obscorr_core.dir/degree_analysis.cpp.o"
+  "CMakeFiles/obscorr_core.dir/degree_analysis.cpp.o.d"
+  "CMakeFiles/obscorr_core.dir/prefix_analysis.cpp.o"
+  "CMakeFiles/obscorr_core.dir/prefix_analysis.cpp.o.d"
+  "CMakeFiles/obscorr_core.dir/scaling_analysis.cpp.o"
+  "CMakeFiles/obscorr_core.dir/scaling_analysis.cpp.o.d"
+  "CMakeFiles/obscorr_core.dir/study.cpp.o"
+  "CMakeFiles/obscorr_core.dir/study.cpp.o.d"
+  "CMakeFiles/obscorr_core.dir/window_series.cpp.o"
+  "CMakeFiles/obscorr_core.dir/window_series.cpp.o.d"
+  "libobscorr_core.a"
+  "libobscorr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypt/aes128.cpp" "src/crypt/CMakeFiles/obscorr_crypt.dir/aes128.cpp.o" "gcc" "src/crypt/CMakeFiles/obscorr_crypt.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypt/anon_table.cpp" "src/crypt/CMakeFiles/obscorr_crypt.dir/anon_table.cpp.o" "gcc" "src/crypt/CMakeFiles/obscorr_crypt.dir/anon_table.cpp.o.d"
+  "/root/repo/src/crypt/cryptopan.cpp" "src/crypt/CMakeFiles/obscorr_crypt.dir/cryptopan.cpp.o" "gcc" "src/crypt/CMakeFiles/obscorr_crypt.dir/cryptopan.cpp.o.d"
+  "/root/repo/src/crypt/siphash.cpp" "src/crypt/CMakeFiles/obscorr_crypt.dir/siphash.cpp.o" "gcc" "src/crypt/CMakeFiles/obscorr_crypt.dir/siphash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

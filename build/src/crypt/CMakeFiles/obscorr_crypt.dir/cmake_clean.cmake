@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_crypt.dir/aes128.cpp.o"
+  "CMakeFiles/obscorr_crypt.dir/aes128.cpp.o.d"
+  "CMakeFiles/obscorr_crypt.dir/anon_table.cpp.o"
+  "CMakeFiles/obscorr_crypt.dir/anon_table.cpp.o.d"
+  "CMakeFiles/obscorr_crypt.dir/cryptopan.cpp.o"
+  "CMakeFiles/obscorr_crypt.dir/cryptopan.cpp.o.d"
+  "CMakeFiles/obscorr_crypt.dir/siphash.cpp.o"
+  "CMakeFiles/obscorr_crypt.dir/siphash.cpp.o.d"
+  "libobscorr_crypt.a"
+  "libobscorr_crypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_crypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/d4m/assoc.cpp" "src/d4m/CMakeFiles/obscorr_d4m.dir/assoc.cpp.o" "gcc" "src/d4m/CMakeFiles/obscorr_d4m.dir/assoc.cpp.o.d"
+  "/root/repo/src/d4m/gbl_bridge.cpp" "src/d4m/CMakeFiles/obscorr_d4m.dir/gbl_bridge.cpp.o" "gcc" "src/d4m/CMakeFiles/obscorr_d4m.dir/gbl_bridge.cpp.o.d"
+  "/root/repo/src/d4m/str_assoc.cpp" "src/d4m/CMakeFiles/obscorr_d4m.dir/str_assoc.cpp.o" "gcc" "src/d4m/CMakeFiles/obscorr_d4m.dir/str_assoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbl/CMakeFiles/obscorr_gbl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_d4m.dir/assoc.cpp.o"
+  "CMakeFiles/obscorr_d4m.dir/assoc.cpp.o.d"
+  "CMakeFiles/obscorr_d4m.dir/gbl_bridge.cpp.o"
+  "CMakeFiles/obscorr_d4m.dir/gbl_bridge.cpp.o.d"
+  "CMakeFiles/obscorr_d4m.dir/str_assoc.cpp.o"
+  "CMakeFiles/obscorr_d4m.dir/str_assoc.cpp.o.d"
+  "libobscorr_d4m.a"
+  "libobscorr_d4m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_d4m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

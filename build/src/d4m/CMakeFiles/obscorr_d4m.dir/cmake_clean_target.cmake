@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libobscorr_d4m.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbl/coo.cpp" "src/gbl/CMakeFiles/obscorr_gbl.dir/coo.cpp.o" "gcc" "src/gbl/CMakeFiles/obscorr_gbl.dir/coo.cpp.o.d"
+  "/root/repo/src/gbl/dcsr.cpp" "src/gbl/CMakeFiles/obscorr_gbl.dir/dcsr.cpp.o" "gcc" "src/gbl/CMakeFiles/obscorr_gbl.dir/dcsr.cpp.o.d"
+  "/root/repo/src/gbl/hierarchical.cpp" "src/gbl/CMakeFiles/obscorr_gbl.dir/hierarchical.cpp.o" "gcc" "src/gbl/CMakeFiles/obscorr_gbl.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/gbl/matrix_io.cpp" "src/gbl/CMakeFiles/obscorr_gbl.dir/matrix_io.cpp.o" "gcc" "src/gbl/CMakeFiles/obscorr_gbl.dir/matrix_io.cpp.o.d"
+  "/root/repo/src/gbl/quantities.cpp" "src/gbl/CMakeFiles/obscorr_gbl.dir/quantities.cpp.o" "gcc" "src/gbl/CMakeFiles/obscorr_gbl.dir/quantities.cpp.o.d"
+  "/root/repo/src/gbl/sparse_vec.cpp" "src/gbl/CMakeFiles/obscorr_gbl.dir/sparse_vec.cpp.o" "gcc" "src/gbl/CMakeFiles/obscorr_gbl.dir/sparse_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_gbl.dir/coo.cpp.o"
+  "CMakeFiles/obscorr_gbl.dir/coo.cpp.o.d"
+  "CMakeFiles/obscorr_gbl.dir/dcsr.cpp.o"
+  "CMakeFiles/obscorr_gbl.dir/dcsr.cpp.o.d"
+  "CMakeFiles/obscorr_gbl.dir/hierarchical.cpp.o"
+  "CMakeFiles/obscorr_gbl.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/obscorr_gbl.dir/matrix_io.cpp.o"
+  "CMakeFiles/obscorr_gbl.dir/matrix_io.cpp.o.d"
+  "CMakeFiles/obscorr_gbl.dir/quantities.cpp.o"
+  "CMakeFiles/obscorr_gbl.dir/quantities.cpp.o.d"
+  "CMakeFiles/obscorr_gbl.dir/sparse_vec.cpp.o"
+  "CMakeFiles/obscorr_gbl.dir/sparse_vec.cpp.o.d"
+  "libobscorr_gbl.a"
+  "libobscorr_gbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_gbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

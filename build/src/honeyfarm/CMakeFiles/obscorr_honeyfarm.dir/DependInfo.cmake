@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/honeyfarm/database.cpp" "src/honeyfarm/CMakeFiles/obscorr_honeyfarm.dir/database.cpp.o" "gcc" "src/honeyfarm/CMakeFiles/obscorr_honeyfarm.dir/database.cpp.o.d"
+  "/root/repo/src/honeyfarm/honeyfarm.cpp" "src/honeyfarm/CMakeFiles/obscorr_honeyfarm.dir/honeyfarm.cpp.o" "gcc" "src/honeyfarm/CMakeFiles/obscorr_honeyfarm.dir/honeyfarm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/d4m/CMakeFiles/obscorr_d4m.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/obscorr_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbl/CMakeFiles/obscorr_gbl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

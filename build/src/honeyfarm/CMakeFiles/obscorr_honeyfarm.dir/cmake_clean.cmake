@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_honeyfarm.dir/database.cpp.o"
+  "CMakeFiles/obscorr_honeyfarm.dir/database.cpp.o.d"
+  "CMakeFiles/obscorr_honeyfarm.dir/honeyfarm.cpp.o"
+  "CMakeFiles/obscorr_honeyfarm.dir/honeyfarm.cpp.o.d"
+  "libobscorr_honeyfarm.a"
+  "libobscorr_honeyfarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_honeyfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

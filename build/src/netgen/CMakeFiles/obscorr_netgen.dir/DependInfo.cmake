@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netgen/population.cpp" "src/netgen/CMakeFiles/obscorr_netgen.dir/population.cpp.o" "gcc" "src/netgen/CMakeFiles/obscorr_netgen.dir/population.cpp.o.d"
+  "/root/repo/src/netgen/scenario.cpp" "src/netgen/CMakeFiles/obscorr_netgen.dir/scenario.cpp.o" "gcc" "src/netgen/CMakeFiles/obscorr_netgen.dir/scenario.cpp.o.d"
+  "/root/repo/src/netgen/traffic.cpp" "src/netgen/CMakeFiles/obscorr_netgen.dir/traffic.cpp.o" "gcc" "src/netgen/CMakeFiles/obscorr_netgen.dir/traffic.cpp.o.d"
+  "/root/repo/src/netgen/visibility.cpp" "src/netgen/CMakeFiles/obscorr_netgen.dir/visibility.cpp.o" "gcc" "src/netgen/CMakeFiles/obscorr_netgen.dir/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_netgen.dir/population.cpp.o"
+  "CMakeFiles/obscorr_netgen.dir/population.cpp.o.d"
+  "CMakeFiles/obscorr_netgen.dir/scenario.cpp.o"
+  "CMakeFiles/obscorr_netgen.dir/scenario.cpp.o.d"
+  "CMakeFiles/obscorr_netgen.dir/traffic.cpp.o"
+  "CMakeFiles/obscorr_netgen.dir/traffic.cpp.o.d"
+  "CMakeFiles/obscorr_netgen.dir/visibility.cpp.o"
+  "CMakeFiles/obscorr_netgen.dir/visibility.cpp.o.d"
+  "libobscorr_netgen.a"
+  "libobscorr_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/obscorr_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/obscorr_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/obscorr_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/obscorr_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/obscorr_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/obscorr_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/powerlaw.cpp" "src/stats/CMakeFiles/obscorr_stats.dir/powerlaw.cpp.o" "gcc" "src/stats/CMakeFiles/obscorr_stats.dir/powerlaw.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/obscorr_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/obscorr_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/temporal.cpp" "src/stats/CMakeFiles/obscorr_stats.dir/temporal.cpp.o" "gcc" "src/stats/CMakeFiles/obscorr_stats.dir/temporal.cpp.o.d"
+  "/root/repo/src/stats/zipf.cpp" "src/stats/CMakeFiles/obscorr_stats.dir/zipf.cpp.o" "gcc" "src/stats/CMakeFiles/obscorr_stats.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbl/CMakeFiles/obscorr_gbl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

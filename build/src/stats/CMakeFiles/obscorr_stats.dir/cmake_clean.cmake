@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/obscorr_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/obscorr_stats.dir/histogram.cpp.o"
+  "CMakeFiles/obscorr_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/obscorr_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/obscorr_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/obscorr_stats.dir/powerlaw.cpp.o"
+  "CMakeFiles/obscorr_stats.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/obscorr_stats.dir/summary.cpp.o"
+  "CMakeFiles/obscorr_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/obscorr_stats.dir/temporal.cpp.o"
+  "CMakeFiles/obscorr_stats.dir/temporal.cpp.o.d"
+  "CMakeFiles/obscorr_stats.dir/zipf.cpp.o"
+  "CMakeFiles/obscorr_stats.dir/zipf.cpp.o.d"
+  "libobscorr_stats.a"
+  "libobscorr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

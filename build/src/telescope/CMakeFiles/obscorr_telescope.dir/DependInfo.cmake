@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telescope/capture_session.cpp" "src/telescope/CMakeFiles/obscorr_telescope.dir/capture_session.cpp.o" "gcc" "src/telescope/CMakeFiles/obscorr_telescope.dir/capture_session.cpp.o.d"
+  "/root/repo/src/telescope/quadrants.cpp" "src/telescope/CMakeFiles/obscorr_telescope.dir/quadrants.cpp.o" "gcc" "src/telescope/CMakeFiles/obscorr_telescope.dir/quadrants.cpp.o.d"
+  "/root/repo/src/telescope/telescope.cpp" "src/telescope/CMakeFiles/obscorr_telescope.dir/telescope.cpp.o" "gcc" "src/telescope/CMakeFiles/obscorr_telescope.dir/telescope.cpp.o.d"
+  "/root/repo/src/telescope/trace.cpp" "src/telescope/CMakeFiles/obscorr_telescope.dir/trace.cpp.o" "gcc" "src/telescope/CMakeFiles/obscorr_telescope.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbl/CMakeFiles/obscorr_gbl.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypt/CMakeFiles/obscorr_crypt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

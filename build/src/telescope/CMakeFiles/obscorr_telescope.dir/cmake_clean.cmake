@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_telescope.dir/capture_session.cpp.o"
+  "CMakeFiles/obscorr_telescope.dir/capture_session.cpp.o.d"
+  "CMakeFiles/obscorr_telescope.dir/quadrants.cpp.o"
+  "CMakeFiles/obscorr_telescope.dir/quadrants.cpp.o.d"
+  "CMakeFiles/obscorr_telescope.dir/telescope.cpp.o"
+  "CMakeFiles/obscorr_telescope.dir/telescope.cpp.o.d"
+  "CMakeFiles/obscorr_telescope.dir/trace.cpp.o"
+  "CMakeFiles/obscorr_telescope.dir/trace.cpp.o.d"
+  "libobscorr_telescope.a"
+  "libobscorr_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obscorr_telescope.
+# This may be replaced when dependencies are built.

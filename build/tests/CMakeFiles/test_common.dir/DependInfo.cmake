@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/binning_test.cpp" "tests/CMakeFiles/test_common.dir/common/binning_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/binning_test.cpp.o.d"
+  "/root/repo/tests/common/cli_test.cpp" "tests/CMakeFiles/test_common.dir/common/cli_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/cli_test.cpp.o.d"
+  "/root/repo/tests/common/env_test.cpp" "tests/CMakeFiles/test_common.dir/common/env_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/env_test.cpp.o.d"
+  "/root/repo/tests/common/ipv4_test.cpp" "tests/CMakeFiles/test_common.dir/common/ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/ipv4_test.cpp.o.d"
+  "/root/repo/tests/common/prng_test.cpp" "tests/CMakeFiles/test_common.dir/common/prng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/prng_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/common/timeline_test.cpp" "tests/CMakeFiles/test_common.dir/common/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/timeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/obscorr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/honeyfarm/CMakeFiles/obscorr_honeyfarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/obscorr_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/obscorr_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/obscorr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypt/CMakeFiles/obscorr_crypt.dir/DependInfo.cmake"
+  "/root/repo/build/src/d4m/CMakeFiles/obscorr_d4m.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbl/CMakeFiles/obscorr_gbl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/obscorr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

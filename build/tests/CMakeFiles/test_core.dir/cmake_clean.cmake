@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/correlation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/correlation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/degree_analysis_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/degree_analysis_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/prefix_analysis_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/prefix_analysis_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scaling_analysis_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scaling_analysis_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/study_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/study_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/window_series_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/window_series_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

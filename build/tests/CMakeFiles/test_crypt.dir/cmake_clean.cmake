@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypt.dir/crypt/aes128_test.cpp.o"
+  "CMakeFiles/test_crypt.dir/crypt/aes128_test.cpp.o.d"
+  "CMakeFiles/test_crypt.dir/crypt/anon_table_test.cpp.o"
+  "CMakeFiles/test_crypt.dir/crypt/anon_table_test.cpp.o.d"
+  "CMakeFiles/test_crypt.dir/crypt/cryptopan_test.cpp.o"
+  "CMakeFiles/test_crypt.dir/crypt/cryptopan_test.cpp.o.d"
+  "CMakeFiles/test_crypt.dir/crypt/siphash_test.cpp.o"
+  "CMakeFiles/test_crypt.dir/crypt/siphash_test.cpp.o.d"
+  "test_crypt"
+  "test_crypt.pdb"
+  "test_crypt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

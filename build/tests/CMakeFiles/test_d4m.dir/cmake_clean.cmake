@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_d4m.dir/d4m/assoc_ops_test.cpp.o"
+  "CMakeFiles/test_d4m.dir/d4m/assoc_ops_test.cpp.o.d"
+  "CMakeFiles/test_d4m.dir/d4m/assoc_test.cpp.o"
+  "CMakeFiles/test_d4m.dir/d4m/assoc_test.cpp.o.d"
+  "CMakeFiles/test_d4m.dir/d4m/gbl_bridge_test.cpp.o"
+  "CMakeFiles/test_d4m.dir/d4m/gbl_bridge_test.cpp.o.d"
+  "CMakeFiles/test_d4m.dir/d4m/str_assoc_test.cpp.o"
+  "CMakeFiles/test_d4m.dir/d4m/str_assoc_test.cpp.o.d"
+  "test_d4m"
+  "test_d4m.pdb"
+  "test_d4m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_d4m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbl.dir/gbl/coo_test.cpp.o"
+  "CMakeFiles/test_gbl.dir/gbl/coo_test.cpp.o.d"
+  "CMakeFiles/test_gbl.dir/gbl/dcsr_ops_test.cpp.o"
+  "CMakeFiles/test_gbl.dir/gbl/dcsr_ops_test.cpp.o.d"
+  "CMakeFiles/test_gbl.dir/gbl/dcsr_test.cpp.o"
+  "CMakeFiles/test_gbl.dir/gbl/dcsr_test.cpp.o.d"
+  "CMakeFiles/test_gbl.dir/gbl/hierarchical_test.cpp.o"
+  "CMakeFiles/test_gbl.dir/gbl/hierarchical_test.cpp.o.d"
+  "CMakeFiles/test_gbl.dir/gbl/quantities_test.cpp.o"
+  "CMakeFiles/test_gbl.dir/gbl/quantities_test.cpp.o.d"
+  "CMakeFiles/test_gbl.dir/gbl/semiring_test.cpp.o"
+  "CMakeFiles/test_gbl.dir/gbl/semiring_test.cpp.o.d"
+  "CMakeFiles/test_gbl.dir/gbl/sparse_vec_test.cpp.o"
+  "CMakeFiles/test_gbl.dir/gbl/sparse_vec_test.cpp.o.d"
+  "test_gbl"
+  "test_gbl.pdb"
+  "test_gbl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

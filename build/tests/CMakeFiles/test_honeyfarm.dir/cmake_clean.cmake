@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_honeyfarm.dir/honeyfarm/database_test.cpp.o"
+  "CMakeFiles/test_honeyfarm.dir/honeyfarm/database_test.cpp.o.d"
+  "CMakeFiles/test_honeyfarm.dir/honeyfarm/honeyfarm_test.cpp.o"
+  "CMakeFiles/test_honeyfarm.dir/honeyfarm/honeyfarm_test.cpp.o.d"
+  "test_honeyfarm"
+  "test_honeyfarm.pdb"
+  "test_honeyfarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_honeyfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

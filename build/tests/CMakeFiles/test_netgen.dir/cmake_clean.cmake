@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netgen.dir/netgen/botnet_block_test.cpp.o"
+  "CMakeFiles/test_netgen.dir/netgen/botnet_block_test.cpp.o.d"
+  "CMakeFiles/test_netgen.dir/netgen/hybrid_test.cpp.o"
+  "CMakeFiles/test_netgen.dir/netgen/hybrid_test.cpp.o.d"
+  "CMakeFiles/test_netgen.dir/netgen/population_test.cpp.o"
+  "CMakeFiles/test_netgen.dir/netgen/population_test.cpp.o.d"
+  "CMakeFiles/test_netgen.dir/netgen/scan_strategy_test.cpp.o"
+  "CMakeFiles/test_netgen.dir/netgen/scan_strategy_test.cpp.o.d"
+  "CMakeFiles/test_netgen.dir/netgen/scenario_test.cpp.o"
+  "CMakeFiles/test_netgen.dir/netgen/scenario_test.cpp.o.d"
+  "CMakeFiles/test_netgen.dir/netgen/traffic_test.cpp.o"
+  "CMakeFiles/test_netgen.dir/netgen/traffic_test.cpp.o.d"
+  "CMakeFiles/test_netgen.dir/netgen/visibility_test.cpp.o"
+  "CMakeFiles/test_netgen.dir/netgen/visibility_test.cpp.o.d"
+  "test_netgen"
+  "test_netgen.pdb"
+  "test_netgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

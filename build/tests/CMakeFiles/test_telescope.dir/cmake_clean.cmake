@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telescope.dir/telescope/capture_session_test.cpp.o"
+  "CMakeFiles/test_telescope.dir/telescope/capture_session_test.cpp.o.d"
+  "CMakeFiles/test_telescope.dir/telescope/quadrants_test.cpp.o"
+  "CMakeFiles/test_telescope.dir/telescope/quadrants_test.cpp.o.d"
+  "CMakeFiles/test_telescope.dir/telescope/telescope_test.cpp.o"
+  "CMakeFiles/test_telescope.dir/telescope/telescope_test.cpp.o.d"
+  "CMakeFiles/test_telescope.dir/telescope/trace_test.cpp.o"
+  "CMakeFiles/test_telescope.dir/telescope/trace_test.cpp.o.d"
+  "test_telescope"
+  "test_telescope.pdb"
+  "test_telescope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_gbl[1]_include.cmake")
+include("/root/repo/build/tests/test_d4m[1]_include.cmake")
+include("/root/repo/build/tests/test_crypt[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_netgen[1]_include.cmake")
+include("/root/repo/build/tests/test_telescope[1]_include.cmake")
+include("/root/repo/build/tests/test_honeyfarm[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

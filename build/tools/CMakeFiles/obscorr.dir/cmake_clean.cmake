@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr.dir/obscorr_main.cpp.o"
+  "CMakeFiles/obscorr.dir/obscorr_main.cpp.o.d"
+  "obscorr"
+  "obscorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscorr_tool_commands.dir/commands.cpp.o"
+  "CMakeFiles/obscorr_tool_commands.dir/commands.cpp.o.d"
+  "libobscorr_tool_commands.a"
+  "libobscorr_tool_commands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscorr_tool_commands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

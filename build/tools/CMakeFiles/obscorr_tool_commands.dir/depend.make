@@ -1,0 +1,2 @@
+# Empty dependencies file for obscorr_tool_commands.
+# This may be replaced when dependencies are built.
