@@ -76,6 +76,25 @@ void BM_HierarchicalStreamingInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_HierarchicalStreamingInsert)->Arg(12)->Arg(14)->Arg(17);
 
+void BM_HierarchicalBatchedInsert(benchmark::State& state) {
+  // The zero-copy ingest path: packed u64 keys streamed in 8K batches.
+  ThreadPool pool(2);
+  const int block_log2 = static_cast<int>(state.range(0));
+  const auto packets = random_packets(1 << 18, 1 << 14, 3);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(packets.size());
+  for (const Tuple& t : packets) keys.push_back(pack_key(t.row, t.col));
+  for (auto _ : state) {
+    HierarchicalAccumulator acc(block_log2, pool);
+    for (std::size_t i = 0; i < keys.size(); i += 8192) {
+      acc.add_packets(std::span<const std::uint64_t>(keys).subspan(i, std::min<std::size_t>(8192, keys.size() - i)));
+    }
+    benchmark::DoNotOptimize(acc.finish());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 18));
+}
+BENCHMARK(BM_HierarchicalBatchedInsert)->Arg(12)->Arg(14)->Arg(17);
+
 void BM_EwiseAdd(benchmark::State& state) {
   const auto a = DcsrMatrix::from_tuples(random_packets(static_cast<std::size_t>(state.range(0)), 1 << 15, 4));
   const auto b = DcsrMatrix::from_tuples(random_packets(static_cast<std::size_t>(state.range(0)), 1 << 15, 5));
@@ -85,6 +104,29 @@ void BM_EwiseAdd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(a.nnz() + b.nnz()));
 }
 BENCHMARK(BM_EwiseAdd)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EwiseAddParallel(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  const auto a = DcsrMatrix::from_tuples(random_packets(static_cast<std::size_t>(state.range(0)), 1 << 15, 4));
+  const auto b = DcsrMatrix::from_tuples(random_packets(static_cast<std::size_t>(state.range(0)), 1 << 15, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DcsrMatrix::ewise_add(a, b, pool));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(a.nnz() + b.nnz()));
+}
+BENCHMARK(BM_EwiseAddParallel)->Args({1 << 17, 1})->Args({1 << 17, 2})->Args({1 << 17, 4});
+
+void BM_Mxm(benchmark::State& state) {
+  // Destination co-occurrence Aᵀ·A on a pattern matrix — the SpGEMM load
+  // of the correlation analyses.
+  const auto a = DcsrMatrix::from_tuples(random_packets(static_cast<std::size_t>(state.range(0)), 1 << 10, 9)).pattern();
+  const auto at = a.transpose();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DcsrMatrix::mxm(at, a));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_Mxm)->Arg(1 << 12)->Arg(1 << 14);
 
 void BM_TableTwoReductions(benchmark::State& state) {
   const auto m = DcsrMatrix::from_tuples(random_packets(static_cast<std::size_t>(state.range(0)), 1 << 15, 6));

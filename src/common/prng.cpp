@@ -6,10 +6,6 @@
 
 namespace obscorr {
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& s : s_) s = sm.next();
@@ -23,48 +19,9 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
   for (auto& s : s_) s = sm.next();
 }
 
-std::uint64_t Rng::next() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
 double Rng::uniform(double lo, double hi) {
   OBSCORR_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
   return lo + (hi - lo) * uniform();
-}
-
-std::uint64_t Rng::uniform_u64(std::uint64_t n) {
-  OBSCORR_REQUIRE(n > 0, "uniform_u64: n must be positive");
-  // Lemire's nearly-divisionless unbiased bounded sampling.
-  std::uint64_t x = next();
-  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < n) {
-    const std::uint64_t threshold = (0 - n) % n;
-    while (lo < threshold) {
-      x = next();
-      m = static_cast<unsigned __int128>(x) * n;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 double Rng::exponential(double lambda) {

@@ -47,7 +47,20 @@ class Rng {
   /// how work is scheduled.
   Rng(std::uint64_t seed, std::uint64_t stream);
 
-  std::uint64_t next();
+  // next/uniform/uniform_u64/bernoulli are defined inline: they sit in
+  // the per-packet hot loops of traffic generation and block ingest,
+  // where the cross-TU call would block inlining the whole sample chain.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   // UniformRandomBitGenerator interface (usable with <random> adaptors).
   static constexpr std::uint64_t min() { return 0; }
@@ -55,19 +68,39 @@ class Rng {
   std::uint64_t operator()() { return next(); }
 
   /// Uniform double in [0, 1) with 53 bits of entropy.
-  double uniform();
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
   /// Uniform integer in [0, n). Requires n > 0. Unbiased (Lemire rejection).
-  std::uint64_t uniform_u64(std::uint64_t n);
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    OBSCORR_REQUIRE(n > 0, "uniform_u64: n must be positive");
+    // Lemire's nearly-divisionless unbiased bounded sampling.
+    __extension__ typedef unsigned __int128 Uint128;
+    std::uint64_t x = next();
+    Uint128 m = static_cast<Uint128>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<Uint128>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform 32-bit value.
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(next() >> 32); }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Exponential with rate lambda > 0.
   double exponential(double lambda);
@@ -89,6 +122,10 @@ class Rng {
   std::uint64_t poisson(double lambda);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

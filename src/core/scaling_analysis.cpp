@@ -47,8 +47,9 @@ ScalingAnalysis scaling_analysis(const netgen::Scenario& scenario, int month, in
   std::vector<int> ks;
   std::vector<double> sources, links, destinations, dmax;
   for (int k = log2_lo; k <= log2_hi; ++k) {
-    generator.stream_window(month, 1ULL << k, /*salt=*/0x5CA1E000 + static_cast<std::uint64_t>(k),
-                            [&](const Packet& p) { scope.capture(p); });
+    generator.stream_window_batched(month, 1ULL << k,
+                                    /*salt=*/0x5CA1E000 + static_cast<std::uint64_t>(k),
+                                    [&](std::span<const Packet> b) { scope.capture_block(b); });
     const gbl::DcsrMatrix matrix = scope.finish_window();
     const gbl::AggregateQuantities q = gbl::aggregate_quantities(matrix);
     analysis.points.push_back({k, q.unique_sources, q.unique_links, q.unique_destinations,

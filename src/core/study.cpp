@@ -20,8 +20,8 @@ SnapshotData take_snapshot(const netgen::Scenario& scenario, const netgen::Popul
 
   const netgen::TrafficGenerator generator(population, scenario.traffic);
   const std::uint64_t before_discarded = scope.discarded_packets();
-  generator.stream_window(snap.month_index, scenario.nv(), spec.salt,
-                          [&](const Packet& p) { scope.capture(p); });
+  generator.stream_window_batched(snap.month_index, scenario.nv(), spec.salt,
+                                  [&](std::span<const Packet> b) { scope.capture_block(b); });
   snap.matrix = scope.finish_window();
   snap.valid_packets = static_cast<std::uint64_t>(snap.matrix.reduce_sum());
   snap.discarded_packets = scope.discarded_packets() - before_discarded;

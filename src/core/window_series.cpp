@@ -26,8 +26,8 @@ WindowSeries intra_month_series(const netgen::Scenario& scenario, int month, int
   for (int w = 0; w < n_windows; ++w) {
     WindowStats stats;
     stats.salt = 0x71000 + static_cast<std::uint64_t>(w);
-    generator.stream_window(month, scenario.nv(), stats.salt,
-                            [&](const Packet& p) { scope.capture(p); });
+    generator.stream_window_batched(month, scenario.nv(), stats.salt,
+                                    [&](std::span<const Packet> b) { scope.capture_block(b); });
     const gbl::DcsrMatrix matrix = scope.finish_window();
     stats.aggregates = gbl::aggregate_quantities(matrix);
     stats.zipf = stats::fit_zipf_mandelbrot(

@@ -22,6 +22,18 @@ std::vector<Tuple> sort_and_combine(std::vector<Tuple> tuples, ThreadPool& pool)
 /// Single-threaded overload (still deterministic, used by small paths).
 std::vector<Tuple> sort_and_combine(std::vector<Tuple> tuples);
 
+/// Sort packed `(row << 32) | col` keys ascending, in place, using the
+/// pool's deterministic chunk-sort + merge tree. The batched ingest path
+/// sorts these 8-byte keys instead of 16-byte tuples: half the bytes
+/// moved per merge and a branch-free comparison.
+void sort_packed_keys(std::vector<std::uint64_t>& keys, ThreadPool& pool);
+
+/// Pack a (row, col) cell into the ingest key order. Sorting packed keys
+/// equals sorting tuples with `tuple_less`.
+constexpr std::uint64_t pack_key(Index row, Index col) {
+  return (static_cast<std::uint64_t>(row) << 32) | col;
+}
+
 /// Growable tuple buffer with O(1) amortized append.
 class CooBuilder {
  public:

@@ -1,12 +1,48 @@
 #include "gbl/dcsr.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "gbl/coo.hpp"
 
 namespace obscorr::gbl {
+
+namespace {
+
+constexpr std::uint32_t kNoRow = 0xFFFFFFFFu;
+
+/// One output row of a two-operand element-wise kernel: the row id and
+/// the operands' positions in their compressed row lists (kNoRow when the
+/// row is absent from that operand).
+struct MergedRow {
+  Index row = 0;
+  std::uint32_t ra = kNoRow;
+  std::uint32_t rb = kNoRow;
+};
+
+/// Union-merge of the two sorted row-id lists. O(nrows_a + nrows_b).
+std::vector<MergedRow> merge_row_ids(std::span<const Index> a, std::span<const Index> b) {
+  std::vector<MergedRow> merged;
+  merged.reserve(a.size() + b.size());
+  std::size_t ra = 0, rb = 0;
+  while (ra < a.size() || rb < b.size()) {
+    if (rb == b.size() || (ra < a.size() && a[ra] < b[rb])) {
+      merged.push_back({a[ra], static_cast<std::uint32_t>(ra), kNoRow});
+      ++ra;
+    } else if (ra == a.size() || b[rb] < a[ra]) {
+      merged.push_back({b[rb], kNoRow, static_cast<std::uint32_t>(rb)});
+      ++rb;
+    } else {
+      merged.push_back({a[ra], static_cast<std::uint32_t>(ra), static_cast<std::uint32_t>(rb)});
+      ++ra;
+      ++rb;
+    }
+  }
+  return merged;
+}
+
+}  // namespace
 
 DcsrMatrix DcsrMatrix::from_sorted_tuples(std::span<const Tuple> tuples) {
   DcsrMatrix m;
@@ -45,10 +81,48 @@ DcsrMatrix DcsrMatrix::from_tuples(std::vector<Tuple> tuples, ThreadPool& pool) 
   return from_sorted_tuples(sorted);
 }
 
+DcsrMatrix DcsrMatrix::from_sorted_packed_keys(std::span<const std::uint64_t> keys) {
+  DcsrMatrix m;
+  if (keys.empty()) return m;
+  // Size the arrays to the worst case up front and write through raw
+  // indices — this fold runs once per sealed block, and per-element
+  // push_back capacity checks are measurable there.
+  m.col_.resize(keys.size());
+  m.val_.resize(keys.size());
+  m.row_ids_.resize(keys.size());
+  m.row_ptr_.resize(keys.size() + 1);
+  std::size_t nnz = 0;
+  std::size_t nrows = 0;
+  std::size_t i = 0;
+  while (i < keys.size()) {
+    const std::uint64_t key = keys[i];
+    OBSCORR_REQUIRE(i == 0 || keys[i - 1] <= key, "from_sorted_packed_keys: keys must be sorted");
+    std::size_t j = i + 1;
+    while (j < keys.size() && keys[j] == key) ++j;
+    const Index row = static_cast<Index>(key >> 32);
+    if (nrows == 0 || m.row_ids_[nrows - 1] != row) {
+      m.row_ids_[nrows] = row;
+      m.row_ptr_[nrows] = static_cast<std::uint64_t>(nnz);
+      ++nrows;
+    }
+    m.col_[nnz] = static_cast<Index>(key & 0xFFFFFFFFu);
+    m.val_[nnz] = static_cast<Value>(j - i);
+    ++nnz;
+    i = j;
+  }
+  m.row_ptr_[nrows] = static_cast<std::uint64_t>(nnz);
+  m.col_.resize(nnz);
+  m.val_.resize(nnz);
+  m.row_ids_.resize(nrows);
+  m.row_ptr_.resize(nrows + 1);
+  OBSCORR_INVARIANT(m.row_ptr_.size() == m.row_ids_.size() + 1);
+  return m;
+}
+
 std::size_t DcsrMatrix::nonempty_cols() const {
-  std::vector<Index> cols(col_.begin(), col_.end());
-  std::sort(cols.begin(), cols.end());
-  return static_cast<std::size_t>(std::unique(cols.begin(), cols.end()) - cols.begin());
+  // Reuse the column-reduction run-fold: the pattern reduction's support
+  // is exactly the set of non-empty columns.
+  return reduce_cols_pattern().nnz();
 }
 
 Value DcsrMatrix::at(Index row, Index col) const {
@@ -139,63 +213,300 @@ DcsrMatrix DcsrMatrix::pattern() const {
 }
 
 DcsrMatrix DcsrMatrix::transpose() const {
-  std::vector<Tuple> tuples;
-  tuples.reserve(nnz());
-  for_each([&](Index r, Index c, Value v) { tuples.push_back({c, r, v}); });
-  // Cells stay unique under transposition; only the order changes.
-  std::sort(tuples.begin(), tuples.end(), tuple_less);
-  return from_sorted_tuples(tuples);
-}
-
-DcsrMatrix DcsrMatrix::ewise_add(const DcsrMatrix& a, const DcsrMatrix& b) {
-  std::vector<Tuple> merged;
-  merged.reserve(a.nnz() + b.nnz());
-  auto ta = a.to_tuples();
-  auto tb = b.to_tuples();
-  std::size_t i = 0, j = 0;
-  while (i < ta.size() && j < tb.size()) {
-    if (same_cell(ta[i], tb[j])) {
-      merged.push_back({ta[i].row, ta[i].col, ta[i].val + tb[j].val});
-      ++i;
-      ++j;
-    } else if (tuple_less(ta[i], tb[j])) {
-      merged.push_back(ta[i++]);
-    } else {
-      merged.push_back(tb[j++]);
+  // Pack each entry as ((col << 32) | row, val): sorting the keys yields
+  // exactly the row-major order of Aᵀ, which then streams straight into
+  // the output arrays. Cells stay unique under transposition.
+  const std::size_t n = nnz();
+  std::vector<std::pair<std::uint64_t, Value>> entries;
+  entries.reserve(n);
+  for (std::size_t r = 0; r < row_ids_.size(); ++r) {
+    const std::uint64_t lo = row_ids_[r];
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      entries.emplace_back((static_cast<std::uint64_t>(col_[k]) << 32) | lo, val_[k]);
     }
   }
-  merged.insert(merged.end(), ta.begin() + static_cast<std::ptrdiff_t>(i), ta.end());
-  merged.insert(merged.end(), tb.begin() + static_cast<std::ptrdiff_t>(j), tb.end());
-  return from_sorted_tuples(merged);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  DcsrMatrix out;
+  if (entries.empty()) return out;
+  out.row_ptr_.clear();
+  out.col_.reserve(n);
+  out.val_.reserve(n);
+  for (const auto& [key, v] : entries) {
+    const Index row = static_cast<Index>(key >> 32);
+    if (out.row_ids_.empty() || out.row_ids_.back() != row) {
+      out.row_ids_.push_back(row);
+      out.row_ptr_.push_back(static_cast<std::uint64_t>(out.col_.size()));
+    }
+    out.col_.push_back(static_cast<Index>(key & 0xFFFFFFFFu));
+    out.val_.push_back(v);
+  }
+  out.row_ptr_.push_back(static_cast<std::uint64_t>(out.col_.size()));
+  OBSCORR_INVARIANT(out.row_ptr_.size() == out.row_ids_.size() + 1);
+  return out;
+}
+
+namespace {
+
+/// Number of cells in the union of two sorted column ranges.
+std::size_t union_count(std::span<const Index> ac, std::span<const Index> bc) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < ac.size() && j < bc.size()) {
+    if (ac[i] == bc[j]) {
+      ++i;
+      ++j;
+    } else if (ac[i] < bc[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    ++n;
+  }
+  return n + (ac.size() - i) + (bc.size() - j);
+}
+
+/// Merge-add two sorted column ranges into `col/val` starting at `out`.
+/// Returns one past the last written slot.
+std::size_t union_fill(std::span<const Index> ac, std::span<const Value> av,
+                       std::span<const Index> bc, std::span<const Value> bv, Index* col,
+                       Value* val, std::size_t out) {
+  std::size_t i = 0, j = 0;
+  while (i < ac.size() && j < bc.size()) {
+    if (ac[i] == bc[j]) {
+      col[out] = ac[i];
+      val[out] = av[i] + bv[j];
+      ++i;
+      ++j;
+    } else if (ac[i] < bc[j]) {
+      col[out] = ac[i];
+      val[out] = av[i];
+      ++i;
+    } else {
+      col[out] = bc[j];
+      val[out] = bv[j];
+      ++j;
+    }
+    ++out;
+  }
+  for (; i < ac.size(); ++i, ++out) {
+    col[out] = ac[i];
+    val[out] = av[i];
+  }
+  for (; j < bc.size(); ++j, ++out) {
+    col[out] = bc[j];
+    val[out] = bv[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+DcsrMatrix DcsrMatrix::ewise_add(const DcsrMatrix& a, const DcsrMatrix& b) {
+  // Stream the CSR arrays of both operands directly into the output: a
+  // two-pointer walk over the row-id lists, with a column merge for rows
+  // present in both. No tuples, no re-sort, one allocation per array.
+  DcsrMatrix out;
+  const std::size_t na = a.row_ids_.size(), nb = b.row_ids_.size();
+  if (na == 0 && nb == 0) return out;
+  // Size everything to the worst case and write through raw indices: the
+  // carry merges run on every sealed block, and for mostly-shared row
+  // sets the per-row insert/push_back machinery dominates otherwise.
+  out.row_ids_.resize(na + nb);
+  out.row_ptr_.resize(na + nb + 1);
+  out.col_.resize(a.nnz() + b.nnz());
+  out.val_.resize(a.nnz() + b.nnz());
+  Index* ocol = out.col_.data();
+  Value* oval = out.val_.data();
+  std::size_t nnz = 0;
+  std::size_t nrows = 0;
+  std::size_t ra = 0, rb = 0;
+  while (ra < na || rb < nb) {
+    out.row_ptr_[nrows] = static_cast<std::uint64_t>(nnz);
+    if (rb == nb || (ra < na && a.row_ids_[ra] < b.row_ids_[rb])) {
+      out.row_ids_[nrows++] = a.row_ids_[ra];
+      const std::uint64_t k0 = a.row_ptr_[ra], k1 = a.row_ptr_[ra + 1];
+      std::copy(a.col_.data() + k0, a.col_.data() + k1, ocol + nnz);
+      std::copy(a.val_.data() + k0, a.val_.data() + k1, oval + nnz);
+      nnz += static_cast<std::size_t>(k1 - k0);
+      ++ra;
+    } else if (ra == na || b.row_ids_[rb] < a.row_ids_[ra]) {
+      out.row_ids_[nrows++] = b.row_ids_[rb];
+      const std::uint64_t k0 = b.row_ptr_[rb], k1 = b.row_ptr_[rb + 1];
+      std::copy(b.col_.data() + k0, b.col_.data() + k1, ocol + nnz);
+      std::copy(b.val_.data() + k0, b.val_.data() + k1, oval + nnz);
+      nnz += static_cast<std::size_t>(k1 - k0);
+      ++rb;
+    } else {
+      out.row_ids_[nrows++] = a.row_ids_[ra];
+      const std::uint64_t a1 = a.row_ptr_[ra + 1];
+      const std::uint64_t b1 = b.row_ptr_[rb + 1];
+      std::uint64_t i = a.row_ptr_[ra], j = b.row_ptr_[rb];
+      while (i < a1 && j < b1) {
+        if (a.col_[i] == b.col_[j]) {
+          ocol[nnz] = a.col_[i];
+          oval[nnz++] = a.val_[i] + b.val_[j];
+          ++i;
+          ++j;
+        } else if (a.col_[i] < b.col_[j]) {
+          ocol[nnz] = a.col_[i];
+          oval[nnz++] = a.val_[i];
+          ++i;
+        } else {
+          ocol[nnz] = b.col_[j];
+          oval[nnz++] = b.val_[j];
+          ++j;
+        }
+      }
+      for (; i < a1; ++i) {
+        ocol[nnz] = a.col_[i];
+        oval[nnz++] = a.val_[i];
+      }
+      for (; j < b1; ++j) {
+        ocol[nnz] = b.col_[j];
+        oval[nnz++] = b.val_[j];
+      }
+      ++ra;
+      ++rb;
+    }
+  }
+  out.row_ptr_[nrows] = static_cast<std::uint64_t>(nnz);
+  out.row_ids_.resize(nrows);
+  out.row_ptr_.resize(nrows + 1);
+  out.col_.resize(nnz);
+  out.val_.resize(nnz);
+  OBSCORR_INVARIANT(out.row_ptr_.size() == out.row_ids_.size() + 1);
+  return out;
+}
+
+DcsrMatrix DcsrMatrix::ewise_add(const DcsrMatrix& a, const DcsrMatrix& b, ThreadPool& pool) {
+  // The pooled variant walks the row union twice (count, then fill), so
+  // with fewer than three workers the single-pass serial merge wins.
+  if (pool.thread_count() <= 2 || a.nnz() + b.nnz() < (1u << 14)) return ewise_add(a, b);
+
+  // Pass 0 (serial, cheap): union-merge the row-id lists.
+  const std::vector<MergedRow> rows = merge_row_ids(a.row_ids_, b.row_ids_);
+  const std::size_t nrows = rows.size();
+
+  auto a_cols = [&](std::uint32_t r) {
+    return std::span<const Index>(a.col_.data() + a.row_ptr_[r], a.row_ptr_[r + 1] - a.row_ptr_[r]);
+  };
+  auto b_cols = [&](std::uint32_t r) {
+    return std::span<const Index>(b.col_.data() + b.row_ptr_[r], b.row_ptr_[r + 1] - b.row_ptr_[r]);
+  };
+
+  // Pass 1 (parallel): per-row output sizes.
+  std::vector<std::uint64_t> counts(nrows);
+  parallel_for(pool, 0, nrows, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const MergedRow& m = rows[r];
+      if (m.rb == kNoRow) {
+        counts[r] = a.row_ptr_[m.ra + 1] - a.row_ptr_[m.ra];
+      } else if (m.ra == kNoRow) {
+        counts[r] = b.row_ptr_[m.rb + 1] - b.row_ptr_[m.rb];
+      } else {
+        counts[r] = union_count(a_cols(m.ra), b_cols(m.rb));
+      }
+    }
+  });
+
+  // Exclusive scan -> row_ptr, then size the value arrays exactly.
+  DcsrMatrix out;
+  out.row_ptr_.assign(nrows + 1, 0);
+  for (std::size_t r = 0; r < nrows; ++r) out.row_ptr_[r + 1] = out.row_ptr_[r] + counts[r];
+  out.row_ids_.resize(nrows);
+  out.col_.resize(out.row_ptr_[nrows]);
+  out.val_.resize(out.row_ptr_[nrows]);
+
+  // Pass 2 (parallel): fill each row at its precomputed offset.
+  parallel_for(pool, 0, nrows, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const MergedRow& m = rows[r];
+      out.row_ids_[r] = m.row;
+      std::size_t o = out.row_ptr_[r];
+      if (m.rb == kNoRow) {
+        const std::uint64_t k0 = a.row_ptr_[m.ra], k1 = a.row_ptr_[m.ra + 1];
+        std::copy(a.col_.begin() + static_cast<std::ptrdiff_t>(k0),
+                  a.col_.begin() + static_cast<std::ptrdiff_t>(k1), out.col_.begin() + static_cast<std::ptrdiff_t>(o));
+        std::copy(a.val_.begin() + static_cast<std::ptrdiff_t>(k0),
+                  a.val_.begin() + static_cast<std::ptrdiff_t>(k1), out.val_.begin() + static_cast<std::ptrdiff_t>(o));
+      } else if (m.ra == kNoRow) {
+        const std::uint64_t k0 = b.row_ptr_[m.rb], k1 = b.row_ptr_[m.rb + 1];
+        std::copy(b.col_.begin() + static_cast<std::ptrdiff_t>(k0),
+                  b.col_.begin() + static_cast<std::ptrdiff_t>(k1), out.col_.begin() + static_cast<std::ptrdiff_t>(o));
+        std::copy(b.val_.begin() + static_cast<std::ptrdiff_t>(k0),
+                  b.val_.begin() + static_cast<std::ptrdiff_t>(k1), out.val_.begin() + static_cast<std::ptrdiff_t>(o));
+      } else {
+        const std::uint64_t a0 = a.row_ptr_[m.ra], a1 = a.row_ptr_[m.ra + 1];
+        const std::uint64_t b0 = b.row_ptr_[m.rb], b1 = b.row_ptr_[m.rb + 1];
+        union_fill({a.col_.data() + a0, a1 - a0}, {a.val_.data() + a0, a1 - a0},
+                   {b.col_.data() + b0, b1 - b0}, {b.val_.data() + b0, b1 - b0},
+                   out.col_.data(), out.val_.data(), o);
+      }
+    }
+  });
+  OBSCORR_INVARIANT(out.row_ptr_.size() == out.row_ids_.size() + 1);
+  return out;
 }
 
 DcsrMatrix DcsrMatrix::ewise_mult(const DcsrMatrix& a, const DcsrMatrix& b) {
-  std::vector<Tuple> merged;
-  auto ta = a.to_tuples();
-  auto tb = b.to_tuples();
-  std::size_t i = 0, j = 0;
-  while (i < ta.size() && j < tb.size()) {
-    if (same_cell(ta[i], tb[j])) {
-      merged.push_back({ta[i].row, ta[i].col, ta[i].val * tb[j].val});
-      ++i;
-      ++j;
-    } else if (tuple_less(ta[i], tb[j])) {
-      ++i;
-    } else {
-      ++j;
+  // Intersection: only rows present in both operands can contribute, and
+  // within such a row only shared columns survive.
+  DcsrMatrix out;
+  const std::size_t na = a.row_ids_.size(), nb = b.row_ids_.size();
+  if (na == 0 || nb == 0) return out;
+  out.row_ptr_.clear();
+  out.col_.reserve(std::min(a.nnz(), b.nnz()));
+  out.val_.reserve(std::min(a.nnz(), b.nnz()));
+  std::size_t ra = 0, rb = 0;
+  while (ra < na && rb < nb) {
+    if (a.row_ids_[ra] < b.row_ids_[rb]) {
+      ++ra;
+      continue;
     }
+    if (b.row_ids_[rb] < a.row_ids_[ra]) {
+      ++rb;
+      continue;
+    }
+    const std::size_t row_start = out.col_.size();
+    const std::uint64_t a1 = a.row_ptr_[ra + 1], b1 = b.row_ptr_[rb + 1];
+    std::uint64_t i = a.row_ptr_[ra], j = b.row_ptr_[rb];
+    while (i < a1 && j < b1) {
+      if (a.col_[i] == b.col_[j]) {
+        out.col_.push_back(a.col_[i]);
+        out.val_.push_back(a.val_[i] * b.val_[j]);
+        ++i;
+        ++j;
+      } else if (a.col_[i] < b.col_[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (out.col_.size() > row_start) {
+      out.row_ids_.push_back(a.row_ids_[ra]);
+      out.row_ptr_.push_back(static_cast<std::uint64_t>(row_start));
+    }
+    ++ra;
+    ++rb;
   }
-  return from_sorted_tuples(merged);
+  out.row_ptr_.push_back(static_cast<std::uint64_t>(out.col_.size()));
+  OBSCORR_INVARIANT(out.row_ptr_.size() == out.row_ids_.size() + 1);
+  return out;
 }
 
 DcsrMatrix DcsrMatrix::mxm(const DcsrMatrix& a, const DcsrMatrix& b) {
-  // Gustavson's row-wise SpGEMM with a hash accumulator per output row;
-  // B's rows are looked up by binary search in its compressed row list.
-  std::vector<Tuple> out;
-  std::unordered_map<Index, Value> acc;
+  // Gustavson's row-wise SpGEMM with a sort-based accumulator: gather all
+  // (col, product) contributions of one output row, stable-sort by
+  // column, and fold runs straight into the output arrays. Contributions
+  // to a cell are summed in gather order (A's columns ascending), which
+  // is deterministic — unlike the hash-map accumulator it replaces.
+  DcsrMatrix out;
+  out.row_ptr_.clear();
+  std::vector<std::pair<Index, Value>> scratch;
   const auto b_rows = b.row_ids();
   for (std::size_t ra = 0; ra < a.row_ids_.size(); ++ra) {
-    acc.clear();
+    scratch.clear();
     for (std::uint64_t ka = a.row_ptr_[ra]; ka < a.row_ptr_[ra + 1]; ++ka) {
       const Index k = a.col_[ka];
       const auto it = std::lower_bound(b_rows.begin(), b_rows.end(), k);
@@ -203,14 +514,26 @@ DcsrMatrix DcsrMatrix::mxm(const DcsrMatrix& a, const DcsrMatrix& b) {
       const std::size_t rb = static_cast<std::size_t>(it - b_rows.begin());
       const Value av = a.val_[ka];
       for (std::uint64_t kb = b.row_ptr_[rb]; kb < b.row_ptr_[rb + 1]; ++kb) {
-        acc[b.col_[kb]] += av * b.val_[kb];
+        scratch.emplace_back(b.col_[kb], av * b.val_[kb]);
       }
     }
-    const std::size_t start = out.size();
-    for (const auto& [col, val] : acc) out.push_back({a.row_ids_[ra], col, val});
-    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(), tuple_less);
+    if (scratch.empty()) continue;
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [](const auto& x, const auto& y) { return x.first < y.first; });
+    out.row_ids_.push_back(a.row_ids_[ra]);
+    out.row_ptr_.push_back(static_cast<std::uint64_t>(out.col_.size()));
+    for (const auto& [col, v] : scratch) {
+      if (out.col_.size() > out.row_ptr_.back() && out.col_.back() == col) {
+        out.val_.back() += v;
+      } else {
+        out.col_.push_back(col);
+        out.val_.push_back(v);
+      }
+    }
   }
-  return from_sorted_tuples(out);
+  out.row_ptr_.push_back(static_cast<std::uint64_t>(out.col_.size()));
+  OBSCORR_INVARIANT(out.row_ptr_.size() == out.row_ids_.size() + 1);
+  return out;
 }
 
 DcsrMatrix DcsrMatrix::extract_rows(Index row_begin, Index row_end) const {

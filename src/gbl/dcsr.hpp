@@ -38,6 +38,12 @@ class DcsrMatrix {
   static DcsrMatrix from_tuples(std::vector<Tuple> tuples);
   static DcsrMatrix from_tuples(std::vector<Tuple> tuples, ThreadPool& pool);
 
+  /// Build from packed `(row << 32) | col` keys that are already sorted;
+  /// duplicate keys are allowed and fold into their multiplicity, so a
+  /// sorted packet block becomes its traffic matrix in one pass with no
+  /// tuple materialization. This is the ingest fast path.
+  static DcsrMatrix from_sorted_packed_keys(std::span<const std::uint64_t> keys);
+
   /// Number of stored entries.
   std::size_t nnz() const { return col_.size(); }
 
@@ -79,14 +85,23 @@ class DcsrMatrix {
   /// Transpose `Aᵀ` (swaps the traffic-matrix quadrants).
   DcsrMatrix transpose() const;
 
-  /// Element-wise sum `A ⊕ B` over the union of stored cells.
+  /// Element-wise sum `A ⊕ B` over the union of stored cells. Streams
+  /// the CSR arrays of both operands into a preallocated output; no
+  /// intermediate tuples.
   static DcsrMatrix ewise_add(const DcsrMatrix& a, const DcsrMatrix& b);
+
+  /// Parallel `A ⊕ B`: the merged row-id list is partitioned over `pool`
+  /// (count pass, exclusive scan, fill pass). Per-row merges are
+  /// independent, so the result is bit-identical to the serial kernel at
+  /// every thread count.
+  static DcsrMatrix ewise_add(const DcsrMatrix& a, const DcsrMatrix& b, ThreadPool& pool);
 
   /// Element-wise product `A ⊗ B` over the *intersection* of stored
   /// cells — the GraphBLAS masking/correlation primitive.
   static DcsrMatrix ewise_mult(const DcsrMatrix& a, const DcsrMatrix& b);
 
-  /// Sparse matrix-matrix product `A ·(+,×) B` (row-major Gustavson).
+  /// Sparse matrix-matrix product `A ·(+,×) B` (row-major Gustavson with
+  /// a sort-based per-row accumulator).
   /// With patterns this counts 2-step paths, e.g. `Aᵀ·A` is the
   /// destination co-occurrence matrix of a traffic matrix.
   static DcsrMatrix mxm(const DcsrMatrix& a, const DcsrMatrix& b);

@@ -12,17 +12,29 @@ HierarchicalAccumulator::HierarchicalAccumulator(int block_log2, ThreadPool& poo
 }
 
 void HierarchicalAccumulator::add_packet(Index src, Index dst) {
-  pending_.push_back({src, dst, 1.0});
+  pending_.push_back(pack_key(src, dst));
   ++packets_;
   if (pending_.size() == block_packets_) seal_block();
 }
 
+void HierarchicalAccumulator::add_packets(std::span<const std::uint64_t> keys) {
+  packets_ += keys.size();
+  while (!keys.empty()) {
+    const std::size_t room = static_cast<std::size_t>(block_packets_) - pending_.size();
+    const std::size_t take = std::min(room, keys.size());
+    pending_.insert(pending_.end(), keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(take));
+    keys = keys.subspan(take);
+    if (pending_.size() == block_packets_) seal_block();
+  }
+}
+
 void HierarchicalAccumulator::seal_block() {
   if (pending_.empty()) return;
-  std::vector<Tuple> block;
+  std::vector<std::uint64_t> block;
   block.swap(pending_);
   pending_.reserve(block_packets_);
-  carry(DcsrMatrix::from_tuples(std::move(block), pool_), 0);
+  sort_packed_keys(block, pool_);
+  carry(DcsrMatrix::from_sorted_packed_keys(block), 0);
 }
 
 void HierarchicalAccumulator::carry(DcsrMatrix block, int level) {
@@ -35,7 +47,7 @@ void HierarchicalAccumulator::carry(DcsrMatrix block, int level) {
     slot.push_back(std::move(block));
     return;
   }
-  DcsrMatrix merged = DcsrMatrix::ewise_add(slot.back(), block);
+  DcsrMatrix merged = DcsrMatrix::ewise_add(slot.back(), block, pool_);
   ++merges_;
   slot.clear();
   carry(std::move(merged), level + 1);
@@ -51,7 +63,7 @@ DcsrMatrix HierarchicalAccumulator::finish() {
       result = std::move(slot.back());
       have_result = true;
     } else {
-      result = DcsrMatrix::ewise_add(result, slot.back());
+      result = DcsrMatrix::ewise_add(result, slot.back(), pool_);
       ++merges_;
     }
     slot.clear();

@@ -11,8 +11,14 @@
 /// structure: packets stream in, blocks of `block_packets` are built and
 /// merged whenever two blocks of equal level meet, exactly like binary
 /// carry propagation.
+///
+/// The hot path is allocation-free per packet: pending packets are packed
+/// `(src << 32) | dst` u64 keys (8 bytes instead of a 16-byte tuple),
+/// sealed blocks are pool-sorted and folded straight into DCSR arrays,
+/// and carry merges use the zero-copy `ewise_add` kernels.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -32,6 +38,11 @@ class HierarchicalAccumulator {
   /// Stream one packet (source, destination).
   void add_packet(Index src, Index dst);
 
+  /// Stream a batch of packets packed as `(src << 32) | dst` keys (see
+  /// `pack_key` in coo.hpp). Equivalent to calling `add_packet` per key
+  /// but crosses no per-packet function boundary.
+  void add_packets(std::span<const std::uint64_t> keys);
+
   /// Total packets streamed so far.
   std::uint64_t packets() const { return packets_; }
 
@@ -48,7 +59,7 @@ class HierarchicalAccumulator {
 
   std::uint64_t block_packets_;
   ThreadPool& pool_;
-  std::vector<Tuple> pending_;                 // current partial leaf block
+  std::vector<std::uint64_t> pending_;           // current partial leaf block (packed keys)
   std::vector<std::vector<DcsrMatrix>> levels_;  // levels_[k]: at most 1 block of 2^k leaves
   std::uint64_t packets_ = 0;
   std::uint64_t merges_ = 0;

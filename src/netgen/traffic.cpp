@@ -33,6 +33,15 @@ ScanStrategy TrafficGenerator::strategy_of(std::size_t i) const {
 std::uint64_t TrafficGenerator::stream_window(
     int month, std::uint64_t valid_count, std::uint64_t salt,
     const std::function<void(const Packet&)>& sink) const {
+  return stream_window_batched(month, valid_count, salt, [&](std::span<const Packet> batch) {
+    for (const Packet& p : batch) sink(p);
+  });
+}
+
+std::uint64_t TrafficGenerator::stream_window_batched(int month, std::uint64_t valid_count,
+                                                      std::uint64_t salt, const BatchSink& sink,
+                                                      std::size_t batch_packets) const {
+  OBSCORR_REQUIRE(batch_packets > 0, "stream_window_batched: batch must be positive");
   const std::vector<std::uint32_t> active = population_.active_sources(month);
   OBSCORR_REQUIRE(!active.empty(), "stream_window: no active sources this month");
 
@@ -66,6 +75,10 @@ std::uint64_t TrafficGenerator::stream_window(
   const std::uint64_t dark_size = config_.darkspace.size();
   // Subnet blocks: 256 addresses, or the whole darkspace when smaller.
   const std::uint64_t block = std::min<std::uint64_t>(256, dark_size);
+  // Packets accumulate in a fixed-size buffer flushed to the sink when
+  // full; generation order (and so the emitted sequence) is unchanged.
+  std::vector<Packet> buffer;
+  buffer.reserve(batch_packets);
   std::uint64_t emitted = 0;
   std::uint64_t valid = 0;
   while (valid < valid_count) {
@@ -102,9 +115,14 @@ std::uint64_t TrafficGenerator::stream_window(
       }
       ++valid;
     }
-    sink(p);
+    buffer.push_back(p);
     ++emitted;
+    if (buffer.size() == batch_packets) {
+      sink(buffer);
+      buffer.clear();
+    }
   }
+  if (!buffer.empty()) sink(buffer);
   return emitted;
 }
 

@@ -1,6 +1,7 @@
 #include "telescope/telescope.hpp"
 
 #include "common/error.hpp"
+#include "gbl/coo.hpp"
 
 namespace obscorr::telescope {
 
@@ -22,22 +23,39 @@ bool Telescope::capture(const Packet& packet) {
     ++discarded_;
     return false;
   }
-  const Ipv4 src = anonymize(packet.src);
-  const Ipv4 dst = anonymize(packet.dst);
-  accumulator_.add_packet(src.value(), dst.value());
+  const std::uint32_t src = anonymize_value(packet.src.value());
+  const std::uint32_t dst = anonymize_value(packet.dst.value());
+  accumulator_.add_packet(src, dst);
   return true;
+}
+
+std::uint64_t Telescope::capture_block(std::span<const Packet> packets) {
+  batch_keys_.clear();
+  batch_keys_.reserve(packets.size());
+  for (const Packet& p : packets) {
+    if (!is_valid(p)) {
+      ++discarded_;
+      continue;
+    }
+    const std::uint32_t src = anonymize_value(p.src.value());
+    const std::uint32_t dst = anonymize_value(p.dst.value());
+    batch_keys_.push_back(gbl::pack_key(src, dst));
+  }
+  accumulator_.add_packets(batch_keys_);
+  return batch_keys_.size();
 }
 
 gbl::DcsrMatrix Telescope::finish_window() { return accumulator_.finish(); }
 
-Ipv4 Telescope::anonymize(Ipv4 addr) const {
-  const auto it = anon_cache_.find(addr.value());
-  if (it != anon_cache_.end()) return Ipv4(it->second);
-  const Ipv4 anon = cryptopan_.anonymize(addr);
-  anon_cache_.emplace(addr.value(), anon.value());
-  dictionary_.emplace(anon.value(), addr.value());
+std::uint32_t Telescope::anonymize_value(std::uint32_t addr) const {
+  if (const std::uint32_t* hit = anon_cache_.find(addr)) return *hit;
+  const std::uint32_t anon = cryptopan_.anonymize(Ipv4(addr)).value();
+  anon_cache_.insert(addr, anon);
+  dictionary_.emplace(anon, addr);
   return anon;
 }
+
+Ipv4 Telescope::anonymize(Ipv4 addr) const { return Ipv4(anonymize_value(addr.value())); }
 
 Ipv4 Telescope::deanonymize(Ipv4 anon) const {
   const auto it = dictionary_.find(anon.value());

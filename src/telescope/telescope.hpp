@@ -18,6 +18,7 @@
 /// cross-observatory correlation.
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "crypt/cryptopan.hpp"
 #include "gbl/dcsr.hpp"
 #include "gbl/hierarchical.hpp"
+#include "telescope/anon_cache.hpp"
 
 namespace obscorr::telescope {
 
@@ -53,6 +55,13 @@ class Telescope {
   /// Offer one packet; returns true when it was valid and captured.
   bool capture(const Packet& packet);
 
+  /// Offer a batch of packets: filter, anonymize (flat memoization
+  /// cache), and append the packed (src, dst) keys to the accumulator in
+  /// one pass with no per-packet function boundary. Returns the number
+  /// of valid packets captured; the rest were discarded. Equivalent to
+  /// calling `capture` per packet.
+  std::uint64_t capture_block(std::span<const Packet> packets);
+
   /// Valid packets captured in the current window.
   std::uint64_t valid_packets() const { return accumulator_.packets(); }
 
@@ -77,13 +86,15 @@ class Telescope {
 
  private:
   bool is_valid(const Packet& packet) const;
+  std::uint32_t anonymize_value(std::uint32_t addr) const;
 
   TelescopeConfig config_;
   crypt::CryptoPan cryptopan_;
   gbl::HierarchicalAccumulator accumulator_;
   std::uint64_t discarded_ = 0;
-  mutable std::unordered_map<std::uint32_t, std::uint32_t> anon_cache_;
+  mutable AnonCache anon_cache_;  // original -> anon (hot, flat open addressing)
   mutable std::unordered_map<std::uint32_t, std::uint32_t> dictionary_;  // anon -> original
+  std::vector<std::uint64_t> batch_keys_;  // capture_block scratch
 };
 
 }  // namespace obscorr::telescope

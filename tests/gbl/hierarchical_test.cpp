@@ -78,6 +78,35 @@ TEST(HierarchicalTest, ReusableAfterFinish) {
   EXPECT_EQ(second.at(1, 1), 0.0);  // no leakage across windows
 }
 
+TEST(HierarchicalTest, AddPacketsMatchesAddPacketLoop) {
+  // The batched packed-key ingest must land in the same block structure
+  // (and so the same carries) as the per-packet path. Chunk sizes are
+  // deliberately coprime with the 2^6 block size so batches straddle
+  // block boundaries.
+  ThreadPool pool(2);
+  Rng rng(4242);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 9973; ++i) {
+    keys.push_back(pack_key(static_cast<Index>(rng.uniform_u64(300)),
+                            static_cast<Index>(rng.uniform_u64(300))));
+  }
+  HierarchicalAccumulator per_packet(6, pool);
+  for (const std::uint64_t k : keys) {
+    per_packet.add_packet(static_cast<Index>(k >> 32), static_cast<Index>(k & 0xFFFFFFFFu));
+  }
+  EXPECT_EQ(per_packet.packets(), keys.size());
+  const DcsrMatrix reference = per_packet.finish();
+  for (const std::size_t chunk : {1u, 7u, 64u, 1000u, 9973u}) {
+    HierarchicalAccumulator batched(6, pool);
+    for (std::size_t i = 0; i < keys.size(); i += chunk) {
+      batched.add_packets(std::span<const std::uint64_t>(keys).subspan(
+          i, std::min(chunk, keys.size() - i)));
+    }
+    EXPECT_EQ(batched.packets(), keys.size()) << "chunk " << chunk;
+    EXPECT_EQ(batched.finish(), reference) << "chunk " << chunk;
+  }
+}
+
 TEST(HierarchicalTest, PacketSumInvariant) {
   // 1' A 1 == number of packets streamed, whatever the block layout.
   ThreadPool pool(3);

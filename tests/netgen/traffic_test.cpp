@@ -37,6 +37,31 @@ TEST(TrafficTest, EmitsExactValidCount) {
   EXPECT_LT(legit, 100u);
 }
 
+TEST(TrafficTest, BatchedStreamEmitsIdenticalPacketSequence) {
+  // The batched sink is a pure buffering layer: concatenating its spans
+  // must reproduce the per-packet sequence exactly, for any batch size
+  // (including ones that do not divide the emitted count).
+  const Population pop = make_population();
+  TrafficConfig cfg;
+  const TrafficGenerator gen(pop, cfg);
+  std::vector<Packet> per_packet;
+  const std::uint64_t emitted =
+      gen.stream_window(2, 4000, 7, [&](const Packet& p) { per_packet.push_back(p); });
+  for (const std::size_t batch : {1u, 13u, 1024u, 100000u}) {
+    std::vector<Packet> batched;
+    const std::uint64_t emitted_batched = gen.stream_window_batched(
+        2, 4000, 7,
+        [&](std::span<const Packet> b) { batched.insert(batched.end(), b.begin(), b.end()); },
+        batch);
+    EXPECT_EQ(emitted_batched, emitted) << "batch " << batch;
+    ASSERT_EQ(batched.size(), per_packet.size()) << "batch " << batch;
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      ASSERT_EQ(batched[i].src, per_packet[i].src) << i;
+      ASSERT_EQ(batched[i].dst, per_packet[i].dst) << i;
+    }
+  }
+}
+
 TEST(TrafficTest, AllDestinationsInDarkspace) {
   const Population pop = make_population();
   TrafficConfig cfg;

@@ -77,7 +77,7 @@ TEST(GiniTest, Validation) {
 TEST(SummaryTest, AllFieldsConsistent) {
   Rng rng(3);
   std::vector<double> v;
-  for (int i = 0; i < 5000; ++i) v.push_back(1.0 + rng.uniform_u64(100));
+  for (int i = 0; i < 5000; ++i) v.push_back(1.0 + static_cast<double>(rng.uniform_u64(100)));
   const Summary s = summarize(v);
   EXPECT_EQ(s.count, v.size());
   EXPECT_LE(s.min, s.p50);

@@ -46,6 +46,38 @@ TEST(TelescopeTest, MatrixIsAnonymizedButCountsPreserved) {
   EXPECT_EQ(m.at(scope.anonymize(src).value(), scope.anonymize(dst).value()), 5.0);
 }
 
+TEST(TelescopeTest, CaptureBlockMatchesPerPacketCapture) {
+  // The batched ingest must be observationally identical to per-packet
+  // capture: same matrix, same valid/discarded counters, same dictionary
+  // behavior — only the internal path differs.
+  ThreadPool pool(2);
+  Telescope per_packet(small_config(), pool);
+  Telescope batched(small_config(), pool);
+
+  Rng rng(31);
+  std::vector<Packet> packets;
+  for (int i = 0; i < 5000; ++i) {
+    // Mix of darkspace hits, out-of-darkspace traffic, and legit sources.
+    const Ipv4 src = (i % 7 == 0) ? Ipv4(10, 0, 0, 1) : Ipv4(rng.next_u32() | 1u);
+    const Ipv4 dst = (i % 11 == 0) ? Ipv4(78, 1, 2, 3)
+                                   : Ipv4(Ipv4(77, 0, 0, 0).value() | (rng.next_u32() & 0xFFFF));
+    packets.push_back({src, dst});
+  }
+  std::uint64_t accepted_ref = 0;
+  for (const Packet& p : packets) {
+    if (per_packet.capture(p)) ++accepted_ref;
+  }
+  std::uint64_t accepted = 0;
+  for (std::size_t i = 0; i < packets.size(); i += 333) {
+    accepted += batched.capture_block(
+        std::span<const Packet>(packets).subspan(i, std::min<std::size_t>(333, packets.size() - i)));
+  }
+  EXPECT_EQ(accepted, accepted_ref);
+  EXPECT_EQ(batched.valid_packets(), per_packet.valid_packets());
+  EXPECT_EQ(batched.discarded_packets(), per_packet.discarded_packets());
+  EXPECT_EQ(batched.finish_window(), per_packet.finish_window());
+}
+
 TEST(TelescopeTest, DeanonymizeInvertsObservedSources) {
   ThreadPool pool(2);
   Telescope scope(small_config(), pool);
