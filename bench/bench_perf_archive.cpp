@@ -1,0 +1,114 @@
+/// Archive query path vs recompute: the paper's motivating workload is
+/// re-analyzing years of archived observatory captures, so the archive
+/// is only worth its disk if loading + analyzing a campaign beats
+/// rerunning it. BM_ArchiveLoadVsRecompute pairs the two ends:
+///
+///   recompute — netgen world build + full run_study per iteration
+///   archive   — StudyReader open (manifest + checksums + mmap) and the
+///               same report analyses over the archived data
+///
+/// Run with --benchmark_filter=BM_Archive; see bench/baselines/README.md
+/// for the recorded numbers and the paired-run methodology.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "archive/study_archive.hpp"
+#include "common/thread_pool.hpp"
+#include "core/correlation.hpp"
+#include "core/degree_analysis.hpp"
+#include "core/study.hpp"
+
+namespace {
+
+using namespace obscorr;
+
+/// The analyses the `report` command runs, from whatever StudyData we
+/// hand it — the common downstream of both ends of the comparison.
+double report_analyses(const core::StudyData& study) {
+  double sink = 0.0;
+  for (const auto& degrees : core::analyze_all_degrees(study)) {
+    sink += degrees.fit.model.alpha;
+  }
+  for (const auto& peak : core::peak_correlation_all(study)) sink += peak.fraction;
+  for (const auto& cell : core::fit_grid(study, 20)) {
+    sink += cell.curve.modified_cauchy.model.alpha;
+  }
+  return sink;
+}
+
+void BM_ArchiveLoadVsRecompute_Recompute(benchmark::State& state) {
+  const int log2_nv = static_cast<int>(state.range(0));
+  const auto scenario = netgen::Scenario::paper(log2_nv, 42);
+  for (auto _ : state) {
+    ThreadPool pool(2);
+    const auto study = core::run_study(scenario, pool);
+    benchmark::DoNotOptimize(report_analyses(study));
+  }
+}
+BENCHMARK(BM_ArchiveLoadVsRecompute_Recompute)
+    ->Arg(14)
+    ->Arg(16)
+    ->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveLoadVsRecompute_Archive(benchmark::State& state) {
+  const int log2_nv = static_cast<int>(state.range(0));
+  const auto scenario = netgen::Scenario::paper(log2_nv, 42);
+  const std::string dir =
+      "bench_archive_nv" + std::to_string(log2_nv) + ".obsar";
+  {
+    ThreadPool pool(2);
+    archive::archive_study(scenario, dir, pool);  // one-time setup, not timed
+  }
+  for (auto _ : state) {
+    // Timed end to end: open (verify every checksum, mmap the log),
+    // load, analyze — exactly the `report --from` path (analysis_study
+    // skips matrix materialization and the Population rebuild, as the
+    // CLI does).
+    const archive::StudyReader reader(dir);
+    benchmark::DoNotOptimize(report_analyses(reader.analysis_study()));
+  }
+}
+BENCHMARK(BM_ArchiveLoadVsRecompute_Archive)
+    ->Arg(14)
+    ->Arg(16)
+    ->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveOpenOnly(benchmark::State& state) {
+  // The fixed cost of --from: manifest parse + whole-log CRC + catalog
+  // verification, no analysis.
+  const auto scenario = netgen::Scenario::paper(16, 42);
+  const std::string dir = "bench_archive_nv16.obsar";
+  {
+    ThreadPool pool(2);
+    archive::archive_study(scenario, dir, pool);
+  }
+  for (auto _ : state) {
+    const archive::StudyReader reader(dir);
+    benchmark::DoNotOptimize(reader.snapshot_count());
+  }
+}
+BENCHMARK(BM_ArchiveOpenOnly)->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveZeroCopyReduce(benchmark::State& state) {
+  // Degree reduction straight off the mapped matrix view vs what the
+  // recompute path pays to get the same numbers.
+  const auto scenario = netgen::Scenario::paper(16, 42);
+  const std::string dir = "bench_archive_nv16.obsar";
+  {
+    ThreadPool pool(2);
+    archive::archive_study(scenario, dir, pool);
+  }
+  const archive::StudyReader reader(dir);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reader.matrix(0).reduce_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(reader.matrix(0).nnz()));
+}
+BENCHMARK(BM_ArchiveZeroCopyReduce);
+
+}  // namespace

@@ -1,0 +1,132 @@
+#pragma once
+/// \file format.hpp
+/// Low-level byte plumbing for the archive format: a little-endian
+/// payload writer that appends into an in-memory buffer (so the frame
+/// checksum can be computed before anything touches disk) and a
+/// bounds-checked reader over a read-only byte span (the mmap view).
+///
+/// All multi-byte integers are little-endian; doubles are the IEEE-754
+/// bit pattern of the value, little-endian. Array sections inside
+/// payloads are 8-byte aligned relative to the payload start so that a
+/// payload mapped at an 8-aligned file offset can be read through typed
+/// spans with no realignment copy.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace obscorr::archive {
+
+static_assert(std::endian::native == std::endian::little,
+              "the archive format is little-endian; big-endian hosts need byte swaps");
+
+/// Append-only little-endian serializer into a growable byte buffer.
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed string (u32 length + raw bytes).
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  /// Raw bytes of a trivially-copyable array, no length prefix.
+  template <typename T>
+  void array(std::span<const T> values) {
+    raw(values.data(), values.size() * sizeof(T));
+  }
+
+  /// Zero-pad so the next byte lands on an 8-byte boundary.
+  void pad8() {
+    while (buf_.size() % 8 != 0) buf_.push_back('\0');
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a fixed byte span. Every
+/// accessor throws std::invalid_argument on overrun, so hostile payloads
+/// fail cleanly instead of reading out of the mapping.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint32_t u32() { return pod<std::uint32_t>(); }
+  std::uint64_t u64() { return pod<std::uint64_t>(); }
+  std::int32_t i32() { return pod<std::int32_t>(); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Length-prefixed string; `max_len` guards against hostile lengths.
+  std::string str(std::size_t max_len = 1 << 20) {
+    const std::uint32_t n = u32();
+    OBSCORR_REQUIRE(n <= max_len, "archive: string length exceeds limit");
+    const auto raw = take(n);
+    return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
+
+  /// Typed span over the next `count` elements, zero-copy. The caller is
+  /// responsible for element alignment (sections are 8-aligned by
+  /// construction; validated here).
+  template <typename T>
+  std::span<const T> array(std::size_t count) {
+    OBSCORR_REQUIRE(count <= remaining() / sizeof(T), "archive: array exceeds payload");
+    const auto raw = take(count * sizeof(T));
+    OBSCORR_REQUIRE(reinterpret_cast<std::uintptr_t>(raw.data()) % alignof(T) == 0,
+                    "archive: misaligned array section");
+    return {reinterpret_cast<const T*>(raw.data()), count};
+  }
+
+  /// Skip zero padding up to the next 8-byte boundary relative to the
+  /// payload start.
+  void pad8() {
+    while (pos_ % 8 != 0) {
+      OBSCORR_REQUIRE(u8() == 0, "archive: nonzero padding byte");
+    }
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  T pod() {
+    const auto raw = take(sizeof(T));
+    T value;
+    std::memcpy(&value, raw.data(), sizeof(T));
+    return value;
+  }
+
+  std::span<const std::byte> take(std::size_t n) {
+    OBSCORR_REQUIRE(n <= remaining(), "archive: truncated payload");
+    const auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace obscorr::archive

@@ -1,0 +1,88 @@
+#include "archive/mapped_file.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OBSCORR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace obscorr::archive {
+
+#ifdef OBSCORR_HAVE_MMAP
+struct MappedFile::Mapping {
+  void* addr = nullptr;
+  std::size_t length = 0;
+  ~Mapping() {
+    if (addr != nullptr) ::munmap(addr, length);
+  }
+};
+#else
+struct MappedFile::Mapping {};
+#endif
+
+namespace {
+
+bool mmap_disabled_by_env() {
+  const char* flag = std::getenv("OBSCORR_ARCHIVE_NO_MMAP");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+std::vector<std::byte> read_whole_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  OBSCORR_REQUIRE(is.is_open(), "archive: cannot open " + path);
+  const std::streamoff size = is.tellg();
+  OBSCORR_REQUIRE(size >= 0, "archive: cannot stat " + path);
+  std::vector<std::byte> buffer(static_cast<std::size_t>(size));
+  is.seekg(0);
+  if (!buffer.empty()) {
+    is.read(reinterpret_cast<char*>(buffer.data()), size);
+    OBSCORR_REQUIRE(is.good(), "archive: short read of " + path);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+MappedFile MappedFile::open(const std::string& path, bool allow_mmap) {
+  MappedFile file;
+#ifdef OBSCORR_HAVE_MMAP
+  if (allow_mmap && !mmap_disabled_by_env()) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    OBSCORR_REQUIRE(fd >= 0, "archive: cannot open " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const auto length = static_cast<std::size_t>(st.st_size);
+      if (length == 0) {
+        ::close(fd);
+        return file;  // empty file: empty span, nothing to map
+      }
+      void* addr = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (addr != MAP_FAILED) {
+        file.mapping_ = std::make_shared<Mapping>();
+        file.mapping_->addr = addr;
+        file.mapping_->length = length;
+        file.bytes_ = {static_cast<const std::byte*>(addr), length};
+        return file;
+      }
+      // fall through to the streaming fallback on mmap failure
+    } else {
+      ::close(fd);
+    }
+  }
+#else
+  (void)allow_mmap;
+#endif
+  file.buffer_ = std::make_shared<std::vector<std::byte>>(read_whole_file(path));
+  file.bytes_ = {file.buffer_->data(), file.buffer_->size()};
+  return file;
+}
+
+}  // namespace obscorr::archive

@@ -1,0 +1,46 @@
+#pragma once
+/// \file mapped_file.hpp
+/// Read-only file mapping for the archive's zero-copy query path. On
+/// POSIX hosts the whole entry log is mmap'd once and every MatrixView
+/// serves spans straight out of the page cache — the "analyze years of
+/// archived captures without deserializing them" access pattern of the
+/// paper's supercomputing-center store. Where mmap is unavailable (or
+/// disabled with OBSCORR_ARCHIVE_NO_MMAP=1) the file is read into an
+/// owned buffer instead: same spans, one extra copy, identical results.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace obscorr::archive {
+
+/// An immutable byte view of a whole file, mmap-backed when possible.
+class MappedFile {
+ public:
+  /// Map (or read) `path`; throws std::invalid_argument when the file
+  /// cannot be opened. `allow_mmap=false` forces the streaming fallback;
+  /// the OBSCORR_ARCHIVE_NO_MMAP environment variable does the same
+  /// globally.
+  static MappedFile open(const std::string& path, bool allow_mmap = true);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&&) noexcept = default;
+  MappedFile& operator=(MappedFile&&) noexcept = default;
+
+  std::span<const std::byte> bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+  /// True when the view is served by mmap rather than an owned buffer.
+  bool mapped() const { return mapping_ != nullptr; }
+
+ private:
+  struct Mapping;  // owns the mmap region; unmaps on destruction
+
+  std::span<const std::byte> bytes_;
+  std::shared_ptr<Mapping> mapping_;       // mmap path
+  std::shared_ptr<std::vector<std::byte>> buffer_;  // fallback path
+};
+
+}  // namespace obscorr::archive

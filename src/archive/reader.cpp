@@ -1,0 +1,103 @@
+#include "archive/reader.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "archive/checksum.hpp"
+#include "archive/format.hpp"
+#include "common/error.hpp"
+
+namespace obscorr::archive {
+
+namespace {
+
+constexpr std::string_view kManifestMagic = "OBSARCH1";
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::uint32_t kMaxEntries = 1u << 20;
+
+}  // namespace
+
+ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
+  OBSCORR_REQUIRE(std::filesystem::is_directory(dir),
+                  "archive: " + dir + " is not an archive directory");
+  const std::string manifest_path = dir + "/" + kManifestName;
+  OBSCORR_REQUIRE(std::filesystem::is_regular_file(manifest_path),
+                  "archive: " + dir + " has no manifest (incomplete or not an archive)");
+
+  // The manifest is small; read it whole and checksum before parsing.
+  const MappedFile manifest_file = MappedFile::open(manifest_path, /*allow_mmap=*/false);
+  const auto manifest = manifest_file.bytes();
+  OBSCORR_REQUIRE(manifest.size() >= 8 + 4 + 4 + 8 + 8 + 4 + 4,
+                  "archive: manifest truncated in " + dir);
+  const std::size_t body_size = manifest.size() - 4;
+  PayloadReader tail(manifest.subspan(body_size));
+  const std::uint32_t stored_crc = tail.u32();
+  OBSCORR_REQUIRE(crc32c(manifest.first(body_size)) == stored_crc,
+                  "archive: manifest checksum mismatch in " + dir +
+                      " (corrupted or torn manifest)");
+
+  PayloadReader r(manifest.first(body_size));
+  const auto magic = r.array<char>(8);
+  OBSCORR_REQUIRE(std::string_view(magic.data(), magic.size()) == kManifestMagic,
+                  "archive: bad manifest magic in " + dir);
+  const std::uint32_t version = r.u32();
+  OBSCORR_REQUIRE(version == kManifestVersion,
+                  "archive: unsupported manifest version " + std::to_string(version));
+  const std::uint32_t entry_count = r.u32();
+  OBSCORR_REQUIRE(entry_count <= kMaxEntries, "archive: implausible entry count");
+  scenario_hash_ = r.u64();
+  const std::uint64_t data_size = r.u64();
+  const std::uint32_t log_crc = r.u32();
+
+  entries_.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    EntryInfo e;
+    const std::uint32_t name_len = r.u32();
+    e.crc32c = r.u32();
+    e.offset = r.u64();
+    e.size = r.u64();
+    OBSCORR_REQUIRE(name_len >= 1 && name_len <= 4096, "archive: bad entry name length");
+    const auto name = r.array<char>(name_len);
+    e.name.assign(name.data(), name.size());
+    entries_.push_back(std::move(e));
+  }
+  OBSCORR_REQUIRE(r.done(), "archive: trailing bytes in manifest");
+
+  // Map the entry log and validate the catalog against it.
+  log_ = MappedFile::open(dir + "/" + kEntryLogName);
+  OBSCORR_REQUIRE(log_.size() >= data_size,
+                  "archive: entry log shorter than the manifest expects (truncated)");
+  for (const EntryInfo& e : entries_) {
+    OBSCORR_REQUIRE(e.offset % 8 == 0, "archive: misaligned entry " + e.name);
+    OBSCORR_REQUIRE(e.offset <= data_size && e.size <= data_size - e.offset,
+                    "archive: entry " + e.name + " exceeds the log");
+  }
+  // One integrity pass over the whole log: the manifest's log checksum
+  // covers payloads, frame headers and padding alike, so any single-byte
+  // corruption of entries.dat fails here. Only then — on failure — is the
+  // per-entry CRC scan run, to pin the corruption to a named entry in the
+  // error message; the happy path checksums the log exactly once.
+  if (crc32c(log_.bytes().first(data_size)) != log_crc) {
+    for (const EntryInfo& e : entries_) {
+      OBSCORR_REQUIRE(crc32c(log_.bytes().subspan(e.offset, e.size)) == e.crc32c,
+                      "archive: checksum mismatch in entry " + e.name +
+                          " (corrupted archive data)");
+    }
+    OBSCORR_REQUIRE(false, "archive: entry log checksum mismatch in " + dir +
+                               " (corrupted archive metadata)");
+  }
+}
+
+bool ArchiveReader::has(std::string_view name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const EntryInfo& e) { return e.name == name; });
+}
+
+std::span<const std::byte> ArchiveReader::payload(std::string_view name) const {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const EntryInfo& e) { return e.name == name; });
+  OBSCORR_REQUIRE(it != entries_.end(), "archive: no entry named " + std::string(name));
+  return log_.bytes().subspan(it->offset, it->size);
+}
+
+}  // namespace obscorr::archive

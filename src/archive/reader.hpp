@@ -1,0 +1,53 @@
+#pragma once
+/// \file reader.hpp
+/// The archive's read side. Opening an archive parses and CRC-verifies
+/// the manifest, maps the entry log (mmap where available), bounds-checks
+/// every catalog row against the mapping, and verifies every entry
+/// payload checksum up front — after a successful open, any single-byte
+/// corruption anywhere in the manifest or an entry payload has already
+/// been rejected with a clear std::invalid_argument, never a crash and
+/// never a silently wrong answer. Entry payloads are then served as
+/// read-only spans over the mapping: the zero-copy query path.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "archive/mapped_file.hpp"
+#include "archive/writer.hpp"  // EntryInfo, file-name constants
+
+namespace obscorr::archive {
+
+/// Read-only, integrity-checked view of a completed archive directory.
+class ArchiveReader {
+ public:
+  /// Open and fully verify `dir`; throws std::invalid_argument when the
+  /// directory, manifest, or any entry is missing, truncated, or fails
+  /// its checksum.
+  explicit ArchiveReader(const std::string& dir);
+
+  std::uint64_t scenario_hash() const { return scenario_hash_; }
+
+  const std::vector<EntryInfo>& entries() const { return entries_; }
+  bool has(std::string_view name) const;
+
+  /// Payload bytes of `name`, zero-copy over the mapping (8-byte aligned
+  /// start); throws when the entry does not exist.
+  std::span<const std::byte> payload(std::string_view name) const;
+
+  /// True when the entry log is served by mmap (false: owned buffer).
+  bool mapped() const { return log_.mapped(); }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::uint64_t scenario_hash_ = 0;
+  std::vector<EntryInfo> entries_;
+  MappedFile log_;
+};
+
+}  // namespace obscorr::archive

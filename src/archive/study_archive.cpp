@@ -1,0 +1,452 @@
+#include "archive/study_archive.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "archive/checksum.hpp"
+#include "archive/format.hpp"
+#include "archive/writer.hpp"
+#include "common/error.hpp"
+#include "honeyfarm/honeyfarm.hpp"
+#include "telescope/telescope.hpp"
+
+namespace obscorr::archive {
+
+namespace {
+
+constexpr std::uint32_t kScenarioVersion = 1;
+
+std::string snapshot_entry(std::size_t k, const char* part) {
+  return "snapshot/" + std::to_string(k) + "/" + part;
+}
+
+std::string month_entry(std::size_t m) { return "month/" + std::to_string(m); }
+
+void put_year_month(PayloadWriter& w, YearMonth ym) {
+  w.i32(ym.year());
+  w.i32(ym.month());
+}
+
+YearMonth get_year_month(PayloadReader& r) {
+  const std::int32_t year = r.i32();
+  const std::int32_t month = r.i32();
+  OBSCORR_REQUIRE(year >= 0 && year <= 9999 && month >= 1 && month <= 12,
+                  "archive: malformed year-month");
+  return YearMonth(year, month);
+}
+
+void put_prefix(PayloadWriter& w, const Ipv4Prefix& p) {
+  w.u32(p.base().value());
+  w.i32(p.length());
+}
+
+Ipv4Prefix get_prefix(PayloadReader& r) {
+  const std::uint32_t base = r.u32();
+  const std::int32_t length = r.i32();
+  OBSCORR_REQUIRE(length >= 0 && length <= 32, "archive: malformed prefix length");
+  return Ipv4Prefix(Ipv4(base), length);
+}
+
+/// Snapshot k's Table II source reduction: u64 nnz, u32[nnz] indices,
+/// pad8, f64[nnz] values. Indices strictly increasing (DCSR row order).
+std::string encode_sources(const gbl::SparseVec& v) {
+  PayloadWriter w;
+  w.u64(v.nnz());
+  w.array(v.indices());
+  w.pad8();
+  w.array(v.values());
+  return w.take();
+}
+
+struct SourcesView {
+  std::span<const gbl::Index> ids;
+  std::span<const gbl::Value> counts;
+};
+
+SourcesView decode_sources(std::span<const std::byte> bytes) {
+  PayloadReader r(bytes);
+  const std::uint64_t nnz = r.u64();
+  OBSCORR_REQUIRE(nnz <= bytes.size() / sizeof(gbl::Index),
+                  "archive: source vector counts exceed the payload size");
+  SourcesView v;
+  v.ids = r.array<gbl::Index>(static_cast<std::size_t>(nnz));
+  r.pad8();
+  v.counts = r.array<gbl::Value>(static_cast<std::size_t>(nnz));
+  OBSCORR_REQUIRE(r.done(), "archive: trailing bytes after source vector");
+  for (std::size_t i = 1; i < v.ids.size(); ++i) {
+    OBSCORR_REQUIRE(v.ids[i - 1] < v.ids[i],
+                    "archive: source ids must be strictly increasing");
+  }
+  return v;
+}
+
+/// Window metadata: everything in SnapshotData besides the three arrays.
+std::string encode_snapshot_meta(const core::SnapshotData& snap) {
+  PayloadWriter w;
+  put_year_month(w, snap.spec.month);
+  w.str(snap.spec.start_label);
+  w.f64(snap.spec.paper_duration_sec);
+  w.u64(snap.spec.salt);
+  w.i32(snap.month_index);
+  w.u64(snap.valid_packets);
+  w.u64(snap.discarded_packets);
+  w.f64(snap.duration_sec);
+  return w.take();
+}
+
+void decode_snapshot_meta(std::span<const std::byte> bytes, core::SnapshotData& snap) {
+  PayloadReader r(bytes);
+  snap.spec.month = get_year_month(r);
+  snap.spec.start_label = r.str();
+  snap.spec.paper_duration_sec = r.f64();
+  snap.spec.salt = r.u64();
+  snap.month_index = r.i32();
+  snap.valid_packets = r.u64();
+  snap.discarded_packets = r.u64();
+  snap.duration_sec = r.f64();
+  OBSCORR_REQUIRE(r.done(), "archive: trailing bytes after snapshot metadata");
+}
+
+std::string encode_assoc(const d4m::AssocArray& a) {
+  std::ostringstream os(std::ios::binary);
+  a.write_binary(os);
+  return std::move(os).str();
+}
+
+d4m::AssocArray decode_assoc(std::span<const std::byte> bytes) {
+  return d4m::AssocArray::read_binary(bytes);
+}
+
+/// One honeyfarm month: the fixed-size header followed by the assoc
+/// array's own binary encoding.
+std::string encode_month(const honeyfarm::MonthlyObservation& obs) {
+  PayloadWriter w;
+  put_year_month(w, obs.month);
+  w.u64(obs.population_sources);
+  w.u64(obs.ephemeral_sources);
+  std::string out = w.take();
+  out += encode_assoc(obs.sources);
+  return out;
+}
+
+honeyfarm::MonthlyObservation decode_month(std::span<const std::byte> bytes) {
+  honeyfarm::MonthlyObservation obs;
+  PayloadReader r(bytes);
+  obs.month = get_year_month(r);
+  obs.population_sources = r.u64();
+  obs.ephemeral_sources = r.u64();
+  obs.sources = decode_assoc(bytes.subspan(r.position()));
+  return obs;
+}
+
+/// Every entry name a complete archive of `scenario` must contain.
+std::vector<std::string> expected_entries(const netgen::Scenario& scenario) {
+  std::vector<std::string> names{"scenario"};
+  for (std::size_t k = 0; k < scenario.snapshots.size(); ++k) {
+    for (const char* part : {"meta", "matrix", "sources", "assoc"}) {
+      names.push_back(snapshot_entry(k, part));
+    }
+  }
+  for (std::size_t m = 0; m < scenario.months.size(); ++m) names.push_back(month_entry(m));
+  return names;
+}
+
+void add_snapshot_entries(ArchiveWriter& w, std::size_t k, const core::SnapshotData& snap) {
+  // Resume may find a prefix of a snapshot's four entries already on
+  // disk; regeneration is deterministic, so only the missing ones are
+  // appended and they agree with the survivors.
+  if (const auto name = snapshot_entry(k, "meta"); !w.has_entry(name)) {
+    w.add_entry(name, encode_snapshot_meta(snap));
+  }
+  if (const auto name = snapshot_entry(k, "matrix"); !w.has_entry(name)) {
+    std::string payload;
+    gbl::append_matrix_v2(payload, snap.matrix);
+    w.add_entry(name, payload);
+  }
+  if (const auto name = snapshot_entry(k, "sources"); !w.has_entry(name)) {
+    w.add_entry(name, encode_sources(snap.source_packets));
+  }
+  if (const auto name = snapshot_entry(k, "assoc"); !w.has_entry(name)) {
+    w.add_entry(name, encode_assoc(snap.sources));
+  }
+}
+
+bool snapshot_complete(const ArchiveWriter& w, std::size_t k) {
+  for (const char* part : {"meta", "matrix", "sources", "assoc"}) {
+    if (!w.has_entry(snapshot_entry(k, part))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_scenario(const netgen::Scenario& s) {
+  PayloadWriter w;
+  w.u32(kScenarioVersion);
+
+  const netgen::PopulationConfig& p = s.population;
+  w.u64(p.population);
+  w.f64(p.zm_alpha);
+  w.f64(p.zm_delta);
+  w.u64(p.log2_nv);
+  w.f64(p.rebirth_prob);
+  w.f64(p.persist_shape_stable);
+  w.f64(p.persist_shape_churny);
+  w.f64(p.hybrid_share);
+  w.u64(p.hybrid_sources);
+  w.f64(p.hybrid_alpha);
+  w.f64(p.hybrid_delta);
+  w.f64(p.botnet_fraction);
+  w.u64(p.botnet_block_size);
+  w.f64(p.botnet_block_persist);
+  w.f64(p.botnet_block_rebirth);
+  w.u64(p.seed);
+
+  const netgen::TrafficConfig& t = s.traffic;
+  put_prefix(w, t.darkspace);
+  put_prefix(w, t.legit_prefix);
+  w.f64(t.legit_fraction);
+  w.f64(t.uniform_weight);
+  w.f64(t.sequential_weight);
+  w.f64(t.subnet_weight);
+
+  w.u32(static_cast<std::uint32_t>(s.visibility.kind));
+  w.i32(s.visibility.log2_nv);
+  w.f64(s.visibility.coverage_half);
+
+  w.u64(s.months.size());
+  for (const netgen::GreyNoiseMonthSpec& m : s.months) {
+    put_year_month(w, m.month);
+    w.f64(m.coverage);
+    w.f64(m.ephemeral_factor);
+  }
+  w.u64(s.snapshots.size());
+  for (const netgen::CaidaSnapshotSpec& snap : s.snapshots) {
+    put_year_month(w, snap.month);
+    w.str(snap.start_label);
+    w.f64(snap.paper_duration_sec);
+    w.u64(snap.salt);
+  }
+  return w.take();
+}
+
+netgen::Scenario decode_scenario(std::span<const std::byte> bytes) {
+  PayloadReader r(bytes);
+  const std::uint32_t version = r.u32();
+  OBSCORR_REQUIRE(version == kScenarioVersion, "archive: unsupported scenario version");
+
+  netgen::Scenario s;
+  netgen::PopulationConfig& p = s.population;
+  p.population = static_cast<std::size_t>(r.u64());
+  p.zm_alpha = r.f64();
+  p.zm_delta = r.f64();
+  p.log2_nv = r.u64();
+  p.rebirth_prob = r.f64();
+  p.persist_shape_stable = r.f64();
+  p.persist_shape_churny = r.f64();
+  p.hybrid_share = r.f64();
+  p.hybrid_sources = static_cast<std::size_t>(r.u64());
+  p.hybrid_alpha = r.f64();
+  p.hybrid_delta = r.f64();
+  p.botnet_fraction = r.f64();
+  p.botnet_block_size = static_cast<std::size_t>(r.u64());
+  p.botnet_block_persist = r.f64();
+  p.botnet_block_rebirth = r.f64();
+  p.seed = r.u64();
+
+  netgen::TrafficConfig& t = s.traffic;
+  t.darkspace = get_prefix(r);
+  t.legit_prefix = get_prefix(r);
+  t.legit_fraction = r.f64();
+  t.uniform_weight = r.f64();
+  t.sequential_weight = r.f64();
+  t.subnet_weight = r.f64();
+
+  const std::uint32_t kind = r.u32();
+  OBSCORR_REQUIRE(kind <= static_cast<std::uint32_t>(netgen::VisibilityKind::kCoverage),
+                  "archive: unknown visibility kind");
+  s.visibility.kind = static_cast<netgen::VisibilityKind>(kind);
+  s.visibility.log2_nv = r.i32();
+  s.visibility.coverage_half = r.f64();
+
+  const std::uint64_t month_count = r.u64();
+  OBSCORR_REQUIRE(month_count <= 100000, "archive: implausible month count");
+  for (std::uint64_t m = 0; m < month_count; ++m) {
+    netgen::GreyNoiseMonthSpec spec;
+    spec.month = get_year_month(r);
+    spec.coverage = r.f64();
+    spec.ephemeral_factor = r.f64();
+    s.months.push_back(spec);
+  }
+  const std::uint64_t snap_count = r.u64();
+  OBSCORR_REQUIRE(snap_count <= 100000, "archive: implausible snapshot count");
+  for (std::uint64_t k = 0; k < snap_count; ++k) {
+    netgen::CaidaSnapshotSpec spec;
+    spec.month = get_year_month(r);
+    spec.start_label = r.str();
+    spec.paper_duration_sec = r.f64();
+    spec.salt = r.u64();
+    s.snapshots.push_back(spec);
+  }
+  OBSCORR_REQUIRE(r.done(), "archive: trailing bytes after scenario");
+  return s;
+}
+
+std::uint64_t scenario_fingerprint(const netgen::Scenario& scenario) {
+  return fnv1a64(encode_scenario(scenario));
+}
+
+ArchiveStats archive_study(const netgen::Scenario& scenario, const std::string& dir,
+                           ThreadPool& pool) {
+  OBSCORR_REQUIRE(!scenario.snapshots.empty(), "scenario needs at least one snapshot");
+  const std::string encoded = encode_scenario(scenario);
+  const std::uint64_t hash = fnv1a64(encoded);
+
+  ArchiveStats stats;
+  stats.snapshots_total = scenario.snapshots.size();
+  stats.months_total = scenario.months.size();
+
+  // A completed archive is immutable: same scenario is a no-op, a
+  // different one is refused rather than silently overwritten.
+  if (std::filesystem::exists(std::filesystem::path(dir) / kManifestName)) {
+    const ArchiveReader existing(dir);
+    OBSCORR_REQUIRE(existing.scenario_hash() == hash,
+                    "archive_study: " + dir + " already holds a completed archive of a "
+                    "different scenario");
+    stats.already_complete = true;
+    stats.snapshots_reused = stats.snapshots_total;
+    stats.months_reused = stats.months_total;
+    return stats;
+  }
+
+  ArchiveWriter writer(dir);
+  if (writer.has_entry("scenario")) {
+    const std::vector<std::byte> existing = writer.read_entry("scenario");
+    const bool same = existing.size() == encoded.size() &&
+                      std::memcmp(existing.data(), encoded.data(), encoded.size()) == 0;
+    if (!same) writer.reset();  // stale partial run of another scenario
+  }
+  if (!writer.has_entry("scenario")) writer.add_entry("scenario", encoded);
+
+  // The population is only built when at least one snapshot or month is
+  // actually missing; a fully recovered log resumes straight to commit.
+  std::unique_ptr<netgen::Population> population;
+  const auto world = [&]() -> const netgen::Population& {
+    if (!population) population = std::make_unique<netgen::Population>(scenario.population);
+    return *population;
+  };
+
+  for (std::size_t k = 0; k < scenario.snapshots.size(); ++k) {
+    if (snapshot_complete(writer, k)) {
+      ++stats.snapshots_reused;
+      continue;
+    }
+    add_snapshot_entries(writer, k, core::run_snapshot(scenario, world(), k, pool));
+  }
+  for (std::size_t m = 0; m < scenario.months.size(); ++m) {
+    if (writer.has_entry(month_entry(m))) {
+      ++stats.months_reused;
+      continue;
+    }
+    writer.add_entry(month_entry(m), encode_month(core::run_month(scenario, world(), m)));
+  }
+  writer.finalize(hash);
+  return stats;
+}
+
+void write_study(const core::StudyData& study, const std::string& dir) {
+  ArchiveWriter writer(dir);
+  writer.reset();
+  writer.add_entry("scenario", encode_scenario(study.scenario));
+  for (std::size_t k = 0; k < study.snapshots.size(); ++k) {
+    add_snapshot_entries(writer, k, study.snapshots[k]);
+  }
+  for (std::size_t m = 0; m < study.months.size(); ++m) {
+    writer.add_entry(month_entry(m), encode_month(study.months[m]));
+  }
+  writer.finalize(scenario_fingerprint(study.scenario));
+}
+
+StudyReader::StudyReader(const std::string& dir) : reader_(dir) {
+  OBSCORR_REQUIRE(reader_.has("scenario"), "archive: missing scenario entry");
+  scenario_ = decode_scenario(reader_.payload("scenario"));
+  OBSCORR_REQUIRE(scenario_fingerprint(scenario_) == reader_.scenario_hash(),
+                  "archive: manifest scenario hash does not match the scenario entry");
+  for (const std::string& name : expected_entries(scenario_)) {
+    OBSCORR_REQUIRE(reader_.has(name), "archive: missing entry " + name);
+  }
+}
+
+gbl::MatrixView StudyReader::matrix(std::size_t k) const {
+  OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
+  return gbl::MatrixView::from_bytes(reader_.payload(snapshot_entry(k, "matrix")));
+}
+
+std::span<const gbl::Index> StudyReader::source_ids(std::size_t k) const {
+  OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
+  return decode_sources(reader_.payload(snapshot_entry(k, "sources"))).ids;
+}
+
+std::span<const gbl::Value> StudyReader::source_counts(std::size_t k) const {
+  OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
+  return decode_sources(reader_.payload(snapshot_entry(k, "sources"))).counts;
+}
+
+gbl::SparseVec StudyReader::source_packets(std::size_t k) const {
+  OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
+  const SourcesView v = decode_sources(reader_.payload(snapshot_entry(k, "sources")));
+  return gbl::SparseVec(std::vector<gbl::Index>(v.ids.begin(), v.ids.end()),
+                        std::vector<gbl::Value>(v.counts.begin(), v.counts.end()));
+}
+
+core::SnapshotData StudyReader::snapshot(std::size_t k, bool with_matrix) const {
+  OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
+  core::SnapshotData snap;
+  decode_snapshot_meta(reader_.payload(snapshot_entry(k, "meta")), snap);
+  if (with_matrix) snap.matrix = matrix(k).materialize();
+  snap.source_packets = source_packets(k);
+  snap.sources = decode_assoc(reader_.payload(snapshot_entry(k, "assoc")));
+  return snap;
+}
+
+honeyfarm::MonthlyObservation StudyReader::month(std::size_t m) const {
+  OBSCORR_REQUIRE(m < month_count(), "archive: month index out of range");
+  return decode_month(reader_.payload(month_entry(m)));
+}
+
+std::vector<honeyfarm::MonthlyObservation> StudyReader::months() const {
+  std::vector<honeyfarm::MonthlyObservation> all;
+  all.reserve(month_count());
+  for (std::size_t m = 0; m < month_count(); ++m) all.push_back(month(m));
+  return all;
+}
+
+core::StudyData StudyReader::study() const {
+  core::StudyData study;
+  study.scenario = scenario_;
+  study.population = std::make_shared<netgen::Population>(scenario_.population);
+  study.snapshots.reserve(snapshot_count());
+  for (std::size_t k = 0; k < snapshot_count(); ++k) study.snapshots.push_back(snapshot(k));
+  study.months = months();
+  return study;
+}
+
+core::StudyData StudyReader::analysis_study() const {
+  core::StudyData study;
+  study.scenario = scenario_;
+  study.snapshots.reserve(snapshot_count());
+  for (std::size_t k = 0; k < snapshot_count(); ++k) {
+    study.snapshots.push_back(snapshot(k, /*with_matrix=*/false));
+  }
+  study.months = months();
+  return study;
+}
+
+core::StudyData read_study(const std::string& dir) { return StudyReader(dir).study(); }
+
+}  // namespace obscorr::archive

@@ -1,0 +1,126 @@
+#pragma once
+/// \file study_archive.hpp
+/// The persistent study archive: one directory per campaign holding the
+/// scenario, every telescope snapshot (DCSR matrix, Table II source
+/// reduction, deanonymized D4M assoc array, window metadata) and every
+/// honeyfarm month, all as checksummed entries in the archive log (see
+/// writer.hpp for the on-disk framing).
+///
+/// Three access levels:
+///
+///  * `archive_study` — run (or resume) a campaign and persist it. The
+///    entry log is append-only and each snapshot/month is regenerated
+///    independently, so a killed run continues where it stopped instead
+///    of recomputing finished work. The manifest is written last; its
+///    existence marks the archive complete.
+///  * `StudyReader` — zero-copy queries over a completed archive:
+///    matrices as `gbl::MatrixView` and source reductions as spans
+///    straight over the mapped log, no nnz-sized copies.
+///  * `read_study` — materialize a full `core::StudyData`, bit-identical
+///    to what `core::run_study` returns for the archived scenario.
+///
+/// Entry naming: "scenario", "snapshot/<k>/{meta,matrix,sources,assoc}",
+/// "month/<m>", with <k>/<m> 0-based decimal indices.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "archive/reader.hpp"
+#include "common/thread_pool.hpp"
+#include "core/study.hpp"
+#include "gbl/matrix_view.hpp"
+
+namespace obscorr::archive {
+
+/// What `archive_study` did: how much work was reused from a previous
+/// (possibly killed) run vs generated fresh.
+struct ArchiveStats {
+  std::size_t snapshots_total = 0;
+  std::size_t snapshots_reused = 0;
+  std::size_t months_total = 0;
+  std::size_t months_reused = 0;
+  bool already_complete = false;  ///< a finished archive for this scenario existed
+};
+
+/// Serialize a scenario to the archive's binary encoding / back. The
+/// encoding is canonical: byte-equality of encodings is scenario
+/// equality, which is what resume keys on.
+std::string encode_scenario(const netgen::Scenario& scenario);
+netgen::Scenario decode_scenario(std::span<const std::byte> bytes);
+
+/// FNV-1a 64 fingerprint of the canonical encoding; stored in the
+/// manifest so readers can cheaply check archive/scenario identity.
+std::uint64_t scenario_fingerprint(const netgen::Scenario& scenario);
+
+/// Run the scenario's campaign into `dir`, resuming any complete
+/// snapshots/months left by a previous interrupted run of the *same*
+/// scenario (a differing scenario restarts the log from scratch), then
+/// commit the manifest. Throws std::invalid_argument when `dir` already
+/// holds a *completed* archive of a different scenario.
+ArchiveStats archive_study(const netgen::Scenario& scenario, const std::string& dir,
+                           ThreadPool& pool);
+
+/// Persist an already-computed study into `dir`, replacing any previous
+/// content, and commit the manifest.
+void write_study(const core::StudyData& study, const std::string& dir);
+
+/// Materialize the full study from a completed archive. Bit-identical to
+/// `core::run_study(scenario, pool)` for the archived scenario.
+core::StudyData read_study(const std::string& dir);
+
+/// Zero-copy query access to a completed archive. Opening verifies every
+/// checksum and that the catalog is complete for the archived scenario.
+class StudyReader {
+ public:
+  explicit StudyReader(const std::string& dir);
+
+  const netgen::Scenario& scenario() const { return scenario_; }
+  std::uint64_t scenario_hash() const { return reader_.scenario_hash(); }
+  std::size_t snapshot_count() const { return scenario_.snapshots.size(); }
+  std::size_t month_count() const { return scenario_.months.size(); }
+  double half_log_nv() const {
+    return static_cast<double>(scenario_.population.log2_nv) / 2.0;
+  }
+
+  /// Snapshot k's traffic matrix as a validated view over the mapped
+  /// log — no copy of the DCSR arrays.
+  gbl::MatrixView matrix(std::size_t k) const;
+
+  /// Snapshot k's Table II source-packet reduction (A·1) as spans over
+  /// the mapped log.
+  std::span<const gbl::Index> source_ids(std::size_t k) const;
+  std::span<const gbl::Value> source_counts(std::size_t k) const;
+
+  /// Owning copy of the source reduction (for APIs taking SparseVec).
+  gbl::SparseVec source_packets(std::size_t k) const;
+
+  /// Fully materialized snapshot k / month m / whole study. Pass
+  /// `with_matrix = false` to leave the snapshot's DCSR matrix empty:
+  /// every downstream analysis consumes only the reductions
+  /// (`source_packets`, `sources`), and skipping the nnz-sized
+  /// materialization is a large share of the `--from` latency win.
+  core::SnapshotData snapshot(std::size_t k, bool with_matrix = true) const;
+  honeyfarm::MonthlyObservation month(std::size_t m) const;
+  std::vector<honeyfarm::MonthlyObservation> months() const;
+  core::StudyData study() const;
+
+  /// The `--from` load: a study sufficient for every report analysis but
+  /// with no DCSR matrices and no ground-truth Population reconstruction
+  /// — the analyses consume only the archived reductions and catalogs,
+  /// and those two omissions are most of the query path's speedup over
+  /// recompute.
+  core::StudyData analysis_study() const;
+
+  /// True when queries are served by mmap rather than a heap copy.
+  bool mapped() const { return reader_.mapped(); }
+
+  const std::string& dir() const { return reader_.dir(); }
+
+ private:
+  ArchiveReader reader_;
+  netgen::Scenario scenario_;
+};
+
+}  // namespace obscorr::archive

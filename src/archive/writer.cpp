@@ -1,0 +1,211 @@
+#include "archive/writer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "archive/checksum.hpp"
+#include "archive/format.hpp"
+#include "common/error.hpp"
+
+namespace obscorr::archive {
+
+namespace {
+
+constexpr std::string_view kFrameMagic = "OBSAENT1";
+constexpr std::string_view kManifestMagic = "OBSARCH1";
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::size_t kFrameHeaderBytes = 32;
+constexpr std::uint32_t kMaxNameLen = 4096;
+
+std::size_t padded8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+/// Header bytes [magic, name_len, reserved, payload_size, payload_crc]
+/// in frame order — the region the header CRC covers (with the name).
+std::string frame_header_prefix(std::string_view name, std::uint64_t payload_size,
+                                std::uint32_t payload_crc) {
+  PayloadWriter w;
+  w.array(std::span<const char>(kFrameMagic.data(), kFrameMagic.size()));
+  w.u32(static_cast<std::uint32_t>(name.size()));
+  w.u32(0);
+  w.u64(payload_size);
+  w.u32(payload_crc);
+  return w.take();
+}
+
+}  // namespace
+
+std::string encode_manifest(std::uint64_t scenario_hash, std::uint64_t data_size,
+                            std::uint32_t log_crc, std::span<const EntryInfo> entries) {
+  PayloadWriter w;
+  w.array(std::span<const char>(kManifestMagic.data(), kManifestMagic.size()));
+  w.u32(kManifestVersion);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  w.u64(scenario_hash);
+  w.u64(data_size);
+  w.u32(log_crc);
+  for (const EntryInfo& e : entries) {
+    w.u32(static_cast<std::uint32_t>(e.name.size()));
+    w.u32(e.crc32c);
+    w.u64(e.offset);
+    w.u64(e.size);
+    w.array(std::span<const char>(e.name.data(), e.name.size()));
+  }
+  std::string bytes = w.take();
+  const std::uint32_t crc = crc32c(bytes);
+  PayloadWriter tail;
+  tail.u32(crc);
+  bytes += tail.take();
+  return bytes;
+}
+
+ArchiveWriter::ArchiveWriter(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  OBSCORR_REQUIRE(!ec, "archive: cannot create directory " + dir_);
+  log_path_ = dir_ + "/" + kEntryLogName;
+  recover();
+}
+
+void ArchiveWriter::recover() {
+  entries_.clear();
+  log_size_ = 0;
+  std::ifstream is(log_path_, std::ios::binary | std::ios::ate);
+  if (!is.is_open()) return;  // no log yet: fresh archive
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  std::vector<char> data(static_cast<std::size_t>(file_size));
+  is.seekg(0);
+  if (!data.empty()) is.read(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!is.good() && file_size > 0) {
+    data.clear();  // unreadable log: treat as empty and rebuild
+  }
+
+  // Walk complete frames; stop at the first torn or corrupt one. What
+  // was validated stays, everything after is truncated away.
+  std::uint64_t pos = 0;
+  while (pos + kFrameHeaderBytes <= data.size()) {
+    const std::span<const char> head(data.data() + pos, kFrameHeaderBytes);
+    if (std::string_view(head.data(), 8) != kFrameMagic) break;
+    PayloadReader r(std::as_bytes(head.subspan(8)));
+    const std::uint32_t name_len = r.u32();
+    const std::uint32_t reserved = r.u32();
+    const std::uint64_t payload_size = r.u64();
+    const std::uint32_t payload_crc = r.u32();
+    const std::uint32_t header_crc = r.u32();
+    if (reserved != 0 || name_len == 0 || name_len > kMaxNameLen) break;
+    const std::uint64_t name_end = pos + kFrameHeaderBytes + name_len;
+    if (name_end > data.size()) break;
+    const std::string_view name(data.data() + pos + kFrameHeaderBytes, name_len);
+    const std::string covered =
+        frame_header_prefix(name, payload_size, payload_crc) + std::string(name);
+    if (crc32c(covered) != header_crc) break;
+    const std::uint64_t payload_at = padded8(name_end);
+    if (payload_at + payload_size > data.size()) break;
+    const std::string_view payload(data.data() + payload_at,
+                                   static_cast<std::size_t>(payload_size));
+    if (crc32c(payload) != payload_crc) break;
+    const std::uint64_t frame_end = padded8(payload_at + payload_size);
+    if (frame_end > data.size()) break;
+    if (has_entry(name)) break;  // duplicate frames never come from us: corrupt
+    entries_.push_back({std::string(name), payload_at, payload_size, payload_crc});
+    pos = frame_end;
+  }
+  log_size_ = pos;
+  if (log_size_ < file_size) {
+    std::error_code ec;
+    std::filesystem::resize_file(log_path_, log_size_, ec);
+    OBSCORR_REQUIRE(!ec, "archive: cannot truncate torn tail of " + log_path_);
+  }
+}
+
+bool ArchiveWriter::has_entry(std::string_view name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const EntryInfo& e) { return e.name == name; });
+}
+
+std::vector<std::byte> ArchiveWriter::read_entry(std::string_view name) const {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const EntryInfo& e) { return e.name == name; });
+  OBSCORR_REQUIRE(it != entries_.end(), "archive: no entry named " + std::string(name));
+  std::ifstream is(log_path_, std::ios::binary);
+  OBSCORR_REQUIRE(is.is_open(), "archive: cannot open " + log_path_);
+  is.seekg(static_cast<std::streamoff>(it->offset));
+  std::vector<std::byte> payload(static_cast<std::size_t>(it->size));
+  if (!payload.empty()) {
+    is.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  }
+  OBSCORR_REQUIRE(is.good() || payload.empty(), "archive: short read of entry " +
+                                                    std::string(name));
+  OBSCORR_REQUIRE(crc32c({payload.data(), payload.size()}) == it->crc32c,
+                  "archive: checksum mismatch reading back entry " + std::string(name));
+  return payload;
+}
+
+void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
+  OBSCORR_REQUIRE(!name.empty() && name.size() <= kMaxNameLen,
+                  "archive: entry name must be 1..4096 bytes");
+  OBSCORR_REQUIRE(!has_entry(name), "archive: duplicate entry " + std::string(name));
+
+  const std::uint32_t payload_crc = crc32c(payload);
+  const std::string prefix = frame_header_prefix(name, payload.size(), payload_crc);
+  // The header CRC covers the 28-byte prefix plus the name; it sits as
+  // the last 4 bytes of the 32-byte fixed header, before the name bytes.
+  const std::uint32_t header_crc = crc32c(prefix + std::string(name));
+  PayloadWriter crc_bytes;
+  crc_bytes.u32(header_crc);
+
+  std::string block = prefix + crc_bytes.bytes() + std::string(name);
+  block.resize(padded8(block.size()), '\0');
+  const std::uint64_t payload_at = log_size_ + block.size();
+  block += payload;
+  block.resize(padded8(block.size()), '\0');
+
+  std::ofstream os(log_path_, std::ios::binary | std::ios::app);
+  OBSCORR_REQUIRE(os.is_open(), "archive: cannot append to " + log_path_);
+  os.write(block.data(), static_cast<std::streamsize>(block.size()));
+  os.flush();
+  OBSCORR_REQUIRE(os.good(), "archive: write failure on " + log_path_);
+
+  entries_.push_back({std::string(name), payload_at, payload.size(), payload_crc});
+  log_size_ += block.size();
+}
+
+void ArchiveWriter::reset() {
+  entries_.clear();
+  log_size_ = 0;
+  std::ofstream os(log_path_, std::ios::binary | std::ios::trunc);
+  OBSCORR_REQUIRE(os.is_open(), "archive: cannot reset " + log_path_);
+}
+
+void ArchiveWriter::finalize(std::uint64_t scenario_hash) {
+  // Checksum the entire log as written — frame headers and padding
+  // included — so readers can detect corruption anywhere in the file.
+  std::uint32_t log_crc = 0;
+  {
+    std::ifstream is(log_path_, std::ios::binary);
+    OBSCORR_REQUIRE(is.is_open() || log_size_ == 0,
+                    "archive: cannot read back " + log_path_);
+    std::vector<char> data(static_cast<std::size_t>(log_size_));
+    if (!data.empty()) {
+      is.read(data.data(), static_cast<std::streamsize>(data.size()));
+      OBSCORR_REQUIRE(is.good(), "archive: short read of " + log_path_);
+    }
+    log_crc = crc32c(std::as_bytes(std::span<const char>(data)));
+  }
+  const std::string manifest = encode_manifest(scenario_hash, log_size_, log_crc, entries_);
+  const std::string final_path = dir_ + "/" + kManifestName;
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    OBSCORR_REQUIRE(os.is_open(), "archive: cannot write " + tmp_path);
+    os.write(manifest.data(), static_cast<std::streamsize>(manifest.size()));
+    os.flush();
+    OBSCORR_REQUIRE(os.good(), "archive: write failure on " + tmp_path);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  OBSCORR_REQUIRE(!ec, "archive: cannot commit manifest " + final_path);
+}
+
+}  // namespace obscorr::archive

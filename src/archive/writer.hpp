@@ -1,0 +1,100 @@
+#pragma once
+/// \file writer.hpp
+/// The archive's write side. An archive directory holds two files:
+///
+///   entries.dat     append-only log of named, checksummed entry frames
+///   MANIFEST.obsar  catalog written last, atomically (tmp + rename)
+///
+/// Frames are appended one at a time; each frame carries its own header
+/// checksum, so a writer killed mid-frame leaves a recoverable log: the
+/// next ArchiveWriter scans the log, keeps every complete valid frame,
+/// truncates the torn tail, and continues where the dead run stopped.
+/// The manifest's existence is the commit point — readers refuse a
+/// directory without one, so a partially written archive can never be
+/// queried, only resumed.
+///
+/// Frame layout (all little-endian, frame start 8-byte aligned):
+///   u64  magic "OBSAENT1"
+///   u32  name length
+///   u32  reserved (0)
+///   u64  payload size
+///   u32  payload CRC32C
+///   u32  header CRC32C (over the 28 bytes above + the name bytes)
+///   name bytes, zero-padded to an 8-byte file offset
+///   payload bytes, zero-padded to an 8-byte file offset
+///
+/// The 8-byte alignment of payload starts is what makes the mmap read
+/// path zero-copy: typed spans over u64/f64 sections are naturally
+/// aligned inside the mapping.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obscorr::archive {
+
+/// Catalog row: where one named payload lives inside entries.dat.
+struct EntryInfo {
+  std::string name;
+  std::uint64_t offset = 0;  ///< payload byte offset in entries.dat
+  std::uint64_t size = 0;    ///< payload byte size
+  std::uint32_t crc32c = 0;  ///< payload checksum
+};
+
+/// File names inside an archive directory.
+inline constexpr const char* kEntryLogName = "entries.dat";
+inline constexpr const char* kManifestName = "MANIFEST.obsar";
+
+/// Appends checksummed entry frames and commits the manifest.
+class ArchiveWriter {
+ public:
+  /// Open `dir` for writing, creating it if needed. An existing entry
+  /// log is scanned for complete frames (crash recovery); the torn tail,
+  /// if any, is truncated away.
+  explicit ArchiveWriter(std::string dir);
+
+  /// Entries recovered from a previous run plus those added since.
+  const std::vector<EntryInfo>& entries() const { return entries_; }
+  bool has_entry(std::string_view name) const;
+
+  /// Payload bytes of an already-present entry (recovered or added),
+  /// read back from the log; throws when absent.
+  std::vector<std::byte> read_entry(std::string_view name) const;
+
+  /// Append one entry frame and flush it to disk. Duplicate names are
+  /// rejected — resume logic must check has_entry() first.
+  void add_entry(std::string_view name, std::string_view payload);
+
+  /// Drop every recovered entry and restart the log from scratch (used
+  /// when the on-disk scenario no longer matches the requested one).
+  void reset();
+
+  /// Write MANIFEST.obsar (tmp + rename). After this the archive is
+  /// complete and readable.
+  void finalize(std::uint64_t scenario_hash);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void recover();
+
+  std::string dir_;
+  std::string log_path_;
+  std::vector<EntryInfo> entries_;
+  std::uint64_t log_size_ = 0;  ///< bytes of validated log content
+};
+
+/// Serialized manifest bytes for `entries` (exposed for tests):
+///   8 bytes "OBSARCH1", u32 version, u32 entry count, u64 scenario
+///   hash, u64 log data size, u32 CRC32C of the whole entry log, then
+///   per entry {u32 name len, u32 payload CRC32C, u64 offset, u64 size,
+///   name bytes}, and a trailing u32 CRC32C over all preceding bytes.
+/// The whole-log CRC covers frame headers and padding too, so *any*
+/// single-byte corruption of entries.dat is detected at open, not just
+/// flips inside payloads.
+std::string encode_manifest(std::uint64_t scenario_hash, std::uint64_t data_size,
+                            std::uint32_t log_crc, std::span<const EntryInfo> entries);
+
+}  // namespace obscorr::archive

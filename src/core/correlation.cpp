@@ -47,12 +47,18 @@ std::vector<PeakCorrelationBin> peak_correlation(const SnapshotData& snapshot,
 }
 
 std::vector<PeakCorrelationBin> peak_correlation_all(const StudyData& study) {
+  return peak_correlation_all(study.snapshots, study.months, study.half_log_nv());
+}
+
+std::vector<PeakCorrelationBin> peak_correlation_all(
+    std::span<const SnapshotData> snapshots,
+    std::span<const honeyfarm::MonthlyObservation> months, double half_log_nv) {
   std::vector<PeakCorrelationBin> total;
-  for (const SnapshotData& snap : study.snapshots) {
-    OBSCORR_REQUIRE(static_cast<std::size_t>(snap.month_index) < study.months.size(),
+  for (const SnapshotData& snap : snapshots) {
+    OBSCORR_REQUIRE(static_cast<std::size_t>(snap.month_index) < months.size(),
                     "snapshot month outside honeyfarm coverage");
     const auto bins = peak_correlation(
-        snap, study.months[static_cast<std::size_t>(snap.month_index)], study.half_log_nv());
+        snap, months[static_cast<std::size_t>(snap.month_index)], half_log_nv);
     if (total.size() < bins.size()) {
       const std::size_t old = total.size();
       total.resize(bins.size());
@@ -77,16 +83,22 @@ std::vector<PeakCorrelationBin> peak_correlation_all(const StudyData& study) {
 std::optional<TemporalCorrelation> temporal_correlation(const SnapshotData& snapshot,
                                                         const StudyData& study, int bin,
                                                         std::uint64_t min_sources) {
+  return temporal_correlation(snapshot, study.months, bin, min_sources);
+}
+
+std::optional<TemporalCorrelation> temporal_correlation(
+    const SnapshotData& snapshot, std::span<const honeyfarm::MonthlyObservation> months,
+    int bin, std::uint64_t min_sources) {
   const std::vector<std::string> tracked = bin_sources(snapshot, bin);
   if (tracked.size() < min_sources) return std::nullopt;
 
   TemporalCorrelation out;
   out.bin = bin;
   out.bin_sources = tracked.size();
-  for (std::size_t m = 0; m < study.months.size(); ++m) {
+  for (std::size_t m = 0; m < months.size(); ++m) {
     std::uint64_t matched = 0;
     for (const std::string& ip : tracked) {
-      if (study.months[m].sources.has_row(ip)) ++matched;
+      if (months[m].sources.has_row(ip)) ++matched;
     }
     out.series.dt.push_back(static_cast<double>(static_cast<int>(m) - snapshot.month_index));
     out.series.fraction.push_back(static_cast<double>(matched) /
@@ -99,13 +111,19 @@ std::optional<TemporalCorrelation> temporal_correlation(const SnapshotData& snap
 }
 
 std::vector<FitGridCell> fit_grid(const StudyData& study, std::uint64_t min_sources) {
+  return fit_grid(study.snapshots, study.months, min_sources);
+}
+
+std::vector<FitGridCell> fit_grid(std::span<const SnapshotData> snapshots,
+                                  std::span<const honeyfarm::MonthlyObservation> months,
+                                  std::uint64_t min_sources) {
   std::vector<FitGridCell> grid;
-  for (std::size_t s = 0; s < study.snapshots.size(); ++s) {
-    const SnapshotData& snap = study.snapshots[s];
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    const SnapshotData& snap = snapshots[s];
     const int max_bin = log2_bin(static_cast<std::uint64_t>(
         std::max(1.0, snap.source_packets.reduce_max())));
     for (int bin = 0; bin <= max_bin; ++bin) {
-      auto curve = temporal_correlation(snap, study, bin, min_sources);
+      auto curve = temporal_correlation(snap, months, bin, min_sources);
       if (curve.has_value()) grid.push_back({s, std::move(*curve)});
     }
   }

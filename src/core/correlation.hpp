@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/study.hpp"
@@ -37,6 +38,12 @@ std::vector<PeakCorrelationBin> peak_correlation(const SnapshotData& snapshot,
 /// Fig. 4 averaged over every snapshot paired with its coeval month.
 std::vector<PeakCorrelationBin> peak_correlation_all(const StudyData& study);
 
+/// Component-level overload for the archive query path: operates on the
+/// observation series directly, no Population or StudyData required.
+std::vector<PeakCorrelationBin> peak_correlation_all(
+    std::span<const SnapshotData> snapshots,
+    std::span<const honeyfarm::MonthlyObservation> months, double half_log_nv);
+
 /// One temporal-correlation curve (Figs. 5/6) with its fits.
 struct TemporalCorrelation {
   int bin = 0;                        ///< brightness bin of the tracked sources
@@ -54,6 +61,11 @@ std::optional<TemporalCorrelation> temporal_correlation(const SnapshotData& snap
                                                         const StudyData& study, int bin,
                                                         std::uint64_t min_sources = 20);
 
+/// Component-level overload (archive query path).
+std::optional<TemporalCorrelation> temporal_correlation(
+    const SnapshotData& snapshot, std::span<const honeyfarm::MonthlyObservation> months,
+    int bin, std::uint64_t min_sources = 20);
+
 /// One cell of the Fig. 6 grid / Figs. 7-8 parameter tables.
 struct FitGridCell {
   std::size_t snapshot = 0;  ///< index into study.snapshots
@@ -62,6 +74,11 @@ struct FitGridCell {
 
 /// All (snapshot × brightness-bin) temporal fits with enough sources.
 std::vector<FitGridCell> fit_grid(const StudyData& study, std::uint64_t min_sources = 20);
+
+/// Component-level overload (archive query path).
+std::vector<FitGridCell> fit_grid(std::span<const SnapshotData> snapshots,
+                                  std::span<const honeyfarm::MonthlyObservation> months,
+                                  std::uint64_t min_sources = 20);
 
 /// Sources of `snapshot` whose packet count lies in [2^bin, 2^(bin+1)),
 /// as dotted-quad keys (helper shared by the analyses and tests).

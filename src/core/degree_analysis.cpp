@@ -1,11 +1,17 @@
 #include "core/degree_analysis.hpp"
 
+#include <utility>
+
 namespace obscorr::core {
 
 DegreeAnalysis analyze_degrees(const SnapshotData& snapshot) {
+  return analyze_degrees(snapshot.spec.start_label, snapshot.source_packets);
+}
+
+DegreeAnalysis analyze_degrees(std::string label, const gbl::SparseVec& source_packets) {
   DegreeAnalysis out;
-  out.label = snapshot.spec.start_label;
-  out.histogram = stats::LogHistogram::from_sparse_vec(snapshot.source_packets);
+  out.label = std::move(label);
+  out.histogram = stats::LogHistogram::from_sparse_vec(source_packets);
   out.dcp = out.histogram.differential_cumulative();
   out.fit = stats::fit_zipf_mandelbrot(out.histogram);
   return out;

@@ -24,6 +24,11 @@ struct DegreeAnalysis {
 /// Analyze one snapshot's source-packet distribution.
 DegreeAnalysis analyze_degrees(const SnapshotData& snapshot);
 
+/// Component-level overload for the archive query path: the Table II
+/// source reduction is all this analysis needs, so archived reductions
+/// feed it directly without materializing a SnapshotData.
+DegreeAnalysis analyze_degrees(std::string label, const gbl::SparseVec& source_packets);
+
 /// Analyze every snapshot in the study.
 std::vector<DegreeAnalysis> analyze_all_degrees(const StudyData& study);
 

@@ -9,15 +9,19 @@
 namespace obscorr::core {
 
 PrefixAnalysis analyze_prefixes(const gbl::SparseVec& source_packets, int length) {
+  return analyze_prefixes(source_packets.indices(), source_packets.values(), length);
+}
+
+PrefixAnalysis analyze_prefixes(std::span<const gbl::Index> idx,
+                                std::span<const gbl::Value> val, int length) {
   OBSCORR_REQUIRE(length >= 1 && length <= 32, "analyze_prefixes: length must be in [1,32]");
+  OBSCORR_REQUIRE(idx.size() == val.size(), "analyze_prefixes: index/value size mismatch");
   PrefixAnalysis out;
   out.length = length;
   const int shift = 32 - length;
 
   std::map<std::uint32_t, PrefixBucket> buckets;
-  const auto idx = source_packets.indices();
-  const auto val = source_packets.values();
-  for (std::size_t i = 0; i < source_packets.nnz(); ++i) {
+  for (std::size_t i = 0; i < idx.size(); ++i) {
     const std::uint32_t bits = shift == 32 ? 0 : idx[i] >> shift;
     PrefixBucket& b = buckets[bits];
     b.prefix_bits = bits;

@@ -10,6 +10,7 @@
 /// the scanners".
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "gbl/sparse_vec.hpp"
@@ -34,5 +35,10 @@ struct PrefixAnalysis {
 /// Aggregate per-source packet counts (`A·1`) into /length prefixes.
 /// Works identically on raw and CryptoPAN-anonymized ids.
 PrefixAnalysis analyze_prefixes(const gbl::SparseVec& source_packets, int length);
+
+/// Span overload for the archive query path: consumes the reduction
+/// arrays in place (e.g. mmap'd archive entries), no SparseVec copy.
+PrefixAnalysis analyze_prefixes(std::span<const gbl::Index> source_ids,
+                                std::span<const gbl::Value> source_counts, int length);
 
 }  // namespace obscorr::core

@@ -30,12 +30,18 @@ double log_log_slope(const std::vector<int>& log2_x, const std::vector<double>& 
 
 ScalingAnalysis scaling_analysis(const netgen::Scenario& scenario, int month, int log2_lo,
                                  int log2_hi, ThreadPool& pool) {
+  const netgen::Population population(scenario.population);
+  return scaling_analysis(scenario, population, month, log2_lo, log2_hi, pool);
+}
+
+ScalingAnalysis scaling_analysis(const netgen::Scenario& scenario,
+                                 const netgen::Population& population, int month, int log2_lo,
+                                 int log2_hi, ThreadPool& pool) {
   OBSCORR_REQUIRE(log2_lo >= 8, "scaling_analysis: windows below 2^8 are all noise");
   OBSCORR_REQUIRE(log2_hi > log2_lo, "scaling_analysis: need an increasing ladder");
   OBSCORR_REQUIRE(log2_hi <= static_cast<int>(scenario.population.log2_nv) + 2,
                   "scaling_analysis: ladder far beyond the scenario scale");
 
-  const netgen::Population population(scenario.population);
   const netgen::TrafficGenerator generator(population, scenario.traffic);
   telescope::TelescopeConfig cfg;
   cfg.darkspace = scenario.traffic.darkspace;

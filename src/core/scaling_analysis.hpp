@@ -46,4 +46,10 @@ double log_log_slope(const std::vector<int>& log2_x, const std::vector<double>& 
 ScalingAnalysis scaling_analysis(const netgen::Scenario& scenario, int month, int log2_lo,
                                  int log2_hi, ThreadPool& pool);
 
+/// Overload reusing a prebuilt population (the archive query path, where
+/// the world has already been constructed once).
+ScalingAnalysis scaling_analysis(const netgen::Scenario& scenario,
+                                 const netgen::Population& population, int month, int log2_lo,
+                                 int log2_hi, ThreadPool& pool);
+
 }  // namespace obscorr::core

@@ -10,6 +10,14 @@ namespace obscorr::core {
 
 namespace {
 
+telescope::TelescopeConfig scope_config_for(const netgen::Scenario& scenario) {
+  telescope::TelescopeConfig config;
+  config.darkspace = scenario.traffic.darkspace;
+  config.legit_prefixes = {scenario.traffic.legit_prefix};
+  config.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
+  return config;
+}
+
 SnapshotData take_snapshot(const netgen::Scenario& scenario, const netgen::Population& population,
                            const netgen::CaidaSnapshotSpec& spec, telescope::Telescope& scope,
                            ThreadPool& /*pool*/) {
@@ -50,11 +58,7 @@ StudyData run_impl(const netgen::Scenario& scenario, ThreadPool& pool, bool with
   study.scenario = scenario;
   study.population = std::make_shared<netgen::Population>(scenario.population);
 
-  telescope::TelescopeConfig scope_config;
-  scope_config.darkspace = scenario.traffic.darkspace;
-  scope_config.legit_prefixes = {scenario.traffic.legit_prefix};
-  scope_config.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
-  telescope::Telescope scope(scope_config, pool);
+  telescope::Telescope scope(scope_config_for(scenario), pool);
 
   for (const auto& spec : scenario.snapshots) {
     study.snapshots.push_back(take_snapshot(scenario, *study.population, spec, scope, pool));
@@ -78,6 +82,23 @@ StudyData run_study(const netgen::Scenario& scenario, ThreadPool& pool) {
 
 StudyData run_telescope_only(const netgen::Scenario& scenario, ThreadPool& pool) {
   return run_impl(scenario, pool, /*with_honeyfarm=*/false);
+}
+
+SnapshotData run_snapshot(const netgen::Scenario& scenario, const netgen::Population& population,
+                          std::size_t snapshot_index, ThreadPool& pool) {
+  OBSCORR_REQUIRE(snapshot_index < scenario.snapshots.size(),
+                  "run_snapshot: snapshot index out of range");
+  telescope::Telescope scope(scope_config_for(scenario), pool);
+  return take_snapshot(scenario, population, scenario.snapshots[snapshot_index], scope, pool);
+}
+
+honeyfarm::MonthlyObservation run_month(const netgen::Scenario& scenario,
+                                        const netgen::Population& population,
+                                        std::size_t month_index) {
+  OBSCORR_REQUIRE(month_index < scenario.months.size(), "run_month: month index out of range");
+  const honeyfarm::Honeyfarm farm(population, scenario.visibility,
+                                  scenario.population.seed ^ 0x64E4015EULL);
+  return farm.observe_month(scenario.months[month_index], static_cast<int>(month_index));
 }
 
 }  // namespace obscorr::core

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <istream>
+#include <iterator>
 #include <ostream>
 #include <set>
 
@@ -269,6 +273,137 @@ AssocArray AssocArray::read_tsv(std::istream& is) {
     triples.push_back({line.substr(0, tab1), line.substr(tab1 + 1, tab2 - tab1 - 1), val});
   }
   return from_triples(std::move(triples));
+}
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'O', 'B', 'S', 'D', '4', 'M', 'A', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+void write_keys(std::ostream& os, const std::vector<std::string>& keys) {
+  write_pod<std::uint64_t>(os, keys.size());
+  for (const std::string& key : keys) {
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(key.size()));
+    os.write(key.data(), static_cast<std::streamsize>(key.size()));
+  }
+}
+
+/// Bounds-checked cursor over an in-memory serialized array; every read
+/// validates against the remaining bytes before touching them, so hostile
+/// counts fail before any allocation.
+struct SpanCursor {
+  std::span<const std::byte> bytes;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return bytes.size() - pos; }
+
+  const char* take(std::size_t n) {
+    OBSCORR_REQUIRE(n <= remaining(), "read_binary: truncated stream");
+    const char* p = reinterpret_cast<const char*>(bytes.data()) + pos;
+    pos += n;
+    return p;
+  }
+
+  template <typename T>
+  T pod() {
+    T value{};
+    std::memcpy(&value, take(sizeof value), sizeof value);
+    return value;
+  }
+};
+
+std::vector<std::string> read_keys(SpanCursor& c, const char* what) {
+  const auto count = c.pod<std::uint64_t>();
+  // Each key costs at least its 4-byte length prefix, so the remaining
+  // buffer bounds the plausible count — reject before reserving.
+  OBSCORR_REQUIRE(count <= (1ULL << 32) && count <= c.remaining() / sizeof(std::uint32_t),
+                  std::string("read_binary: implausible ") + what + " key count");
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto len = c.pod<std::uint32_t>();
+    OBSCORR_REQUIRE(len <= (1u << 20), "read_binary: implausible key length");
+    const std::string_view key(c.take(len), len);
+    // Canonical form: strictly increasing keys (sorted, no duplicates).
+    OBSCORR_REQUIRE(keys.empty() || std::string_view(keys.back()) < key,
+                    std::string("read_binary: ") + what + " keys must be strictly increasing");
+    keys.emplace_back(key);
+  }
+  return keys;
+}
+
+template <typename T>
+std::vector<T> read_pod_array(SpanCursor& c, std::size_t n) {
+  const char* p = c.take(n * sizeof(T));
+  std::vector<T> values(n);
+  if (n != 0) std::memcpy(values.data(), p, n * sizeof(T));
+  return values;
+}
+
+}  // namespace
+
+void AssocArray::write_binary(std::ostream& os) const {
+  os.write(kBinaryMagic, sizeof kBinaryMagic);
+  write_keys(os, row_keys_);
+  write_keys(os, col_keys_);
+  write_pod<std::uint64_t>(os, static_cast<std::uint64_t>(col_idx_.size()));
+  os.write(reinterpret_cast<const char*>(row_ptr_.data()),
+           static_cast<std::streamsize>(row_ptr_.size() * sizeof(std::uint64_t)));
+  os.write(reinterpret_cast<const char*>(col_idx_.data()),
+           static_cast<std::streamsize>(col_idx_.size() * sizeof(std::uint32_t)));
+  os.write(reinterpret_cast<const char*>(val_.data()),
+           static_cast<std::streamsize>(val_.size() * sizeof(double)));
+  OBSCORR_REQUIRE(os.good(), "write_binary: stream failure");
+}
+
+AssocArray AssocArray::read_binary(std::istream& is) {
+  // The istream form exists for symmetry with write_binary / read_tsv;
+  // the span overload is the validated parser.
+  const std::string buffer(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>{});
+  return read_binary(std::as_bytes(std::span<const char>(buffer.data(), buffer.size())));
+}
+
+AssocArray AssocArray::read_binary(std::span<const std::byte> bytes) {
+  SpanCursor c{bytes};
+  OBSCORR_REQUIRE(std::memcmp(c.take(sizeof kBinaryMagic), kBinaryMagic,
+                              sizeof kBinaryMagic) == 0,
+                  "read_binary: bad magic");
+  AssocArray a;
+  a.row_keys_ = read_keys(c, "row");
+  a.col_keys_ = read_keys(c, "col");
+  const auto nnz = c.pod<std::uint64_t>();
+  OBSCORR_REQUIRE(nnz <= (1ULL << 40), "read_binary: implausible entry count");
+  OBSCORR_REQUIRE(a.row_keys_.size() <= nnz, "read_binary: more row keys than entries");
+  a.row_ptr_ = read_pod_array<std::uint64_t>(c, a.row_keys_.size() + 1);
+  a.col_idx_ = read_pod_array<std::uint32_t>(c, static_cast<std::size_t>(nnz));
+  a.val_ = read_pod_array<double>(c, static_cast<std::size_t>(nnz));
+  OBSCORR_REQUIRE(c.remaining() == 0, "read_binary: trailing bytes after array");
+
+  // Canonical-form contract: offsets cover [0, nnz] with no empty rows,
+  // column indices sorted unique within each row, and every column key
+  // referenced at least once.
+  OBSCORR_REQUIRE(a.row_ptr_.front() == 0 && a.row_ptr_.back() == nnz,
+                  "read_binary: inconsistent row offsets");
+  std::vector<bool> col_used(a.col_keys_.size(), false);
+  for (std::size_t r = 0; r < a.row_keys_.size(); ++r) {
+    OBSCORR_REQUIRE(a.row_ptr_[r] < a.row_ptr_[r + 1],
+                    "read_binary: row offsets must be strictly increasing");
+    for (std::uint64_t k = a.row_ptr_[r]; k < a.row_ptr_[r + 1]; ++k) {
+      OBSCORR_REQUIRE(a.col_idx_[k] < a.col_keys_.size(),
+                      "read_binary: column index out of range");
+      OBSCORR_REQUIRE(k == a.row_ptr_[r] || a.col_idx_[k - 1] < a.col_idx_[k],
+                      "read_binary: column indices must be strictly increasing within a row");
+      col_used[a.col_idx_[k]] = true;
+    }
+  }
+  for (std::size_t c = 0; c < col_used.size(); ++c) {
+    OBSCORR_REQUIRE(col_used[c], "read_binary: unused column key");
+  }
+  return a;
 }
 
 std::vector<std::string> intersect_keys(std::span<const std::string> a,

@@ -112,6 +112,20 @@ class AssocArray {
   void write_tsv(std::ostream& os) const;
   static AssocArray read_tsv(std::istream& is);
 
+  /// Binary serialization ("OBSD4MA1", little-endian): the study-archive
+  /// representation. Exact — values round-trip bit-for-bit and keys are
+  /// raw bytes (empty strings and non-ASCII bytes survive), unlike the
+  /// TSV interchange format. `read_binary` validates the canonical-form
+  /// invariants (sorted unique keys, monotone offsets, no unused keys)
+  /// and throws std::invalid_argument on malformed input. The span
+  /// overload is the archive's hot read path: it parses straight out of
+  /// the mapped buffer (no istream indirection per key) and requires the
+  /// buffer to hold exactly one serialized array; the istream overload
+  /// consumes the rest of the stream and delegates to it.
+  void write_binary(std::ostream& os) const;
+  static AssocArray read_binary(std::istream& is);
+  static AssocArray read_binary(std::span<const std::byte> bytes);
+
   friend bool operator==(const AssocArray&, const AssocArray&) = default;
 
  private:

@@ -65,6 +65,22 @@ DcsrMatrix read_matrix(std::istream& is) {
   // Reject absurd counts before allocating (hostile or corrupted
   // headers must fail cleanly, not with bad_alloc).
   OBSCORR_REQUIRE(nnz <= (1ULL << 40), "read_matrix: implausible entry count");
+  // When the stream is seekable, bound the declared counts by the bytes
+  // actually remaining: a hostile header must not trigger a huge
+  // allocation that the stream could never fill. The arithmetic cannot
+  // overflow under the 2^40 cap above.
+  const std::streampos here = is.tellg();
+  if (here != std::streampos(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::streampos end = is.tellg();
+    is.seekg(here);
+    OBSCORR_REQUIRE(is.good() && end >= here, "read_matrix: unseekable stream state");
+    const auto remaining = static_cast<std::uint64_t>(end - here);
+    const std::uint64_t required = rows * sizeof(Index) + (rows + 1) * sizeof(std::uint64_t) +
+                                   nnz * (sizeof(Index) + sizeof(Value));
+    OBSCORR_REQUIRE(required <= remaining,
+                    "read_matrix: declared counts exceed the remaining stream size");
+  }
   const auto row_ids = read_array<Index>(is, rows);
   const auto row_ptr = read_array<std::uint64_t>(is, rows + 1);
   const auto col = read_array<Index>(is, nnz);

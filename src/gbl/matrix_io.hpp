@@ -7,7 +7,7 @@
 /// version, counts) followed by the raw DCSR arrays, written
 /// little-endian.
 ///
-/// Format v1:
+/// Format v1 (stream-oriented, unaligned):
 ///   8 bytes  magic "OBSCGBL1"
 ///   u64      nonempty rows
 ///   u64      nnz
@@ -15,6 +15,9 @@
 ///   u64[rows+1] row offsets
 ///   u32[nnz]   column ids
 ///   f64[nnz]   values
+///
+/// Format v2 ("OBSCGBL2", 8-byte-aligned sections for mmap zero-copy
+/// reads) lives in matrix_view.hpp; the study archive uses v2.
 
 #include <iosfwd>
 #include <string>

@@ -1,0 +1,148 @@
+/// Binary serialization of associative arrays: exact round-trips (the
+/// TSV interchange format is lossy for odd keys and long doubles; the
+/// archive format must not be) and rejection of malformed streams.
+
+#include "d4m/assoc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace obscorr::d4m {
+namespace {
+
+std::string serialized(const AssocArray& a) {
+  std::ostringstream os(std::ios::binary);
+  a.write_binary(os);
+  return os.str();
+}
+
+AssocArray parse(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return AssocArray::read_binary(is);
+}
+
+void expect_round_trip(const AssocArray& a) {
+  const std::string bytes = serialized(a);
+  const AssocArray back = parse(bytes);
+  EXPECT_TRUE(back == a);
+  // Canonical: re-serializing reproduces the exact bytes.
+  EXPECT_EQ(serialized(back), bytes);
+}
+
+TEST(AssocBinaryTest, EmptyArrayRoundTrips) { expect_round_trip(AssocArray()); }
+
+TEST(AssocBinaryTest, SimpleArrayRoundTrips) {
+  expect_round_trip(AssocArray::from_triples({{"10.0.0.1", "packets", 12.0},
+                                              {"10.0.0.2", "packets", 1.0},
+                                              {"10.0.0.2", "intent|scan", 1.0}}));
+}
+
+TEST(AssocBinaryTest, EmptyStringKeysSurvive) {
+  // TSV cannot represent these; the binary format must.
+  expect_round_trip(AssocArray::from_triples(
+      {{"", "", 1.0}, {"", "col", 2.0}, {"row", "", 3.0}}));
+}
+
+TEST(AssocBinaryTest, NonAsciiAndControlKeyBytesSurvive) {
+  const std::string high("\xff\xfe\x80", 3);
+  const std::string tabs("a\tb\nc", 5);
+  const std::string nul(std::string("x") + '\0' + "y");
+  expect_round_trip(AssocArray::from_triples(
+      {{high, "c1", 1.0}, {tabs, "c2", 2.0}, {nul, high, 3.0}, {"r", tabs, 4.0}}));
+}
+
+TEST(AssocBinaryTest, ValuesRoundTripBitForBit) {
+  const double tiny = std::nextafter(0.0, 1.0);      // smallest subnormal
+  const double precise = 0.1 + 0.2;                  // not representable exactly
+  const double huge = std::numeric_limits<double>::max();
+  const AssocArray a = AssocArray::from_triples(
+      {{"a", "c", tiny}, {"b", "c", precise}, {"d", "c", huge}, {"e", "c", -0.0}});
+  const AssocArray back = parse(serialized(a));
+  const auto triples = a.to_triples();
+  const auto got = back.to_triples();
+  ASSERT_EQ(got.size(), triples.size());
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    std::uint64_t w = 0, g = 0;
+    std::memcpy(&w, &triples[i].val, 8);
+    std::memcpy(&g, &got[i].val, 8);
+    EXPECT_EQ(g, w) << "value " << i << " not bit-identical";
+  }
+}
+
+TEST(AssocBinaryTest, RandomArraysRoundTrip) {
+  std::mt19937_64 rng(20260806);
+  std::uniform_int_distribution<int> key_len(0, 12);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> size(0, 40);
+  std::uniform_real_distribution<double> value(-1e6, 1e6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Triple> triples(static_cast<std::size_t>(size(rng)));
+    for (Triple& t : triples) {
+      for (int i = key_len(rng); i > 0; --i) t.row.push_back(static_cast<char>(byte(rng)));
+      for (int i = key_len(rng); i > 0; --i) t.col.push_back(static_cast<char>(byte(rng)));
+      t.val = value(rng);
+    }
+    expect_round_trip(AssocArray::from_triples(std::move(triples)));
+  }
+}
+
+TEST(AssocBinaryTest, MalformedStreamsRejected) {
+  const std::string good = serialized(AssocArray::from_triples(
+      {{"alpha", "c1", 1.0}, {"beta", "c1", 2.0}, {"beta", "c2", 3.0}}));
+
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("OBSD4MA"), std::invalid_argument);
+  {
+    std::string bad = good;
+    bad[7] = 'X';  // wrong magic
+    EXPECT_THROW(parse(bad), std::invalid_argument);
+  }
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(parse(good.substr(0, len)), std::invalid_argument)
+        << "truncation to " << len << " accepted";
+  }
+  {
+    std::string bad = good;
+    // Hostile row-key count right after the magic: must be rejected
+    // before any allocation of that size is attempted.
+    const std::uint64_t huge = 1ULL << 60;
+    std::memcpy(bad.data() + 8, &huge, 8);
+    EXPECT_THROW(parse(bad), std::invalid_argument);
+  }
+}
+
+TEST(AssocBinaryTest, NonCanonicalStreamsRejected) {
+  // Build a valid stream, then break each canonical-form invariant by
+  // patching bytes. Layout: magic(8), row key count u64, then per key
+  // u32 len + bytes...  keys "alpha" (5) and "beta" (4).
+  const std::string good = serialized(AssocArray::from_triples(
+      {{"alpha", "c1", 1.0}, {"beta", "c1", 2.0}, {"beta", "c2", 3.0}}));
+  {
+    std::string bad = good;
+    // Swap the sorted row keys' first bytes so "alpha" > "beta" fails
+    // the strictly-increasing key check.
+    const std::size_t alpha_at = 8 + 8 + 4;
+    ASSERT_EQ(bad.substr(alpha_at, 5), "alpha");
+    bad[alpha_at] = 'z';
+    EXPECT_THROW(parse(bad), std::invalid_argument);
+  }
+  {
+    std::string bad = good;
+    // "beta\0" sorts after "beta": the key order is no longer increasing.
+    const std::size_t alpha_at = 8 + 8 + 4;
+    bad.replace(alpha_at, 5, "beta\0" /*len stays 5*/, 5);
+    EXPECT_THROW(parse(bad), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace obscorr::d4m

@@ -1,0 +1,116 @@
+/// Hostile-input hardening of the v1 matrix stream format: truncated
+/// streams, corrupted headers, and counts engineered to trigger huge
+/// allocations must all fail with std::invalid_argument before any
+/// oversized buffer is allocated.
+
+#include "gbl/matrix_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gbl/dcsr.hpp"
+
+namespace obscorr::gbl {
+namespace {
+
+DcsrMatrix sample_matrix() {
+  std::vector<Tuple> tuples = {
+      {5, 1, 2.0}, {5, 9, 1.0}, {17, 0, 4.5}, {4000000000u, 4000000001u, 8.0}};
+  return DcsrMatrix::from_tuples(std::move(tuples));
+}
+
+std::string serialized(const DcsrMatrix& m) {
+  std::ostringstream os(std::ios::binary);
+  write_matrix(os, m);
+  return os.str();
+}
+
+DcsrMatrix parse(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return read_matrix(is);
+}
+
+void patch_u64(std::string& bytes, std::size_t offset, std::uint64_t value) {
+  ASSERT_LE(offset + 8, bytes.size());
+  std::memcpy(bytes.data() + offset, &value, 8);
+}
+
+TEST(MatrixIoTest, RoundTrip) {
+  const DcsrMatrix m = sample_matrix();
+  EXPECT_TRUE(parse(serialized(m)) == m);
+  EXPECT_TRUE(parse(serialized(DcsrMatrix{})) == DcsrMatrix{});
+}
+
+TEST(MatrixIoTest, BadMagicRejected) {
+  std::string bytes = serialized(sample_matrix());
+  bytes[0] = 'X';
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("OBSC"), std::invalid_argument);
+}
+
+TEST(MatrixIoTest, EveryTruncationRejected) {
+  const std::string bytes = serialized(sample_matrix());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(parse(bytes.substr(0, len)), std::invalid_argument)
+        << "truncation to " << len << " bytes accepted";
+  }
+  EXPECT_NO_THROW(parse(bytes));
+}
+
+TEST(MatrixIoTest, HostileCountsRejectedBeforeAllocation) {
+  std::string bytes = serialized(sample_matrix());
+  // nnz beyond the 2^40 plausibility cap.
+  patch_u64(bytes, 16, 1ULL << 41);
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+  // nnz under the cap but far beyond the bytes actually present: the
+  // seekable-stream bound must reject it without a multi-GB allocation.
+  patch_u64(bytes, 16, 1ULL << 33);
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+  // rows > nnz is structurally impossible in DCSR.
+  bytes = serialized(sample_matrix());
+  patch_u64(bytes, 8, 100);
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+}
+
+TEST(MatrixIoTest, InconsistentRowOffsetsRejected) {
+  const DcsrMatrix m = sample_matrix();
+  std::string bytes = serialized(m);
+  // row_ptr lives after magic(8) + rows(8) + nnz(8) + row_ids.
+  const std::size_t row_ptr_at = 24 + m.nonempty_rows() * sizeof(Index);
+  patch_u64(bytes, row_ptr_at, 1);  // front != 0
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+
+  bytes = serialized(m);
+  patch_u64(bytes, row_ptr_at + m.nonempty_rows() * 8, m.nnz() + 1);  // back != nnz
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+
+  bytes = serialized(m);
+  patch_u64(bytes, row_ptr_at + 8, m.nnz());  // descending interior offset
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+}
+
+TEST(MatrixIoTest, UnsortedColumnsRejectedByRebuild) {
+  const DcsrMatrix m = sample_matrix();
+  std::string bytes = serialized(m);
+  // Swap the two column ids of row 5 so the row is descending; the
+  // validated tuple rebuild must refuse it.
+  const std::size_t col_at = 24 + m.nonempty_rows() * sizeof(Index) +
+                             (m.nonempty_rows() + 1) * sizeof(std::uint64_t);
+  std::uint32_t c0 = 0, c1 = 0;
+  std::memcpy(&c0, bytes.data() + col_at, 4);
+  std::memcpy(&c1, bytes.data() + col_at + 4, 4);
+  ASSERT_LT(c0, c1);
+  std::memcpy(bytes.data() + col_at, &c1, 4);
+  std::memcpy(bytes.data() + col_at + 4, &c0, 4);
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace obscorr::gbl

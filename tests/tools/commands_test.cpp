@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "netgen/population.hpp"
 #include "netgen/scenario.hpp"
@@ -155,6 +158,129 @@ TEST(CliToolTest, ScalingPrintsExponent) {
   std::ostringstream out;
   ASSERT_EQ(run({"scaling", "--log2-nv", "13", "--seed", "5"}, out), 0);
   EXPECT_NE(out.str().find("fitted source exponent"), std::string::npos);
+}
+
+TEST(CliToolTest, ArchiveThenQueryFromMatchesRecompute) {
+  const std::string dir = temp("cli_archive");
+  std::filesystem::remove_all(dir);
+
+  std::ostringstream arch;
+  ASSERT_EQ(run({"archive", "--out", dir, "--log2-nv", "12", "--seed", "5"}, arch), 0);
+  EXPECT_NE(arch.str().find("archived 5 snapshots"), std::string::npos);
+  EXPECT_NE(arch.str().find("15 months"), std::string::npos);
+  EXPECT_NE(arch.str().find("query it with --from"), std::string::npos);
+
+  // Re-archiving a completed campaign is a cheap no-op.
+  std::ostringstream again;
+  ASSERT_EQ(run({"archive", "--out", dir, "--log2-nv", "12", "--seed", "5"}, again), 0);
+  EXPECT_NE(again.str().find("archive already complete"), std::string::npos);
+
+  // The archived query path must print exactly what recomputing prints.
+  std::ostringstream fresh, from;
+  ASSERT_EQ(run({"study", "--log2-nv", "12", "--seed", "5"}, fresh), 0);
+  ASSERT_EQ(run({"study", "--from", dir}, from), 0);
+  EXPECT_EQ(from.str(), fresh.str());
+
+  std::ostringstream deg;
+  ASSERT_EQ(run({"degrees", "--from", dir, "--snapshot", "1"}, deg), 0);
+  EXPECT_NE(deg.str().find("Zipf-Mandelbrot"), std::string::npos);
+
+  std::ostringstream pre;
+  ASSERT_EQ(run({"prefixes", "--from", dir, "--length", "12"}, pre), 0);
+  EXPECT_NE(pre.str().find("top-10 packet share"), std::string::npos);
+
+  std::ostringstream look;
+  ASSERT_EQ(run({"lookup", "--ip", "203.0.113.7", "--from", dir}, look), 0);
+  EXPECT_NE(look.str().find("never observed"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliToolTest, ReportFromArchiveWritesSameArtifacts) {
+  const std::string dir = temp("cli_report_archive");
+  const std::string fresh_dir = temp("cli_report_fresh");
+  const std::string from_dir = temp("cli_report_from");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(fresh_dir);
+  std::filesystem::create_directories(from_dir);
+
+  std::ostringstream io;
+  ASSERT_EQ(run({"archive", "--out", dir, "--log2-nv", "12", "--seed", "5"}, io), 0);
+  ASSERT_EQ(run({"report", "--out", fresh_dir, "--log2-nv", "12", "--seed", "5"}, io), 0);
+  ASSERT_EQ(run({"report", "--out", from_dir, "--from", dir}, io), 0);
+
+  for (const char* name :
+       {"table1_inventory.csv", "fig3_degree_distribution.csv", "fig4_peak_correlation.csv",
+        "fig5_fig6_temporal_curves.csv", "fig7_fig8_fit_parameters.csv", "REPORT.md"}) {
+    std::ifstream a(fresh_dir + "/" + name), b(from_dir + "/" + name);
+    ASSERT_TRUE(a.is_open() && b.is_open()) << name;
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sb.str(), sa.str()) << name << " differs between --from and recompute";
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(fresh_dir);
+  std::filesystem::remove_all(from_dir);
+}
+
+TEST(CliToolTest, FromMissingArchiveIsCleanError) {
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"study", "--from", temp("no_such_archive")},
+        std::vector<std::string>{"degrees", "--from", temp("no_such_archive")},
+        std::vector<std::string>{"report", "--out", ::testing::TempDir(), "--from",
+                                 temp("no_such_archive")}}) {
+    std::ostringstream out;
+    EXPECT_EQ(run(args, out), 2) << args.front();
+    EXPECT_NE(out.str().find("error:"), std::string::npos) << args.front();
+  }
+}
+
+TEST(CliToolTest, FromCorruptArchiveIsCleanError) {
+  const std::string dir = temp("cli_corrupt_archive");
+  std::filesystem::remove_all(dir);
+  std::ostringstream io;
+  ASSERT_EQ(run({"archive", "--out", dir, "--log2-nv", "12", "--seed", "5"}, io), 0);
+
+  // Flip one byte deep inside the entry log.
+  const std::string log = dir + "/entries.dat";
+  std::fstream f(log, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamoff>(f.tellg());
+  ASSERT_GT(size, 1000);
+  f.seekp(size / 2);
+  char byte = 0;
+  f.seekg(size / 2);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  f.seekp(size / 2);
+  f.write(&byte, 1);
+  f.close();
+
+  std::ostringstream out;
+  EXPECT_EQ(run({"study", "--from", dir}, out), 2);
+  EXPECT_NE(out.str().find("corrupted"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliToolTest, MatrixAndFromAreMutuallyExclusive) {
+  std::ostringstream both;
+  EXPECT_EQ(run({"degrees", "--matrix", temp("m.gbl"), "--from", temp("a")}, both), 2);
+  std::ostringstream neither;
+  EXPECT_EQ(run({"degrees"}, neither), 2);
+  std::ostringstream prefixes_neither;
+  EXPECT_EQ(run({"prefixes"}, prefixes_neither), 2);
+}
+
+TEST(CliToolTest, ArchiveRequiresOutAndUsageMentionsIt) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"archive"}, out), 2);
+  EXPECT_NE(out.str().find("--out"), std::string::npos);
+  std::ostringstream help;
+  ASSERT_EQ(run({"help"}, help), 0);
+  EXPECT_NE(help.str().find("archive"), std::string::npos);
+  EXPECT_NE(help.str().find("--from"), std::string::npos);
 }
 
 }  // namespace

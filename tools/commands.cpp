@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "archive/study_archive.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -53,6 +54,13 @@ telescope::TelescopeConfig scope_config(const netgen::Scenario& scenario) {
   return cfg;
 }
 
+/// Materialize the observation series of an archived campaign — no
+/// matrices, no ground-truth population; see
+/// archive::StudyReader::analysis_study.
+core::StudyData load_archived_study(const std::string& dir) {
+  return archive::StudyReader(dir).analysis_study();
+}
+
 }  // namespace
 
 std::string usage() {
@@ -68,20 +76,25 @@ commands:
   quantities  print every Table II network quantity of an archived matrix
                 --matrix FILE
   degrees     source-packet distribution + Zipf-Mandelbrot and power-law fits
-                --matrix FILE
+                --matrix FILE | --from DIR [--snapshot K=0]
   study       run the full 15-month campaign and print the headline results
-                [--log2-nv K=16] [--seed S]
+                [--log2-nv K=16] [--seed S] | --from DIR
   lookup      query the honeyfarm database for a source profile
-                --ip A.B.C.D [--log2-nv K=16] [--seed S]
+                --ip A.B.C.D [--log2-nv K=16] [--seed S] [--from DIR]
   scaling     window-size scaling ladder (sources ~ sqrt(N_V))
-                [--log2-nv K=18] [--seed S]
+                [--log2-nv K=18] [--seed S] [--from DIR]
   report      regenerate every table/figure as CSV + REPORT.md in a directory
-                --out DIR [--log2-nv K=16] [--seed S]
+                --out DIR [--log2-nv K=16] [--seed S] [--from DIR]
   prefixes    prefix-level concentration of an archived matrix's sources
-                --matrix FILE [--length L=16]
+                --matrix FILE | --from DIR [--snapshot K=0]  [--length L=16]
+  archive     run the full campaign and persist it as a study archive
+                --out DIR [--log2-nv K=16] [--seed S]
   help        this text
 
 environment: results are deterministic per --seed; sizes scale with --log2-nv.
+--from DIR reads a completed `obscorr archive` directory instead of
+recomputing; the archived scenario then supplies --log2-nv / --seed.
+a killed `archive` run resumes from its finished snapshots/months.
 )";
 }
 
@@ -154,11 +167,20 @@ int cmd_quantities(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_degrees(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const auto path = cli.get("matrix");
-  OBSCORR_REQUIRE(path.has_value(), "degrees: --matrix FILE is required");
+  const auto from = cli.get("from");
+  const auto snapshot = static_cast<std::size_t>(cli.get_int("snapshot", 0));
+  OBSCORR_REQUIRE(path.has_value() != from.has_value(),
+                  "degrees: exactly one of --matrix FILE or --from DIR is required");
   reject_unused(cli);
 
-  const gbl::DcsrMatrix matrix = gbl::load_matrix(*path);
-  const gbl::SparseVec sources = matrix.reduce_rows();
+  gbl::SparseVec sources;
+  if (from.has_value()) {
+    // The archive already holds the Table II reduction: no matrix
+    // deserialization, no reduce_rows recompute.
+    sources = archive::StudyReader(*from).source_packets(snapshot);
+  } else {
+    sources = gbl::load_matrix(*path).reduce_rows();
+  }
   const auto hist = stats::LogHistogram::from_sparse_vec(sources);
   OBSCORR_REQUIRE(hist.total() > 0, "degrees: matrix has no sources");
   const auto dcp = hist.differential_cumulative();
@@ -185,10 +207,16 @@ int cmd_degrees(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_study(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const Common c = common_options(cli, 16);
+  const auto from = cli.get("from");
   reject_unused(cli);
 
-  ThreadPool pool;
-  const auto study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
+  core::StudyData study;
+  if (from.has_value()) {
+    study = load_archived_study(*from);
+  } else {
+    ThreadPool pool;
+    study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
+  }
 
   TextTable inventory("campaign inventory (Table I shape)");
   inventory.set_header({"month", "GreyNoise sources", "CAIDA snapshot", "CAIDA sources"});
@@ -227,17 +255,22 @@ int cmd_lookup(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const Common c = common_options(cli, 16);
   const auto ip_text = cli.get("ip");
+  const auto from = cli.get("from");
   OBSCORR_REQUIRE(ip_text.has_value(), "lookup: --ip A.B.C.D is required");
   reject_unused(cli);
   OBSCORR_REQUIRE(Ipv4::parse(*ip_text).has_value(), "lookup: malformed address " + *ip_text);
 
-  const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
-  const netgen::Population population(scenario.population);
-  const honeyfarm::Honeyfarm farm(population, scenario.visibility,
-                                  scenario.population.seed ^ 0x64E4015EULL);
   std::vector<honeyfarm::MonthlyObservation> months;
-  for (std::size_t m = 0; m < scenario.months.size(); ++m) {
-    months.push_back(farm.observe_month(scenario.months[m], static_cast<int>(m)));
+  if (from.has_value()) {
+    months = archive::StudyReader(*from).months();
+  } else {
+    const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
+    const netgen::Population population(scenario.population);
+    const honeyfarm::Honeyfarm farm(population, scenario.visibility,
+                                    scenario.population.seed ^ 0x64E4015EULL);
+    for (std::size_t m = 0; m < scenario.months.size(); ++m) {
+      months.push_back(farm.observe_month(scenario.months[m], static_cast<int>(m)));
+    }
   }
   const honeyfarm::Database db(std::move(months));
   out << "database: " << fmt_count(db.distinct_sources()) << " distinct sources over "
@@ -260,11 +293,14 @@ int cmd_lookup(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_scaling(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const Common c = common_options(cli, 18);
+  const auto from = cli.get("from");
   reject_unused(cli);
 
   ThreadPool pool;
-  const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
-  const auto analysis = core::scaling_analysis(scenario, 0, 10, c.log2_nv, pool);
+  const auto scenario = from.has_value() ? archive::StudyReader(*from).scenario()
+                                         : netgen::Scenario::paper(c.log2_nv, c.seed);
+  const int ladder_top = static_cast<int>(scenario.population.log2_nv);
+  const auto analysis = core::scaling_analysis(scenario, 0, 10, ladder_top, pool);
   TextTable table("window-size scaling");
   table.set_header({"N_V", "unique sources", "sources/sqrt(N_V)"});
   for (const auto& p : analysis.points) {
@@ -282,6 +318,7 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const Common c = common_options(cli, 16);
   const auto dir = cli.get("out");
+  const auto from = cli.get("from");
   OBSCORR_REQUIRE(dir.has_value(), "report: --out DIR is required");
   reject_unused(cli);
 
@@ -293,8 +330,13 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
     out << "wrote " << path << '\n';
   };
 
-  ThreadPool pool;
-  const auto study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
+  core::StudyData study;
+  if (from.has_value()) {
+    study = load_archived_study(*from);
+  } else {
+    ThreadPool pool;
+    study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
+  }
 
   // Table I.
   TextTable t1;
@@ -362,7 +404,8 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
   std::ofstream report(report_path);
   OBSCORR_REQUIRE(report.is_open(), "report: cannot write " + report_path);
   report << "# obscorr reproduction report\n\n"
-         << "- window: N_V = 2^" << c.log2_nv << " packets (paper: 2^30), seed " << c.seed
+         << "- window: N_V = 2^" << study.scenario.population.log2_nv
+         << " packets (paper: 2^30), seed " << study.scenario.population.seed
          << "\n- snapshots: " << study.snapshots.size() << ", honeyfarm months: "
          << study.months.size() << "\n- CSV series: table1_inventory, "
          << "fig3_degree_distribution, fig4_peak_correlation, fig5_fig6_temporal_curves, "
@@ -375,12 +418,23 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const auto path = cli.get("matrix");
-  OBSCORR_REQUIRE(path.has_value(), "prefixes: --matrix FILE is required");
+  const auto from = cli.get("from");
+  const auto snapshot = static_cast<std::size_t>(cli.get_int("snapshot", 0));
+  OBSCORR_REQUIRE(path.has_value() != from.has_value(),
+                  "prefixes: exactly one of --matrix FILE or --from DIR is required");
   const int length = static_cast<int>(cli.get_int("length", 16));
   reject_unused(cli);
 
-  const gbl::DcsrMatrix matrix = gbl::load_matrix(*path);
-  const auto analysis = core::analyze_prefixes(matrix.reduce_rows(), length);
+  core::PrefixAnalysis analysis;
+  if (from.has_value()) {
+    // Zero-copy: the span overload aggregates straight over the mapped
+    // archive entry.
+    const archive::StudyReader reader(*from);
+    analysis = core::analyze_prefixes(reader.source_ids(snapshot),
+                                      reader.source_counts(snapshot), length);
+  } else {
+    analysis = core::analyze_prefixes(gbl::load_matrix(*path).reduce_rows(), length);
+  }
   TextTable table("source concentration by /" + std::to_string(length) +
                   " prefix (anonymized ids; prefix structure is CryptoPAN-invariant)");
   table.set_header({"rank", "prefix bits", "sources", "packets"});
@@ -393,6 +447,27 @@ int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out) {
   out << "prefixes: " << fmt_count(analysis.buckets.size())
       << ", top-10 packet share: " << fmt_percent(analysis.top10_packet_share, 1)
       << ", source Gini: " << fmt_double(analysis.source_gini, 3) << '\n';
+  return 0;
+}
+
+int cmd_archive(const std::vector<std::string>& args, std::ostream& out) {
+  const CliArgs cli = CliArgs::parse(args);
+  const Common c = common_options(cli, 16);
+  const auto dir = cli.get("out");
+  OBSCORR_REQUIRE(dir.has_value(), "archive: --out DIR is required");
+  reject_unused(cli);
+
+  ThreadPool pool;
+  const auto stats =
+      archive::archive_study(netgen::Scenario::paper(c.log2_nv, c.seed), *dir, pool);
+  if (stats.already_complete) {
+    out << "archive already complete at " << *dir << '\n';
+    return 0;
+  }
+  out << "archived " << stats.snapshots_total << " snapshots ("
+      << stats.snapshots_reused << " resumed) and " << stats.months_total << " months ("
+      << stats.months_reused << " resumed) to " << *dir << '\n'
+      << "query it with --from " << *dir << '\n';
   return 0;
 }
 
@@ -413,6 +488,7 @@ int run(const std::vector<std::string>& args, std::ostream& out) {
     if (command == "scaling") return cmd_scaling(rest, out);
     if (command == "report") return cmd_report(rest, out);
     if (command == "prefixes") return cmd_prefixes(rest, out);
+    if (command == "archive") return cmd_archive(rest, out);
   } catch (const std::invalid_argument& e) {
     out << "error: " << e.what() << '\n';
     return 2;

@@ -27,6 +27,7 @@ int cmd_lookup(const std::vector<std::string>& args, std::ostream& out);
 int cmd_scaling(const std::vector<std::string>& args, std::ostream& out);
 int cmd_report(const std::vector<std::string>& args, std::ostream& out);
 int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out);
+int cmd_archive(const std::vector<std::string>& args, std::ostream& out);
 
 /// The usage text printed by `obscorr help` and on errors.
 std::string usage();
