@@ -99,8 +99,10 @@ void ArchiveWriter::recover() {
     const std::string covered =
         frame_header_prefix(name, payload_size, payload_crc) + std::string(name);
     if (crc32c(covered) != header_crc) break;
+    // Overflow-safe bounds (a hostile log can carry a valid header_crc for
+    // any payload_size, so `payload_at + payload_size` must never wrap).
     const std::uint64_t payload_at = padded8(name_end);
-    if (payload_at + payload_size > data.size()) break;
+    if (payload_at > data.size() || payload_size > data.size() - payload_at) break;
     const std::string_view payload(data.data() + payload_at,
                                    static_cast<std::size_t>(payload_size));
     if (crc32c(payload) != payload_crc) break;

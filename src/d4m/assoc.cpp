@@ -392,6 +392,8 @@ AssocArray AssocArray::read_binary(std::span<const std::byte> bytes) {
   for (std::size_t r = 0; r < a.row_keys_.size(); ++r) {
     OBSCORR_REQUIRE(a.row_ptr_[r] < a.row_ptr_[r + 1],
                     "read_binary: row offsets must be strictly increasing");
+    OBSCORR_REQUIRE(a.row_ptr_[r + 1] <= nnz,
+                    "read_binary: row offset exceeds the entry count");
     for (std::uint64_t k = a.row_ptr_[r]; k < a.row_ptr_[r + 1]; ++k) {
       OBSCORR_REQUIRE(a.col_idx_[k] < a.col_keys_.size(),
                       "read_binary: column index out of range");

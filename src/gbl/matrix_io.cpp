@@ -94,6 +94,7 @@ DcsrMatrix read_matrix(std::istream& is) {
   tuples.reserve(nnz);
   for (std::size_t r = 0; r < rows; ++r) {
     OBSCORR_REQUIRE(row_ptr[r] <= row_ptr[r + 1], "read_matrix: descending offsets");
+    OBSCORR_REQUIRE(row_ptr[r + 1] <= nnz, "read_matrix: row offset exceeds the entry count");
     for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
       tuples.push_back({row_ids[r], col[k], val[k]});
     }

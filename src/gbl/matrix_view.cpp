@@ -95,6 +95,8 @@ MatrixView MatrixView::from_bytes(std::span<const std::byte> bytes) {
                     "matrix view: row ids must be strictly increasing");
     OBSCORR_REQUIRE(v.row_ptr_[r] < v.row_ptr_[r + 1],
                     "matrix view: row offsets must be strictly increasing");
+    OBSCORR_REQUIRE(v.row_ptr_[r + 1] <= nnz,
+                    "matrix view: row offset exceeds the entry count");
     for (std::uint64_t k = v.row_ptr_[r] + 1; k < v.row_ptr_[r + 1]; ++k) {
       OBSCORR_REQUIRE(v.col_[k - 1] < v.col_[k],
                       "matrix view: columns must be strictly increasing within a row");

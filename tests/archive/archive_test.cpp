@@ -141,6 +141,46 @@ TEST(ArchiveTest, TornTailIsTruncatedAndRewritten) {
   EXPECT_EQ(payload_text(r.payload("beta")), "rewritten after the crash");
 }
 
+TEST(ArchiveTest, HostilePayloadSizeInRecoverIsRejected) {
+  const std::string dir = temp_dir("arch_hostile_size");
+  {
+    ArchiveWriter w(dir);
+    w.add_entry("alpha", "kept entry");
+  }
+  // Append a crafted frame whose header declares a payload size chosen so
+  // that `payload_at + payload_size` wraps to 0. The header CRC is not a
+  // secret — an attacker computes a valid one — so recover() must reject
+  // the frame on overflow-safe bounds, not read far out of the buffer.
+  const std::string log = dir + "/" + std::string(kEntryLogName);
+  auto data = slurp(log);
+  const std::string name = "evil";
+  // Frame header is 32 bytes; the payload starts at the 8-padded offset
+  // past the header and name.
+  const std::uint64_t payload_at = (data.size() + 32 + name.size() + 7) / 8 * 8;
+  const std::uint64_t huge = ~payload_at + 1;  // payload_at + huge == 0 mod 2^64
+  std::string frame = "OBSAENT1";
+  const auto put_u32 = [&frame](std::uint32_t v) {
+    frame.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  const auto put_u64 = [&frame](std::uint64_t v) {
+    frame.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  put_u32(static_cast<std::uint32_t>(name.size()));
+  put_u32(0);     // reserved
+  put_u64(huge);  // payload size
+  put_u32(0);     // payload CRC (must never be reached)
+  put_u32(crc32c(frame + name));  // valid header CRC over prefix + name
+  frame += name;
+  while (frame.size() % 8 != 0) frame.push_back('\0');
+  data.insert(data.end(), frame.begin(), frame.end());
+  dump(log, data);
+
+  ArchiveWriter resumed(dir);
+  ASSERT_EQ(resumed.entries().size(), 1u);
+  EXPECT_TRUE(resumed.has_entry("alpha"));
+  EXPECT_FALSE(resumed.has_entry("evil"));
+}
+
 TEST(ArchiveTest, ResetDropsRecoveredState) {
   const std::string dir = temp_dir("arch_reset");
   {

@@ -142,6 +142,22 @@ TEST(AssocBinaryTest, NonCanonicalStreamsRejected) {
     bad.replace(alpha_at, 5, "beta\0" /*len stays 5*/, 5);
     EXPECT_THROW(parse(bad), std::invalid_argument);
   }
+  {
+    // Middle row offset past nnz while front()==0 and back()==nnz still
+    // hold: must be rejected before it drives an out-of-bounds read of
+    // col_idx. The column indices [0,1,2] stay strictly increasing, so
+    // without the offset <= nnz bound no other invariant trips first and
+    // the scan reads past the col_idx vector (caught by ASan).
+    std::string bad = serialized(AssocArray::from_triples(
+        {{"alpha", "c1", 1.0}, {"beta", "c2", 2.0}, {"beta", "c3", 3.0}}));
+    // row_ptr lives after magic, both key sections, and nnz.
+    const std::size_t row_keys = 8 + (4 + 5) + (4 + 4);            // count, "alpha", "beta"
+    const std::size_t col_keys = 8 + (4 + 2) + (4 + 2) + (4 + 2);  // count, "c1".."c3"
+    const std::size_t row_ptr_at = 8 + row_keys + col_keys + 8;
+    const std::uint64_t big = 1'000'000;
+    std::memcpy(bad.data() + row_ptr_at + 8, &big, 8);
+    EXPECT_THROW(parse(bad), std::invalid_argument);
+  }
 }
 
 }  // namespace

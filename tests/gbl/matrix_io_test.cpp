@@ -94,6 +94,12 @@ TEST(MatrixIoTest, InconsistentRowOffsetsRejected) {
   bytes = serialized(m);
   patch_u64(bytes, row_ptr_at + 8, m.nnz());  // descending interior offset
   EXPECT_THROW(parse(bytes), std::invalid_argument);
+
+  bytes = serialized(m);
+  // Interior offset past nnz while front()==0 and back()==nnz still hold:
+  // must throw before the rebuild loop indexes col/val out of bounds.
+  patch_u64(bytes, row_ptr_at + 8, 1'000'000);
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
 }
 
 TEST(MatrixIoTest, UnsortedColumnsRejectedByRebuild) {

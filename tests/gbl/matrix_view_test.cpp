@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -157,6 +158,13 @@ TEST(MatrixViewTest, StructuralViolationsRejected) {
     ASSERT_NE(next, zero);
     EXPECT_THROW(MatrixView::from_bytes(p.span()), std::invalid_argument);
   }
+  {  // middle offset past nnz (front/back still valid): must throw
+     // before the column loop reads past the mapped payload
+    AlignedPayload p(m);
+    const std::uint64_t big = 1'000'000;
+    std::memcpy(p.data() + row_ptr_at + 8, &big, 8);
+    EXPECT_THROW(MatrixView::from_bytes(p.span()), std::invalid_argument);
+  }
   const std::size_t col_at = row_ptr_at + (rows + 1) * 8;
   {  // columns inside a row must be strictly increasing
     AlignedPayload p(m);
@@ -167,6 +175,22 @@ TEST(MatrixViewTest, StructuralViolationsRejected) {
     std::memcpy(p.data() + col_at + 4, &c0, 4);
     EXPECT_THROW(MatrixView::from_bytes(p.span()), std::invalid_argument);
   }
+}
+
+TEST(MatrixViewTest, RowOffsetPastNnzDoesNotReadPastPayload) {
+  // Two rows with globally increasing columns, and value bit patterns
+  // whose u32 halves continue that increasing sequence. Without the
+  // offset <= nnz bound, the column-sortedness scan never finds a
+  // violation inside the payload and walks straight past its end (an
+  // out-of-mapping read ASan catches); it must throw instead.
+  const DcsrMatrix m =
+      DcsrMatrix::from_tuples({{0, 1, std::bit_cast<double>(0x0000000400000003ULL)},
+                               {1, 2, std::bit_cast<double>(0x0000000600000005ULL)}});
+  AlignedPayload p(m);
+  const std::size_t row_ptr_at = 32;  // header(24) + two u32 row ids
+  const std::uint64_t big = 1'000'000;
+  std::memcpy(p.data() + row_ptr_at + 8, &big, 8);
+  EXPECT_THROW(MatrixView::from_bytes(p.span()), std::invalid_argument);
 }
 
 TEST(MatrixViewTest, NonzeroSectionPaddingRejected) {
