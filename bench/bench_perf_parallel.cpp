@@ -1,0 +1,90 @@
+/// \file bench_perf_parallel.cpp
+/// Thread-count scaling of the parallel study pipeline.
+///
+///  * BM_StudyParallel   — whole-study wall clock (`run_study`: sharded
+///    packet generation + capture, concurrent snapshots and honeyfarm
+///    months) swept over worker-thread counts. The output is bit-identical
+///    at every sweep point; only the wall clock may differ.
+///  * BM_FitGridParallel — the Figs. 6-8 analysis (`fit_grid`) over the
+///    same study, parallel per (snapshot, brightness-bin) cell.
+///
+/// Defaults to N_V = 2^17 per snapshot — the smallest size where windows
+/// span multiple generation shards — so the sweep stays CI-sized;
+/// OBSCORR_LOG2_NV / OBSCORR_SEED override as usual.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/thread_pool.hpp"
+#include "core/correlation.hpp"
+#include "core/study.hpp"
+#include "netgen/scenario.hpp"
+
+namespace {
+
+using namespace obscorr;
+
+int bench_log2_nv() {
+  static const int v = static_cast<int>(env_int("OBSCORR_LOG2_NV", 17));
+  return v;
+}
+
+std::uint64_t bench_seed() {
+  static const std::uint64_t v = static_cast<std::uint64_t>(env_int("OBSCORR_SEED", 42));
+  return v;
+}
+
+netgen::Scenario bench_scenario() { return netgen::Scenario::paper(bench_log2_nv(), bench_seed()); }
+
+/// Sweep 1/2/4 plus the hardware default when it is not already covered.
+void thread_sweep(benchmark::internal::Benchmark* b) {
+  std::vector<long> sweep = {1, 2, 4};
+  const long hw = static_cast<long>(ThreadPool::default_thread_count());
+  if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) sweep.push_back(hw);
+  for (const long t : sweep) b->Arg(t);
+}
+
+void BM_StudyParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const netgen::Scenario scenario = bench_scenario();
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    core::StudyData study = core::run_study(scenario, pool);
+    benchmark::DoNotOptimize(study.snapshots.data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenario.snapshots.size()) *
+                          static_cast<std::int64_t>(scenario.nv()));
+}
+BENCHMARK(BM_StudyParallel)->Apply(thread_sweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+const core::StudyData& fit_grid_study() {
+  static const core::StudyData study = [] {
+    ThreadPool pool;
+    return core::run_study(bench_scenario(), pool);
+  }();
+  return study;
+}
+
+void BM_FitGridParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const core::StudyData& study = fit_grid_study();
+  ThreadPool pool(threads);
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const std::vector<core::FitGridCell> grid =
+        core::fit_grid(study.snapshots, study.months, 20, pool);
+    cells = grid.size();
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cells"] = static_cast<double>(cells);
+}
+BENCHMARK(BM_FitGridParallel)->Apply(thread_sweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

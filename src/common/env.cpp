@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace obscorr {
 
@@ -16,6 +17,12 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   auto [p, ec] = std::from_chars(raw, end, value);
   if (ec != std::errc{} || p != end) return fallback;
   return value;
+}
+
+int resolve_thread_count(std::int64_t requested) {
+  if (requested <= 0) requested = env_int("OBSCORR_THREADS", 0);
+  if (requested <= 0) return static_cast<int>(ThreadPool::default_thread_count());
+  return static_cast<int>(requested);
 }
 
 BenchEnv BenchEnv::from_environment() {

@@ -16,6 +16,11 @@ namespace obscorr {
 /// Read an integer environment variable; `fallback` when unset or invalid.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
+/// Worker-thread count for a tool invocation: an explicit `requested > 0`
+/// (e.g. a --threads flag) wins, otherwise OBSCORR_THREADS, otherwise the
+/// hardware default. The result is always >= 1.
+int resolve_thread_count(std::int64_t requested = 0);
+
 /// Bench-harness configuration resolved from the environment.
 struct BenchEnv {
   int log2_nv = 22;          ///< log2(N_V); the paper used 30.

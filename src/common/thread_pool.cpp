@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -30,11 +31,36 @@ void ThreadPool::submit(std::function<void()> task) {
     ++in_flight_;
   }
   task_available_.notify_one();
+  // Wake helpers parked in wait_idle: new work is something they can run.
+  all_done_.notify_all();
+}
+
+bool ThreadPool::run_one_task() {
+  std::function<void()> task;
+  {
+    std::scoped_lock lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  {
+    std::scoped_lock lock(mutex_);
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  for (;;) {
+    if (run_one_task()) continue;
+    std::unique_lock lock(mutex_);
+    if (in_flight_ == 0) return;
+    // Queue empty but tasks still running elsewhere: sleep until they
+    // finish or submit new work we can help with.
+    all_done_.wait(lock, [this] { return in_flight_ == 0 || !tasks_.empty(); });
+    if (in_flight_ == 0) return;
+  }
 }
 
 std::size_t ThreadPool::default_thread_count() {
@@ -64,9 +90,10 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
-  if (begin >= end) return;
+namespace detail {
+
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          ParallelBody body) {
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(pool.thread_count(), n);
   if (chunks <= 1) {
@@ -77,8 +104,6 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t base = n / chunks;
   const std::size_t extra = n % chunks;
   std::size_t start = begin;
-  // Run chunks on the pool and the final chunk inline so a nested caller
-  // on a pool thread cannot deadlock waiting for itself.
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
   ranges.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -95,17 +120,28 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     pool.submit([&, c] {
       body(ranges[c].first, ranges[c].second);
       std::scoped_lock lock(done_mutex);
-      if (--remaining == 0) done_cv.notify_one();
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
   body(ranges.back().first, ranges.back().second);
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  // Help drain the queue instead of sleeping: when this caller is itself
+  // a pool worker, its remaining chunks may sit queued behind it, and
+  // with every worker doing the same a sleeping wait would deadlock.
+  // Sleeping is safe only once the queue is empty — then every
+  // outstanding chunk is already executing on some other thread.
+  for (;;) {
+    {
+      std::unique_lock lock(done_mutex);
+      if (remaining == 0) return;
+    }
+    if (!pool.run_one_task()) {
+      std::unique_lock lock(done_mutex);
+      done_cv.wait(lock, [&] { return remaining == 0; });
+      return;
+    }
+  }
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
-  parallel_for(ThreadPool::global(), begin, end, body);
-}
+}  // namespace detail
 
 }  // namespace obscorr

@@ -6,6 +6,15 @@
 /// written against this pool rather than OpenMP so the parallelism is
 /// explicit, testable at any thread count, and deterministic: ranges are
 /// split statically, so results never depend on scheduling.
+///
+/// The pool tolerates nesting: a task (or `parallel_for` body) running on
+/// a worker may itself call `parallel_for` on the same pool. Instead of
+/// sleeping on work it may be blocking, a waiting caller helps drain the
+/// queue (`run_one_task`), so every pending chunk is always either queued
+/// or executing on some thread and progress is guaranteed at any thread
+/// count, including one. (`wait_idle` helps the same way, but waits for
+/// ALL tasks — including the caller's own, so only call it from threads
+/// outside the pool.)
 
 #include <condition_variable>
 #include <cstddef>
@@ -32,7 +41,13 @@ class ThreadPool {
   /// Enqueue a task; tasks must not throw (violations terminate).
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Pop and run one queued task on the calling thread; false when the
+  /// queue was empty. This is how blocked waiters help instead of
+  /// deadlocking when every worker is itself waiting on nested work.
+  bool run_one_task();
+
+  /// Block until every submitted task has finished, helping drain the
+  /// queue while waiting (safe to call from inside a pool task).
   void wait_idle();
 
   /// max(1, hardware_concurrency).
@@ -53,15 +68,55 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+namespace detail {
+
+/// Non-owning type-erased view of a `parallel_for` body. Keeps the
+/// chunked implementation out of line without a `std::function`
+/// allocation per call; only valid for the duration of the call.
+class ParallelBody {
+ public:
+  template <typename F>
+  explicit ParallelBody(const F& f)
+      : object_(&f), call_([](const void* o, std::size_t b, std::size_t e) {
+          (*static_cast<const F*>(o))(b, e);
+        }) {}
+
+  void operator()(std::size_t b, std::size_t e) const { call_(object_, b, e); }
+
+ private:
+  const void* object_;
+  void (*call_)(const void*, std::size_t, std::size_t);
+};
+
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end, ParallelBody body);
+
+}  // namespace detail
+
+/// Ranges shorter than this run inline on the caller: a chunk task costs
+/// a queue round-trip and a `std::function` allocation, which dwarfs the
+/// body on tiny ranges.
+inline constexpr std::size_t kParallelForInlineCutoff = 2;
+
 /// Statically partition [begin, end) into ~`pool.thread_count()` chunks and
 /// run `body(chunk_begin, chunk_end)` on the pool; blocks until complete.
 /// Partitioning depends only on (range, thread count), never on timing, so
-/// any reduction the caller does per-chunk is reproducible.
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& body);
+/// any reduction the caller does per-chunk is reproducible. Tiny ranges
+/// and 1-thread pools run the body inline as the single chunk
+/// [begin, end); nested calls from pool tasks are safe (see class docs).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, const Body& body) {
+  if (begin >= end) return;
+  if (end - begin < kParallelForInlineCutoff || pool.thread_count() == 1) {
+    body(begin, end);
+    return;
+  }
+  detail::parallel_for_chunked(pool, begin, end, detail::ParallelBody(body));
+}
 
 /// Convenience overload on the global pool.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& body);
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
+  parallel_for(ThreadPool::global(), begin, end, body);
+}
 
 }  // namespace obscorr

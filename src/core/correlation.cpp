@@ -114,18 +114,43 @@ std::vector<FitGridCell> fit_grid(const StudyData& study, std::uint64_t min_sour
   return fit_grid(study.snapshots, study.months, min_sources);
 }
 
+std::vector<FitGridCell> fit_grid(const StudyData& study, std::uint64_t min_sources,
+                                  ThreadPool& pool) {
+  return fit_grid(study.snapshots, study.months, min_sources, pool);
+}
+
 std::vector<FitGridCell> fit_grid(std::span<const SnapshotData> snapshots,
                                   std::span<const honeyfarm::MonthlyObservation> months,
                                   std::uint64_t min_sources) {
-  std::vector<FitGridCell> grid;
+  return fit_grid(snapshots, months, min_sources, ThreadPool::global());
+}
+
+std::vector<FitGridCell> fit_grid(std::span<const SnapshotData> snapshots,
+                                  std::span<const honeyfarm::MonthlyObservation> months,
+                                  std::uint64_t min_sources, ThreadPool& pool) {
+  // Enumerate the (snapshot, bin) cells up front, fit them in parallel
+  // into per-cell slots, then keep the populated cells in enumeration
+  // order — the exact sequence the serial loop produced.
+  struct CellRef {
+    std::size_t snapshot;
+    int bin;
+  };
+  std::vector<CellRef> cells;
   for (std::size_t s = 0; s < snapshots.size(); ++s) {
-    const SnapshotData& snap = snapshots[s];
     const int max_bin = log2_bin(static_cast<std::uint64_t>(
-        std::max(1.0, snap.source_packets.reduce_max())));
-    for (int bin = 0; bin <= max_bin; ++bin) {
-      auto curve = temporal_correlation(snap, months, bin, min_sources);
-      if (curve.has_value()) grid.push_back({s, std::move(*curve)});
+        std::max(1.0, snapshots[s].source_packets.reduce_max())));
+    for (int bin = 0; bin <= max_bin; ++bin) cells.push_back({s, bin});
+  }
+  std::vector<std::optional<TemporalCorrelation>> curves(cells.size());
+  parallel_for(pool, 0, cells.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      curves[i] = temporal_correlation(snapshots[cells[i].snapshot], months, cells[i].bin,
+                                       min_sources);
     }
+  });
+  std::vector<FitGridCell> grid;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (curves[i].has_value()) grid.push_back({cells[i].snapshot, std::move(*curves[i])});
   }
   return grid;
 }

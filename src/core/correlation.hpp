@@ -73,12 +73,21 @@ struct FitGridCell {
 };
 
 /// All (snapshot × brightness-bin) temporal fits with enough sources.
+/// Cells are embarrassingly parallel: the pool overloads fit them as
+/// `parallel_for` tasks into slots ordered (snapshot, bin) — identical
+/// output at any thread count; the pool-less overloads run on the
+/// process-global pool.
 std::vector<FitGridCell> fit_grid(const StudyData& study, std::uint64_t min_sources = 20);
+std::vector<FitGridCell> fit_grid(const StudyData& study, std::uint64_t min_sources,
+                                  ThreadPool& pool);
 
-/// Component-level overload (archive query path).
+/// Component-level overloads (archive query path).
 std::vector<FitGridCell> fit_grid(std::span<const SnapshotData> snapshots,
                                   std::span<const honeyfarm::MonthlyObservation> months,
                                   std::uint64_t min_sources = 20);
+std::vector<FitGridCell> fit_grid(std::span<const SnapshotData> snapshots,
+                                  std::span<const honeyfarm::MonthlyObservation> months,
+                                  std::uint64_t min_sources, ThreadPool& pool);
 
 /// Sources of `snapshot` whose packet count lies in [2^bin, 2^(bin+1)),
 /// as dotted-quad keys (helper shared by the analyses and tests).

@@ -1,0 +1,73 @@
+#include "core/parallel_capture.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace obscorr::core {
+
+gbl::DcsrMatrix capture_window(telescope::Telescope& scope,
+                               const netgen::TrafficGenerator& generator, int month,
+                               std::uint64_t valid_count, std::uint64_t salt, ThreadPool& pool) {
+  using netgen::TrafficGenerator;
+  const std::uint64_t shards = TrafficGenerator::shard_count(valid_count);
+  if (shards <= 1) {
+    // Single-shard windows take the historical serial path straight into
+    // the telescope: shard 0 *is* the unsharded stream, so this is
+    // byte-identical to pre-shard capture.
+    generator.stream_window_batched(month, valid_count, salt,
+                                    [&](std::span<const Packet> b) { scope.capture_block(b); });
+    return scope.finish_window();
+  }
+
+  if (pool.thread_count() == 1) {
+    // One worker means one chunk: stream the sharded plan straight into
+    // the telescope, skipping the private-capture/merge machinery. The
+    // packet sequence is the concatenation of the shards in order —
+    // exactly what a single ShardCapture over [0, shards) would absorb —
+    // and it keeps the telescope's anonymization memo warm across
+    // windows, which a per-window capture context would discard.
+    const netgen::WindowPlan plan = generator.plan_window(month);
+    netgen::ShardScratch scratch;
+    for (std::size_t s = 0; s < shards; ++s) {
+      generator.stream_shard_batched(
+          plan, TrafficGenerator::shard_valid_packets(valid_count, s), salt, s, scratch,
+          [&](std::span<const Packet> batch) { scope.capture_block(batch); });
+    }
+    return scope.finish_window();
+  }
+
+  // Shared read-only sampling plan; per-run private capture contexts.
+  // parallel_for's static split assigns each run a contiguous shard
+  // range. Runs are summed in first-shard order below, but any grouping
+  // yields the same matrix: shard packet multisets are fixed by (seed,
+  // month, salt, shard) and counts aggregate exactly.
+  const netgen::WindowPlan plan = generator.plan_window(month);
+  std::mutex collect_mutex;
+  std::vector<std::pair<std::size_t, gbl::DcsrMatrix>> runs;
+  parallel_for(pool, 0, static_cast<std::size_t>(shards), [&](std::size_t b, std::size_t e) {
+    telescope::ShardCapture capture(scope, pool);
+    netgen::ShardScratch scratch;
+    for (std::size_t s = b; s < e; ++s) {
+      generator.stream_shard_batched(
+          plan, TrafficGenerator::shard_valid_packets(valid_count, s), salt, s, scratch,
+          [&](std::span<const Packet> batch) { capture.capture_block(batch); });
+    }
+    gbl::DcsrMatrix matrix = capture.finish();
+    std::scoped_lock lock(collect_mutex);
+    scope.absorb(std::move(capture));
+    runs.emplace_back(b, std::move(matrix));
+  });
+
+  std::sort(runs.begin(), runs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  gbl::DcsrMatrix total = std::move(runs.front().second);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    total = gbl::DcsrMatrix::ewise_add(total, runs[i].second, pool);
+  }
+  return total;
+}
+
+}  // namespace obscorr::core

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/parallel_capture.hpp"
 #include "gbl/quantities.hpp"
 #include "netgen/traffic.hpp"
 #include "telescope/telescope.hpp"
@@ -47,24 +48,34 @@ ScalingAnalysis scaling_analysis(const netgen::Scenario& scenario,
   cfg.darkspace = scenario.traffic.darkspace;
   cfg.legit_prefixes = {scenario.traffic.legit_prefix};
   cfg.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
-  telescope::Telescope scope(cfg, pool);
 
+  // Ladder rungs are independent windows: run them as pool tasks into
+  // pre-sized slots, each through its own telescope instance.
+  (void)population.active(0, month);  // warm the activity chain once
+  const std::size_t rungs = static_cast<std::size_t>(log2_hi - log2_lo + 1);
   ScalingAnalysis analysis;
+  analysis.points.resize(rungs);
+  parallel_for(pool, 0, rungs, [&](std::size_t b, std::size_t e) {
+    for (std::size_t r = b; r < e; ++r) {
+      const int k = log2_lo + static_cast<int>(r);
+      telescope::Telescope scope(cfg, pool);
+      const gbl::DcsrMatrix matrix =
+          capture_window(scope, generator, month, 1ULL << k,
+                         /*salt=*/0x5CA1E000 + static_cast<std::uint64_t>(k), pool);
+      const gbl::AggregateQuantities q = gbl::aggregate_quantities(matrix);
+      analysis.points[r] = {k, q.unique_sources, q.unique_links, q.unique_destinations,
+                            q.max_source_packets};
+    }
+  });
+
   std::vector<int> ks;
   std::vector<double> sources, links, destinations, dmax;
-  for (int k = log2_lo; k <= log2_hi; ++k) {
-    generator.stream_window_batched(month, 1ULL << k,
-                                    /*salt=*/0x5CA1E000 + static_cast<std::uint64_t>(k),
-                                    [&](std::span<const Packet> b) { scope.capture_block(b); });
-    const gbl::DcsrMatrix matrix = scope.finish_window();
-    const gbl::AggregateQuantities q = gbl::aggregate_quantities(matrix);
-    analysis.points.push_back({k, q.unique_sources, q.unique_links, q.unique_destinations,
-                               q.max_source_packets});
-    ks.push_back(k);
-    sources.push_back(static_cast<double>(q.unique_sources));
-    links.push_back(static_cast<double>(q.unique_links));
-    destinations.push_back(static_cast<double>(q.unique_destinations));
-    dmax.push_back(q.max_source_packets);
+  for (const auto& point : analysis.points) {
+    ks.push_back(point.log2_nv);
+    sources.push_back(static_cast<double>(point.unique_sources));
+    links.push_back(static_cast<double>(point.unique_links));
+    destinations.push_back(static_cast<double>(point.unique_destinations));
+    dmax.push_back(point.max_source_packets);
   }
   analysis.source_exponent = log_log_slope(ks, sources);
   analysis.link_exponent = log_log_slope(ks, links);

@@ -1,8 +1,11 @@
 #include "core/study.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <string>
 
 #include "common/error.hpp"
+#include "core/parallel_capture.hpp"
 #include "netgen/traffic.hpp"
 #include "telescope/telescope.hpp"
 
@@ -20,7 +23,7 @@ telescope::TelescopeConfig scope_config_for(const netgen::Scenario& scenario) {
 
 SnapshotData take_snapshot(const netgen::Scenario& scenario, const netgen::Population& population,
                            const netgen::CaidaSnapshotSpec& spec, telescope::Telescope& scope,
-                           ThreadPool& /*pool*/) {
+                           ThreadPool& pool) {
   SnapshotData snap;
   snap.spec = spec;
   snap.month_index = scenario.month_index(spec.month);
@@ -28,9 +31,8 @@ SnapshotData take_snapshot(const netgen::Scenario& scenario, const netgen::Popul
 
   const netgen::TrafficGenerator generator(population, scenario.traffic);
   const std::uint64_t before_discarded = scope.discarded_packets();
-  generator.stream_window_batched(snap.month_index, scenario.nv(), spec.salt,
-                                  [&](std::span<const Packet> b) { scope.capture_block(b); });
-  snap.matrix = scope.finish_window();
+  snap.matrix =
+      capture_window(scope, generator, snap.month_index, scenario.nv(), spec.salt, pool);
   snap.valid_packets = static_cast<std::uint64_t>(snap.matrix.reduce_sum());
   snap.discarded_packets = scope.discarded_packets() - before_discarded;
   OBSCORR_INVARIANT(snap.valid_packets == scenario.nv());
@@ -57,20 +59,48 @@ StudyData run_impl(const netgen::Scenario& scenario, ThreadPool& pool, bool with
   StudyData study;
   study.scenario = scenario;
   study.population = std::make_shared<netgen::Population>(scenario.population);
+  const netgen::Population& population = *study.population;
 
-  telescope::Telescope scope(scope_config_for(scenario), pool);
-
-  for (const auto& spec : scenario.snapshots) {
-    study.snapshots.push_back(take_snapshot(scenario, *study.population, spec, scope, pool));
-  }
-
+  const std::size_t n_snapshots = scenario.snapshots.size();
+  const std::size_t n_months = with_honeyfarm ? scenario.months.size() : 0;
+  study.snapshots.resize(n_snapshots);
+  std::optional<honeyfarm::Honeyfarm> farm;
   if (with_honeyfarm) {
-    const honeyfarm::Honeyfarm farm(*study.population, scenario.visibility,
-                                    scenario.population.seed ^ 0x64E4015EULL);
-    for (std::size_t m = 0; m < scenario.months.size(); ++m) {
-      study.months.push_back(farm.observe_month(scenario.months[m], static_cast<int>(m)));
-    }
+    study.months.resize(n_months);
+    farm.emplace(population, scenario.visibility, scenario.population.seed ^ 0x64E4015EULL);
   }
+
+  // Warm the activity chains up front: month m depends on month m-1, so
+  // the lazy fill is inherently serial — doing it here keeps the pool
+  // tasks from queueing on the population's activity mutex.
+  int last_month = 0;
+  for (const auto& spec : scenario.snapshots) {
+    last_month = std::max(last_month, scenario.month_index(spec.month));
+  }
+  if (n_months > 0) last_month = std::max(last_month, static_cast<int>(n_months) - 1);
+  (void)population.active(0, last_month);
+
+  // Snapshots and honeyfarm months are independent observations of the
+  // same (now read-only) world: run them as pool tasks into pre-sized
+  // slots. Each chunk captures its snapshots through one Telescope —
+  // CryptoPAN is a pure function of the key, so per-chunk instances
+  // produce the very bytes the historical shared instance did, while
+  // reuse within a chunk keeps the anonymization memo warm across
+  // consecutive snapshots (on a 1-thread pool the single inline chunk
+  // recovers the old one-scope-for-the-whole-study behavior exactly).
+  parallel_for(pool, 0, n_snapshots + n_months, [&](std::size_t b, std::size_t e) {
+    std::optional<telescope::Telescope> scope;
+    for (std::size_t i = b; i < e; ++i) {
+      if (i < n_snapshots) {
+        if (!scope) scope.emplace(scope_config_for(scenario), pool);
+        study.snapshots[i] =
+            take_snapshot(scenario, population, scenario.snapshots[i], *scope, pool);
+      } else {
+        const std::size_t m = i - n_snapshots;
+        study.months[m] = farm->observe_month(scenario.months[m], static_cast<int>(m));
+      }
+    }
+  });
   return study;
 }
 

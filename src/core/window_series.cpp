@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/parallel_capture.hpp"
 #include "netgen/traffic.hpp"
 #include "stats/histogram.hpp"
 #include "telescope/telescope.hpp"
@@ -20,20 +21,26 @@ WindowSeries intra_month_series(const netgen::Scenario& scenario, int month, int
   cfg.darkspace = scenario.traffic.darkspace;
   cfg.legit_prefixes = {scenario.traffic.legit_prefix};
   cfg.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
-  telescope::Telescope scope(cfg, pool);
 
+  // Windows are independent given the (read-only) population: run them
+  // as pool tasks into pre-sized slots, each through its own telescope
+  // instance (the per-window stats never read cross-window scope state).
+  (void)population.active(0, month);  // warm the activity chain once
   WindowSeries series;
-  for (int w = 0; w < n_windows; ++w) {
-    WindowStats stats;
-    stats.salt = 0x71000 + static_cast<std::uint64_t>(w);
-    generator.stream_window_batched(month, scenario.nv(), stats.salt,
-                                    [&](std::span<const Packet> b) { scope.capture_block(b); });
-    const gbl::DcsrMatrix matrix = scope.finish_window();
-    stats.aggregates = gbl::aggregate_quantities(matrix);
-    stats.zipf = stats::fit_zipf_mandelbrot(
-        stats::LogHistogram::from_sparse_vec(matrix.reduce_rows()));
-    series.windows.push_back(std::move(stats));
-  }
+  series.windows.resize(static_cast<std::size_t>(n_windows));
+  parallel_for(pool, 0, static_cast<std::size_t>(n_windows), [&](std::size_t b, std::size_t e) {
+    for (std::size_t w = b; w < e; ++w) {
+      telescope::Telescope scope(cfg, pool);
+      WindowStats stats;
+      stats.salt = 0x71000 + static_cast<std::uint64_t>(w);
+      const gbl::DcsrMatrix matrix =
+          capture_window(scope, generator, month, scenario.nv(), stats.salt, pool);
+      stats.aggregates = gbl::aggregate_quantities(matrix);
+      stats.zipf = stats::fit_zipf_mandelbrot(
+          stats::LogHistogram::from_sparse_vec(matrix.reduce_rows()));
+      series.windows[w] = std::move(stats);
+    }
+  });
 
   // Stability summaries.
   double mean_sources = 0.0;

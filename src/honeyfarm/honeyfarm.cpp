@@ -34,9 +34,12 @@ MonthlyObservation Honeyfarm::observe_month(const netgen::GreyNoiseMonthSpec& sp
   std::vector<d4m::Triple> triples;
 
   // Ground-truth population sources: active this month AND detected.
+  // One activity-row snapshot instead of a per-source `active` call: the
+  // sweep is the hot loop, and month tasks run concurrently.
   const std::size_t n = population_.size();
+  const std::vector<std::uint8_t> active_row = population_.activity_row(month_index);
   for (std::size_t i = 0; i < n; ++i) {
-    if (!population_.active(i, month_index)) continue;
+    if (active_row[i] == 0) continue;
     const double degree = population_.expected_active_degree(i);
     const double p = std::min(1.0, visibility_.probability(degree) * spec.coverage);
     // Per-(source, month) detection stream, independent of the activity

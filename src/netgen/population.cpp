@@ -174,6 +174,7 @@ double Population::stationary_activity(std::size_t i) const {
 }
 
 void Population::ensure_months(int month) const {
+  // Callers hold activity_mutex_.
   OBSCORR_REQUIRE(month >= 0, "month index must be non-negative");
   while (activity_.size() <= static_cast<std::size_t>(month)) {
     const int m = static_cast<int>(activity_.size());
@@ -229,11 +230,13 @@ int Population::block_of(std::size_t i) const {
 
 bool Population::active(std::size_t i, int month) const {
   OBSCORR_REQUIRE(i < sources_.size(), "source index out of range");
+  std::scoped_lock lock(activity_mutex_);
   ensure_months(month);
   return activity_[static_cast<std::size_t>(month)][i] != 0;
 }
 
 std::vector<std::uint32_t> Population::active_sources(int month) const {
+  std::scoped_lock lock(activity_mutex_);
   ensure_months(month);
   std::vector<std::uint32_t> out;
   const auto& row = activity_[static_cast<std::size_t>(month)];
@@ -241,6 +244,12 @@ std::vector<std::uint32_t> Population::active_sources(int month) const {
     if (row[i] != 0) out.push_back(static_cast<std::uint32_t>(i));
   }
   return out;
+}
+
+std::vector<std::uint8_t> Population::activity_row(int month) const {
+  std::scoped_lock lock(activity_mutex_);
+  ensure_months(month);
+  return activity_[static_cast<std::size_t>(month)];
 }
 
 }  // namespace obscorr::netgen

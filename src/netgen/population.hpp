@@ -28,6 +28,7 @@
 /// without sharing mutable state.
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/ipv4.hpp"
@@ -125,11 +126,17 @@ class Population {
 
   /// True when source i is active during month index m (m >= 0 counts
   /// from the start of the study). Evaluated lazily, cached per month,
-  /// deterministic in (seed, i, m).
+  /// deterministic in (seed, i, m). Thread-safe: concurrent callers for
+  /// any months see one consistent simulation of the activity chains.
   bool active(std::size_t i, int month) const;
 
-  /// Indices of all sources active during month m.
+  /// Indices of all sources active during month m. Thread-safe.
   std::vector<std::uint32_t> active_sources(int month) const;
+
+  /// Snapshot of month m's full activity row (index i -> 0/1). One lock
+  /// instead of one per `active` call — the per-source hot loops
+  /// (honeyfarm detection sweep) read this copy lock-free.
+  std::vector<std::uint8_t> activity_row(int month) const;
 
   /// Sum of weights over the full population.
   double total_weight() const { return total_weight_; }
@@ -145,7 +152,10 @@ class Population {
   std::vector<int> block_of_;   // -1 for independent sources
   std::size_t block_count_ = 0;
   // activity_[m][i] for months simulated so far (mutable lazy cache);
-  // block_activity_[m][b] gates botnet-block members.
+  // block_activity_[m][b] gates botnet-block members. The Markov chains
+  // advance month by month, so extension is inherently serial; the mutex
+  // makes the lazy fill safe under concurrent snapshot/month tasks.
+  mutable std::mutex activity_mutex_;
   mutable std::vector<std::vector<std::uint8_t>> activity_;
   mutable std::vector<std::vector<std::uint8_t>> block_activity_;
 };

@@ -7,6 +7,15 @@
 
 namespace obscorr::netgen {
 
+namespace {
+
+/// Per-shard stream-id offset: the golden-ratio increment (SplitMix64's
+/// own gamma) keeps shard streams far apart in id space. Shard 0 offsets
+/// by zero, preserving the historical unsharded stream ids.
+constexpr std::uint64_t kShardStreamGamma = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
 TrafficGenerator::TrafficGenerator(const Population& population, TrafficConfig config)
     : population_(population), config_(config) {
   OBSCORR_REQUIRE(config.legit_fraction >= 0.0 && config.legit_fraction < 1.0,
@@ -30,6 +39,29 @@ ScanStrategy TrafficGenerator::strategy_of(std::size_t i) const {
   return ScanStrategy::kSubnet;
 }
 
+std::uint64_t TrafficGenerator::shard_count(std::uint64_t valid_count) {
+  if (valid_count == 0) return 1;
+  return (valid_count + kShardValidPackets - 1) / kShardValidPackets;
+}
+
+std::uint64_t TrafficGenerator::shard_valid_packets(std::uint64_t valid_count,
+                                                    std::uint64_t shard) {
+  const std::uint64_t shards = shard_count(valid_count);
+  OBSCORR_REQUIRE(shard < shards, "shard_valid_packets: shard index out of range");
+  if (shard + 1 < shards) return kShardValidPackets;
+  return valid_count - shard * kShardValidPackets;
+}
+
+WindowPlan TrafficGenerator::plan_window(int month) const {
+  std::vector<std::uint32_t> active = population_.active_sources(month);
+  OBSCORR_REQUIRE(!active.empty(), "stream_window: no active sources this month");
+  std::vector<double> weights(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    weights[i] = population_.source(active[i]).weight;
+  }
+  return WindowPlan(month, std::move(active), AliasTable(weights));
+}
+
 std::uint64_t TrafficGenerator::stream_window(
     int month, std::uint64_t valid_count, std::uint64_t salt,
     const std::function<void(const Packet&)>& sink) const {
@@ -41,47 +73,52 @@ std::uint64_t TrafficGenerator::stream_window(
 std::uint64_t TrafficGenerator::stream_window_batched(int month, std::uint64_t valid_count,
                                                       std::uint64_t salt, const BatchSink& sink,
                                                       std::size_t batch_packets) const {
-  OBSCORR_REQUIRE(batch_packets > 0, "stream_window_batched: batch must be positive");
-  const std::vector<std::uint32_t> active = population_.active_sources(month);
-  OBSCORR_REQUIRE(!active.empty(), "stream_window: no active sources this month");
+  // One whole-window stream == shard 0's stream: the unsharded sequence
+  // is by construction the single-shard special case.
+  const WindowPlan plan = plan_window(month);
+  ShardScratch scratch;
+  return stream_shard_batched(plan, valid_count, salt, /*shard=*/0, scratch, sink, batch_packets);
+}
 
-  std::vector<double> weights(active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    weights[i] = population_.source(active[i]).weight;
-  }
-  const AliasTable alias(weights);
+std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
+                                                     std::uint64_t shard_valid_count,
+                                                     std::uint64_t salt, std::uint64_t shard,
+                                                     ShardScratch& scratch, const BatchSink& sink,
+                                                     std::size_t batch_packets) const {
+  OBSCORR_REQUIRE(batch_packets > 0, "stream_shard_batched: batch must be positive");
+  const std::vector<std::uint32_t>& active = plan.active;
+  OBSCORR_REQUIRE(!active.empty(), "stream_shard_batched: plan has no active sources");
+  const std::uint64_t month = static_cast<std::uint64_t>(plan.month);
+  const std::uint64_t stream_offset = shard * kShardStreamGamma;
 
-  // Per-source scan state for the window: strategy, sweep cursor or
-  // subnet base, derived lazily for sources actually sampled.
-  struct ScanState {
-    ScanStrategy strategy = ScanStrategy::kUniform;
-    std::uint64_t cursor = 0;      // sequential: next offset
-    std::uint64_t subnet_base = 0; // subnet: offset of the /24-equivalent block
-    bool initialized = false;
-  };
-  std::vector<ScanState> state(active.size());
+  // New epoch: every scan-state entry from previous shards goes stale at
+  // once (stamps are always < the incremented epoch) without touching the
+  // population-sized table; entries re-initialize lazily from this
+  // shard's init stream.
+  scratch.state_.resize(active.size());
+  ++scratch.epoch_;
+  const std::uint64_t epoch = scratch.epoch_;
 
   // Two independent streams: source selection (alias + validity) and
   // destination choice. Splitting them makes the source-packet sequence
   // — the quantity every correlation analysis reduces to — invariant
   // under the scan-strategy mixture, which only consumes dst_rng.
   Rng rng(population_.config().seed,
-          std::uint64_t{0x300000000} + static_cast<std::uint64_t>(month) * std::uint64_t{0x10001} +
-              salt);
+          std::uint64_t{0x300000000} + month * std::uint64_t{0x10001} + salt + stream_offset);
   Rng dst_rng(population_.config().seed,
-              std::uint64_t{0xA00000000} +
-                  static_cast<std::uint64_t>(month) * std::uint64_t{0x10001} + salt);
+              std::uint64_t{0xA00000000} + month * std::uint64_t{0x10001} + salt + stream_offset);
 
   const std::uint64_t dark_size = config_.darkspace.size();
   // Subnet blocks: 256 addresses, or the whole darkspace when smaller.
   const std::uint64_t block = std::min<std::uint64_t>(256, dark_size);
   // Packets accumulate in a fixed-size buffer flushed to the sink when
   // full; generation order (and so the emitted sequence) is unchanged.
-  std::vector<Packet> buffer;
+  std::vector<Packet>& buffer = scratch.buffer_;
+  buffer.clear();
   buffer.reserve(batch_packets);
   std::uint64_t emitted = 0;
   std::uint64_t valid = 0;
-  while (valid < valid_count) {
+  while (valid < shard_valid_count) {
     Packet p;
     if (rng.bernoulli(config_.legit_fraction)) {
       // Legitimate noise: a host inside the legit prefix touching the
@@ -89,17 +126,17 @@ std::uint64_t TrafficGenerator::stream_window_batched(int month, std::uint64_t v
       p.src = config_.legit_prefix.at(rng.uniform_u64(config_.legit_prefix.size()));
       p.dst = config_.darkspace.at(dst_rng.uniform_u64(dark_size));
     } else {
-      const std::size_t pick = alias.sample(rng);
+      const std::size_t pick = plan.alias.sample(rng);
       const std::size_t source_index = active[pick];
       p.src = population_.source(source_index).ip;
-      ScanState& s = state[pick];
-      if (!s.initialized) {
+      ShardScratch::SourceState& s = scratch.state_[pick];
+      if (s.stamp != epoch) {
         s.strategy = strategy_of(source_index);
-        Rng init(population_.config().seed,
-                 std::uint64_t{0x900000000} + source_index * 31 + salt);
+        Rng init(population_.config().seed, std::uint64_t{0x900000000} + source_index * 31 +
+                                                salt + stream_offset);
         s.cursor = init.uniform_u64(dark_size);
         s.subnet_base = (init.uniform_u64(dark_size) / block) * block;
-        s.initialized = true;
+        s.stamp = epoch;
       }
       switch (s.strategy) {
         case ScanStrategy::kUniform:

@@ -8,13 +8,24 @@
 /// trickle of non-valid "legitimate" traffic is interleaved so the
 /// telescope's validity filter has something to discard, as on the real
 /// instrument.
+///
+/// Windows decompose into fixed-size generation *shards* of
+/// `kShardValidPackets` valid packets. Every shard's RNG streams are a
+/// pure function of (seed, month, salt, shard index) — never of thread
+/// count or execution order — so shards can be generated concurrently in
+/// any schedule and the union of their packets is always the same
+/// multiset. Shard 0 uses exactly the unsharded stream ids, so any window
+/// of at most one shard is byte-identical to the historical single-stream
+/// sequence.
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "common/ipv4.hpp"
 #include "common/packet.hpp"
+#include "common/prng.hpp"
 #include "netgen/population.hpp"
 
 namespace obscorr::netgen {
@@ -47,6 +58,42 @@ struct TrafficConfig {
   double subnet_weight = 0.15;
 };
 
+/// Per-(generator, month) sampling state shared by every shard of a
+/// window: the active-source set and the alias table over its weights.
+/// Built once per window (it scans the whole population) and read-only
+/// afterwards, so concurrent shard generators can share one plan.
+struct WindowPlan {
+  WindowPlan(int month_, std::vector<std::uint32_t> active_, AliasTable alias_)
+      : month(month_), active(std::move(active_)), alias(std::move(alias_)) {}
+
+  int month;
+  std::vector<std::uint32_t> active;  ///< active source indices this month
+  AliasTable alias;                   ///< over the active sources' weights
+};
+
+/// Reusable per-caller scratch for `stream_shard_batched`: the lazy
+/// per-source scan-state table and the emission buffer. Logically reset
+/// per shard via an epoch stamp, so reusing one scratch across many
+/// shards costs no clearing of the population-sized table.
+class ShardScratch {
+ public:
+  ShardScratch() = default;
+
+ private:
+  friend class TrafficGenerator;
+
+  struct SourceState {
+    std::uint64_t stamp = 0;        // epoch of last init; < epoch_ means stale
+    ScanStrategy strategy = ScanStrategy::kUniform;
+    std::uint64_t cursor = 0;       // sequential: next offset
+    std::uint64_t subnet_base = 0;  // subnet: offset of the /24-equivalent block
+  };
+
+  std::vector<SourceState> state_;
+  std::vector<Packet> buffer_;
+  std::uint64_t epoch_ = 0;
+};
+
 /// Generates packet streams for telescope windows.
 class TrafficGenerator {
  public:
@@ -63,7 +110,8 @@ class TrafficGenerator {
   /// produced, handing `sink` fixed-size buffers of packets including
   /// the legitimate noise. `salt` decorrelates windows taken in the same
   /// month. Returns the total number of packets emitted (valid + legit).
-  /// The packet sequence is identical to the per-packet overload.
+  /// The packet sequence is identical to the per-packet overload, and to
+  /// `stream_shard_batched` with shard 0 over the whole window.
   std::uint64_t stream_window_batched(int month, std::uint64_t valid_count, std::uint64_t salt,
                                       const BatchSink& sink,
                                       std::size_t batch_packets = kDefaultBatchPackets) const;
@@ -71,6 +119,34 @@ class TrafficGenerator {
   /// Per-packet compatibility wrapper over the batched path.
   std::uint64_t stream_window(int month, std::uint64_t valid_count, std::uint64_t salt,
                               const std::function<void(const Packet&)>& sink) const;
+
+  /// Build the shared per-window sampling plan (active set + alias
+  /// table) for `month`. Throws when no source is active.
+  WindowPlan plan_window(int month) const;
+
+  /// Emit one generation shard: exactly `shard_valid_count` valid
+  /// packets drawn from shard `shard`'s RNG streams, which are a pure
+  /// function of (seed, plan.month, salt, shard). Shard 0 reproduces the
+  /// unsharded `stream_window_batched` stream prefix exactly. `scratch`
+  /// may be reused across calls (any plan, any shard) without clearing.
+  /// Returns the total number of packets emitted (valid + legit).
+  std::uint64_t stream_shard_batched(const WindowPlan& plan, std::uint64_t shard_valid_count,
+                                     std::uint64_t salt, std::uint64_t shard,
+                                     ShardScratch& scratch, const BatchSink& sink,
+                                     std::size_t batch_packets = kDefaultBatchPackets) const;
+
+  /// Valid packets per generation shard. 2^16 keeps every historical
+  /// window size (tests run at <= 2^16) single-shard — hence byte-stable
+  /// across this decomposition — while giving a 2^22 window 64 shards.
+  static constexpr std::uint64_t kShardValidPackets = 1ULL << 16;
+
+  /// Number of shards a window of `valid_count` valid packets splits
+  /// into: ceil(valid_count / kShardValidPackets), at least 1.
+  static std::uint64_t shard_count(std::uint64_t valid_count);
+
+  /// Valid packets assigned to shard `shard` of a `valid_count` window:
+  /// full shards of kShardValidPackets, the last takes the remainder.
+  static std::uint64_t shard_valid_packets(std::uint64_t valid_count, std::uint64_t shard);
 
   /// Default emission buffer: large enough to amortize the sink call,
   /// small enough to stay resident in L2 (8192 packets = 64 KiB).

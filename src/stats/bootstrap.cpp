@@ -11,30 +11,39 @@ namespace obscorr::stats {
 
 FractionCi bootstrap_fraction(std::uint64_t successes, std::uint64_t trials, double level,
                               std::uint64_t seed, int replicates) {
+  return bootstrap_fraction(successes, trials, level, seed, replicates, ThreadPool::global());
+}
+
+FractionCi bootstrap_fraction(std::uint64_t successes, std::uint64_t trials, double level,
+                              std::uint64_t seed, int replicates, ThreadPool& pool) {
   OBSCORR_REQUIRE(trials >= 1, "bootstrap_fraction: need at least one trial");
   OBSCORR_REQUIRE(successes <= trials, "bootstrap_fraction: successes exceed trials");
   OBSCORR_REQUIRE(level > 0.0 && level < 1.0, "bootstrap_fraction: level must be in (0,1)");
   OBSCORR_REQUIRE(replicates >= 10, "bootstrap_fraction: need >= 10 replicates");
 
   const double p = static_cast<double>(successes) / static_cast<double>(trials);
-  Rng rng(seed, 0xB007);
 
   // Resampling n Bernoulli(p) observations is a Binomial(n, p) draw; for
   // large n use the normal approximation of the binomial (error O(1/n),
-  // far below bootstrap noise at the sizes where it kicks in).
+  // far below bootstrap noise at the sizes where it kicks in). Each
+  // replicate seeds its own (seed, replicate) stream, so the draw vector
+  // is the same whatever the parallel schedule.
   std::vector<double> draws(static_cast<std::size_t>(replicates));
-  for (double& d : draws) {
-    std::uint64_t k = 0;
-    if (trials > 4096) {
-      const double mu = static_cast<double>(trials) * p;
-      const double sigma = std::sqrt(mu * (1.0 - p));
-      const double g = rng.normal(mu, sigma);
-      k = static_cast<std::uint64_t>(std::clamp(g, 0.0, static_cast<double>(trials)));
-    } else {
-      for (std::uint64_t t = 0; t < trials; ++t) k += rng.bernoulli(p);
+  parallel_for(pool, 0, draws.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      Rng rng(seed, std::uint64_t{0xB0070000} + r);
+      std::uint64_t k = 0;
+      if (trials > 4096) {
+        const double mu = static_cast<double>(trials) * p;
+        const double sigma = std::sqrt(mu * (1.0 - p));
+        const double g = rng.normal(mu, sigma);
+        k = static_cast<std::uint64_t>(std::clamp(g, 0.0, static_cast<double>(trials)));
+      } else {
+        for (std::uint64_t t = 0; t < trials; ++t) k += rng.bernoulli(p);
+      }
+      draws[r] = static_cast<double>(k) / static_cast<double>(trials);
     }
-    d = static_cast<double>(k) / static_cast<double>(trials);
-  }
+  });
   std::sort(draws.begin(), draws.end());
   const double tail = (1.0 - level) / 2.0;
   const auto index = [&](double q) {

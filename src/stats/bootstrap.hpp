@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/thread_pool.hpp"
+
 namespace obscorr::stats {
 
 /// A two-sided confidence interval around a fraction.
@@ -19,8 +21,13 @@ struct FractionCi {
 
 /// Percentile-bootstrap CI for `successes` out of `trials` Bernoulli
 /// observations. `level` in (0,1), e.g. 0.95; deterministic in `seed`.
-/// Requires trials >= 1.
+/// Requires trials >= 1. Each replicate draws from its own
+/// (seed, replicate)-derived stream, so resampling parallelizes over the
+/// pool with the same result at any thread count; the pool-less overload
+/// runs on the process-global pool.
 FractionCi bootstrap_fraction(std::uint64_t successes, std::uint64_t trials, double level,
                               std::uint64_t seed, int replicates = 1000);
+FractionCi bootstrap_fraction(std::uint64_t successes, std::uint64_t trials, double level,
+                              std::uint64_t seed, int replicates, ThreadPool& pool);
 
 }  // namespace obscorr::stats

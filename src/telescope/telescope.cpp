@@ -71,4 +71,38 @@ Ipv4Prefix Telescope::anonymized_darkspace() const {
   return Ipv4Prefix(anon_base, config_.darkspace.length());
 }
 
+void Telescope::absorb(ShardCapture&& shard) {
+  OBSCORR_REQUIRE(shard.scope_ == this, "absorb: shard belongs to a different telescope");
+  discarded_ += shard.discarded_;
+  dictionary_.merge(shard.dictionary_);
+}
+
+ShardCapture::ShardCapture(const Telescope& scope, ThreadPool& pool)
+    : scope_(&scope), accumulator_(scope.config_.block_log2, pool) {}
+
+std::uint64_t ShardCapture::capture_block(std::span<const Packet> packets) {
+  batch_keys_.clear();
+  batch_keys_.reserve(packets.size());
+  for (const Packet& p : packets) {
+    if (!scope_->is_valid(p)) {
+      ++discarded_;
+      continue;
+    }
+    const auto anonymize = [&](std::uint32_t addr) {
+      if (const std::uint32_t* hit = anon_cache_.find(addr)) return *hit;
+      const std::uint32_t anon = scope_->cryptopan_.anonymize(Ipv4(addr)).value();
+      anon_cache_.insert(addr, anon);
+      dictionary_.emplace(anon, addr);
+      return anon;
+    };
+    const std::uint32_t src = anonymize(p.src.value());
+    const std::uint32_t dst = anonymize(p.dst.value());
+    batch_keys_.push_back(gbl::pack_key(src, dst));
+  }
+  accumulator_.add_packets(batch_keys_);
+  return batch_keys_.size();
+}
+
+gbl::DcsrMatrix ShardCapture::finish() { return accumulator_.finish(); }
+
 }  // namespace obscorr::telescope

@@ -45,6 +45,8 @@ struct TelescopeConfig {
   std::uint64_t cryptopan_seed = 0xCA1DA;
 };
 
+class ShardCapture;
+
 /// Streaming darknet capture into one constant-packet window.
 class Telescope {
  public:
@@ -84,7 +86,17 @@ class Telescope {
   /// keeps it a single prefix of the same length).
   Ipv4Prefix anonymized_darkspace() const;
 
+  /// Fold a shard capture context back into this telescope: its
+  /// deanonymization dictionary entries and its discard counter. The
+  /// shard's matrix is taken separately via `ShardCapture::finish`.
+  /// Absorption order does not matter — dictionary entries from any two
+  /// shards of the same telescope agree on shared addresses (CryptoPAN
+  /// is a pure function of the key), and discard counts are summed.
+  void absorb(ShardCapture&& shard);
+
  private:
+  friend class ShardCapture;
+
   bool is_valid(const Packet& packet) const;
   std::uint32_t anonymize_value(std::uint32_t addr) const;
 
@@ -95,6 +107,44 @@ class Telescope {
   mutable AnonCache anon_cache_;  // original -> anon (hot, flat open addressing)
   mutable std::unordered_map<std::uint32_t, std::uint32_t> dictionary_;  // anon -> original
   std::vector<std::uint64_t> batch_keys_;  // capture_block scratch
+};
+
+/// Capture context for one generation shard (or a worker's run of
+/// consecutive shards) of a telescope window. Shares the telescope's
+/// const configuration and CryptoPAN key — anonymization is a pure
+/// function of the key, so independent per-shard memoization caches
+/// always agree — but owns its accumulator, caches, and counters, so
+/// concurrent shard captures never synchronize. When done, take the
+/// shard matrix with `finish` and fold the bookkeeping back with
+/// `Telescope::absorb`; summing the shard matrices in any grouping
+/// reproduces the single-context window matrix exactly (packet counts
+/// are exact small integers, so the aggregation is order-free).
+class ShardCapture {
+ public:
+  ShardCapture(const Telescope& scope, ThreadPool& pool);
+
+  /// Filter, anonymize, and accumulate a batch; returns valid packets.
+  /// Same semantics as `Telescope::capture_block`, against shard state.
+  std::uint64_t capture_block(std::span<const Packet> packets);
+
+  /// Valid packets captured by this shard context so far.
+  std::uint64_t valid_packets() const { return accumulator_.packets(); }
+
+  /// Packets discarded by the validity filter in this shard context.
+  std::uint64_t discarded_packets() const { return discarded_; }
+
+  /// Collapse this context's accumulator into its shard matrix.
+  gbl::DcsrMatrix finish();
+
+ private:
+  friend class Telescope;
+
+  const Telescope* scope_;
+  gbl::HierarchicalAccumulator accumulator_;
+  std::uint64_t discarded_ = 0;
+  AnonCache anon_cache_;
+  std::unordered_map<std::uint32_t, std::uint32_t> dictionary_;
+  std::vector<std::uint64_t> batch_keys_;
 };
 
 }  // namespace obscorr::telescope

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace obscorr {
@@ -111,6 +115,134 @@ TEST(ParallelForTest, MoreThreadsThanElements) {
     for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
   });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunOneTaskDrainsQueueFromCaller) {
+  // Park the single worker on a blocker (confirmed via `entered`), then
+  // queue tasks only the caller can pop; a final wait_idle reaps the
+  // blocker.
+  ThreadPool pool(1);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    entered.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!entered.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  int popped = 0;
+  while (pool.run_one_task()) ++popped;
+  EXPECT_EQ(popped, 5);
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_FALSE(pool.run_one_task());  // queue empty now
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTest, WaitIdleHelpsDrainTheQueue) {
+  // The blocker only finishes once all 8 queued tasks have run — but one
+  // of the pool's two threads (worker or, after helping, the caller) is
+  // stuck inside it, so wait_idle can only return if the thread that
+  // did NOT take the blocker drains the queue. A sleeping wait here
+  // would deadlock; helping makes it terminate regardless of which
+  // thread ends up holding which task.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    while (ran.load() < 8) std::this_thread::yield();
+  });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST_P(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> hits(64 * 64);
+  parallel_for(pool, 0, std::size_t{64}, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      parallel_for(pool, 0, std::size_t{64}, [&, o](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i) hits[o * 64 + i].fetch_add(1);
+      });
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelForTest, ParallelForInsideSubmittedTasksDoesNotDeadlock) {
+  ThreadPool pool(GetParam());
+  std::atomic<long long> total{0};
+  for (int t = 0; t < 16; ++t) {
+    pool.submit([&pool, &total] {
+      parallel_for(pool, 0, std::size_t{100}, [&](std::size_t b, std::size_t e) {
+        total.fetch_add(static_cast<long long>(e - b));
+      });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 16 * 100);
+}
+
+TEST(ParallelForTest, TinyRangeRunsInlineOnCaller) {
+  ThreadPool pool(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  parallel_for(pool, 3, 4, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, 3u);
+    EXPECT_EQ(e, 4u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, OneThreadPoolRunsInlineAsSingleChunk) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(pool, 0, std::size_t{1000}, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 1000}));
+}
+
+TEST(ParallelForTest, ChunkBoundariesDependOnlyOnRangeAndThreadCount) {
+  // Run the same range twice on the same pool size: the multiset of
+  // chunks must match exactly — static partitioning, no timing feedback.
+  const auto chunks_of = [](std::size_t threads, std::size_t n) {
+    ThreadPool pool(threads);
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    parallel_for(pool, 0, n, [&](std::size_t b, std::size_t e) {
+      std::scoped_lock lock(m);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    const auto a = chunks_of(threads, 1001);
+    const auto b = chunks_of(threads, 1001);
+    EXPECT_EQ(a, b) << "threads=" << threads;
+    // Chunks tile [0, 1001) without gap or overlap.
+    std::size_t cursor = 0;
+    for (const auto& [lo, hi] : a) {
+      EXPECT_EQ(lo, cursor);
+      EXPECT_LT(lo, hi);
+      cursor = hi;
+    }
+    EXPECT_EQ(cursor, 1001u);
+    EXPECT_EQ(a.size(), std::min<std::size_t>(threads, 1001));
+  }
 }
 
 }  // namespace

@@ -124,6 +124,127 @@ TEST(TrafficTest, LegitFractionValidation) {
   EXPECT_THROW(TrafficGenerator(pop, cfg), std::invalid_argument);
 }
 
+TEST(TrafficTest, ShardCountAndSizesTileTheWindow) {
+  constexpr std::uint64_t K = TrafficGenerator::kShardValidPackets;
+  EXPECT_EQ(TrafficGenerator::shard_count(0), 1u);
+  EXPECT_EQ(TrafficGenerator::shard_count(1), 1u);
+  EXPECT_EQ(TrafficGenerator::shard_count(K), 1u);
+  EXPECT_EQ(TrafficGenerator::shard_count(K + 1), 2u);
+  EXPECT_EQ(TrafficGenerator::shard_count(5 * K), 5u);
+  for (const std::uint64_t valid : {std::uint64_t{1}, K - 1, K, K + 1, 3 * K + 17}) {
+    std::uint64_t total = 0;
+    const std::uint64_t shards = TrafficGenerator::shard_count(valid);
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      const std::uint64_t len = TrafficGenerator::shard_valid_packets(valid, s);
+      EXPECT_GT(len, 0u);
+      EXPECT_LE(len, K);
+      if (s + 1 < shards) {
+        EXPECT_EQ(len, K);
+      }
+      total += len;
+    }
+    EXPECT_EQ(total, valid) << "valid " << valid;
+  }
+}
+
+TEST(TrafficTest, ShardZeroReproducesUnshardedStream) {
+  // The legacy single-stream window is, by construction, shard 0 of the
+  // decomposition: a window no larger than one shard must match it
+  // byte for byte (this is what keeps pre-sharding archives valid).
+  const Population pop = make_population();
+  const TrafficGenerator gen(pop, TrafficConfig{});
+  std::vector<Packet> legacy;
+  gen.stream_window(1, 9000, 5, [&](const Packet& p) { legacy.push_back(p); });
+
+  const WindowPlan plan = gen.plan_window(1);
+  ShardScratch scratch;
+  std::vector<Packet> sharded;
+  const std::uint64_t emitted = gen.stream_shard_batched(
+      plan, 9000, 5, 0, scratch,
+      [&](std::span<const Packet> b) { sharded.insert(sharded.end(), b.begin(), b.end()); });
+  EXPECT_EQ(emitted, legacy.size());
+  ASSERT_EQ(sharded.size(), legacy.size());
+  for (std::size_t i = 0; i < sharded.size(); ++i) {
+    ASSERT_EQ(sharded[i].src, legacy[i].src) << i;
+    ASSERT_EQ(sharded[i].dst, legacy[i].dst) << i;
+  }
+}
+
+TEST(TrafficTest, ShardsAreDeterministicAndScratchReuseIsClean) {
+  // Re-generating a shard with a fresh scratch and with a scratch dirtied
+  // by other shards must give the same packets: the epoch stamp fully
+  // isolates shards sharing one scratch.
+  const Population pop = make_population();
+  const TrafficGenerator gen(pop, TrafficConfig{});
+  const WindowPlan plan = gen.plan_window(0);
+  const auto collect = [&](std::uint64_t shard, ShardScratch& scratch) {
+    std::vector<Packet> out;
+    gen.stream_shard_batched(plan, 2500, 3, shard, scratch, [&](std::span<const Packet> b) {
+      out.insert(out.end(), b.begin(), b.end());
+    });
+    return out;
+  };
+  ShardScratch dirty;
+  const std::vector<Packet> s2_dirty_before = collect(2, dirty);
+  (void)collect(0, dirty);
+  (void)collect(7, dirty);
+  const std::vector<Packet> s2_dirty_after = collect(2, dirty);
+  ShardScratch fresh;
+  const std::vector<Packet> s2_fresh = collect(2, fresh);
+  EXPECT_EQ(s2_dirty_before, s2_dirty_after);
+  EXPECT_EQ(s2_dirty_before, s2_fresh);
+}
+
+TEST(TrafficTest, DistinctShardsProduceDistinctStreams) {
+  const Population pop = make_population();
+  const TrafficGenerator gen(pop, TrafficConfig{});
+  const WindowPlan plan = gen.plan_window(0);
+  ShardScratch scratch;
+  std::vector<Packet> s0, s1;
+  gen.stream_shard_batched(plan, 2000, 1, 0, scratch, [&](std::span<const Packet> b) {
+    s0.insert(s0.end(), b.begin(), b.end());
+  });
+  gen.stream_shard_batched(plan, 2000, 1, 1, scratch, [&](std::span<const Packet> b) {
+    s1.insert(s1.end(), b.begin(), b.end());
+  });
+  EXPECT_NE(s0, s1);
+}
+
+TEST(TrafficTest, ShardedUnionIsScheduleInvariant) {
+  // Concatenating the shards of a multi-shard window in any order must
+  // give the same packet multiset — this is the property that makes
+  // parallel captures exact, since the capture matrix is an order-free
+  // aggregation of this multiset.
+  const Population pop = make_population();
+  const TrafficGenerator gen(pop, TrafficConfig{});
+  const WindowPlan plan = gen.plan_window(0);
+  constexpr std::uint64_t valid = 3 * TrafficGenerator::kShardValidPackets / 2;  // 1.5 shards
+  const std::uint64_t shards = TrafficGenerator::shard_count(valid);
+  ASSERT_EQ(shards, 2u);
+
+  const auto key = [](const Packet& p) {
+    return (std::uint64_t{p.src.value()} << 32) | p.dst.value();
+  };
+  std::map<std::uint64_t, std::uint64_t> forward, reverse;
+  ShardScratch scratch;
+  std::uint64_t forward_valid = 0;
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    forward_valid += TrafficGenerator::shard_valid_packets(valid, s);
+    gen.stream_shard_batched(plan, TrafficGenerator::shard_valid_packets(valid, s), 1, s,
+                             scratch, [&](std::span<const Packet> b) {
+                               for (const Packet& p : b) ++forward[key(p)];
+                             });
+  }
+  EXPECT_EQ(forward_valid, valid);
+  for (std::uint64_t s = shards; s-- > 0;) {
+    gen.stream_shard_batched(plan, TrafficGenerator::shard_valid_packets(valid, s), 1, s,
+                             scratch, [&](std::span<const Packet> b) {
+                               for (const Packet& p : b) ++reverse[key(p)];
+                             });
+  }
+  EXPECT_EQ(forward, reverse);
+}
+
 TEST(TrafficTest, ZeroLegitFractionEmitsOnlyValid) {
   const Population pop = make_population();
   TrafficConfig cfg;

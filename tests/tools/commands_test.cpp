@@ -88,6 +88,20 @@ TEST(CliToolTest, StudyPrintsCampaignSummary) {
   EXPECT_NE(text.find("modified Cauchy"), std::string::npos);
 }
 
+TEST(CliToolTest, ThreadsFlagIsAcceptedAndNeverChangesOutput) {
+  // --threads is plumbing, not physics: the full study report must come
+  // out byte-identical whatever worker count the user asks for.
+  std::ostringstream serial;
+  ASSERT_EQ(run({"study", "--log2-nv", "14", "--seed", "5", "--threads", "1"}, serial), 0);
+  std::ostringstream pooled;
+  ASSERT_EQ(run({"study", "--log2-nv", "14", "--seed", "5", "--threads", "3"}, pooled), 0);
+  EXPECT_EQ(serial.str(), pooled.str());
+  EXPECT_NE(serial.str().find("campaign inventory"), std::string::npos);
+
+  std::ostringstream bad;
+  EXPECT_EQ(run({"study", "--log2-nv", "14", "--threads", "zero"}, bad), 2);
+}
+
 TEST(CliToolTest, LookupFindsAPersistentSourceAndMissesAStranger) {
   // The rank-0 source is nearly always catalogued; grab its IP from the
   // deterministic population and look it up.

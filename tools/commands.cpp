@@ -6,6 +6,7 @@
 
 #include "archive/study_archive.hpp"
 #include "common/cli.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/correlation.hpp"
@@ -39,6 +40,13 @@ Common common_options(const CliArgs& args, int default_log2_nv) {
   c.log2_nv = static_cast<int>(args.get_int("log2-nv", default_log2_nv));
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   return c;
+}
+
+/// Worker-thread count for this invocation: --threads N beats
+/// OBSCORR_THREADS beats the hardware default. Every subcommand accepts
+/// the flag (results are thread-count-invariant, so it only changes speed).
+std::size_t thread_option(const CliArgs& args) {
+  return static_cast<std::size_t>(resolve_thread_count(args.get_int("threads", 0)));
 }
 
 void reject_unused(const CliArgs& args) {
@@ -92,6 +100,9 @@ commands:
   help        this text
 
 environment: results are deterministic per --seed; sizes scale with --log2-nv.
+every command accepts --threads N (default: OBSCORR_THREADS, then hardware
+concurrency); outputs are byte-identical at any thread count — the flag
+only changes wall-clock time.
 --from DIR reads a completed `obscorr archive` directory instead of
 recomputing; the archived scenario then supplies --log2-nv / --seed.
 a killed `archive` run resumes from its finished snapshots/months.
@@ -104,6 +115,7 @@ int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
   const auto path = cli.get("out");
   OBSCORR_REQUIRE(path.has_value(), "generate: --out FILE is required");
   const int month = static_cast<int>(cli.get_int("month-index", 0));
+  (void)thread_option(cli);  // trace emission is a serial stream; flag accepted for uniformity
   reject_unused(cli);
 
   const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
@@ -125,10 +137,11 @@ int cmd_capture(const std::vector<std::string>& args, std::ostream& out) {
   const auto matrix_path = cli.get("out");
   OBSCORR_REQUIRE(trace.has_value() && matrix_path.has_value(),
                   "capture: --trace FILE and --out FILE are required");
+  const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
   const auto scenario = netgen::Scenario::paper(c.log2_nv, c.seed);
-  ThreadPool pool;
+  ThreadPool pool(threads);
   telescope::Telescope scope(scope_config(scenario), pool);
   const std::uint64_t replayed =
       telescope::replay_trace(*trace, [&](const Packet& p) { scope.capture(p); });
@@ -145,6 +158,7 @@ int cmd_quantities(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const auto path = cli.get("matrix");
   OBSCORR_REQUIRE(path.has_value(), "quantities: --matrix FILE is required");
+  (void)thread_option(cli);
   reject_unused(cli);
 
   const gbl::DcsrMatrix matrix = gbl::load_matrix(*path);
@@ -171,6 +185,7 @@ int cmd_degrees(const std::vector<std::string>& args, std::ostream& out) {
   const auto snapshot = static_cast<std::size_t>(cli.get_int("snapshot", 0));
   OBSCORR_REQUIRE(path.has_value() != from.has_value(),
                   "degrees: exactly one of --matrix FILE or --from DIR is required");
+  const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
   gbl::SparseVec sources;
@@ -179,7 +194,8 @@ int cmd_degrees(const std::vector<std::string>& args, std::ostream& out) {
     // deserialization, no reduce_rows recompute.
     sources = archive::StudyReader(*from).source_packets(snapshot);
   } else {
-    sources = gbl::load_matrix(*path).reduce_rows();
+    ThreadPool pool(threads);
+    sources = gbl::load_matrix(*path).reduce_rows(pool);
   }
   const auto hist = stats::LogHistogram::from_sparse_vec(sources);
   OBSCORR_REQUIRE(hist.total() > 0, "degrees: matrix has no sources");
@@ -208,13 +224,14 @@ int cmd_study(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const Common c = common_options(cli, 16);
   const auto from = cli.get("from");
+  const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
   core::StudyData study;
   if (from.has_value()) {
     study = load_archived_study(*from);
   } else {
-    ThreadPool pool;
+    ThreadPool pool(threads);
     study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
   }
 
@@ -257,6 +274,7 @@ int cmd_lookup(const std::vector<std::string>& args, std::ostream& out) {
   const auto ip_text = cli.get("ip");
   const auto from = cli.get("from");
   OBSCORR_REQUIRE(ip_text.has_value(), "lookup: --ip A.B.C.D is required");
+  (void)thread_option(cli);
   reject_unused(cli);
   OBSCORR_REQUIRE(Ipv4::parse(*ip_text).has_value(), "lookup: malformed address " + *ip_text);
 
@@ -294,9 +312,10 @@ int cmd_scaling(const std::vector<std::string>& args, std::ostream& out) {
   const CliArgs cli = CliArgs::parse(args);
   const Common c = common_options(cli, 18);
   const auto from = cli.get("from");
+  const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
-  ThreadPool pool;
+  ThreadPool pool(threads);
   const auto scenario = from.has_value() ? archive::StudyReader(*from).scenario()
                                          : netgen::Scenario::paper(c.log2_nv, c.seed);
   const int ladder_top = static_cast<int>(scenario.population.log2_nv);
@@ -320,6 +339,7 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
   const auto dir = cli.get("out");
   const auto from = cli.get("from");
   OBSCORR_REQUIRE(dir.has_value(), "report: --out DIR is required");
+  const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
   const auto csv = [&](const TextTable& table, const std::string& name) {
@@ -334,7 +354,7 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
   if (from.has_value()) {
     study = load_archived_study(*from);
   } else {
-    ThreadPool pool;
+    ThreadPool pool(threads);
     study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
   }
 
@@ -423,6 +443,7 @@ int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out) {
   OBSCORR_REQUIRE(path.has_value() != from.has_value(),
                   "prefixes: exactly one of --matrix FILE or --from DIR is required");
   const int length = static_cast<int>(cli.get_int("length", 16));
+  (void)thread_option(cli);
   reject_unused(cli);
 
   core::PrefixAnalysis analysis;
@@ -455,9 +476,10 @@ int cmd_archive(const std::vector<std::string>& args, std::ostream& out) {
   const Common c = common_options(cli, 16);
   const auto dir = cli.get("out");
   OBSCORR_REQUIRE(dir.has_value(), "archive: --out DIR is required");
+  const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
-  ThreadPool pool;
+  ThreadPool pool(threads);
   const auto stats =
       archive::archive_study(netgen::Scenario::paper(c.log2_nv, c.seed), *dir, pool);
   if (stats.already_complete) {
