@@ -1,0 +1,85 @@
+/// \file bench_perf_telemetry.cpp
+/// Overhead of the telemetry subsystem on the parallel study pipeline.
+///
+///  * BM_StudyTelemetry — the same whole-study workload as
+///    BM_StudyParallel (`run_study`: sharded generation + capture,
+///    concurrent snapshots and honeyfarm months), swept over the three
+///    telemetry levels × worker-thread counts:
+///        level 0 = off        (the cached-flag fast path; must match
+///                              BM_StudyParallel to within noise)
+///        level 1 = counters   (sharded relaxed atomics; target < 2%)
+///        level 2 = full       (counters + span ring buffers)
+///    The pipeline output is bit-identical at every sweep point; only
+///    the wall clock may differ.
+///
+/// Defaults to N_V = 2^17 per snapshot, matching bench_perf_parallel so
+/// the level-0 rows are directly comparable against the committed
+/// BENCH_study_parallel baselines; OBSCORR_LOG2_NV / OBSCORR_SEED
+/// override as usual.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/env.hpp"
+#include "common/thread_pool.hpp"
+#include "core/study.hpp"
+#include "netgen/scenario.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using namespace obscorr;
+
+int bench_log2_nv() {
+  static const int v = static_cast<int>(env_int("OBSCORR_LOG2_NV", 17));
+  return v;
+}
+
+std::uint64_t bench_seed() {
+  static const std::uint64_t v = static_cast<std::uint64_t>(env_int("OBSCORR_SEED", 42));
+  return v;
+}
+
+obs::Level bench_level(long arg) {
+  switch (arg) {
+    case 1: return obs::Level::kCounters;
+    case 2: return obs::Level::kFull;
+    default: return obs::Level::kOff;
+  }
+}
+
+void BM_StudyTelemetry(benchmark::State& state) {
+  const long level = state.range(0);
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const netgen::Scenario scenario = netgen::Scenario::paper(bench_log2_nv(), bench_seed());
+  ThreadPool pool(threads);
+
+  obs::reset();
+  obs::set_level(bench_level(level));
+  for (auto _ : state) {
+    core::StudyData study = core::run_study(scenario, pool);
+    benchmark::DoNotOptimize(study.snapshots.data());
+  }
+  obs::set_level(obs::Level::kOff);
+
+  state.counters["level"] = static_cast<double>(level);
+  state.counters["threads"] = static_cast<double>(threads);
+  // At level >= 1 the counters saw every packet of every iteration;
+  // surfacing the tally makes "the instrumentation actually ran" visible
+  // in the JSON instead of trusting the level knob.
+  state.counters["counted_packets"] =
+      static_cast<double>(obs::counter("netgen.valid_packets").value());
+  obs::reset();
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenario.snapshots.size()) *
+                          static_cast<std::int64_t>(scenario.nv()));
+}
+BENCHMARK(BM_StudyTelemetry)
+    ->ArgNames({"level", "threads"})
+    ->ArgsProduct({{0, 1, 2}, {1, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace

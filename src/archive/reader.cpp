@@ -6,6 +6,8 @@
 #include "archive/checksum.hpp"
 #include "archive/format.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 
 namespace obscorr::archive {
 
@@ -18,6 +20,7 @@ constexpr std::uint32_t kMaxEntries = 1u << 20;
 }  // namespace
 
 ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
+  const obs::Span span("archive.open", [&] { return dir; });
   OBSCORR_REQUIRE(std::filesystem::is_directory(dir),
                   "archive: " + dir + " is not an archive directory");
   const std::string manifest_path = dir + "/" + kManifestName;
@@ -72,6 +75,17 @@ ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
     OBSCORR_REQUIRE(e.offset <= data_size && e.size <= data_size - e.offset,
                     "archive: entry " + e.name + " exceeds the log");
   }
+  if (obs::counters_enabled()) {
+    static obs::Counter& bytes_read = obs::counter("archive.bytes_read");
+    static obs::Counter& frames_read = obs::counter("archive.frames_read");
+    static obs::Counter& open_mmap = obs::counter("archive.open_mmap");
+    static obs::Counter& open_heap = obs::counter("archive.open_heap");
+    bytes_read.add(data_size);
+    frames_read.add(entries_.size());
+    (log_.mapped() ? open_mmap : open_heap).add(1);
+  }
+  static obs::Counter& crc_ns = obs::counter("archive.crc_ns");
+  const obs::ScopedNsCounter crc_time(crc_ns);
   // One integrity pass over the whole log: the manifest's log checksum
   // covers payloads, frame headers and padding alike, so any single-byte
   // corruption of entries.dat fails here. Only then — on failure — is the

@@ -7,6 +7,8 @@
 #include "archive/checksum.hpp"
 #include "archive/format.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 
 namespace obscorr::archive {
 
@@ -149,11 +151,18 @@ void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
                   "archive: entry name must be 1..4096 bytes");
   OBSCORR_REQUIRE(!has_entry(name), "archive: duplicate entry " + std::string(name));
 
-  const std::uint32_t payload_crc = crc32c(payload);
-  const std::string prefix = frame_header_prefix(name, payload.size(), payload_crc);
-  // The header CRC covers the 28-byte prefix plus the name; it sits as
-  // the last 4 bytes of the 32-byte fixed header, before the name bytes.
-  const std::uint32_t header_crc = crc32c(prefix + std::string(name));
+  static obs::Counter& crc_ns = obs::counter("archive.crc_ns");
+  std::uint32_t payload_crc = 0;
+  std::uint32_t header_crc = 0;
+  std::string prefix;
+  {
+    const obs::ScopedNsCounter crc_time(crc_ns);
+    payload_crc = crc32c(payload);
+    prefix = frame_header_prefix(name, payload.size(), payload_crc);
+    // The header CRC covers the 28-byte prefix plus the name; it sits as
+    // the last 4 bytes of the 32-byte fixed header, before the name bytes.
+    header_crc = crc32c(prefix + std::string(name));
+  }
   PayloadWriter crc_bytes;
   crc_bytes.u32(header_crc);
 
@@ -171,6 +180,12 @@ void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
 
   entries_.push_back({std::string(name), payload_at, payload.size(), payload_crc});
   log_size_ += block.size();
+  if (obs::counters_enabled()) {
+    static obs::Counter& bytes_written = obs::counter("archive.bytes_written");
+    static obs::Counter& frames_written = obs::counter("archive.frames_written");
+    bytes_written.add(block.size());
+    frames_written.add(1);
+  }
 }
 
 void ArchiveWriter::reset() {
@@ -181,6 +196,7 @@ void ArchiveWriter::reset() {
 }
 
 void ArchiveWriter::finalize(std::uint64_t scenario_hash) {
+  const obs::Span span("archive.finalize", [&] { return dir_; });
   // Checksum the entire log as written — frame headers and padding
   // included — so readers can detect corruption anywhere in the file.
   std::uint32_t log_crc = 0;
@@ -193,6 +209,8 @@ void ArchiveWriter::finalize(std::uint64_t scenario_hash) {
       is.read(data.data(), static_cast<std::streamsize>(data.size()));
       OBSCORR_REQUIRE(is.good(), "archive: short read of " + log_path_);
     }
+    static obs::Counter& crc_ns = obs::counter("archive.crc_ns");
+    const obs::ScopedNsCounter crc_time(crc_ns);
     log_crc = crc32c(std::as_bytes(std::span<const char>(data)));
   }
   const std::string manifest = encode_manifest(scenario_hash, log_size_, log_crc, entries_);

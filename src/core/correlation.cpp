@@ -5,6 +5,7 @@
 
 #include "common/binning.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace obscorr::core {
 
@@ -128,6 +129,7 @@ std::vector<FitGridCell> fit_grid(std::span<const SnapshotData> snapshots,
 std::vector<FitGridCell> fit_grid(std::span<const SnapshotData> snapshots,
                                   std::span<const honeyfarm::MonthlyObservation> months,
                                   std::uint64_t min_sources, ThreadPool& pool) {
+  const obs::Span span("study.fit_grid");
   // Enumerate the (snapshot, bin) cells up front, fit them in parallel
   // into per-cell slots, then keep the populated cells in enumeration
   // order — the exact sequence the serial loop produced.

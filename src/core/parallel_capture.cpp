@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <mutex>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/span.hpp"
 
 namespace obscorr::core {
 
@@ -12,6 +15,7 @@ gbl::DcsrMatrix capture_window(telescope::Telescope& scope,
                                const netgen::TrafficGenerator& generator, int month,
                                std::uint64_t valid_count, std::uint64_t salt, ThreadPool& pool) {
   using netgen::TrafficGenerator;
+  const obs::Span span("core.capture_window", [&] { return std::to_string(month); });
   const std::uint64_t shards = TrafficGenerator::shard_count(valid_count);
   if (shards <= 1) {
     // Single-shard windows take the historical serial path straight into

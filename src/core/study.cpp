@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "core/parallel_capture.hpp"
 #include "netgen/traffic.hpp"
+#include "obs/span.hpp"
 #include "telescope/telescope.hpp"
 
 namespace obscorr::core {
@@ -24,6 +25,7 @@ telescope::TelescopeConfig scope_config_for(const netgen::Scenario& scenario) {
 SnapshotData take_snapshot(const netgen::Scenario& scenario, const netgen::Population& population,
                            const netgen::CaidaSnapshotSpec& spec, telescope::Telescope& scope,
                            ThreadPool& pool) {
+  const obs::Span span("study.snapshot", [&] { return spec.start_label; });
   SnapshotData snap;
   snap.spec = spec;
   snap.month_index = scenario.month_index(spec.month);
@@ -55,6 +57,7 @@ SnapshotData take_snapshot(const netgen::Scenario& scenario, const netgen::Popul
 }
 
 StudyData run_impl(const netgen::Scenario& scenario, ThreadPool& pool, bool with_honeyfarm) {
+  const obs::Span span("study.run");
   OBSCORR_REQUIRE(!scenario.snapshots.empty(), "scenario needs at least one snapshot");
   StudyData study;
   study.scenario = scenario;
@@ -97,6 +100,7 @@ StudyData run_impl(const netgen::Scenario& scenario, ThreadPool& pool, bool with
             take_snapshot(scenario, population, scenario.snapshots[i], *scope, pool);
       } else {
         const std::size_t m = i - n_snapshots;
+        const obs::Span month_span("study.month", [&] { return std::to_string(m); });
         study.months[m] = farm->observe_month(scenario.months[m], static_cast<int>(m));
       }
     }

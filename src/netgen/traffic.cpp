@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/prng.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 
 namespace obscorr::netgen {
 
@@ -53,6 +55,11 @@ std::uint64_t TrafficGenerator::shard_valid_packets(std::uint64_t valid_count,
 }
 
 WindowPlan TrafficGenerator::plan_window(int month) const {
+  const obs::Span span("netgen.plan_window", [&] { return std::to_string(month); });
+  if (obs::counters_enabled()) {
+    static obs::Counter& windows = obs::counter("netgen.windows_planned");
+    windows.add(1);
+  }
   std::vector<std::uint32_t> active = population_.active_sources(month);
   OBSCORR_REQUIRE(!active.empty(), "stream_window: no active sources this month");
   std::vector<double> weights(active.size());
@@ -118,6 +125,7 @@ std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
   buffer.reserve(batch_packets);
   std::uint64_t emitted = 0;
   std::uint64_t valid = 0;
+  std::uint64_t fresh_source_states = 0;  // one init RNG stream each
   while (valid < shard_valid_count) {
     Packet p;
     if (rng.bernoulli(config_.legit_fraction)) {
@@ -137,6 +145,7 @@ std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
         s.cursor = init.uniform_u64(dark_size);
         s.subnet_base = (init.uniform_u64(dark_size) / block) * block;
         s.stamp = epoch;
+        ++fresh_source_states;
       }
       switch (s.strategy) {
         case ScanStrategy::kUniform:
@@ -160,6 +169,18 @@ std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
     }
   }
   if (!buffer.empty()) sink(buffer);
+  if (obs::counters_enabled()) {
+    static obs::Counter& packets = obs::counter("netgen.packets_emitted");
+    static obs::Counter& valid_packets = obs::counter("netgen.valid_packets");
+    static obs::Counter& shards = obs::counter("netgen.shards_generated");
+    static obs::Counter& streams = obs::counter("netgen.rng_streams");
+    packets.add(emitted);
+    valid_packets.add(valid);
+    shards.add(1);
+    // Two fixed streams (source selection, destinations) plus one lazy
+    // init stream per fresh per-source scan state.
+    streams.add(2 + fresh_source_states);
+  }
   return emitted;
 }
 

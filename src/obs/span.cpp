@@ -1,0 +1,132 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace obscorr::obs {
+
+namespace {
+
+/// One thread's span log. Owned by the global store (shared_ptr) so the
+/// events outlive the thread; the thread itself holds a second
+/// reference via its thread_local slot. `depth` is touched only by the
+/// owning thread; `ring`/`recorded` are guarded by `mutex` because the
+/// exporter reads them from another thread.
+struct ThreadLog {
+  std::mutex mutex;
+  std::vector<SpanEvent> ring;
+  std::uint64_t recorded = 0;  ///< total events pushed since last reset
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  ///< live nesting depth (owner thread only)
+};
+
+struct SpanStore {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  std::uint32_t next_tid = 0;
+};
+
+SpanStore& store() {
+  static SpanStore* s = new SpanStore;  // leaked: usable during static teardown
+  return *s;
+}
+
+ThreadLog& thread_log() {
+  thread_local const std::shared_ptr<ThreadLog> log = [] {
+    auto fresh = std::make_shared<ThreadLog>();
+    SpanStore& s = store();
+    std::scoped_lock lock(s.mutex);
+    fresh->tid = s.next_tid++;
+    s.logs.push_back(fresh);
+    return fresh;
+  }();
+  return *log;
+}
+
+}  // namespace
+
+namespace detail {
+
+void span_begin(std::uint64_t* start_ns, std::uint32_t* depth) {
+  ThreadLog& log = thread_log();
+  *depth = log.depth++;
+  *start_ns = now_ns();
+}
+
+void span_end(const char* name, std::string&& detail, std::uint64_t start_ns,
+              std::uint32_t depth) {
+  const std::uint64_t end_ns = now_ns();
+  ThreadLog& log = thread_log();
+  log.depth = depth;  // unwind even if inner spans were dropped
+  SpanEvent event{name, std::move(detail), log.tid, depth, start_ns, end_ns - start_ns};
+  std::scoped_lock lock(log.mutex);
+  if (log.ring.size() < kSpanRingCapacity) {
+    log.ring.push_back(std::move(event));
+  } else {
+    log.ring[static_cast<std::size_t>(log.recorded % kSpanRingCapacity)] = std::move(event);
+  }
+  ++log.recorded;
+}
+
+void reset_span_store() {
+  SpanStore& s = store();
+  std::scoped_lock lock(s.mutex);
+  for (const auto& log : s.logs) {
+    std::scoped_lock log_lock(log->mutex);
+    log->ring.clear();
+    log->recorded = 0;
+  }
+}
+
+}  // namespace detail
+
+std::vector<SpanEvent> span_events() {
+  SpanStore& s = store();
+  std::vector<SpanEvent> out;
+  {
+    std::scoped_lock lock(s.mutex);
+    for (const auto& log : s.logs) {
+      std::scoped_lock log_lock(log->mutex);
+      out.insert(out.end(), log->ring.begin(), log->ring.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+std::uint64_t dropped_span_events() {
+  SpanStore& s = store();
+  std::scoped_lock lock(s.mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& log : s.logs) {
+    std::scoped_lock log_lock(log->mutex);
+    if (log->recorded > log->ring.size()) dropped += log->recorded - log->ring.size();
+  }
+  return dropped;
+}
+
+std::vector<SpanAggregate> aggregate_spans() {
+  std::vector<SpanAggregate> out;
+  for (const SpanEvent& e : span_events()) {
+    auto it = std::find_if(out.begin(), out.end(),
+                           [&](const SpanAggregate& a) { return a.name == e.name; });
+    if (it == out.end()) {
+      out.push_back({e.name, 1, e.dur_ns, e.dur_ns, e.dur_ns});
+    } else {
+      ++it->count;
+      it->total_ns += e.dur_ns;
+      it->min_ns = std::min(it->min_ns, e.dur_ns);
+      it->max_ns = std::max(it->max_ns, e.dur_ns);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace obscorr::obs

@@ -1,0 +1,100 @@
+#pragma once
+/// \file span.hpp
+/// Hierarchical span timers over per-thread ring buffers.
+///
+/// A `Span` is an RAII timer: construction stamps a start time and
+/// nesting depth, destruction pushes one completed event into the
+/// calling thread's ring buffer. Buffers hold the most recent
+/// `kSpanRingCapacity` events per thread (older events are overwritten
+/// and counted as dropped), are owned by a global registry so events
+/// survive thread exit (pool workers die with their pool, their spans
+/// must not), and are merged at export time sorted by start timestamp —
+/// the deterministic read-side merge mirroring the counter registry.
+///
+/// Span construction is a no-op unless the telemetry level is kFull
+/// (`spans_enabled()`): the constructor is one branch, and the optional
+/// detail label is built lazily via a callable so disabled sites never
+/// format strings. Spans are coarse-grained by design — one per window,
+/// shard run, archive open, study phase — never per packet.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace obscorr::obs {
+
+/// Per-thread ring capacity; a full study records a few thousand spans,
+/// so drops only occur under pathological instrumentation.
+inline constexpr std::size_t kSpanRingCapacity = 1 << 16;
+
+/// One completed span.
+struct SpanEvent {
+  const char* name = "";     ///< canonical span name (string literal)
+  std::string detail;        ///< optional instance label (e.g. snapshot date)
+  std::uint32_t tid = 0;     ///< stable per-thread id (registration order)
+  std::uint32_t depth = 0;   ///< nesting depth on its thread (0 = top level)
+  std::uint64_t start_ns = 0;  ///< start, ns since the telemetry epoch
+  std::uint64_t dur_ns = 0;    ///< wall duration in ns
+};
+
+namespace detail {
+void span_begin(std::uint64_t* start_ns, std::uint32_t* depth);
+void span_end(const char* name, std::string&& detail, std::uint64_t start_ns,
+              std::uint32_t depth);
+}  // namespace detail
+
+/// RAII hierarchical span timer. Move-free, scope-bound.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (spans_enabled()) begin(name, std::string());
+  }
+  /// `detail_fn() -> std::string` is only invoked when spans are enabled.
+  template <typename F>
+  Span(const char* name, F&& detail_fn) {
+    if (spans_enabled()) begin(name, std::forward<F>(detail_fn)());
+  }
+  ~Span() {
+    if (active_) detail::span_end(name_, std::move(detail_), start_ns_, depth_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name, std::string detail) {
+    active_ = true;
+    name_ = name;
+    detail_ = std::move(detail);
+    detail::span_begin(&start_ns_, &depth_);
+  }
+
+  const char* name_ = "";
+  std::string detail_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+/// Merged snapshot of every thread's recorded events, sorted by
+/// (start_ns, tid, depth) — a deterministic read-time order.
+std::vector<SpanEvent> span_events();
+
+/// Events lost to ring overwrites since the last reset.
+std::uint64_t dropped_span_events();
+
+/// Per-name aggregate over the recorded events.
+struct SpanAggregate {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Aggregates sorted by name.
+std::vector<SpanAggregate> aggregate_spans();
+
+}  // namespace obscorr::obs

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/prng.hpp"
+#include "obs/span.hpp"
 
 namespace obscorr::stats {
 
@@ -16,6 +17,7 @@ FractionCi bootstrap_fraction(std::uint64_t successes, std::uint64_t trials, dou
 
 FractionCi bootstrap_fraction(std::uint64_t successes, std::uint64_t trials, double level,
                               std::uint64_t seed, int replicates, ThreadPool& pool) {
+  const obs::Span span("stats.bootstrap");
   OBSCORR_REQUIRE(trials >= 1, "bootstrap_fraction: need at least one trial");
   OBSCORR_REQUIRE(successes <= trials, "bootstrap_fraction: successes exceed trials");
   OBSCORR_REQUIRE(level > 0.0 && level < 1.0, "bootstrap_fraction: level must be in (0,1)");

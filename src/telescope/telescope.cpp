@@ -2,8 +2,30 @@
 
 #include "common/error.hpp"
 #include "gbl/coo.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 
 namespace obscorr::telescope {
+
+namespace {
+
+/// Flush one batch's local tallies into the registry. Local stack
+/// counters keep the per-packet loop free of atomics; the single branch
+/// on the cached flag is the entire disabled-path cost.
+void flush_capture_counters(std::uint64_t valid, std::uint64_t discarded, std::uint64_t hits,
+                            std::uint64_t misses) {
+  if (!obs::counters_enabled()) return;
+  static obs::Counter& valid_packets = obs::counter("telescope.valid_packets");
+  static obs::Counter& discarded_packets = obs::counter("telescope.discarded_packets");
+  static obs::Counter& cache_hits = obs::counter("telescope.anon_cache_hits");
+  static obs::Counter& cache_misses = obs::counter("telescope.anon_cache_misses");
+  valid_packets.add(valid);
+  discarded_packets.add(discarded);
+  cache_hits.add(hits);
+  cache_misses.add(misses);
+}
+
+}  // namespace
 
 Telescope::Telescope(TelescopeConfig config, ThreadPool& pool)
     : config_(std::move(config)),
@@ -32,20 +54,39 @@ bool Telescope::capture(const Packet& packet) {
 std::uint64_t Telescope::capture_block(std::span<const Packet> packets) {
   batch_keys_.clear();
   batch_keys_.reserve(packets.size());
+  std::uint64_t discarded = 0, hits = 0, misses = 0;
+  const auto anonymize = [&](std::uint32_t addr) {
+    if (const std::uint32_t* hit = anon_cache_.find(addr)) {
+      ++hits;
+      return *hit;
+    }
+    ++misses;
+    const std::uint32_t anon = cryptopan_.anonymize(Ipv4(addr)).value();
+    anon_cache_.insert(addr, anon);
+    dictionary_.emplace(anon, addr);
+    return anon;
+  };
   for (const Packet& p : packets) {
     if (!is_valid(p)) {
-      ++discarded_;
+      ++discarded;
       continue;
     }
-    const std::uint32_t src = anonymize_value(p.src.value());
-    const std::uint32_t dst = anonymize_value(p.dst.value());
+    const std::uint32_t src = anonymize(p.src.value());
+    const std::uint32_t dst = anonymize(p.dst.value());
     batch_keys_.push_back(gbl::pack_key(src, dst));
   }
+  discarded_ += discarded;
   accumulator_.add_packets(batch_keys_);
+  flush_capture_counters(batch_keys_.size(), discarded, hits, misses);
   return batch_keys_.size();
 }
 
-gbl::DcsrMatrix Telescope::finish_window() { return accumulator_.finish(); }
+gbl::DcsrMatrix Telescope::finish_window() {
+  static obs::Counter& merge_ns = obs::counter("telescope.merge_ns");
+  const obs::Span span("telescope.finish_window");
+  const obs::ScopedNsCounter merge_time(merge_ns);
+  return accumulator_.finish();
+}
 
 std::uint32_t Telescope::anonymize_value(std::uint32_t addr) const {
   if (const std::uint32_t* hit = anon_cache_.find(addr)) return *hit;
@@ -83,26 +124,38 @@ ShardCapture::ShardCapture(const Telescope& scope, ThreadPool& pool)
 std::uint64_t ShardCapture::capture_block(std::span<const Packet> packets) {
   batch_keys_.clear();
   batch_keys_.reserve(packets.size());
+  std::uint64_t discarded = 0, hits = 0, misses = 0;
+  const auto anonymize = [&](std::uint32_t addr) {
+    if (const std::uint32_t* hit = anon_cache_.find(addr)) {
+      ++hits;
+      return *hit;
+    }
+    ++misses;
+    const std::uint32_t anon = scope_->cryptopan_.anonymize(Ipv4(addr)).value();
+    anon_cache_.insert(addr, anon);
+    dictionary_.emplace(anon, addr);
+    return anon;
+  };
   for (const Packet& p : packets) {
     if (!scope_->is_valid(p)) {
-      ++discarded_;
+      ++discarded;
       continue;
     }
-    const auto anonymize = [&](std::uint32_t addr) {
-      if (const std::uint32_t* hit = anon_cache_.find(addr)) return *hit;
-      const std::uint32_t anon = scope_->cryptopan_.anonymize(Ipv4(addr)).value();
-      anon_cache_.insert(addr, anon);
-      dictionary_.emplace(anon, addr);
-      return anon;
-    };
     const std::uint32_t src = anonymize(p.src.value());
     const std::uint32_t dst = anonymize(p.dst.value());
     batch_keys_.push_back(gbl::pack_key(src, dst));
   }
+  discarded_ += discarded;
   accumulator_.add_packets(batch_keys_);
+  flush_capture_counters(batch_keys_.size(), discarded, hits, misses);
   return batch_keys_.size();
 }
 
-gbl::DcsrMatrix ShardCapture::finish() { return accumulator_.finish(); }
+gbl::DcsrMatrix ShardCapture::finish() {
+  static obs::Counter& merge_ns = obs::counter("telescope.merge_ns");
+  const obs::Span span("telescope.shard_finish");
+  const obs::ScopedNsCounter merge_time(merge_ns);
+  return accumulator_.finish();
+}
 
 }  // namespace obscorr::telescope

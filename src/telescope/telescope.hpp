@@ -70,6 +70,14 @@ class Telescope {
   /// Packets discarded by the validity filter so far (across windows).
   std::uint64_t discarded_packets() const { return discarded_; }
 
+  /// Deanonymization-dictionary entries (anon -> original) accumulated
+  /// so far — the trusted-exchange state the paper's sharing framework
+  /// rests on. Persists across windows, grows monotonically.
+  std::size_t dictionary_entries() const { return dictionary_.size(); }
+
+  /// Distinct addresses memoized by the anonymization cache.
+  std::size_t anon_cache_entries() const { return anon_cache_.size(); }
+
   /// Close the window: the anonymized ext->int traffic matrix. Resets
   /// the window state; the anonymization dictionary persists.
   gbl::DcsrMatrix finish_window();

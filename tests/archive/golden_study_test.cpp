@@ -5,6 +5,7 @@
 #include "archive/study_archive.hpp"
 #include "core/study.hpp"
 #include "netgen/scenario.hpp"
+#include "obs/telemetry.hpp"
 
 namespace obscorr::archive {
 namespace {
@@ -44,6 +45,31 @@ TEST(GoldenStudyTest, ParallelRunReproducesArchivedSerialCampaign) {
     EXPECT_EQ(fresh.months[m].sources, golden.months[m].sources) << m;
     EXPECT_EQ(fresh.months[m].population_sources, golden.months[m].population_sources) << m;
     EXPECT_EQ(fresh.months[m].ephemeral_sources, golden.months[m].ephemeral_sources) << m;
+  }
+}
+
+TEST(GoldenStudyTest, TelemetryEnabledRunReproducesArchivedCampaign) {
+  // Full tracing on, against history: telemetry must not move a single
+  // byte of the pipeline's output relative to the committed archive.
+  const std::string dir = std::string(OBSCORR_TEST_DATA_DIR) + "/golden_study";
+  const core::StudyData golden = read_study(dir);
+
+  obs::reset();
+  obs::set_level(obs::Level::kFull);
+  ThreadPool pool(3);
+  const core::StudyData fresh = core::run_study(golden.scenario, pool);
+  obs::set_level(obs::Level::kOff);
+  obs::reset();
+
+  ASSERT_EQ(fresh.snapshots.size(), golden.snapshots.size());
+  for (std::size_t i = 0; i < fresh.snapshots.size(); ++i) {
+    EXPECT_EQ(fresh.snapshots[i].matrix, golden.snapshots[i].matrix) << "snapshot " << i;
+    EXPECT_EQ(fresh.snapshots[i].sources, golden.snapshots[i].sources) << i;
+    EXPECT_EQ(fresh.snapshots[i].discarded_packets, golden.snapshots[i].discarded_packets) << i;
+  }
+  ASSERT_EQ(fresh.months.size(), golden.months.size());
+  for (std::size_t m = 0; m < fresh.months.size(); ++m) {
+    EXPECT_EQ(fresh.months[m].sources, golden.months[m].sources) << m;
   }
 }
 

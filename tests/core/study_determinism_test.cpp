@@ -5,6 +5,7 @@
 #include "core/correlation.hpp"
 #include "core/study.hpp"
 #include "netgen/traffic.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/bootstrap.hpp"
 
 namespace obscorr::core {
@@ -61,6 +62,33 @@ TEST(StudyDeterminismTest, FullStudyMatchesSerialExecutionExactly) {
     EXPECT_EQ(serial.months[m].population_sources, parallel.months[m].population_sources) << m;
     EXPECT_EQ(serial.months[m].ephemeral_sources, parallel.months[m].ephemeral_sources) << m;
   }
+}
+
+TEST(StudyDeterminismTest, TelemetryLevelNeverPerturbsResults) {
+  // Telemetry is write-only during execution: a 1-thread disabled run
+  // and an N-thread fully-traced run must produce byte-identical
+  // snapshots, on a window large enough to exercise the sharded merge.
+  netgen::Scenario scenario = netgen::Scenario::paper(/*log2_nv=*/17, /*seed=*/42);
+  scenario.snapshots.resize(2);
+  ASSERT_GT(scenario.nv(), netgen::TrafficGenerator::kShardValidPackets);
+
+  obs::set_level(obs::Level::kOff);
+  ThreadPool pool1(1);
+  const StudyData off_serial = run_telescope_only(scenario, pool1);
+
+  obs::reset();
+  obs::set_level(obs::Level::kFull);
+  ThreadPool pool4(4);
+  const StudyData on_parallel = run_telescope_only(scenario, pool4);
+  obs::set_level(obs::Level::kOff);
+
+  expect_same_snapshots(off_serial, on_parallel, "telemetry on/off");
+
+  // The run really was instrumented: the counters saw every packet.
+  const std::uint64_t nv_total = scenario.nv() * scenario.snapshots.size();
+  EXPECT_EQ(obs::counter("netgen.valid_packets").value(), nv_total);
+  EXPECT_EQ(obs::counter("telescope.valid_packets").value(), nv_total);
+  obs::reset();
 }
 
 TEST(StudyDeterminismTest, FitGridIsThreadCountInvariant) {

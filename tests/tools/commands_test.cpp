@@ -287,6 +287,75 @@ TEST(CliToolTest, MatrixAndFromAreMutuallyExclusive) {
   EXPECT_EQ(run({"prefixes"}, prefixes_neither), 2);
 }
 
+TEST(CliToolTest, TimingFlagsNeverChangeStdout) {
+  // The observability contract: telemetry writes to stderr and files
+  // only, so stdout must be byte-identical with and without the flags.
+  std::ostringstream plain_out, plain_err;
+  ASSERT_EQ(run({"study", "--log2-nv", "12", "--seed", "5"}, plain_out, plain_err), 0);
+
+  const std::string metrics = temp("cli_metrics.json");
+  const std::string trace = temp("cli_trace.json");
+  std::ostringstream telem_out, telem_err;
+  ASSERT_EQ(run({"study", "--log2-nv", "12", "--seed", "5", "--timing", "--metrics-out",
+                 metrics, "--trace-out", trace},
+                telem_out, telem_err),
+            0);
+  EXPECT_EQ(telem_out.str(), plain_out.str());
+  EXPECT_NE(telem_err.str().find("per-window capture rates"), std::string::npos);
+  EXPECT_NE(telem_err.str().find("telemetry timing summary"), std::string::npos);
+
+  std::stringstream m, t;
+  std::ifstream mf(metrics), tf(trace);
+  ASSERT_TRUE(mf.is_open() && tf.is_open());
+  m << mf.rdbuf();
+  t << tf.rdbuf();
+  EXPECT_NE(m.str().find("\"schema\": \"obscorr.metrics.v1\""), std::string::npos);
+  EXPECT_NE(m.str().find("netgen.packets_emitted"), std::string::npos);
+  EXPECT_NE(t.str().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(t.str().find("study.snapshot"), std::string::npos);
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(CliToolTest, DiagnosticsGoToStderrNotStdout) {
+  // generate/capture produce files; their progress summaries are
+  // diagnostics and must leave stdout empty for machine consumers.
+  const std::string trace = temp("cli_split.trc");
+  const std::string matrix = temp("cli_split.gbl");
+  std::ostringstream gen_out, gen_err;
+  ASSERT_EQ(run({"generate", "--out", trace, "--log2-nv", "12", "--seed", "5"}, gen_out,
+                gen_err),
+            0);
+  EXPECT_TRUE(gen_out.str().empty());
+  EXPECT_NE(gen_err.str().find("wrote"), std::string::npos);
+
+  std::ostringstream cap_out, cap_err;
+  ASSERT_EQ(run({"capture", "--trace", trace, "--out", matrix, "--log2-nv", "12", "--seed",
+                 "5"},
+                cap_out, cap_err),
+            0);
+  EXPECT_TRUE(cap_out.str().empty());
+  EXPECT_NE(cap_err.str().find("discarded"), std::string::npos);
+  EXPECT_NE(cap_err.str().find("deanonymization-dictionary"), std::string::npos);
+
+  // Errors are diagnostics too.
+  std::ostringstream bad_out, bad_err;
+  EXPECT_EQ(run({"generate"}, bad_out, bad_err), 2);
+  EXPECT_TRUE(bad_out.str().empty());
+  EXPECT_NE(bad_err.str().find("error:"), std::string::npos);
+
+  std::remove(trace.c_str());
+  std::remove(matrix.c_str());
+}
+
+TEST(CliToolTest, StudySurfacesTelescopeBookkeeping) {
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"study", "--log2-nv", "12", "--seed", "5"}, out, err), 0);
+  EXPECT_NE(err.str().find("packets discarded"), std::string::npos);
+  EXPECT_NE(err.str().find("deanonymized"), std::string::npos);
+  EXPECT_EQ(out.str().find("deanonymized"), std::string::npos);
+}
+
 TEST(CliToolTest, ArchiveRequiresOutAndUsageMentionsIt) {
   std::ostringstream out;
   EXPECT_EQ(run({"archive"}, out), 2);

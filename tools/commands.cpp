@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <fstream>
+#include <optional>
 #include <ostream>
+#include <string_view>
 
 #include "archive/study_archive.hpp"
 #include "common/cli.hpp"
@@ -19,6 +21,9 @@
 #include "honeyfarm/database.hpp"
 #include "netgen/scenario.hpp"
 #include "netgen/traffic.hpp"
+#include "obs/export.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/histogram.hpp"
 #include "stats/powerlaw.hpp"
 #include "stats/zipf.hpp"
@@ -28,6 +33,9 @@
 namespace obscorr::tools {
 
 namespace {
+
+/// Option names that take no value; every subcommand parses with these.
+const std::vector<std::string> kSwitches = {"timing"};
 
 /// Shared option plumbing: every subcommand accepts --log2-nv / --seed.
 struct Common {
@@ -69,6 +77,49 @@ core::StudyData load_archived_study(const std::string& dir) {
   return archive::StudyReader(dir).analysis_study();
 }
 
+/// The shared telemetry flags. Any of them arms full tracing for the
+/// rest of the command; all output goes to `err` or the named files,
+/// never to `out`.
+struct TelemetryOptions {
+  bool timing = false;
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> trace_out;
+  bool active() const { return timing || metrics_out.has_value() || trace_out.has_value(); }
+};
+
+TelemetryOptions telemetry_options(const CliArgs& args) {
+  TelemetryOptions t;
+  t.timing = args.has("timing");
+  t.metrics_out = args.get("metrics-out");
+  t.trace_out = args.get("trace-out");
+  if (t.active()) {
+    obs::reset();
+    obs::set_level(obs::Level::kFull);
+  }
+  return t;
+}
+
+/// Disarm telemetry and write the requested exports. Called once at the
+/// end of each subcommand, after the result data is already on `out`.
+void emit_telemetry(const TelemetryOptions& t, std::ostream& err) {
+  if (!t.active()) return;
+  obs::set_level(obs::Level::kOff);
+  if (t.trace_out.has_value()) {
+    std::ofstream os(*t.trace_out, std::ios::trunc);
+    OBSCORR_REQUIRE(os.is_open(), "telemetry: cannot write trace to " + *t.trace_out);
+    obs::write_chrome_trace(os);
+    err << "wrote Chrome trace to " << *t.trace_out
+        << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (t.metrics_out.has_value()) {
+    std::ofstream os(*t.metrics_out, std::ios::trunc);
+    OBSCORR_REQUIRE(os.is_open(), "telemetry: cannot write metrics to " + *t.metrics_out);
+    obs::write_metrics_json(os);
+    err << "wrote metrics to " << *t.metrics_out << '\n';
+  }
+  if (t.timing) obs::write_timing_summary(err);
+}
+
 }  // namespace
 
 std::string usage() {
@@ -106,12 +157,19 @@ only changes wall-clock time.
 --from DIR reads a completed `obscorr archive` directory instead of
 recomputing; the archived scenario then supplies --log2-nv / --seed.
 a killed `archive` run resumes from its finished snapshots/months.
+every command also accepts the telemetry flags (docs/observability.md):
+  --timing            per-phase timing summary + per-window rates on stderr
+  --metrics-out FILE  counter/gauge/span metrics as JSON (obscorr.metrics.v1)
+  --trace-out FILE    Chrome trace-event JSON (chrome://tracing, Perfetto)
+telemetry never touches stdout and never changes any result byte.
 )";
 }
 
-int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  (void)out;  // generate writes its result to --out FILE, not stdout
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
   const Common c = common_options(cli, 18);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto path = cli.get("out");
   OBSCORR_REQUIRE(path.has_value(), "generate: --out FILE is required");
   const int month = static_cast<int>(cli.get_int("month-index", 0));
@@ -125,14 +183,17 @@ int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
       *path, [&](const std::function<void(const Packet&)>& sink) {
         generator.stream_window(month, scenario.nv(), 1, sink);
       });
-  out << "wrote " << fmt_count(packets) << " packets (" << fmt_count(scenario.nv())
+  err << "wrote " << fmt_count(packets) << " packets (" << fmt_count(scenario.nv())
       << " valid) to " << *path << '\n';
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_capture(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_capture(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  (void)out;  // capture writes its result to --out FILE, not stdout
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
   const Common c = common_options(cli, 18);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto trace = cli.get("trace");
   const auto matrix_path = cli.get("out");
   OBSCORR_REQUIRE(trace.has_value() && matrix_path.has_value(),
@@ -147,15 +208,20 @@ int cmd_capture(const std::vector<std::string>& args, std::ostream& out) {
       telescope::replay_trace(*trace, [&](const Packet& p) { scope.capture(p); });
   const gbl::DcsrMatrix matrix = scope.finish_window();
   gbl::save_matrix(*matrix_path, matrix);
-  out << "replayed " << fmt_count(replayed) << " packets, captured "
+  err << "replayed " << fmt_count(replayed) << " packets, captured "
       << fmt_count(static_cast<std::uint64_t>(matrix.reduce_sum())) << " valid ("
       << fmt_count(scope.discarded_packets()) << " discarded), archived "
-      << fmt_count(matrix.nnz()) << " matrix entries to " << *matrix_path << '\n';
+      << fmt_count(matrix.nnz()) << " matrix entries to " << *matrix_path << '\n'
+      << "telescope state: " << fmt_count(scope.dictionary_entries())
+      << " deanonymization-dictionary entries, " << fmt_count(scope.anon_cache_entries())
+      << " anon-cache entries\n";
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_quantities(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_quantities(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto path = cli.get("matrix");
   OBSCORR_REQUIRE(path.has_value(), "quantities: --matrix FILE is required");
   (void)thread_option(cli);
@@ -175,11 +241,13 @@ int cmd_quantities(const std::vector<std::string>& args, std::ostream& out) {
   table.add_row({"max destination packets", fmt_double(q.max_destination_packets, 0)});
   table.add_row({"max destination fan-in", fmt_double(q.max_destination_fanin, 0)});
   table.print(out);
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_degrees(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_degrees(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto path = cli.get("matrix");
   const auto from = cli.get("from");
   const auto snapshot = static_cast<std::size_t>(cli.get_int("snapshot", 0));
@@ -217,12 +285,14 @@ int cmd_degrees(const std::vector<std::string>& args, std::ostream& out) {
   const auto pl = stats::fit_power_law(degrees, 25);
   out << "power-law MLE:   alpha=" << fmt_double(pl.alpha, 3) << " for d >= " << pl.d_min
       << "  (KS " << fmt_double(pl.ks, 4) << ", tail n=" << fmt_count(pl.tail_count) << ")\n";
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_study(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_study(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
   const Common c = common_options(cli, 16);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto from = cli.get("from");
   const std::size_t threads = thread_option(cli);
   reject_unused(cli);
@@ -265,12 +335,44 @@ int cmd_study(const std::vector<std::string>& args, std::ostream& out) {
         << " beta=" << fmt_double(curve->modified_cauchy.model.beta, 2) << " (one-month drop "
         << fmt_percent(curve->modified_cauchy.model.one_month_drop(), 1) << ")\n";
   }
+
+  // Surface the telescope bookkeeping the capture accumulated. Derived
+  // from StudyData only, so fresh and --from runs print the same line.
+  std::uint64_t discarded = 0;
+  std::uint64_t deanonymized = 0;
+  for (const auto& snap : study.snapshots) {
+    discarded += snap.discarded_packets;
+    deanonymized += snap.sources.row_keys().size();
+  }
+  err << "telescope: " << fmt_count(discarded) << " packets discarded, " << fmt_count(deanonymized)
+      << " source ids deanonymized across " << study.snapshots.size() << " windows\n";
+
+  // Table I-style per-window rates from the study.snapshot spans (only a
+  // fresh run records them; --from replays no capture).
+  if (topt.timing) {
+    const std::uint64_t nv = study.scenario.nv();
+    TextTable rates("per-window capture rates (Table I shape)");
+    rates.set_header({"window", "valid packets", "seconds", "packets/s"});
+    bool any = false;
+    for (const auto& ev : obs::span_events()) {
+      if (std::string_view(ev.name) != "study.snapshot") continue;
+      const double sec = static_cast<double>(ev.dur_ns) * 1e-9;
+      rates.add_row({ev.detail, fmt_count(nv), fmt_double(sec, 3),
+                     sec > 0.0
+                         ? fmt_count(static_cast<std::uint64_t>(static_cast<double>(nv) / sec))
+                         : "-"});
+      any = true;
+    }
+    if (any) rates.print(err);
+  }
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_lookup(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_lookup(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
   const Common c = common_options(cli, 16);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto ip_text = cli.get("ip");
   const auto from = cli.get("from");
   OBSCORR_REQUIRE(ip_text.has_value(), "lookup: --ip A.B.C.D is required");
@@ -297,6 +399,7 @@ int cmd_lookup(const std::vector<std::string>& args, std::ostream& out) {
   const auto profile = db.lookup(*ip_text);
   if (!profile) {
     out << *ip_text << ": never observed\n";
+    emit_telemetry(topt, err);
     return 0;
   }
   out << profile->ip << ": seen in " << profile->months_seen << " months ("
@@ -305,12 +408,14 @@ int cmd_lookup(const std::vector<std::string>& args, std::ostream& out) {
       << (profile->intent.empty() ? "" : ", intent=" + profile->intent)
       << ", peak contacts=" << fmt_count(static_cast<std::uint64_t>(profile->peak_contacts))
       << '\n';
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_scaling(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_scaling(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
   const Common c = common_options(cli, 18);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto from = cli.get("from");
   const std::size_t threads = thread_option(cli);
   reject_unused(cli);
@@ -330,12 +435,15 @@ int cmd_scaling(const std::vector<std::string>& args, std::ostream& out) {
   table.print(out);
   out << "fitted source exponent: " << fmt_double(analysis.source_exponent, 3)
       << "  (paper: ~0.5)\n";
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_report(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  (void)out;  // report writes its results to --out DIR, not stdout
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
   const Common c = common_options(cli, 16);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto dir = cli.get("out");
   const auto from = cli.get("from");
   OBSCORR_REQUIRE(dir.has_value(), "report: --out DIR is required");
@@ -347,7 +455,7 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
     std::ofstream os(path);
     OBSCORR_REQUIRE(os.is_open(), "report: cannot write " + path);
     table.print_csv(os);
-    out << "wrote " << path << '\n';
+    err << "wrote " << path << '\n';
   };
 
   core::StudyData study;
@@ -431,12 +539,14 @@ int cmd_report(const std::vector<std::string>& args, std::ostream& out) {
          << "fig3_degree_distribution, fig4_peak_correlation, fig5_fig6_temporal_curves, "
          << "fig7_fig8_fit_parameters\n\n"
          << "See EXPERIMENTS.md in the repository root for paper-vs-measured analysis.\n";
-  out << "wrote " << report_path << '\n';
+  err << "wrote " << report_path << '\n';
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto path = cli.get("matrix");
   const auto from = cli.get("from");
   const auto snapshot = static_cast<std::size_t>(cli.get_int("snapshot", 0));
@@ -468,12 +578,15 @@ int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out) {
   out << "prefixes: " << fmt_count(analysis.buckets.size())
       << ", top-10 packet share: " << fmt_percent(analysis.top10_packet_share, 1)
       << ", source Gini: " << fmt_double(analysis.source_gini, 3) << '\n';
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int cmd_archive(const std::vector<std::string>& args, std::ostream& out) {
-  const CliArgs cli = CliArgs::parse(args);
+int cmd_archive(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  (void)out;  // archive writes its result to --out DIR, not stdout
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
   const Common c = common_options(cli, 16);
+  const TelemetryOptions topt = telemetry_options(cli);
   const auto dir = cli.get("out");
   OBSCORR_REQUIRE(dir.has_value(), "archive: --out DIR is required");
   const std::size_t threads = thread_option(cli);
@@ -483,39 +596,46 @@ int cmd_archive(const std::vector<std::string>& args, std::ostream& out) {
   const auto stats =
       archive::archive_study(netgen::Scenario::paper(c.log2_nv, c.seed), *dir, pool);
   if (stats.already_complete) {
-    out << "archive already complete at " << *dir << '\n';
+    err << "archive already complete at " << *dir << '\n';
+    emit_telemetry(topt, err);
     return 0;
   }
-  out << "archived " << stats.snapshots_total << " snapshots ("
+  err << "archived " << stats.snapshots_total << " snapshots ("
       << stats.snapshots_reused << " resumed) and " << stats.months_total << " months ("
       << stats.months_reused << " resumed) to " << *dir << '\n'
       << "query it with --from " << *dir << '\n';
+  emit_telemetry(topt, err);
   return 0;
 }
 
-int run(const std::vector<std::string>& args, std::ostream& out) {
-  if (args.empty() || args.front() == "help" || args.front() == "--help") {
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << usage();
+    return 2;
+  }
+  if (args.front() == "help" || args.front() == "--help") {
     out << usage();
-    return args.empty() ? 2 : 0;
+    return 0;
   }
   const std::string command = args.front();
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   try {
-    if (command == "generate") return cmd_generate(rest, out);
-    if (command == "capture") return cmd_capture(rest, out);
-    if (command == "quantities") return cmd_quantities(rest, out);
-    if (command == "degrees") return cmd_degrees(rest, out);
-    if (command == "study") return cmd_study(rest, out);
-    if (command == "lookup") return cmd_lookup(rest, out);
-    if (command == "scaling") return cmd_scaling(rest, out);
-    if (command == "report") return cmd_report(rest, out);
-    if (command == "prefixes") return cmd_prefixes(rest, out);
-    if (command == "archive") return cmd_archive(rest, out);
+    if (command == "generate") return cmd_generate(rest, out, err);
+    if (command == "capture") return cmd_capture(rest, out, err);
+    if (command == "quantities") return cmd_quantities(rest, out, err);
+    if (command == "degrees") return cmd_degrees(rest, out, err);
+    if (command == "study") return cmd_study(rest, out, err);
+    if (command == "lookup") return cmd_lookup(rest, out, err);
+    if (command == "scaling") return cmd_scaling(rest, out, err);
+    if (command == "report") return cmd_report(rest, out, err);
+    if (command == "prefixes") return cmd_prefixes(rest, out, err);
+    if (command == "archive") return cmd_archive(rest, out, err);
   } catch (const std::invalid_argument& e) {
-    out << "error: " << e.what() << '\n';
+    obs::set_level(obs::Level::kOff);  // a failed command must not leave tracing armed
+    err << "error: " << e.what() << '\n';
     return 2;
   }
-  out << "error: unknown command '" << command << "'\n\n" << usage();
+  err << "error: unknown command '" << command << "'\n\n" << usage();
   return 2;
 }
 

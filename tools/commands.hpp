@@ -1,11 +1,18 @@
 #pragma once
 /// \file commands.hpp
 /// The `obscorr` command-line tool: every subcommand as a testable
-/// function of (args, output stream). The tool drives the public library
+/// function of (args, output streams). The tool drives the public library
 /// API end to end — generate traffic, capture windows, archive matrices,
 /// analyze distributions, run the full cross-observatory study, and query
 /// the honeyfarm database — so a downstream user can reproduce the
 /// paper's workflow without writing C++.
+///
+/// Stream contract: `out` carries result data only (tables, fits,
+/// machine-parseable series); diagnostics, progress summaries, errors,
+/// and `--timing` telemetry all go to `err`. Every subcommand accepts
+/// `--timing` / `--metrics-out FILE` / `--trace-out FILE`; any of them
+/// arms full telemetry for the run, and none of them changes a byte of
+/// `out`.
 
 #include <iosfwd>
 #include <string>
@@ -13,21 +20,28 @@
 
 namespace obscorr::tools {
 
-/// Dispatch `args` (subcommand first) writing human-readable output to
-/// `out`. Returns a process exit code (0 success, 2 usage error).
-int run(const std::vector<std::string>& args, std::ostream& out);
+/// Dispatch `args` (subcommand first) writing result data to `out` and
+/// diagnostics to `err`. Returns a process exit code (0 success, 2
+/// usage error).
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// Single-stream convenience (tests, embedding): diagnostics interleave
+/// with results on `out`.
+inline int run(const std::vector<std::string>& args, std::ostream& out) {
+  return run(args, out, out);
+}
 
 /// Individual subcommands (exposed for unit tests).
-int cmd_generate(const std::vector<std::string>& args, std::ostream& out);
-int cmd_capture(const std::vector<std::string>& args, std::ostream& out);
-int cmd_quantities(const std::vector<std::string>& args, std::ostream& out);
-int cmd_degrees(const std::vector<std::string>& args, std::ostream& out);
-int cmd_study(const std::vector<std::string>& args, std::ostream& out);
-int cmd_lookup(const std::vector<std::string>& args, std::ostream& out);
-int cmd_scaling(const std::vector<std::string>& args, std::ostream& out);
-int cmd_report(const std::vector<std::string>& args, std::ostream& out);
-int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out);
-int cmd_archive(const std::vector<std::string>& args, std::ostream& out);
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_capture(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_quantities(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_degrees(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_study(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_lookup(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_scaling(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_report(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_archive(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 /// The usage text printed by `obscorr help` and on errors.
 std::string usage();

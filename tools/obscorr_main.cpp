@@ -10,5 +10,5 @@
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
-  return obscorr::tools::run(args, std::cout);
+  return obscorr::tools::run(args, std::cout, std::cerr);
 }
