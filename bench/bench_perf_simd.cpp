@@ -1,0 +1,154 @@
+/// Per-kernel SIMD speedups, scalar vs AVX2 side by side. Each benchmark
+/// takes the dispatch tier as its argument (0 = scalar, 2 = AVX2) so one
+/// binary reports both columns and the ratio is a same-process,
+/// same-input comparison. The end-to-end effect of the same kernels is
+/// measured by bench_perf_pipeline (BM_CaptureWindow / BM_StudyParallel);
+/// this file isolates where the cycles go.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/simd.hpp"
+#include "gbl/kernels.hpp"
+#include "netgen/population.hpp"
+#include "netgen/scenario.hpp"
+#include "netgen/traffic.hpp"
+
+namespace {
+
+using namespace obscorr;
+using gbl::Index;
+using gbl::Value;
+
+simd::Tier tier_of(benchmark::State& state) {
+  const auto tier = static_cast<simd::Tier>(state.range(0));
+  if (tier > simd::detected_tier()) {
+    state.SkipWithError("host does not support the requested tier");
+  }
+  return tier;
+}
+
+/// Forces a tier for the duration of one benchmark run.
+class TierScope {
+ public:
+  explicit TierScope(simd::Tier tier) { simd::set_tier(tier); }
+  ~TierScope() { simd::set_tier(std::nullopt); }
+};
+
+void BM_RadixSortU64(benchmark::State& state) {
+  const simd::Tier tier = tier_of(state);
+  const TierScope scope(tier);
+  Rng rng(42);
+  constexpr std::size_t kKeys = 1 << 18;  // one accumulator block's sort
+  std::vector<std::uint64_t> base(kKeys);
+  for (auto& k : base) k = rng.next();
+  std::vector<std::uint64_t> keys, scratch;
+  for (auto _ : state) {
+    state.PauseTiming();
+    keys = base;
+    state.ResumeTiming();
+    gbl::kernels::radix_sort_u64(keys.data(), keys.size(), scratch);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kKeys));
+}
+BENCHMARK(BM_RadixSortU64)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_MergeAddColumns(benchmark::State& state) {
+  const simd::Tier tier = tier_of(state);
+  const TierScope scope(tier);
+  // Second argument picks the input shape: 0 = tightly interleaved runs
+  // (the merge's branchy worst case), 1 = long disjoint stretches (the
+  // galloping fast path, and the common shape for hypersparse row unions
+  // in the accumulator's carry merges).
+  const bool disjoint = state.range(1) != 0;
+  Rng rng(7);
+  constexpr std::size_t kRun = 1 << 16;
+  constexpr std::size_t kStretch = 512;
+  std::vector<Index> ac(kRun), bc(kRun);
+  std::vector<Value> av(kRun, 1.0), bv(kRun, 2.0);
+  std::uint64_t a = 0, b = 1;
+  for (std::size_t i = 0; i < kRun; ++i) {
+    if (disjoint && i % kStretch == 0) {
+      // Leap far past the other run's current stretch (a stretch spans
+      // roughly kStretch * 33 columns), creating a long one-sided run.
+      const std::uint64_t hop = 1 << 17;
+      if (rng.bernoulli(0.5)) a += hop; else b += hop;
+    }
+    a += 1 + rng.uniform_u64(64);
+    b += 1 + rng.uniform_u64(64);
+    ac[i] = static_cast<Index>(a);
+    bc[i] = static_cast<Index>(b);
+  }
+  std::vector<Index> out_col(2 * kRun);
+  std::vector<Value> out_val(2 * kRun);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbl::kernels::merge_add_columns(
+        ac.data(), av.data(), kRun, bc.data(), bv.data(), kRun, out_col.data(), out_val.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * kRun));
+}
+BENCHMARK(BM_MergeAddColumns)
+    ->Args({0, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({2, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SumSpan(benchmark::State& state) {
+  const simd::Tier tier = tier_of(state);
+  const TierScope scope(tier);
+  Rng rng(13);
+  std::vector<Value> values(1 << 20);
+  for (auto& v : values) v = static_cast<Value>(rng.uniform_u64(1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbl::kernels::sum_span(values));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_SumSpan)->Arg(0)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_RowSums(benchmark::State& state) {
+  const simd::Tier tier = tier_of(state);
+  const TierScope scope(tier);
+  Rng rng(17);
+  // Row lengths mimicking a heavy-tailed degree distribution.
+  std::vector<std::uint64_t> row_ptr{0};
+  while (row_ptr.back() < (1 << 20)) {
+    row_ptr.push_back(row_ptr.back() + 1 + rng.uniform_u64(64));
+  }
+  std::vector<Value> values(row_ptr.back());
+  for (auto& v : values) v = static_cast<Value>(rng.uniform_u64(1 << 16));
+  std::vector<Value> sums(row_ptr.size() - 1);
+  for (auto _ : state) {
+    gbl::kernels::row_sums(row_ptr, values, sums);
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_RowSums)->Arg(0)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_ShardIngest(benchmark::State& state) {
+  const simd::Tier tier = tier_of(state);
+  const TierScope scope(tier);
+  const auto scenario = netgen::Scenario::paper(18, 42);
+  const netgen::Population population(scenario.population);
+  const netgen::TrafficGenerator generator(population, scenario.traffic);
+  const netgen::WindowPlan plan = generator.plan_window(0);
+  netgen::ShardScratch scratch;
+  std::uint64_t sink = 0;
+  constexpr std::uint64_t kValid = 1 << 16;
+  for (auto _ : state) {
+    generator.stream_shard_batched(plan, kValid, /*salt=*/1, /*shard=*/0, scratch,
+                                   [&](std::span<const Packet> b) { sink += b.size(); });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kValid));
+}
+BENCHMARK(BM_ShardIngest)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

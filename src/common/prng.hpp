@@ -142,6 +142,14 @@ class AliasTable {
 
   std::size_t size() const { return prob_.size(); }
 
+  /// The acceptance probabilities and alias slots backing `sample`,
+  /// exposed for vectorized batch sampling (gather + compare + blend).
+  /// `sample(rng)` is exactly: `i = rng.uniform_u64(size());
+  /// rng.uniform() < probs()[i] ? i : aliases()[i]` — batch callers must
+  /// reproduce that draw order to stay stream-identical.
+  std::span<const double> probs() const { return prob_; }
+  std::span<const std::uint32_t> aliases() const { return alias_; }
+
  private:
   std::vector<double> prob_;
   std::vector<std::uint32_t> alias_;

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "gbl/kernels.hpp"
 
 namespace obscorr::gbl {
 
@@ -67,39 +68,15 @@ void pooled_sort(std::vector<T>& items, ThreadPool& pool, Less less) {
   OBSCORR_INVARIANT(std::is_sorted(items.begin(), items.end(), less));
 }
 
-/// Serial LSD radix sort of u64 keys: six 11-bit digit passes with a
-/// scatter buffer. All six histograms are built in one initial sweep
-/// (digit counts are order-independent), so the data is touched 7 times
-/// total instead of 12 — on random packed packet keys this runs ~5-8x
-/// faster than a comparison sort. Passes whose digit is constant across
-/// the whole range are skipped outright.
+/// Serial LSD radix sort of u64 keys (kernels::radix_sort_u64, runtime
+/// SIMD dispatch): six 11-bit digit passes with a scatter buffer. All six
+/// histograms are built in one initial sweep (digit counts are
+/// order-independent), so the data is touched 7 times total instead of
+/// 12 — on random packed packet keys this runs ~5-8x faster than a
+/// comparison sort. Passes whose digit is constant across the whole
+/// range are skipped outright.
 void radix_sort_u64(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch) {
-  constexpr int kBits = 11;
-  constexpr int kPasses = 6;  // 6 * 11 = 66 bits >= 64
-  constexpr std::size_t kBuckets = std::size_t{1} << kBits;
-  constexpr std::uint64_t kMask = kBuckets - 1;
-  scratch.resize(n);
-  std::vector<std::size_t> hist(kPasses * kBuckets, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t k = keys[i];
-    for (int p = 0; p < kPasses; ++p) ++hist[static_cast<std::size_t>(p) * kBuckets + ((k >> (p * kBits)) & kMask)];
-  }
-  std::uint64_t* src = keys;
-  std::uint64_t* dst = scratch.data();
-  for (int p = 0; p < kPasses; ++p) {
-    std::size_t* h = hist.data() + static_cast<std::size_t>(p) * kBuckets;
-    const int shift = p * kBits;
-    if (h[(src[0] >> shift) & kMask] == n) continue;  // constant digit
-    std::size_t offset = 0;
-    for (std::size_t d = 0; d < kBuckets; ++d) {
-      const std::size_t c = h[d];
-      h[d] = offset;
-      offset += c;
-    }
-    for (std::size_t i = 0; i < n; ++i) dst[h[(src[i] >> shift) & kMask]++] = src[i];
-    std::swap(src, dst);
-  }
-  if (src != keys) std::copy(src, src + n, keys);
+  kernels::radix_sort_u64(keys, n, scratch);
 }
 
 }  // namespace

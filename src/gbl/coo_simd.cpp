@@ -1,0 +1,117 @@
+/// \file coo_simd.cpp
+/// AVX2 variant of the 6x11-bit LSD radix sort. The algorithm — one
+/// up-front histogram sweep, constant-digit pass skip, stable scatter —
+/// is identical to the scalar reference, so the output permutation is
+/// bit-identical on any input. The vector win is in the two memory-bound
+/// sweeps: the histogram pass extracts all six digits of four keys at a
+/// time with vector shifts, and the scatter pass prefetches the
+/// destination cachelines a fixed distance ahead (the scatter writes land
+/// at 2048 independent cursors, far beyond what the hardware prefetcher
+/// can track).
+
+#include "gbl/kernels.hpp"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace obscorr::gbl::kernels {
+
+namespace {
+
+constexpr int kBits = 11;
+constexpr int kPasses = 6;  // 6 * 11 = 66 bits >= 64
+constexpr std::size_t kBuckets = std::size_t{1} << kBits;
+constexpr std::uint64_t kMask = kBuckets - 1;
+
+/// How many keys ahead the scatter pass prefetches its destination. The
+/// bucket cursors move as keys stream, so the hint address is approximate
+/// for all but the next key — close enough: a cursor advances at most
+/// `dist` slots (64 bytes) between hint and write.
+constexpr std::size_t kScatterPrefetchDist = 16;
+
+}  // namespace
+
+__attribute__((target("avx2"))) void radix_sort_u64_avx2(std::uint64_t* keys, std::size_t n,
+                                                         std::vector<std::uint64_t>& scratch) {
+  if (n < 2) return;  // the constant-digit probe below reads src[0]
+  scratch.resize(n);
+  std::vector<std::size_t> hist(kPasses * kBuckets, 0);
+  std::size_t* h0 = hist.data();
+
+  // Histogram sweep: four keys per iteration, six digits each extracted
+  // with one vector shift+mask per pass. The 24 histogram increments stay
+  // scalar (they are read-modify-writes at data-dependent indices), but
+  // the digit arithmetic and the load traffic vectorize.
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(kMask));
+  std::size_t i = 0;
+  alignas(32) std::uint64_t dig[kPasses][4];
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dig[0]), _mm256_and_si256(k, vmask));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dig[1]),
+                       _mm256_and_si256(_mm256_srli_epi64(k, kBits), vmask));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dig[2]),
+                       _mm256_and_si256(_mm256_srli_epi64(k, 2 * kBits), vmask));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dig[3]),
+                       _mm256_and_si256(_mm256_srli_epi64(k, 3 * kBits), vmask));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dig[4]),
+                       _mm256_and_si256(_mm256_srli_epi64(k, 4 * kBits), vmask));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dig[5]),
+                       _mm256_srli_epi64(k, 5 * kBits));  // top digit needs no mask
+    for (int p = 0; p < kPasses; ++p) {
+      std::size_t* h = h0 + static_cast<std::size_t>(p) * kBuckets;
+      ++h[dig[p][0]];
+      ++h[dig[p][1]];
+      ++h[dig[p][2]];
+      ++h[dig[p][3]];
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t k = keys[i];
+    for (int p = 0; p < kPasses; ++p) {
+      ++h0[static_cast<std::size_t>(p) * kBuckets + ((k >> (p * kBits)) & kMask)];
+    }
+  }
+
+  std::uint64_t* src = keys;
+  std::uint64_t* dst = scratch.data();
+  for (int p = 0; p < kPasses; ++p) {
+    std::size_t* h = h0 + static_cast<std::size_t>(p) * kBuckets;
+    const int shift = p * kBits;
+    if (h[(src[0] >> shift) & kMask] == n) continue;  // constant digit
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < kBuckets; ++d) {
+      const std::size_t c = h[d];
+      h[d] = offset;
+      offset += c;
+    }
+    const std::size_t main = n > kScatterPrefetchDist ? n - kScatterPrefetchDist : 0;
+    std::size_t s = 0;
+    for (; s < main; ++s) {
+      const std::uint64_t ahead = src[s + kScatterPrefetchDist];
+      _mm_prefetch(reinterpret_cast<const char*>(dst + h[(ahead >> shift) & kMask]),
+                   _MM_HINT_T0);
+      dst[h[(src[s] >> shift) & kMask]++] = src[s];
+    }
+    for (; s < n; ++s) dst[h[(src[s] >> shift) & kMask]++] = src[s];
+    std::swap(src, dst);
+  }
+  if (src != keys) std::copy(src, src + n, keys);
+}
+
+}  // namespace obscorr::gbl::kernels
+
+#else  // !defined(__x86_64__)
+
+namespace obscorr::gbl::kernels {
+
+void radix_sort_u64_avx2(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch) {
+  radix_sort_u64_scalar(keys, n, scratch);
+}
+
+}  // namespace obscorr::gbl::kernels
+
+#endif

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "gbl/coo.hpp"
+#include "gbl/kernels.hpp"
 
 namespace obscorr::gbl {
 
@@ -136,24 +137,14 @@ Value DcsrMatrix::at(Index row, Index col) const {
   return val_[static_cast<std::size_t>(cit - col_.begin())];
 }
 
-Value DcsrMatrix::reduce_sum() const {
-  Value total = 0.0;
-  for (Value v : val_) total += v;
-  return total;
-}
+Value DcsrMatrix::reduce_sum() const { return kernels::sum_span(val_); }
 
-Value DcsrMatrix::reduce_max() const {
-  Value best = 0.0;
-  for (Value v : val_) best = std::max(best, v);
-  return best;
-}
+Value DcsrMatrix::reduce_max() const { return kernels::max_span(val_); }
 
 SparseVec DcsrMatrix::reduce_rows() const {
   std::vector<Index> idx(row_ids_.begin(), row_ids_.end());
   std::vector<Value> sums(row_ids_.size(), 0.0);
-  for (std::size_t r = 0; r < row_ids_.size(); ++r) {
-    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sums[r] += val_[k];
-  }
+  kernels::row_sums(row_ptr_, val_, sums);
   return SparseVec(std::move(idx), std::move(sums));
 }
 
@@ -161,9 +152,8 @@ SparseVec DcsrMatrix::reduce_rows(ThreadPool& pool) const {
   std::vector<Index> idx(row_ids_.begin(), row_ids_.end());
   std::vector<Value> sums(row_ids_.size(), 0.0);
   parallel_for(pool, 0, row_ids_.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sums[r] += val_[k];
-    }
+    kernels::row_sums(std::span<const std::uint64_t>(row_ptr_).subspan(begin, end - begin + 1),
+                      val_, std::span<Value>(sums).subspan(begin, end - begin));
   });
   return SparseVec(std::move(idx), std::move(sums));
 }
@@ -271,33 +261,8 @@ std::size_t union_count(std::span<const Index> ac, std::span<const Index> bc) {
 std::size_t union_fill(std::span<const Index> ac, std::span<const Value> av,
                        std::span<const Index> bc, std::span<const Value> bv, Index* col,
                        Value* val, std::size_t out) {
-  std::size_t i = 0, j = 0;
-  while (i < ac.size() && j < bc.size()) {
-    if (ac[i] == bc[j]) {
-      col[out] = ac[i];
-      val[out] = av[i] + bv[j];
-      ++i;
-      ++j;
-    } else if (ac[i] < bc[j]) {
-      col[out] = ac[i];
-      val[out] = av[i];
-      ++i;
-    } else {
-      col[out] = bc[j];
-      val[out] = bv[j];
-      ++j;
-    }
-    ++out;
-  }
-  for (; i < ac.size(); ++i, ++out) {
-    col[out] = ac[i];
-    val[out] = av[i];
-  }
-  for (; j < bc.size(); ++j, ++out) {
-    col[out] = bc[j];
-    val[out] = bv[j];
-  }
-  return out;
+  return out + kernels::merge_add_columns(ac.data(), av.data(), ac.size(), bc.data(), bv.data(),
+                                          bc.size(), col + out, val + out);
 }
 
 }  // namespace
@@ -339,33 +304,12 @@ DcsrMatrix DcsrMatrix::ewise_add(const DcsrMatrix& a, const DcsrMatrix& b) {
       ++rb;
     } else {
       out.row_ids_[nrows++] = a.row_ids_[ra];
-      const std::uint64_t a1 = a.row_ptr_[ra + 1];
-      const std::uint64_t b1 = b.row_ptr_[rb + 1];
-      std::uint64_t i = a.row_ptr_[ra], j = b.row_ptr_[rb];
-      while (i < a1 && j < b1) {
-        if (a.col_[i] == b.col_[j]) {
-          ocol[nnz] = a.col_[i];
-          oval[nnz++] = a.val_[i] + b.val_[j];
-          ++i;
-          ++j;
-        } else if (a.col_[i] < b.col_[j]) {
-          ocol[nnz] = a.col_[i];
-          oval[nnz++] = a.val_[i];
-          ++i;
-        } else {
-          ocol[nnz] = b.col_[j];
-          oval[nnz++] = b.val_[j];
-          ++j;
-        }
-      }
-      for (; i < a1; ++i) {
-        ocol[nnz] = a.col_[i];
-        oval[nnz++] = a.val_[i];
-      }
-      for (; j < b1; ++j) {
-        ocol[nnz] = b.col_[j];
-        oval[nnz++] = b.val_[j];
-      }
+      const std::uint64_t a0 = a.row_ptr_[ra], a1 = a.row_ptr_[ra + 1];
+      const std::uint64_t b0 = b.row_ptr_[rb], b1 = b.row_ptr_[rb + 1];
+      nnz += kernels::merge_add_columns(a.col_.data() + a0, a.val_.data() + a0,
+                                        static_cast<std::size_t>(a1 - a0), b.col_.data() + b0,
+                                        b.val_.data() + b0, static_cast<std::size_t>(b1 - b0),
+                                        ocol + nnz, oval + nnz);
       ++ra;
       ++rb;
     }

@@ -1,0 +1,131 @@
+/// \file dcsr_simd.cpp
+/// AVX2 variant of the DCSR ewise_add column merge. Output is
+/// bit-identical to the scalar two-pointer merge on any input: the same
+/// union sequence is written and equal cells sum `av[i] + bv[j]` exactly
+/// as the reference does. The speedup comes from run detection — instead
+/// of advancing one element per compare, the kernel finds how far one
+/// side runs below the other's head with 8-wide column compares and then
+/// bulk-copies the whole run (with whole-range concatenation fast paths
+/// when the operands' column ranges are disjoint, the common case for
+/// time-partitioned capture blocks).
+
+#include "gbl/kernels.hpp"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace obscorr::gbl::kernels {
+
+namespace {
+
+/// Copy a finished run (columns + values) and return the new output count.
+inline std::size_t copy_run(const Index* c, const Value* v, std::size_t len, Index* out_col,
+                            Value* out_val, std::size_t out) {
+  std::memcpy(out_col + out, c, len * sizeof(Index));
+  std::memcpy(out_val + out, v, len * sizeof(Value));
+  return out + len;
+}
+
+/// Length of the prefix of cols[0..limit) strictly below `pivot`, given
+/// cols[0..8) is already known to be below it (the caller's gallop guard
+/// checked cols[7] < pivot). Column ids are full u32s, so the signed
+/// 8-wide compare works on sign-bit-biased values.
+__attribute__((target("avx2"))) std::size_t run_below(const Index* cols, std::size_t limit,
+                                                      Index pivot) {
+  std::size_t run = 8;
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i vpivot =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(pivot)), bias);
+  while (run + 8 <= limit) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + run)), bias);
+    const __m256i lt = _mm256_cmpgt_epi32(vpivot, v);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(lt)));
+    if (mask != 0xFFu) return run + static_cast<std::size_t>(__builtin_ctz(~mask));
+    run += 8;
+  }
+  while (run < limit && cols[run] < pivot) ++run;
+  return run;
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) std::size_t merge_add_columns_avx2(
+    const Index* ac, const Value* av, std::size_t na, const Index* bc, const Value* bv,
+    std::size_t nb, Index* out_col, Value* out_val) {
+  if (na == 0) return copy_run(bc, bv, nb, out_col, out_val, 0);
+  if (nb == 0) return copy_run(ac, av, na, out_col, out_val, 0);
+  // Disjoint column ranges: the merge is a concatenation.
+  if (ac[na - 1] < bc[0]) {
+    return copy_run(bc, bv, nb, out_col, out_val, copy_run(ac, av, na, out_col, out_val, 0));
+  }
+  if (bc[nb - 1] < ac[0]) {
+    return copy_run(ac, av, na, out_col, out_val, copy_run(bc, bv, nb, out_col, out_val, 0));
+  }
+  std::size_t i = 0, j = 0, out = 0;
+  // Galloping merge: stay scalar while the sides alternate (run length
+  // ~1, the common case for same-window block merges — the streak
+  // counters cost only register arithmetic there), and switch to the
+  // vector run scan + bulk copy once one side has advanced kGallopAfter
+  // times in a row, which marks a skewed or partially-disjoint region.
+  constexpr int kGallopAfter = 4;
+  int a_streak = 0, b_streak = 0;
+  while (i < na && j < nb) {
+    if (ac[i] == bc[j]) {
+      out_col[out] = ac[i];
+      out_val[out] = av[i] + bv[j];
+      ++i;
+      ++j;
+      ++out;
+      a_streak = 0;
+      b_streak = 0;
+    } else if (ac[i] < bc[j]) {
+      if (++a_streak >= kGallopAfter && i + 8 <= na && ac[i + 7] < bc[j]) {
+        const std::size_t run = run_below(ac + i, na - i, bc[j]);
+        out = copy_run(ac + i, av + i, run, out_col, out_val, out);
+        i += run;
+      } else {
+        out_col[out] = ac[i];
+        out_val[out] = av[i];
+        ++i;
+        ++out;
+      }
+      b_streak = 0;
+    } else {
+      if (++b_streak >= kGallopAfter && j + 8 <= nb && bc[j + 7] < ac[i]) {
+        const std::size_t run = run_below(bc + j, nb - j, ac[i]);
+        out = copy_run(bc + j, bv + j, run, out_col, out_val, out);
+        j += run;
+      } else {
+        out_col[out] = bc[j];
+        out_val[out] = bv[j];
+        ++j;
+        ++out;
+      }
+      a_streak = 0;
+    }
+  }
+  if (i < na) out = copy_run(ac + i, av + i, na - i, out_col, out_val, out);
+  if (j < nb) out = copy_run(bc + j, bv + j, nb - j, out_col, out_val, out);
+  return out;
+}
+
+}  // namespace obscorr::gbl::kernels
+
+#else  // !defined(__x86_64__)
+
+namespace obscorr::gbl::kernels {
+
+std::size_t merge_add_columns_avx2(const Index* ac, const Value* av, std::size_t na,
+                                   const Index* bc, const Value* bv, std::size_t nb,
+                                   Index* out_col, Value* out_val) {
+  return merge_add_columns_scalar(ac, av, na, bc, bv, nb, out_col, out_val);
+}
+
+}  // namespace obscorr::gbl::kernels
+
+#endif

@@ -1,0 +1,180 @@
+#include "gbl/kernels.hpp"
+
+#include <algorithm>
+
+#include "common/simd.hpp"
+#include "obs/telemetry.hpp"
+
+namespace obscorr::gbl::kernels {
+
+// ---- scalar reference implementations ----------------------------------
+
+void radix_sort_u64_scalar(std::uint64_t* keys, std::size_t n,
+                           std::vector<std::uint64_t>& scratch) {
+  constexpr int kBits = 11;
+  constexpr int kPasses = 6;  // 6 * 11 = 66 bits >= 64
+  constexpr std::size_t kBuckets = std::size_t{1} << kBits;
+  constexpr std::uint64_t kMask = kBuckets - 1;
+  if (n < 2) return;  // the constant-digit probe below reads src[0]
+  scratch.resize(n);
+  std::vector<std::size_t> hist(kPasses * kBuckets, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i];
+    for (int p = 0; p < kPasses; ++p) {
+      ++hist[static_cast<std::size_t>(p) * kBuckets + ((k >> (p * kBits)) & kMask)];
+    }
+  }
+  std::uint64_t* src = keys;
+  std::uint64_t* dst = scratch.data();
+  for (int p = 0; p < kPasses; ++p) {
+    std::size_t* h = hist.data() + static_cast<std::size_t>(p) * kBuckets;
+    const int shift = p * kBits;
+    if (h[(src[0] >> shift) & kMask] == n) continue;  // constant digit
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < kBuckets; ++d) {
+      const std::size_t c = h[d];
+      h[d] = offset;
+      offset += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[h[(src[i] >> shift) & kMask]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != keys) std::copy(src, src + n, keys);
+}
+
+std::size_t merge_add_columns_scalar(const Index* ac, const Value* av, std::size_t na,
+                                     const Index* bc, const Value* bv, std::size_t nb,
+                                     Index* out_col, Value* out_val) {
+  std::size_t i = 0, j = 0, out = 0;
+  while (i < na && j < nb) {
+    if (ac[i] == bc[j]) {
+      out_col[out] = ac[i];
+      out_val[out] = av[i] + bv[j];
+      ++i;
+      ++j;
+    } else if (ac[i] < bc[j]) {
+      out_col[out] = ac[i];
+      out_val[out] = av[i];
+      ++i;
+    } else {
+      out_col[out] = bc[j];
+      out_val[out] = bv[j];
+      ++j;
+    }
+    ++out;
+  }
+  for (; i < na; ++i, ++out) {
+    out_col[out] = ac[i];
+    out_val[out] = av[i];
+  }
+  for (; j < nb; ++j, ++out) {
+    out_col[out] = bc[j];
+    out_val[out] = bv[j];
+  }
+  return out;
+}
+
+Value sum_span_scalar(std::span<const Value> values) {
+  Value total = 0.0;
+  for (const Value v : values) total += v;
+  return total;
+}
+
+Value max_span_scalar(std::span<const Value> values) {
+  Value best = 0.0;
+  for (const Value v : values) best = std::max(best, v);
+  return best;
+}
+
+std::size_t count_in_range_span_scalar(std::span<const Value> values, Value lo, Value hi) {
+  std::size_t n = 0;
+  for (const Value v : values) {
+    if (v >= lo && v < hi) ++n;
+  }
+  return n;
+}
+
+void row_sums_scalar(std::span<const std::uint64_t> row_ptr, std::span<const Value> values,
+                     std::span<Value> sums) {
+  for (std::size_t r = 0; r < sums.size(); ++r) {
+    Value s = 0.0;
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) s += values[k];
+    sums[r] = s;
+  }
+}
+
+// ---- runtime dispatch ---------------------------------------------------
+
+namespace {
+
+/// Per-kernel dispatch counters: how many times the vectorized variant
+/// actually ran (the scalar path counts nothing — a forced-scalar run
+/// exports all-zero simd.dispatch_* values).
+obs::Counter& radix_dispatches() {
+  static obs::Counter& c = obs::counter("simd.dispatch_radix");
+  return c;
+}
+obs::Counter& merge_dispatches() {
+  static obs::Counter& c = obs::counter("simd.dispatch_merge");
+  return c;
+}
+obs::Counter& reduce_dispatches() {
+  static obs::Counter& c = obs::counter("simd.dispatch_reduce");
+  return c;
+}
+
+}  // namespace
+
+void radix_sort_u64(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch) {
+  if (simd::use_avx2()) {
+    if (obs::counters_enabled()) radix_dispatches().add(1);
+    radix_sort_u64_avx2(keys, n, scratch);
+    return;
+  }
+  radix_sort_u64_scalar(keys, n, scratch);
+}
+
+std::size_t merge_add_columns(const Index* ac, const Value* av, std::size_t na, const Index* bc,
+                              const Value* bv, std::size_t nb, Index* out_col, Value* out_val) {
+  if (simd::use_avx2()) {
+    if (obs::counters_enabled()) merge_dispatches().add(1);
+    return merge_add_columns_avx2(ac, av, na, bc, bv, nb, out_col, out_val);
+  }
+  return merge_add_columns_scalar(ac, av, na, bc, bv, nb, out_col, out_val);
+}
+
+Value sum_span(std::span<const Value> values) {
+  if (simd::use_avx2()) {
+    if (obs::counters_enabled()) reduce_dispatches().add(1);
+    return sum_span_avx2(values);
+  }
+  return sum_span_scalar(values);
+}
+
+Value max_span(std::span<const Value> values) {
+  if (simd::use_avx2()) {
+    if (obs::counters_enabled()) reduce_dispatches().add(1);
+    return max_span_avx2(values);
+  }
+  return max_span_scalar(values);
+}
+
+std::size_t count_in_range_span(std::span<const Value> values, Value lo, Value hi) {
+  if (simd::use_avx2()) {
+    if (obs::counters_enabled()) reduce_dispatches().add(1);
+    return count_in_range_span_avx2(values, lo, hi);
+  }
+  return count_in_range_span_scalar(values, lo, hi);
+}
+
+void row_sums(std::span<const std::uint64_t> row_ptr, std::span<const Value> values,
+              std::span<Value> sums) {
+  if (simd::use_avx2()) {
+    if (obs::counters_enabled()) reduce_dispatches().add(1);
+    row_sums_avx2(row_ptr, values, sums);
+    return;
+  }
+  row_sums_scalar(row_ptr, values, sums);
+}
+
+}  // namespace obscorr::gbl::kernels

@@ -1,0 +1,88 @@
+#pragma once
+/// \file kernels.hpp
+/// The hot GBL loops behind the matrix API, split out so each kernel can
+/// ship a scalar reference implementation and an AVX2 variant selected at
+/// runtime (common/simd.hpp). The dispatched entry points are what
+/// dcsr.cpp / coo.cpp / matrix_view.cpp / sparse_vec.cpp call; the
+/// `_scalar` and `_avx2` names are exported so the differential test
+/// suites can drive both sides directly and assert byte equality.
+///
+/// Bit-identity contract: every AVX2 variant produces output bit-identical
+/// to its scalar reference.
+///  - radix sort and the column merge permute/copy integers and add
+///    `a + b` for equal cells in the same order as scalar — identical on
+///    any input.
+///  - the floating-point reductions (sum, row sums) use lane-split
+///    accumulators, which reassociate the adds. That is bit-identical
+///    whenever every partial sum is exactly representable — true for this
+///    pipeline, whose values are integer packet counts far below 2^53.
+///    For general doubles the reassociation can differ in the last ulp.
+///  - max/count assume no NaNs (the scalar fold starts at 0.0 and the
+///    pipeline stores only finite counts).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbl/types.hpp"
+
+namespace obscorr::gbl::kernels {
+
+// ---- dispatched entry points -------------------------------------------
+
+/// Serial LSD radix sort of u64 keys: six 11-bit digit passes with a
+/// scatter buffer; all six histograms are built in one initial sweep and
+/// constant-digit passes are skipped.
+void radix_sort_u64(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch);
+
+/// Merge-add two sorted unique column runs into `out_col`/`out_val`
+/// (shared columns sum `av[i] + bv[j]`). Returns the entries written
+/// (the column union size). The output buffers must have room for
+/// `na + nb` entries.
+std::size_t merge_add_columns(const Index* ac, const Value* av, std::size_t na, const Index* bc,
+                              const Value* bv, std::size_t nb, Index* out_col, Value* out_val);
+
+/// Sum of a value span (left fold from 0.0 in the scalar reference).
+Value sum_span(std::span<const Value> values);
+
+/// Max of a value span; 0.0 for an empty span. No-NaN contract.
+Value max_span(std::span<const Value> values);
+
+/// Entries with value >= lo and < hi (brightness-bin count).
+std::size_t count_in_range_span(std::span<const Value> values, Value lo, Value hi);
+
+/// Per-row sums: `sums[r] = sum(values[row_ptr[r] .. row_ptr[r+1]))` for
+/// each of the `sums.size()` rows; `row_ptr` holds one more entry than
+/// `sums` and its offsets index into `values`.
+void row_sums(std::span<const std::uint64_t> row_ptr, std::span<const Value> values,
+              std::span<Value> sums);
+
+// ---- scalar reference implementations ----------------------------------
+
+void radix_sort_u64_scalar(std::uint64_t* keys, std::size_t n,
+                           std::vector<std::uint64_t>& scratch);
+std::size_t merge_add_columns_scalar(const Index* ac, const Value* av, std::size_t na,
+                                     const Index* bc, const Value* bv, std::size_t nb,
+                                     Index* out_col, Value* out_val);
+Value sum_span_scalar(std::span<const Value> values);
+Value max_span_scalar(std::span<const Value> values);
+std::size_t count_in_range_span_scalar(std::span<const Value> values, Value lo, Value hi);
+void row_sums_scalar(std::span<const std::uint64_t> row_ptr, std::span<const Value> values,
+                     std::span<Value> sums);
+
+// ---- AVX2 variants (coo_simd.cpp / dcsr_simd.cpp / reduce_simd.cpp; on
+// non-x86 builds each forwards to its scalar reference so the symbols
+// always link — dispatch never selects them there) ------------------------
+
+void radix_sort_u64_avx2(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch);
+std::size_t merge_add_columns_avx2(const Index* ac, const Value* av, std::size_t na,
+                                   const Index* bc, const Value* bv, std::size_t nb,
+                                   Index* out_col, Value* out_val);
+Value sum_span_avx2(std::span<const Value> values);
+Value max_span_avx2(std::span<const Value> values);
+std::size_t count_in_range_span_avx2(std::span<const Value> values, Value lo, Value hi);
+void row_sums_avx2(std::span<const std::uint64_t> row_ptr, std::span<const Value> values,
+                   std::span<Value> sums);
+
+}  // namespace obscorr::gbl::kernels

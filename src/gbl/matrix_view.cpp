@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "gbl/kernels.hpp"
 
 namespace obscorr::gbl {
 
@@ -125,24 +126,14 @@ Value MatrixView::at(Index row, Index col) const {
   return val_[static_cast<std::size_t>(cit - col_.begin())];
 }
 
-Value MatrixView::reduce_sum() const {
-  Value total = 0.0;
-  for (const Value v : val_) total += v;
-  return total;
-}
+Value MatrixView::reduce_sum() const { return kernels::sum_span(val_); }
 
-Value MatrixView::reduce_max() const {
-  Value best = 0.0;
-  for (const Value v : val_) best = std::max(best, v);
-  return best;
-}
+Value MatrixView::reduce_max() const { return kernels::max_span(val_); }
 
 SparseVec MatrixView::reduce_rows() const {
   std::vector<Index> idx(row_ids_.begin(), row_ids_.end());
   std::vector<Value> sums(row_ids_.size(), 0.0);
-  for (std::size_t r = 0; r < row_ids_.size(); ++r) {
-    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sums[r] += val_[k];
-  }
+  kernels::row_sums(row_ptr_, val_, sums);
   return SparseVec(std::move(idx), std::move(sums));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "gbl/kernels.hpp"
 
 namespace obscorr::gbl {
 
@@ -21,24 +22,12 @@ Value SparseVec::at(Index i) const {
   return values_[static_cast<std::size_t>(it - indices_.begin())];
 }
 
-Value SparseVec::reduce_sum() const {
-  Value total = 0.0;
-  for (Value v : values_) total += v;
-  return total;
-}
+Value SparseVec::reduce_sum() const { return kernels::sum_span(values_); }
 
-Value SparseVec::reduce_max() const {
-  Value best = 0.0;
-  for (Value v : values_) best = std::max(best, v);
-  return best;
-}
+Value SparseVec::reduce_max() const { return kernels::max_span(values_); }
 
 std::size_t SparseVec::count_in_range(Value lo, Value hi) const {
-  std::size_t n = 0;
-  for (Value v : values_) {
-    if (v >= lo && v < hi) ++n;
-  }
-  return n;
+  return kernels::count_in_range_span(values_, lo, hi);
 }
 
 bool SparseVec::all_positive() const {

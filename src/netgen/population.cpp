@@ -100,17 +100,22 @@ Population::Population(const PopulationConfig& config) : config_(config) {
     const std::uint32_t top = candidate >> 24;
     return top != 0 && top != 10 && top != 77 && top != 127 && top < 224;
   };
-  // Block bases first so members can claim contiguous runs.
+  // Block bases first so members can claim contiguous runs. At this
+  // point `used` holds only members of previously placed blocks, every
+  // base is /24-aligned, and members stay inside their base's /24 — so a
+  // candidate clashes exactly when some earlier block drew the *same*
+  // base. One probe of the claimed bases replaces the member-by-member
+  // scan (whose cost grew with the block size) and accepts/rejects the
+  // identical candidate sequence, so every drawn IP is unchanged.
   std::vector<std::uint32_t> block_base(block_count_);
+  std::unordered_set<std::uint32_t> claimed_bases;
+  claimed_bases.reserve(block_count_ * 2);
   for (std::size_t b = 0; b < block_count_; ++b) {
     for (;;) {
       const std::uint32_t base = ip_rng.next_u32() & ~0xFFu;
       if (!top_ok(base)) continue;
-      bool clash = false;
-      for (std::size_t j = 0; j < config.botnet_block_size && !clash; ++j) {
-        clash = used.contains(base + static_cast<std::uint32_t>(j));
-      }
-      if (clash) continue;
+      if (!claimed_bases.insert(base).second) continue;
+      // Members still enter `used` so the singles draw below avoids them.
       for (std::size_t j = 0; j < config.botnet_block_size; ++j) {
         used.insert(base + static_cast<std::uint32_t>(j));
       }

@@ -4,19 +4,11 @@
 
 #include "common/error.hpp"
 #include "common/prng.hpp"
+#include "common/simd.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 
 namespace obscorr::netgen {
-
-namespace {
-
-/// Per-shard stream-id offset: the golden-ratio increment (SplitMix64's
-/// own gamma) keeps shard streams far apart in id space. Shard 0 offsets
-/// by zero, preserving the historical unsharded stream ids.
-constexpr std::uint64_t kShardStreamGamma = 0x9E3779B97F4A7C15ULL;
-
-}  // namespace
 
 TrafficGenerator::TrafficGenerator(const Population& population, TrafficConfig config)
     : population_(population), config_(config) {
@@ -63,10 +55,20 @@ WindowPlan TrafficGenerator::plan_window(int month) const {
   std::vector<std::uint32_t> active = population_.active_sources(month);
   OBSCORR_REQUIRE(!active.empty(), "stream_window: no active sources this month");
   std::vector<double> weights(active.size());
+  std::vector<std::uint32_t> src_ips(active.size());
+  // Strategies depend only on (population seed, source index), so every
+  // shard of every window would re-derive the same values on its first
+  // valid packet per source; deriving them once here takes them (and
+  // their per-call RNG construction) out of the per-shard hot loop.
+  std::vector<ScanStrategy> strategies(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) {
-    weights[i] = population_.source(active[i]).weight;
+    const SourceRecord& rec = population_.source(active[i]);
+    weights[i] = rec.weight;
+    src_ips[i] = rec.ip.value();
+    strategies[i] = strategy_of(active[i]);
   }
-  return WindowPlan(month, std::move(active), AliasTable(weights));
+  return WindowPlan(month, std::move(active), std::move(src_ips), std::move(strategies),
+                    AliasTable(weights));
 }
 
 std::uint64_t TrafficGenerator::stream_window(
@@ -93,8 +95,37 @@ std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
                                                      ShardScratch& scratch, const BatchSink& sink,
                                                      std::size_t batch_packets) const {
   OBSCORR_REQUIRE(batch_packets > 0, "stream_shard_batched: batch must be positive");
+  OBSCORR_REQUIRE(!plan.active.empty(), "stream_shard_batched: plan has no active sources");
+  ShardStats st;
+  if (simd::use_avx2()) {
+    if (obs::counters_enabled()) {
+      static obs::Counter& ingest = obs::counter("simd.dispatch_ingest");
+      ingest.add(1);
+    }
+    st = stream_shard_avx2(plan, shard_valid_count, salt, shard, scratch, sink, batch_packets);
+  } else {
+    st = stream_shard_scalar(plan, shard_valid_count, salt, shard, scratch, sink, batch_packets);
+  }
+  if (obs::counters_enabled()) {
+    static obs::Counter& packets = obs::counter("netgen.packets_emitted");
+    static obs::Counter& valid_packets = obs::counter("netgen.valid_packets");
+    static obs::Counter& shards = obs::counter("netgen.shards_generated");
+    static obs::Counter& streams = obs::counter("netgen.rng_streams");
+    packets.add(st.emitted);
+    valid_packets.add(st.valid);
+    shards.add(1);
+    // Two fixed streams (source selection, destinations) plus one lazy
+    // init stream per fresh per-source scan state.
+    streams.add(2 + st.fresh_source_states);
+  }
+  return st.emitted;
+}
+
+TrafficGenerator::ShardStats TrafficGenerator::stream_shard_scalar(
+    const WindowPlan& plan, std::uint64_t shard_valid_count, std::uint64_t salt,
+    std::uint64_t shard, ShardScratch& scratch, const BatchSink& sink,
+    std::size_t batch_packets) const {
   const std::vector<std::uint32_t>& active = plan.active;
-  OBSCORR_REQUIRE(!active.empty(), "stream_shard_batched: plan has no active sources");
   const std::uint64_t month = static_cast<std::uint64_t>(plan.month);
   const std::uint64_t stream_offset = shard * kShardStreamGamma;
 
@@ -123,9 +154,8 @@ std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
   std::vector<Packet>& buffer = scratch.buffer_;
   buffer.clear();
   buffer.reserve(batch_packets);
-  std::uint64_t emitted = 0;
-  std::uint64_t valid = 0;
-  std::uint64_t fresh_source_states = 0;  // one init RNG stream each
+  ShardStats st;
+  std::uint64_t& valid = st.valid;
   while (valid < shard_valid_count) {
     Packet p;
     if (rng.bernoulli(config_.legit_fraction)) {
@@ -139,13 +169,13 @@ std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
       p.src = population_.source(source_index).ip;
       ShardScratch::SourceState& s = scratch.state_[pick];
       if (s.stamp != epoch) {
-        s.strategy = strategy_of(source_index);
+        s.strategy = plan.strategies[pick];
         Rng init(population_.config().seed, std::uint64_t{0x900000000} + source_index * 31 +
                                                 salt + stream_offset);
         s.cursor = init.uniform_u64(dark_size);
         s.subnet_base = (init.uniform_u64(dark_size) / block) * block;
         s.stamp = epoch;
-        ++fresh_source_states;
+        ++st.fresh_source_states;
       }
       switch (s.strategy) {
         case ScanStrategy::kUniform:
@@ -153,7 +183,7 @@ std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
           break;
         case ScanStrategy::kSequential:
           p.dst = config_.darkspace.at(s.cursor);
-          s.cursor = (s.cursor + 1) % dark_size;
+          s.cursor = s.cursor + 1 == dark_size ? 0 : s.cursor + 1;
           break;
         case ScanStrategy::kSubnet:
           p.dst = config_.darkspace.at(s.subnet_base + dst_rng.uniform_u64(block));
@@ -162,26 +192,14 @@ std::uint64_t TrafficGenerator::stream_shard_batched(const WindowPlan& plan,
       ++valid;
     }
     buffer.push_back(p);
-    ++emitted;
+    ++st.emitted;
     if (buffer.size() == batch_packets) {
       sink(buffer);
       buffer.clear();
     }
   }
   if (!buffer.empty()) sink(buffer);
-  if (obs::counters_enabled()) {
-    static obs::Counter& packets = obs::counter("netgen.packets_emitted");
-    static obs::Counter& valid_packets = obs::counter("netgen.valid_packets");
-    static obs::Counter& shards = obs::counter("netgen.shards_generated");
-    static obs::Counter& streams = obs::counter("netgen.rng_streams");
-    packets.add(emitted);
-    valid_packets.add(valid);
-    shards.add(1);
-    // Two fixed streams (source selection, destinations) plus one lazy
-    // init stream per fresh per-source scan state.
-    streams.add(2 + fresh_source_states);
-  }
-  return emitted;
+  return st;
 }
 
 }  // namespace obscorr::netgen

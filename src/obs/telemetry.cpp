@@ -33,6 +33,10 @@ constexpr const char* kCanonicalCounters[] = {
     "netgen.shards_generated",
     "netgen.valid_packets",
     "netgen.windows_planned",
+    "simd.dispatch_ingest",
+    "simd.dispatch_merge",
+    "simd.dispatch_radix",
+    "simd.dispatch_reduce",
     "telescope.anon_cache_hits",
     "telescope.anon_cache_misses",
     "telescope.discarded_packets",
@@ -44,6 +48,7 @@ constexpr const char* kCanonicalCounters[] = {
 };
 
 constexpr const char* kCanonicalGauges[] = {
+    "simd.tier",
     "threadpool.queue_high_water",
 };
 

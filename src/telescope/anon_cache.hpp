@@ -31,6 +31,16 @@ class AnonCache {
   /// Number of stored mappings (distinct addresses seen).
   std::size_t size() const { return size_; }
 
+  /// Hint that `key` will be probed shortly: pulls the probe-start slot
+  /// (and its occupancy byte) toward the cache. Batched ingest loops call
+  /// this a few packets ahead so the table's random-access misses overlap
+  /// with the packets in between; it never changes what `find` returns.
+  void prefetch(std::uint32_t key) const {
+    const std::size_t i = probe_start(key);
+    __builtin_prefetch(&used_[i]);
+    __builtin_prefetch(&slots_[i]);
+  }
+
  private:
   struct Slot {
     std::uint32_t key = 0;

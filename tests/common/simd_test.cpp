@@ -1,0 +1,74 @@
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace obscorr::simd {
+namespace {
+
+/// Restores auto dispatch whatever a test does to the override slot.
+class TierGuard {
+ public:
+  TierGuard() = default;
+  ~TierGuard() { set_tier(std::nullopt); }
+};
+
+TEST(SimdDispatchTest, DetectedTierIsStableAndOrdered) {
+  const Tier first = detected_tier();
+  EXPECT_GE(first, Tier::kScalar);
+  EXPECT_LE(first, Tier::kAvx2);
+  EXPECT_EQ(detected_tier(), first);  // cached, not re-probed
+}
+
+TEST(SimdDispatchTest, ParseTierAcceptsCanonicalNames) {
+  EXPECT_EQ(parse_tier("scalar"), Tier::kScalar);
+  EXPECT_EQ(parse_tier("sse42"), Tier::kSse42);
+  EXPECT_EQ(parse_tier("avx2"), Tier::kAvx2);
+  EXPECT_EQ(parse_tier(""), std::nullopt);
+  EXPECT_EQ(parse_tier("AVX2"), std::nullopt);
+  EXPECT_EQ(parse_tier("avx512"), std::nullopt);
+  EXPECT_EQ(parse_tier("auto"), std::nullopt);
+}
+
+TEST(SimdDispatchTest, TierNamesRoundTripThroughParse) {
+  for (const Tier t : {Tier::kScalar, Tier::kSse42, Tier::kAvx2}) {
+    EXPECT_EQ(parse_tier(tier_name(t)), t);
+  }
+}
+
+TEST(SimdDispatchTest, ForcedScalarAlwaysWins) {
+  const TierGuard guard;
+  set_tier(Tier::kScalar);
+  EXPECT_EQ(active_tier(), Tier::kScalar);
+  EXPECT_FALSE(use_avx2());
+}
+
+TEST(SimdDispatchTest, ForcedTierClampsToDetection) {
+  const TierGuard guard;
+  // Requesting more than the host supports silently degrades: the active
+  // tier never exceeds what cpuid reported, so every kernel stays safe.
+  set_tier(Tier::kAvx2);
+  EXPECT_EQ(active_tier(), detected_tier() < Tier::kAvx2 ? detected_tier() : Tier::kAvx2);
+  set_tier(Tier::kSse42);
+  EXPECT_LE(active_tier(), Tier::kSse42);
+}
+
+TEST(SimdDispatchTest, AutoNeverExceedsDetection) {
+  const TierGuard guard;
+  set_tier(std::nullopt);
+  // The environment cap (OBSCORR_SIMD) may lower this further, so the
+  // only portable invariant is the detection ceiling.
+  EXPECT_LE(active_tier(), detected_tier());
+}
+
+TEST(SimdDispatchTest, UseAvx2MatchesActiveTier) {
+  const TierGuard guard;
+  set_tier(Tier::kScalar);
+  EXPECT_EQ(use_avx2(), active_tier() >= Tier::kAvx2);
+  set_tier(Tier::kAvx2);
+  EXPECT_EQ(use_avx2(), active_tier() >= Tier::kAvx2);
+}
+
+}  // namespace
+}  // namespace obscorr::simd

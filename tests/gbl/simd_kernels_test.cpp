@@ -1,0 +1,172 @@
+/// Differential tests for the SIMD kernel variants: every AVX2 kernel
+/// must produce byte-identical output to its scalar reference on
+/// randomized inputs. Sum-style reductions are exercised with
+/// integer-valued doubles — the documented bit-identity contract (see
+/// kernels.hpp) covers exactly that domain, which is what the pipeline
+/// feeds them (packet counts). Order-insensitive kernels (max, count,
+/// sort, merge) are exercised on arbitrary values.
+
+#include "gbl/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/simd.hpp"
+#include "gbl/types.hpp"
+
+namespace obscorr::gbl::kernels {
+namespace {
+
+bool have_avx2() { return simd::detected_tier() >= simd::Tier::kAvx2; }
+
+std::vector<std::uint64_t> random_keys(Rng& rng, std::size_t n, int key_bits) {
+  std::vector<std::uint64_t> keys(n);
+  const std::uint64_t mask = key_bits >= 64 ? ~0ULL : (1ULL << key_bits) - 1;
+  for (auto& k : keys) k = rng.next() & mask;
+  return keys;
+}
+
+TEST(SimdKernelsTest, RadixSortMatchesScalarAndStdSort) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  Rng rng(7);
+  // Sweep sizes across the unrolled main loop and its tails, and key
+  // widths that trigger the constant-digit skip in different passes.
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 63u, 64u, 1000u, 4096u, 100000u}) {
+    for (const int bits : {16, 33, 64}) {
+      std::vector<std::uint64_t> base = random_keys(rng, n, bits);
+      std::vector<std::uint64_t> a = base, b = base, c = base;
+      std::vector<std::uint64_t> scratch_a, scratch_b;
+      radix_sort_u64_scalar(a.data(), a.size(), scratch_a);
+      radix_sort_u64_avx2(b.data(), b.size(), scratch_b);
+      std::sort(c.begin(), c.end());
+      EXPECT_EQ(a, c) << "scalar vs std::sort, n=" << n << " bits=" << bits;
+      EXPECT_EQ(b, c) << "avx2 vs std::sort, n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+/// A sorted strictly-increasing column run with values.
+struct ColRun {
+  std::vector<Index> col;
+  std::vector<Value> val;
+};
+
+ColRun random_run(Rng& rng, std::size_t n, Index col_range, bool integer_values) {
+  std::set<Index> cols;
+  while (cols.size() < n) cols.insert(static_cast<Index>(rng.uniform_u64(col_range)));
+  ColRun r;
+  for (const Index c : cols) {
+    r.col.push_back(c);
+    r.val.push_back(integer_values ? static_cast<Value>(rng.uniform_u64(1 << 20))
+                                   : rng.uniform(-1e6, 1e6));
+  }
+  return r;
+}
+
+TEST(SimdKernelsTest, MergeAddColumnsMatchesScalar) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  Rng rng(11);
+  // col_range shapes the overlap: tight ranges force equal columns and
+  // interleaves, wide ranges force long disjoint runs (the gallop path).
+  struct Shape {
+    std::size_t na, nb;
+    Index col_range;
+  };
+  const Shape shapes[] = {{0, 50, 1000},    {50, 0, 1000},    {1, 1, 2},
+                          {100, 100, 150},  {500, 500, 4000}, {1000, 30, 1 << 20},
+                          {30, 1000, 1 << 20}, {2000, 2000, 1 << 14}, {4096, 4096, 1 << 30}};
+  for (const Shape& s : shapes) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const ColRun a = random_run(rng, s.na, s.col_range, rep % 2 == 0);
+      const ColRun b = random_run(rng, s.nb, s.col_range, rep % 2 == 0);
+      std::vector<Index> col_s(s.na + s.nb), col_v(s.na + s.nb);
+      std::vector<Value> val_s(s.na + s.nb), val_v(s.na + s.nb);
+      const std::size_t out_s =
+          merge_add_columns_scalar(a.col.data(), a.val.data(), a.col.size(), b.col.data(),
+                                   b.val.data(), b.col.size(), col_s.data(), val_s.data());
+      const std::size_t out_v =
+          merge_add_columns_avx2(a.col.data(), a.val.data(), a.col.size(), b.col.data(),
+                                 b.val.data(), b.col.size(), col_v.data(), val_v.data());
+      ASSERT_EQ(out_s, out_v);
+      col_s.resize(out_s);
+      col_v.resize(out_v);
+      val_s.resize(out_s);
+      val_v.resize(out_v);
+      EXPECT_EQ(col_s, col_v);
+      EXPECT_EQ(val_s, val_v);  // equal cells sum in the same order -> bitwise equal
+    }
+  }
+}
+
+TEST(SimdKernelsTest, SumSpanBitIdenticalOnIntegerValues) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  Rng rng(13);
+  for (const std::size_t n : {0u, 1u, 15u, 16u, 17u, 255u, 1000u, 65536u, 100001u}) {
+    std::vector<Value> v(n);
+    for (auto& x : v) x = static_cast<Value>(rng.uniform_u64(1 << 24));
+    EXPECT_EQ(sum_span_scalar(v), sum_span_avx2(v)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, MaxSpanBitIdenticalOnArbitraryValues) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  Rng rng(17);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 1000u, 65537u}) {
+    std::vector<Value> v(n);
+    for (auto& x : v) x = rng.uniform(0.0, 1e9);  // pipeline values are non-negative
+    EXPECT_EQ(max_span_scalar(v), max_span_avx2(v)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelsTest, CountInRangeMatchesScalar) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  Rng rng(19);
+  for (const std::size_t n : {0u, 1u, 4u, 100u, 4095u, 4096u, 4097u}) {
+    std::vector<Value> v(n);
+    for (auto& x : v) x = rng.uniform(0.0, 100.0);
+    const std::pair<double, double> ranges[] = {{0.0, 100.0}, {25.0, 75.0}, {50.0, 50.0}};
+    for (const auto& [lo, hi] : ranges) {
+      EXPECT_EQ(count_in_range_span_scalar(v, lo, hi), count_in_range_span_avx2(v, lo, hi))
+          << "n=" << n << " lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, RowSumsBitIdenticalOnIntegerValues) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  Rng rng(23);
+  // Mixed row lengths: below and above the kernel's scalar/vector cutoff.
+  std::vector<std::uint64_t> row_ptr{0};
+  for (const std::size_t len : {1u, 2u, 15u, 16u, 17u, 100u, 3u, 1000u, 8u, 31u}) {
+    row_ptr.push_back(row_ptr.back() + len);
+  }
+  std::vector<Value> values(row_ptr.back());
+  for (auto& x : values) x = static_cast<Value>(rng.uniform_u64(1 << 20));
+  std::vector<Value> sums_s(row_ptr.size() - 1, 0.0), sums_v(row_ptr.size() - 1, 0.0);
+  row_sums_scalar(row_ptr, values, sums_s);
+  row_sums_avx2(row_ptr, values, sums_v);
+  EXPECT_EQ(sums_s, sums_v);
+}
+
+TEST(SimdKernelsTest, DispatchedKernelsFollowForcedTier) {
+  Rng rng(29);
+  std::vector<std::uint64_t> keys = random_keys(rng, 5000, 64);
+  std::vector<std::uint64_t> expect = keys;
+  std::sort(expect.begin(), expect.end());
+  for (const simd::Tier tier : {simd::Tier::kScalar, simd::Tier::kAvx2}) {
+    simd::set_tier(tier);
+    std::vector<std::uint64_t> work = keys;
+    std::vector<std::uint64_t> scratch;
+    radix_sort_u64(work.data(), work.size(), scratch);
+    EXPECT_EQ(work, expect) << "tier=" << tier_name(tier);
+  }
+  simd::set_tier(std::nullopt);
+}
+
+}  // namespace
+}  // namespace obscorr::gbl::kernels

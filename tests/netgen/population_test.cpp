@@ -176,5 +176,32 @@ TEST(PopulationTest, NegativeMonthRejected) {
   EXPECT_THROW(pop.active(pop.size(), 0), std::invalid_argument);
 }
 
+TEST(PopulationTest, CollisionHeavyBlockLayoutKeepsIpsUniqueAndContiguous) {
+  // 25,000 two-member blocks draw /24 bases from a few-million-slot
+  // space, so base collisions are all but guaranteed — the retry probe
+  // must catch every one. This is the regression test for the clash
+  // check that used to rescan `used` member by member.
+  PopulationConfig c = small_config();
+  c.population = 50000;
+  c.botnet_fraction = 1.0;
+  c.botnet_block_size = 2;
+  const Population pop(c);
+  ASSERT_EQ(pop.block_count(), 25000u);
+  std::set<std::uint32_t> ips;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    EXPECT_TRUE(ips.insert(pop.source(i).ip.value()).second)
+        << "duplicate ip for source " << i;
+  }
+  // Every block's members sit at consecutive addresses inside one /24.
+  for (std::size_t i = 0; i + 1 < pop.size(); ++i) {
+    const int b = pop.block_of(i);
+    if (b < 0 || pop.block_of(i + 1) != b) continue;
+    const std::uint32_t a = pop.source(i).ip.value();
+    const std::uint32_t n = pop.source(i + 1).ip.value();
+    EXPECT_EQ(n, a + 1);
+    EXPECT_EQ(n >> 8, a >> 8) << "block " << b << " straddles a /24";
+  }
+}
+
 }  // namespace
 }  // namespace obscorr::netgen

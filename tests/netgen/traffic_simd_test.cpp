@@ -1,0 +1,127 @@
+/// Differential tests for the AVX2 ingest path: the packet stream from
+/// `stream_shard_batched` must be byte-identical under every dispatch
+/// tier, on every shard, for every batch size and legit fraction. This
+/// is the correctness oracle for the vectorized alias sampling — the
+/// scalar path is the reference, and any divergence in RNG draw order,
+/// alias resolution, or scan-state evolution shows up as a differing
+/// packet.
+
+#include "netgen/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/packet.hpp"
+#include "common/simd.hpp"
+#include "netgen/population.hpp"
+
+namespace obscorr::netgen {
+namespace {
+
+PopulationConfig small_population(std::uint64_t seed = 42) {
+  PopulationConfig c;
+  c.population = 2048;
+  c.log2_nv = 14;
+  c.seed = seed;
+  return c;
+}
+
+std::vector<Packet> collect_shard(const TrafficGenerator& gen, const WindowPlan& plan,
+                                  std::uint64_t valid, std::uint64_t salt, std::uint64_t shard,
+                                  std::size_t batch_packets, simd::Tier tier) {
+  simd::set_tier(tier);
+  ShardScratch scratch;
+  std::vector<Packet> out;
+  gen.stream_shard_batched(plan, valid, salt, shard, scratch,
+                           [&](std::span<const Packet> b) { out.insert(out.end(), b.begin(), b.end()); },
+                           batch_packets);
+  simd::set_tier(std::nullopt);
+  return out;
+}
+
+void expect_identical_streams(const TrafficConfig& traffic, std::uint64_t valid,
+                              std::uint64_t shard, std::size_t batch_packets) {
+  const Population population(small_population());
+  const TrafficGenerator gen(population, traffic);
+  const WindowPlan plan = gen.plan_window(0);
+  const std::vector<Packet> scalar =
+      collect_shard(gen, plan, valid, /*salt=*/3, shard, batch_packets, simd::Tier::kScalar);
+  const std::vector<Packet> vectorized =
+      collect_shard(gen, plan, valid, /*salt=*/3, shard, batch_packets, simd::Tier::kAvx2);
+  ASSERT_EQ(scalar.size(), vectorized.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_EQ(scalar[i].src.value(), vectorized[i].src.value()) << "packet " << i;
+    ASSERT_EQ(scalar[i].dst.value(), vectorized[i].dst.value()) << "packet " << i;
+  }
+}
+
+bool have_avx2() { return simd::detected_tier() >= simd::Tier::kAvx2; }
+
+TEST(TrafficSimdTest, ShardStreamIdenticalAcrossTiers) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  expect_identical_streams(TrafficConfig{}, /*valid=*/20000, /*shard=*/0, /*batch=*/8192);
+}
+
+TEST(TrafficSimdTest, NonzeroShardIdenticalAcrossTiers) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  expect_identical_streams(TrafficConfig{}, /*valid=*/5000, /*shard=*/7, /*batch=*/8192);
+}
+
+TEST(TrafficSimdTest, BatchBoundariesDoNotLeakIntoTheStream) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  // Batch sizes around the SIMD staging width (128) and odd sizes that
+  // force flushes mid-batch.
+  for (const std::size_t batch : {1u, 3u, 127u, 128u, 129u, 1000u}) {
+    expect_identical_streams(TrafficConfig{}, /*valid=*/3000, /*shard=*/1, batch);
+  }
+}
+
+TEST(TrafficSimdTest, HeavyLegitTrafficIdenticalAcrossTiers) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  TrafficConfig traffic;
+  traffic.legit_fraction = 0.4;  // interrupts nearly every SIMD batch
+  expect_identical_streams(traffic, /*valid=*/10000, /*shard=*/0, /*batch=*/512);
+}
+
+TEST(TrafficSimdTest, ZeroLegitFractionIdenticalAcrossTiers) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  TrafficConfig traffic;
+  traffic.legit_fraction = 0.0;  // bernoulli consumes no draw at all
+  expect_identical_streams(traffic, /*valid=*/10000, /*shard=*/2, /*batch=*/8192);
+}
+
+TEST(TrafficSimdTest, SingleStrategyMixturesIdenticalAcrossTiers) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  for (int which = 0; which < 3; ++which) {
+    TrafficConfig traffic;
+    traffic.uniform_weight = which == 0 ? 1.0 : 0.0;
+    traffic.sequential_weight = which == 1 ? 1.0 : 0.0;
+    traffic.subnet_weight = which == 2 ? 1.0 : 0.0;
+    expect_identical_streams(traffic, /*valid=*/5000, /*shard=*/0, /*batch=*/4096);
+  }
+}
+
+TEST(TrafficSimdTest, TinyShardCountsIdenticalAcrossTiers) {
+  if (!have_avx2()) GTEST_SKIP() << "host has no AVX2";
+  for (const std::uint64_t valid : {0u, 1u, 2u, 127u, 128u, 129u, 255u}) {
+    expect_identical_streams(TrafficConfig{}, valid, /*shard=*/0, /*batch=*/64);
+  }
+}
+
+TEST(TrafficSimdTest, PlanCarriesGatherTables) {
+  const Population population(small_population());
+  const TrafficGenerator gen(population, TrafficConfig{});
+  const WindowPlan plan = gen.plan_window(0);
+  ASSERT_EQ(plan.src_ips.size(), plan.active.size());
+  ASSERT_EQ(plan.strategies.size(), plan.active.size());
+  for (std::size_t i = 0; i < plan.active.size(); ++i) {
+    EXPECT_EQ(plan.src_ips[i], population.source(plan.active[i]).ip.value());
+    EXPECT_EQ(plan.strategies[i], gen.strategy_of(plan.active[i]));
+  }
+}
+
+}  // namespace
+}  // namespace obscorr::netgen

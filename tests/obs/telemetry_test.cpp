@@ -256,6 +256,10 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
       "netgen.shards_generated",
       "netgen.valid_packets",
       "netgen.windows_planned",
+      "simd.dispatch_ingest",
+      "simd.dispatch_merge",
+      "simd.dispatch_radix",
+      "simd.dispatch_reduce",
       "telescope.anon_cache_hits",
       "telescope.anon_cache_misses",
       "telescope.discarded_packets",
@@ -266,7 +270,11 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
       "threadpool.tasks_executed",
   };
   EXPECT_EQ(canonical_counter_names(), expected_counters);
-  EXPECT_EQ(canonical_gauge_names(), std::vector<std::string>{"threadpool.queue_high_water"});
+  const std::vector<std::string> expected_gauges = {
+      "simd.tier",
+      "threadpool.queue_high_water",
+  };
+  EXPECT_EQ(canonical_gauge_names(), expected_gauges);
 
   // Tripwire: any registry counter named with a pipeline prefix must be
   // canonical — an instrumentation site can't invent names on the side.
@@ -275,7 +283,7 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
     for (const std::string& prefix : {std::string("netgen."), std::string("telescope."),
                                       std::string("archive."), std::string("threadpool."),
                                       std::string("study."), std::string("core."),
-                                      std::string("stats.")}) {
+                                      std::string("stats."), std::string("simd.")}) {
       if (s.name.rfind(prefix, 0) == 0) {
         EXPECT_TRUE(canonical.count(s.name) == 1) << "non-canonical counter: " << s.name;
       }

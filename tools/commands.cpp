@@ -10,6 +10,7 @@
 #include "common/cli.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "core/correlation.hpp"
 #include "core/degree_analysis.hpp"
@@ -57,6 +58,23 @@ std::size_t thread_option(const CliArgs& args) {
   return static_cast<std::size_t>(resolve_thread_count(args.get_int("threads", 0)));
 }
 
+/// Kernel dispatch tier for this invocation: --simd scalar|sse42|avx2|auto
+/// beats OBSCORR_SIMD beats cpuid detection (requests above the detected
+/// tier clamp down). Outputs are byte-identical at any tier — the flag
+/// only changes speed. Must run before telemetry arms so the `simd.tier`
+/// gauge records the tier the kernels actually dispatch on.
+void simd_option(const CliArgs& args) {
+  const auto requested = args.get("simd");
+  if (!requested.has_value()) return;
+  if (*requested == "auto") {
+    simd::set_tier(std::nullopt);
+    return;
+  }
+  const auto tier = simd::parse_tier(*requested);
+  OBSCORR_REQUIRE(tier.has_value(), "--simd must be scalar, sse42, avx2, or auto");
+  simd::set_tier(*tier);
+}
+
 void reject_unused(const CliArgs& args) {
   const auto stray = args.unused();
   OBSCORR_REQUIRE(stray.empty(), "unknown option --" + (stray.empty() ? "" : stray.front()));
@@ -88,6 +106,7 @@ struct TelemetryOptions {
 };
 
 TelemetryOptions telemetry_options(const CliArgs& args) {
+  simd_option(args);
   TelemetryOptions t;
   t.timing = args.has("timing");
   t.metrics_out = args.get("metrics-out");
@@ -95,6 +114,7 @@ TelemetryOptions telemetry_options(const CliArgs& args) {
   if (t.active()) {
     obs::reset();
     obs::set_level(obs::Level::kFull);
+    obs::gauge("simd.tier").record_max(static_cast<std::uint64_t>(simd::active_tier()));
   }
   return t;
 }
@@ -117,7 +137,11 @@ void emit_telemetry(const TelemetryOptions& t, std::ostream& err) {
     obs::write_metrics_json(os);
     err << "wrote metrics to " << *t.metrics_out << '\n';
   }
-  if (t.timing) obs::write_timing_summary(err);
+  if (t.timing) {
+    err << "simd tier: " << simd::tier_name(simd::active_tier()) << " (detected "
+        << simd::tier_name(simd::detected_tier()) << ")\n";
+    obs::write_timing_summary(err);
+  }
 }
 
 }  // namespace
@@ -157,6 +181,10 @@ only changes wall-clock time.
 --from DIR reads a completed `obscorr archive` directory instead of
 recomputing; the archived scenario then supplies --log2-nv / --seed.
 a killed `archive` run resumes from its finished snapshots/months.
+every command accepts --simd scalar|sse42|avx2|auto (default: OBSCORR_SIMD,
+then cpuid detection) to pin the kernel dispatch tier; outputs are
+byte-identical at any tier — the flag only changes wall-clock time
+(docs/performance.md "SIMD dispatch").
 every command also accepts the telemetry flags (docs/observability.md):
   --timing            per-phase timing summary + per-window rates on stderr
   --metrics-out FILE  counter/gauge/span metrics as JSON (obscorr.metrics.v1)
