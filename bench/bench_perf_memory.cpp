@@ -1,0 +1,132 @@
+/// Memory-subsystem benchmarks: what the arena/pool layer actually buys
+/// on the capture hot path, isolated from kernel arithmetic.
+///
+/// - BM_CaptureWindowPooled / BM_CaptureWindowNoPool: the full capture
+///   window with buffer recycling on vs off (`BufferPool::set_recycle`)
+///   — the off column is what every window paid before this subsystem:
+///   fresh mmap + page faults for the whole working set per window.
+/// - BM_PoolAllocationRate / BM_FreshAllocationRate: the raw allocator
+///   wall for a pipeline-shaped block mix.
+/// - BM_ArenaResetCycle: the per-call cost of the kernels' frame-scoped
+///   scratch pattern.
+/// - BM_CaptureWindowPeakRss: one capture window with the process peak
+///   RSS reported as a benchmark counter (bytes), for the baseline JSON.
+///
+/// All variants produce byte-identical matrices — these benches measure
+/// where the bytes live, not what they hold (docs/performance.md,
+/// "Memory model").
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <span>
+
+#include "common/arena.hpp"
+#include "common/pool_alloc.hpp"
+#include "netgen/scenario.hpp"
+#include "netgen/traffic.hpp"
+#include "telescope/telescope.hpp"
+
+namespace {
+
+using namespace obscorr;
+
+void run_capture_window(benchmark::State& state, bool recycle) {
+  const int log2_nv = static_cast<int>(state.range(0));
+  const auto scenario = netgen::Scenario::paper(log2_nv, 42);
+  ThreadPool pool(2);
+  const netgen::Population population(scenario.population);
+  const netgen::TrafficGenerator generator(population, scenario.traffic);
+  telescope::TelescopeConfig cfg;
+  cfg.darkspace = scenario.traffic.darkspace;
+  cfg.legit_prefixes = {scenario.traffic.legit_prefix};
+  telescope::Telescope scope(cfg, pool);
+  mem::BufferPool::instance().set_recycle(recycle);
+  for (auto _ : state) {
+    generator.stream_window_batched(0, scenario.nv(), 1,
+                                    [&](std::span<const Packet> b) { scope.capture_block(b); });
+    benchmark::DoNotOptimize(scope.finish_window());
+  }
+  mem::BufferPool::instance().set_recycle(true);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(scenario.nv()));
+}
+
+void BM_CaptureWindowPooled(benchmark::State& state) { run_capture_window(state, true); }
+BENCHMARK(BM_CaptureWindowPooled)->Arg(16)->Arg(18)->Unit(benchmark::kMillisecond);
+
+void BM_CaptureWindowNoPool(benchmark::State& state) { run_capture_window(state, false); }
+BENCHMARK(BM_CaptureWindowNoPool)->Arg(16)->Arg(18)->Unit(benchmark::kMillisecond);
+
+/// The pipeline-shaped block mix: a packed-key block (1 MiB), a radix
+/// scatter buffer (1 MiB), DCSR col+val arrays (~1.5 MiB), a packet
+/// staging buffer (64 KiB). Touch one byte per page so the no-pool
+/// column pays the faults a real consumer pays.
+constexpr std::size_t kMixBytes[] = {1u << 20, 1u << 20, 3u << 19, 1u << 16};
+
+void touch_pages(void* p, std::size_t bytes) {
+  auto* b = static_cast<unsigned char*>(p);
+  for (std::size_t i = 0; i < bytes; i += 4096) b[i] = 1;
+}
+
+void run_allocation_rate(benchmark::State& state, bool recycle) {
+  mem::BufferPool::instance().set_recycle(recycle);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    for (const std::size_t bytes : kMixBytes) {
+      void* p = mem::BufferPool::instance().allocate(bytes);
+      touch_pages(p, bytes);
+      benchmark::DoNotOptimize(p);
+      mem::BufferPool::instance().deallocate(p, bytes);
+      total += bytes;
+    }
+  }
+  mem::BufferPool::instance().set_recycle(true);
+  state.SetBytesProcessed(static_cast<std::int64_t>(total));
+}
+
+void BM_PoolAllocationRate(benchmark::State& state) { run_allocation_rate(state, true); }
+BENCHMARK(BM_PoolAllocationRate);
+
+void BM_FreshAllocationRate(benchmark::State& state) { run_allocation_rate(state, false); }
+BENCHMARK(BM_FreshAllocationRate);
+
+void BM_ArenaResetCycle(benchmark::State& state) {
+  // The radix kernel's exact scratch shape: an n-key scatter buffer plus
+  // the 6x2048 histogram, taken and rewound per sealed block.
+  const std::size_t n = 1u << 17;
+  mem::Arena arena;
+  for (auto _ : state) {
+    const mem::Arena::Frame frame(arena);
+    std::span<std::uint64_t> scratch = arena.alloc_span<std::uint64_t>(n);
+    std::span<std::size_t> hist = arena.alloc_span<std::size_t>(6 * 2048);
+    std::memset(hist.data(), 0, hist.size_bytes());
+    scratch[0] = 1;
+    scratch[n - 1] = 2;
+    benchmark::DoNotOptimize(scratch.data());
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8 + 6 * 2048 * 8));
+}
+BENCHMARK(BM_ArenaResetCycle);
+
+void BM_CaptureWindowPeakRss(benchmark::State& state) {
+  const auto scenario = netgen::Scenario::paper(18, 42);
+  ThreadPool pool(2);
+  const netgen::Population population(scenario.population);
+  const netgen::TrafficGenerator generator(population, scenario.traffic);
+  telescope::TelescopeConfig cfg;
+  cfg.darkspace = scenario.traffic.darkspace;
+  cfg.legit_prefixes = {scenario.traffic.legit_prefix};
+  telescope::Telescope scope(cfg, pool);
+  for (auto _ : state) {
+    generator.stream_window_batched(0, scenario.nv(), 1,
+                                    [&](std::span<const Packet> b) { scope.capture_block(b); });
+    benchmark::DoNotOptimize(scope.finish_window());
+  }
+  state.counters["peak_rss_bytes"] = static_cast<double>(mem::peak_rss_bytes());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(scenario.nv()));
+}
+BENCHMARK(BM_CaptureWindowPeakRss)->Unit(benchmark::kMillisecond);
+
+}  // namespace

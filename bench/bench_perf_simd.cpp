@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/prng.hpp"
 #include "common/simd.hpp"
 #include "gbl/kernels.hpp"
@@ -46,12 +47,12 @@ void BM_RadixSortU64(benchmark::State& state) {
   constexpr std::size_t kKeys = 1 << 18;  // one accumulator block's sort
   std::vector<std::uint64_t> base(kKeys);
   for (auto& k : base) k = rng.next();
-  std::vector<std::uint64_t> keys, scratch;
+  std::vector<std::uint64_t> keys;
   for (auto _ : state) {
     state.PauseTiming();
     keys = base;
     state.ResumeTiming();
-    gbl::kernels::radix_sort_u64(keys.data(), keys.size(), scratch);
+    gbl::kernels::radix_sort_u64(keys.data(), keys.size(), mem::scratch_arena());
     benchmark::DoNotOptimize(keys.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kKeys));

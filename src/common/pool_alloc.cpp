@@ -1,0 +1,192 @@
+#include "common/pool_alloc.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <new>
+
+#include "common/asan.hpp"
+#include "common/env.hpp"
+#include "obs/telemetry.hpp"
+
+#if defined(__unix__)
+#include <sys/mman.h>
+#endif
+
+namespace obscorr::mem {
+
+namespace {
+
+void flush_pool_counters(bool hit, std::uint64_t outstanding) {
+  if (!obs::counters_enabled()) return;
+  static obs::Counter& hits = obs::counter("mem.pool_hits");
+  static obs::Counter& misses = obs::counter("mem.pool_misses");
+  static obs::Gauge& high_water = obs::gauge("mem.pool_high_water");
+  (hit ? hits : misses).add(1);
+  high_water.record_max(outstanding);
+}
+
+}  // namespace
+
+std::size_t BufferPool::class_index(std::size_t bytes) {
+  const std::size_t rounded = std::bit_ceil(std::max(bytes, kMinPooledBytes));
+  return static_cast<std::size_t>(std::countr_zero(rounded)) - kMinClassLog2;
+}
+
+std::size_t BufferPool::class_bytes(std::size_t bytes) {
+  if (bytes < kMinPooledBytes || bytes > kMaxPooledBytes) return bytes;
+  return std::bit_ceil(bytes);
+}
+
+BufferPool::BufferPool(Config config) : config_(config), recycle_(config.recycle) {}
+
+BufferPool::~BufferPool() { trim(); }
+
+BufferPool& BufferPool::instance() {
+  // Leaked: thread_local arenas (and so pooled blocks) are destroyed
+  // during thread/static teardown, which must still find a live pool.
+  static BufferPool* pool = new BufferPool(Config{
+      .hugepages = env_int("OBSCORR_NO_HUGEPAGES", 0) == 0,
+      .recycle = env_int("OBSCORR_NO_POOL", 0) == 0,
+  });
+  return *pool;
+}
+
+void* BufferPool::map_block(std::size_t bytes) {
+#if defined(__unix__)
+  if (bytes <= kMaxPooledBytes) {
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+#if defined(MADV_HUGEPAGE)
+      if (config_.hugepages && bytes >= kHugepageBytes &&
+          ::madvise(p, bytes, MADV_HUGEPAGE) == 0) {
+        const std::uint64_t total =
+            hugepage_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+        if (obs::counters_enabled()) {
+          static obs::Gauge& hugepages = obs::gauge("mem.hugepage_bytes");
+          hugepages.record_max(total);
+        }
+      }
+#endif
+      return p;
+    }
+  }
+#endif
+  // Graceful fallback (mmap exhausted/unavailable, or an over-kMaxPooledBytes
+  // request): aligned heap block, remembered so the final free matches.
+  void* p = ::operator new(bytes, std::align_val_t{kBlockAlignment});
+  const std::scoped_lock lock(heap_blocks_mutex_);
+  heap_blocks_.insert(p);
+  return p;
+}
+
+void BufferPool::unmap_block(void* ptr, std::size_t bytes) noexcept {
+  {
+    const std::scoped_lock lock(heap_blocks_mutex_);
+    const auto it = heap_blocks_.find(ptr);
+    if (it != heap_blocks_.end()) {
+      heap_blocks_.erase(it);
+      ::operator delete(ptr, std::align_val_t{kBlockAlignment});
+      return;
+    }
+  }
+#if defined(__unix__)
+  ::munmap(ptr, bytes);
+#else
+  (void)bytes;
+#endif
+}
+
+void BufferPool::note_outstanding(std::int64_t delta) {
+  const std::uint64_t now = outstanding_bytes_.fetch_add(static_cast<std::uint64_t>(delta),
+                                                         std::memory_order_relaxed) +
+                            static_cast<std::uint64_t>(delta);
+  if (delta <= 0) return;
+  std::uint64_t high = high_water_bytes_.load(std::memory_order_relaxed);
+  while (high < now &&
+         !high_water_bytes_.compare_exchange_weak(high, now, std::memory_order_relaxed)) {
+  }
+}
+
+void* BufferPool::allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes < kMinPooledBytes) return ::operator new(bytes);
+  const std::size_t size = class_bytes(bytes);
+  bool hit = false;
+  void* p = nullptr;
+  if (bytes <= kMaxPooledBytes) {
+    SizeClass& sc = classes_[class_index(bytes)];
+    const std::scoped_lock lock(sc.mutex);
+    if (recycle_.load(std::memory_order_relaxed) && !sc.free_list.empty()) {
+      p = sc.free_list.back();
+      sc.free_list.pop_back();
+      hit = true;
+    }
+  }
+  if (hit) {
+    cached_blocks_.fetch_sub(1, std::memory_order_relaxed);
+    OBSCORR_ASAN_UNPOISON(p, size);
+  } else {
+    p = map_block(size);
+  }
+  hits_.fetch_add(hit ? 1 : 0, std::memory_order_relaxed);
+  misses_.fetch_add(hit ? 0 : 1, std::memory_order_relaxed);
+  note_outstanding(static_cast<std::int64_t>(size));
+  flush_pool_counters(hit, outstanding_bytes_.load(std::memory_order_relaxed));
+  return p;
+}
+
+void BufferPool::deallocate(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  if (bytes < kMinPooledBytes) {
+    ::operator delete(ptr);
+    return;
+  }
+  const std::size_t size = class_bytes(bytes);
+  note_outstanding(-static_cast<std::int64_t>(size));
+  if (bytes <= kMaxPooledBytes && recycle_.load(std::memory_order_relaxed)) {
+    SizeClass& sc = classes_[class_index(bytes)];
+    const std::scoped_lock lock(sc.mutex);
+    if (sc.free_list.size() < config_.max_cached_per_class) {
+      sc.free_list.push_back(ptr);
+      cached_blocks_.fetch_add(1, std::memory_order_relaxed);
+      OBSCORR_ASAN_POISON(ptr, size);
+      return;
+    }
+  }
+  unmap_block(ptr, size);
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  return Stats{
+      .hits = hits_.load(std::memory_order_relaxed),
+      .misses = misses_.load(std::memory_order_relaxed),
+      .outstanding_bytes = outstanding_bytes_.load(std::memory_order_relaxed),
+      .high_water_bytes = high_water_bytes_.load(std::memory_order_relaxed),
+      .hugepage_bytes = hugepage_bytes_.load(std::memory_order_relaxed),
+      .cached_blocks = cached_blocks_.load(std::memory_order_relaxed),
+  };
+}
+
+void BufferPool::trim() {
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    std::vector<void*> drop;
+    {
+      const std::scoped_lock lock(classes_[c].mutex);
+      drop.swap(classes_[c].free_list);
+    }
+    const std::size_t size = std::size_t{1} << (kMinClassLog2 + c);
+    for (void* p : drop) {
+      OBSCORR_ASAN_UNPOISON(p, size);
+      unmap_block(p, size);
+    }
+    cached_blocks_.fetch_sub(drop.size(), std::memory_order_relaxed);
+  }
+}
+
+void BufferPool::set_recycle(bool on) {
+  recycle_.store(on, std::memory_order_relaxed);
+  if (!on) trim();
+}
+
+}  // namespace obscorr::mem

@@ -1,0 +1,166 @@
+#pragma once
+/// \file pool_alloc.hpp
+/// Size-classed recycling pool for the pipeline's recurring large blocks.
+///
+/// The capture pipeline allocates the same handful of big buffers over
+/// and over: packed-key block arrays, radix scatter buffers, DCSR column
+/// and value arrays, carry-merge outputs, packet staging buffers. glibc
+/// serves multi-megabyte requests straight from `mmap` and returns them
+/// with `munmap`, so every window re-faults its working set from zero
+/// pages — at bench scale the pipeline spends a large share of its time
+/// in page faults and kernel zeroing instead of the SIMD kernels
+/// (docs/performance.md, "Memory model").
+///
+/// `BufferPool` keeps those blocks alive: requests of 64 KiB and up are
+/// rounded to a power-of-two size class and served from a per-class free
+/// list when possible, so steady-state windows run at a ~100% hit rate
+/// with zero page-fault traffic. Fresh class blocks come from anonymous
+/// `mmap` and classes of 2 MiB+ are advised `MADV_HUGEPAGE` (graceful
+/// fallback when either is unavailable; `OBSCORR_NO_HUGEPAGES=1` forces
+/// it off). Pages are intentionally *not* pre-touched: first touch stays
+/// with the consuming thread, which keeps pages NUMA-local to their
+/// owner. Requests below 64 KiB pass through to `operator new` — small
+/// test matrices should not pin size-class blocks.
+///
+/// `PoolAllocator<T>` / `PoolVec<T>` adapt the pool to standard
+/// containers. Swapping a vector's allocator never changes its element
+/// sequence, so pool-backed pipeline output stays byte-identical to the
+/// heap-backed build (the golden-archive and determinism suites pin
+/// this).
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace obscorr::mem {
+
+/// Process-wide size-classed block pool. Thread-safe; `allocate` and
+/// `deallocate` take one per-class mutex on the pooled path.
+class BufferPool {
+ public:
+  struct Config {
+    /// Advise transparent hugepages for classes of `kHugepageBytes`+.
+    bool hugepages = true;
+    /// Cache freed blocks for reuse. Off, every deallocation releases to
+    /// the OS — the bench harness measures the allocator wall with this.
+    bool recycle = true;
+    /// Free-list depth per size class; blocks beyond it are released.
+    std::size_t max_cached_per_class = 8;
+  };
+
+  /// Pool totals since construction (always tracked; the `mem.pool_*`
+  /// telemetry mirrors the hit/miss/high-water values when armed). Only
+  /// pooled-class requests (>= kMinPooledBytes) are counted.
+  struct Stats {
+    std::uint64_t hits = 0;            ///< allocations served from a free list
+    std::uint64_t misses = 0;          ///< allocations that went to the OS
+    std::uint64_t outstanding_bytes = 0;  ///< pooled bytes currently handed out
+    std::uint64_t high_water_bytes = 0;   ///< max outstanding_bytes ever
+    std::uint64_t hugepage_bytes = 0;  ///< cumulative bytes advised MADV_HUGEPAGE
+    std::uint64_t cached_blocks = 0;   ///< blocks currently in free lists
+  };
+
+  explicit BufferPool(Config config);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// The process pool (leaked singleton, safe during static teardown).
+  /// Honors OBSCORR_NO_HUGEPAGES=1 and OBSCORR_NO_POOL=1 at first use.
+  static BufferPool& instance();
+
+  /// A block of at least `bytes` bytes. Pooled blocks (>= kMinPooledBytes)
+  /// are `kBlockAlignment`-aligned; smaller requests have `operator new`
+  /// alignment. Throws std::bad_alloc when the OS refuses.
+  void* allocate(std::size_t bytes);
+
+  /// Return a block; `bytes` must be the value passed to `allocate`.
+  void deallocate(void* ptr, std::size_t bytes) noexcept;
+
+  Stats stats() const;
+
+  /// Release every cached block to the OS.
+  void trim();
+
+  /// Toggle recycling at runtime (disabling trims the free lists).
+  void set_recycle(bool on);
+
+  bool hugepages_enabled() const { return config_.hugepages; }
+
+  /// Smallest request the pool manages; below it, plain heap.
+  static constexpr std::size_t kMinPooledBytes = std::size_t{1} << 16;  // 64 KiB
+  /// Largest pooled size class; above it, blocks are never cached.
+  static constexpr std::size_t kMaxPooledBytes = std::size_t{1} << 30;  // 1 GiB
+  /// Class size from which hugepage backing is advised.
+  static constexpr std::size_t kHugepageBytes = std::size_t{1} << 21;  // 2 MiB
+  /// Alignment of every pooled block (page-aligned via mmap or aligned new).
+  static constexpr std::size_t kBlockAlignment = 4096;
+
+  /// Bytes actually reserved for a request: the enclosing power-of-two
+  /// size class for pooled sizes, the request itself otherwise.
+  static std::size_t class_bytes(std::size_t bytes);
+
+ private:
+  static constexpr std::size_t kMinClassLog2 = 16;
+  static constexpr std::size_t kMaxClassLog2 = 30;
+  static constexpr std::size_t kClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+  struct alignas(64) SizeClass {
+    std::mutex mutex;
+    std::vector<void*> free_list;
+  };
+
+  static std::size_t class_index(std::size_t bytes);
+
+  void* map_block(std::size_t bytes);
+  void unmap_block(void* ptr, std::size_t bytes) noexcept;
+  void note_outstanding(std::int64_t delta);
+
+  Config config_;
+  std::atomic<bool> recycle_;
+  std::array<SizeClass, kClasses> classes_;
+  /// Rare path: blocks served by aligned `operator new` because `mmap`
+  /// failed (or the request was over kMaxPooledBytes); consulted only
+  /// when a block leaves the pool for good.
+  std::mutex heap_blocks_mutex_;
+  std::unordered_set<void*> heap_blocks_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> outstanding_bytes_{0};
+  std::atomic<std::uint64_t> high_water_bytes_{0};
+  std::atomic<std::uint64_t> hugepage_bytes_{0};
+  std::atomic<std::uint64_t> cached_blocks_{0};
+};
+
+/// Standard allocator over the process BufferPool. Stateless: all
+/// instances compare equal, so containers move and swap freely.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(BufferPool::instance().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* ptr, std::size_t n) noexcept {
+    BufferPool::instance().deallocate(ptr, n * sizeof(T));
+  }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) { return true; }
+};
+
+/// A std::vector whose heap traffic goes through the BufferPool. Element
+/// semantics (and `operator==`, spans, iteration) are unchanged — only
+/// where the bytes come from differs.
+template <typename T>
+using PoolVec = std::vector<T, PoolAllocator<T>>;
+
+}  // namespace obscorr::mem

@@ -51,6 +51,8 @@ gbl::DcsrMatrix capture_window(telescope::Telescope& scope,
   const netgen::WindowPlan plan = generator.plan_window(month);
   std::mutex collect_mutex;
   std::vector<std::pair<std::size_t, gbl::DcsrMatrix>> runs;
+  // parallel_for hands out at most one contiguous chunk per worker.
+  runs.reserve(static_cast<std::size_t>(pool.thread_count()));
   parallel_for(pool, 0, static_cast<std::size_t>(shards), [&](std::size_t b, std::size_t e) {
     telescope::ShardCapture capture(scope, pool);
     netgen::ShardScratch scratch;

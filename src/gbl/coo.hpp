@@ -25,8 +25,11 @@ std::vector<Tuple> sort_and_combine(std::vector<Tuple> tuples);
 /// Sort packed `(row << 32) | col` keys ascending, in place, using the
 /// pool's deterministic chunk-sort + merge tree. The batched ingest path
 /// sorts these 8-byte keys instead of 16-byte tuples: half the bytes
-/// moved per merge and a branch-free comparison.
-void sort_packed_keys(std::vector<std::uint64_t>& keys, ThreadPool& pool);
+/// moved per merge and a branch-free comparison. Radix scratch comes
+/// from the calling thread's recycled arena (`mem::scratch_arena()`),
+/// never from malloc. Accepts any contiguous key buffer (std::vector,
+/// mem::PoolVec, raw span).
+void sort_packed_keys(std::span<std::uint64_t> keys, ThreadPool& pool);
 
 /// Pack a (row, col) cell into the ingest key order. Sorting packed keys
 /// equals sorting tuples with `tuple_less`.

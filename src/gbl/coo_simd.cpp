@@ -9,6 +9,7 @@
 /// at 2048 independent cursors, far beyond what the hardware prefetcher
 /// can track).
 
+#include "common/arena.hpp"
 #include "gbl/kernels.hpp"
 
 #if defined(__x86_64__)
@@ -35,11 +36,12 @@ constexpr std::size_t kScatterPrefetchDist = 16;
 }  // namespace
 
 __attribute__((target("avx2"))) void radix_sort_u64_avx2(std::uint64_t* keys, std::size_t n,
-                                                         std::vector<std::uint64_t>& scratch) {
+                                                         mem::Arena& arena) {
   if (n < 2) return;  // the constant-digit probe below reads src[0]
-  scratch.resize(n);
-  std::vector<std::size_t> hist(kPasses * kBuckets, 0);
-  std::size_t* h0 = hist.data();
+  const mem::Arena::Frame frame(arena);
+  std::uint64_t* const scratch = arena.alloc_span<std::uint64_t>(n).data();
+  std::size_t* const h0 = arena.alloc_span<std::size_t>(kPasses * kBuckets).data();
+  std::fill_n(h0, kPasses * kBuckets, std::size_t{0});
 
   // Histogram sweep: four keys per iteration, six digits each extracted
   // with one vector shift+mask per pass. The 24 histogram increments stay
@@ -77,7 +79,7 @@ __attribute__((target("avx2"))) void radix_sort_u64_avx2(std::uint64_t* keys, st
   }
 
   std::uint64_t* src = keys;
-  std::uint64_t* dst = scratch.data();
+  std::uint64_t* dst = scratch;
   for (int p = 0; p < kPasses; ++p) {
     std::size_t* h = h0 + static_cast<std::size_t>(p) * kBuckets;
     const int shift = p * kBits;
@@ -108,8 +110,8 @@ __attribute__((target("avx2"))) void radix_sort_u64_avx2(std::uint64_t* keys, st
 
 namespace obscorr::gbl::kernels {
 
-void radix_sort_u64_avx2(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch) {
-  radix_sort_u64_scalar(keys, n, scratch);
+void radix_sort_u64_avx2(std::uint64_t* keys, std::size_t n, mem::Arena& arena) {
+  radix_sort_u64_scalar(keys, n, arena);
 }
 
 }  // namespace obscorr::gbl::kernels

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "gbl/coo.hpp"
 #include "gbl/kernels.hpp"
@@ -22,25 +23,26 @@ struct MergedRow {
   std::uint32_t rb = kNoRow;
 };
 
-/// Union-merge of the two sorted row-id lists. O(nrows_a + nrows_b).
-std::vector<MergedRow> merge_row_ids(std::span<const Index> a, std::span<const Index> b) {
-  std::vector<MergedRow> merged;
-  merged.reserve(a.size() + b.size());
+/// Union-merge of the two sorted row-id lists into `out` (room for
+/// a.size() + b.size() entries); returns the union size.
+/// O(nrows_a + nrows_b).
+std::size_t merge_row_ids(std::span<const Index> a, std::span<const Index> b, MergedRow* out) {
+  std::size_t n = 0;
   std::size_t ra = 0, rb = 0;
   while (ra < a.size() || rb < b.size()) {
     if (rb == b.size() || (ra < a.size() && a[ra] < b[rb])) {
-      merged.push_back({a[ra], static_cast<std::uint32_t>(ra), kNoRow});
+      out[n++] = {a[ra], static_cast<std::uint32_t>(ra), kNoRow};
       ++ra;
     } else if (ra == a.size() || b[rb] < a[ra]) {
-      merged.push_back({b[rb], kNoRow, static_cast<std::uint32_t>(rb)});
+      out[n++] = {b[rb], kNoRow, static_cast<std::uint32_t>(rb)};
       ++rb;
     } else {
-      merged.push_back({a[ra], static_cast<std::uint32_t>(ra), static_cast<std::uint32_t>(rb)});
+      out[n++] = {a[ra], static_cast<std::uint32_t>(ra), static_cast<std::uint32_t>(rb)};
       ++ra;
       ++rb;
     }
   }
-  return merged;
+  return n;
 }
 
 }  // namespace
@@ -328,9 +330,15 @@ DcsrMatrix DcsrMatrix::ewise_add(const DcsrMatrix& a, const DcsrMatrix& b, Threa
   // with fewer than three workers the single-pass serial merge wins.
   if (pool.thread_count() <= 2 || a.nnz() + b.nnz() < (1u << 14)) return ewise_add(a, b);
 
-  // Pass 0 (serial, cheap): union-merge the row-id lists.
-  const std::vector<MergedRow> rows = merge_row_ids(a.row_ids_, b.row_ids_);
-  const std::size_t nrows = rows.size();
+  // Pass 0 (serial, cheap): union-merge the row-id lists. The merged-row
+  // table and the per-row counts are call-scoped scratch — they live in
+  // an arena frame on this thread (all taken before the parallel_for, so
+  // help-drain re-entry nests its own frames safely).
+  mem::Arena& arena = mem::scratch_arena();
+  const mem::Arena::Frame frame(arena);
+  MergedRow* const rows = arena.alloc_span<MergedRow>(a.row_ids_.size() + b.row_ids_.size()).data();
+  const std::size_t nrows = merge_row_ids(a.row_ids_, b.row_ids_, rows);
+  std::uint64_t* const counts = arena.alloc_span<std::uint64_t>(nrows).data();
 
   auto a_cols = [&](std::uint32_t r) {
     return std::span<const Index>(a.col_.data() + a.row_ptr_[r], a.row_ptr_[r + 1] - a.row_ptr_[r]);
@@ -340,7 +348,6 @@ DcsrMatrix DcsrMatrix::ewise_add(const DcsrMatrix& a, const DcsrMatrix& b, Threa
   };
 
   // Pass 1 (parallel): per-row output sizes.
-  std::vector<std::uint64_t> counts(nrows);
   parallel_for(pool, 0, nrows, [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
       const MergedRow& m = rows[r];

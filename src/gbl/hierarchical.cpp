@@ -30,11 +30,13 @@ void HierarchicalAccumulator::add_packets(std::span<const std::uint64_t> keys) {
 
 void HierarchicalAccumulator::seal_block() {
   if (pending_.empty()) return;
-  std::vector<std::uint64_t> block;
-  block.swap(pending_);
-  pending_.reserve(block_packets_);
-  sort_packed_keys(block, pool_);
-  carry(DcsrMatrix::from_sorted_packed_keys(block), 0);
+  // Sort in place and fold straight into the block matrix: the pending
+  // buffer keeps its (pool-backed) capacity and is recycled by every
+  // block of every window — sealing allocates nothing beyond the matrix.
+  sort_packed_keys(pending_, pool_);
+  DcsrMatrix block = DcsrMatrix::from_sorted_packed_keys(pending_);
+  pending_.clear();
+  carry(std::move(block), 0);
 }
 
 void HierarchicalAccumulator::carry(DcsrMatrix block, int level) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.hpp"
 #include "common/simd.hpp"
 #include "obs/telemetry.hpp"
 
@@ -9,15 +10,16 @@ namespace obscorr::gbl::kernels {
 
 // ---- scalar reference implementations ----------------------------------
 
-void radix_sort_u64_scalar(std::uint64_t* keys, std::size_t n,
-                           std::vector<std::uint64_t>& scratch) {
+void radix_sort_u64_scalar(std::uint64_t* keys, std::size_t n, mem::Arena& arena) {
   constexpr int kBits = 11;
   constexpr int kPasses = 6;  // 6 * 11 = 66 bits >= 64
   constexpr std::size_t kBuckets = std::size_t{1} << kBits;
   constexpr std::uint64_t kMask = kBuckets - 1;
   if (n < 2) return;  // the constant-digit probe below reads src[0]
-  scratch.resize(n);
-  std::vector<std::size_t> hist(kPasses * kBuckets, 0);
+  const mem::Arena::Frame frame(arena);
+  std::uint64_t* const scratch = arena.alloc_span<std::uint64_t>(n).data();
+  std::size_t* const hist = arena.alloc_span<std::size_t>(kPasses * kBuckets).data();
+  std::fill_n(hist, kPasses * kBuckets, std::size_t{0});
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t k = keys[i];
     for (int p = 0; p < kPasses; ++p) {
@@ -25,9 +27,9 @@ void radix_sort_u64_scalar(std::uint64_t* keys, std::size_t n,
     }
   }
   std::uint64_t* src = keys;
-  std::uint64_t* dst = scratch.data();
+  std::uint64_t* dst = scratch;
   for (int p = 0; p < kPasses; ++p) {
-    std::size_t* h = hist.data() + static_cast<std::size_t>(p) * kBuckets;
+    std::size_t* h = hist + static_cast<std::size_t>(p) * kBuckets;
     const int shift = p * kBits;
     if (h[(src[0] >> shift) & kMask] == n) continue;  // constant digit
     std::size_t offset = 0;
@@ -125,13 +127,13 @@ obs::Counter& reduce_dispatches() {
 
 }  // namespace
 
-void radix_sort_u64(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch) {
+void radix_sort_u64(std::uint64_t* keys, std::size_t n, mem::Arena& arena) {
   if (simd::use_avx2()) {
     if (obs::counters_enabled()) radix_dispatches().add(1);
-    radix_sort_u64_avx2(keys, n, scratch);
+    radix_sort_u64_avx2(keys, n, arena);
     return;
   }
-  radix_sort_u64_scalar(keys, n, scratch);
+  radix_sort_u64_scalar(keys, n, arena);
 }
 
 std::size_t merge_add_columns(const Index* ac, const Value* av, std::size_t na, const Index* bc,

@@ -23,9 +23,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "gbl/types.hpp"
+
+namespace obscorr::mem {
+class Arena;
+}  // namespace obscorr::mem
 
 namespace obscorr::gbl::kernels {
 
@@ -33,8 +36,11 @@ namespace obscorr::gbl::kernels {
 
 /// Serial LSD radix sort of u64 keys: six 11-bit digit passes with a
 /// scatter buffer; all six histograms are built in one initial sweep and
-/// constant-digit passes are skipped.
-void radix_sort_u64(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch);
+/// constant-digit passes are skipped. The scatter buffer and histograms
+/// live in a frame of `arena` for the duration of the call — callers
+/// share one recycled arena (usually `mem::scratch_arena()`) instead of
+/// round-tripping malloc per block.
+void radix_sort_u64(std::uint64_t* keys, std::size_t n, mem::Arena& arena);
 
 /// Merge-add two sorted unique column runs into `out_col`/`out_val`
 /// (shared columns sum `av[i] + bv[j]`). Returns the entries written
@@ -60,8 +66,7 @@ void row_sums(std::span<const std::uint64_t> row_ptr, std::span<const Value> val
 
 // ---- scalar reference implementations ----------------------------------
 
-void radix_sort_u64_scalar(std::uint64_t* keys, std::size_t n,
-                           std::vector<std::uint64_t>& scratch);
+void radix_sort_u64_scalar(std::uint64_t* keys, std::size_t n, mem::Arena& arena);
 std::size_t merge_add_columns_scalar(const Index* ac, const Value* av, std::size_t na,
                                      const Index* bc, const Value* bv, std::size_t nb,
                                      Index* out_col, Value* out_val);
@@ -75,7 +80,7 @@ void row_sums_scalar(std::span<const std::uint64_t> row_ptr, std::span<const Val
 // non-x86 builds each forwards to its scalar reference so the symbols
 // always link — dispatch never selects them there) ------------------------
 
-void radix_sort_u64_avx2(std::uint64_t* keys, std::size_t n, std::vector<std::uint64_t>& scratch);
+void radix_sort_u64_avx2(std::uint64_t* keys, std::size_t n, mem::Arena& arena);
 std::size_t merge_add_columns_avx2(const Index* ac, const Value* av, std::size_t na,
                                    const Index* bc, const Value* bv, std::size_t nb,
                                    Index* out_col, Value* out_val);

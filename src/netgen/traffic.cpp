@@ -133,7 +133,8 @@ TrafficGenerator::ShardStats TrafficGenerator::stream_shard_scalar(
   // once (stamps are always < the incremented epoch) without touching the
   // population-sized table; entries re-initialize lazily from this
   // shard's init stream.
-  scratch.state_.resize(active.size());
+  scratch.stamps_.resize(active.size());
+  scratch.states_.resize(active.size());
   ++scratch.epoch_;
   const std::uint64_t epoch = scratch.epoch_;
 
@@ -151,7 +152,7 @@ TrafficGenerator::ShardStats TrafficGenerator::stream_shard_scalar(
   const std::uint64_t block = std::min<std::uint64_t>(256, dark_size);
   // Packets accumulate in a fixed-size buffer flushed to the sink when
   // full; generation order (and so the emitted sequence) is unchanged.
-  std::vector<Packet>& buffer = scratch.buffer_;
+  mem::PoolVec<Packet>& buffer = scratch.buffer_;
   buffer.clear();
   buffer.reserve(batch_packets);
   ShardStats st;
@@ -167,26 +168,31 @@ TrafficGenerator::ShardStats TrafficGenerator::stream_shard_scalar(
       const std::size_t pick = plan.alias.sample(rng);
       const std::size_t source_index = active[pick];
       p.src = population_.source(source_index).ip;
-      ShardScratch::SourceState& s = scratch.state_[pick];
-      if (s.stamp != epoch) {
-        s.strategy = plan.strategies[pick];
+      if (scratch.stamps_[pick] != epoch) {
         Rng init(population_.config().seed, std::uint64_t{0x900000000} + source_index * 31 +
                                                 salt + stream_offset);
+        ShardScratch::ScanState& s = scratch.states_[pick];
         s.cursor = init.uniform_u64(dark_size);
         s.subnet_base = (init.uniform_u64(dark_size) / block) * block;
-        s.stamp = epoch;
+        scratch.stamps_[pick] = epoch;
         ++st.fresh_source_states;
       }
-      switch (s.strategy) {
+      // The strategy lives in the shared read-only plan (same value the
+      // old per-state copy held), so uniform sources — the majority —
+      // never touch the cursor array at all.
+      switch (plan.strategies[pick]) {
         case ScanStrategy::kUniform:
           p.dst = config_.darkspace.at(dst_rng.uniform_u64(dark_size));
           break;
-        case ScanStrategy::kSequential:
+        case ScanStrategy::kSequential: {
+          ShardScratch::ScanState& s = scratch.states_[pick];
           p.dst = config_.darkspace.at(s.cursor);
           s.cursor = s.cursor + 1 == dark_size ? 0 : s.cursor + 1;
           break;
+        }
         case ScanStrategy::kSubnet:
-          p.dst = config_.darkspace.at(s.subnet_base + dst_rng.uniform_u64(block));
+          p.dst = config_.darkspace.at(scratch.states_[pick].subnet_base +
+                                       dst_rng.uniform_u64(block));
           break;
       }
       ++valid;

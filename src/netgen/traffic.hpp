@@ -25,6 +25,7 @@
 
 #include "common/ipv4.hpp"
 #include "common/packet.hpp"
+#include "common/pool_alloc.hpp"
 #include "common/prng.hpp"
 #include "netgen/population.hpp"
 
@@ -82,6 +83,14 @@ struct WindowPlan {
 /// per-source scan-state table and the emission buffer. Logically reset
 /// per shard via an epoch stamp, so reusing one scratch across many
 /// shards costs no clearing of the population-sized table.
+///
+/// The scan state is split structure-of-arrays: the epoch stamp — the
+/// only field every valid packet touches — is a dense u64 array (8
+/// entries per cache line), while the cursor/subnet state only the
+/// sequential and subnet strategies read lives separately. The strategy
+/// itself comes from the read-only plan. Arrays are pool-backed, so the
+/// per-window scratch contexts of the parallel capture path recycle
+/// their blocks instead of re-faulting them.
 class ShardScratch {
  public:
   ShardScratch() = default;
@@ -89,15 +98,14 @@ class ShardScratch {
  private:
   friend class TrafficGenerator;
 
-  struct SourceState {
-    std::uint64_t stamp = 0;        // epoch of last init; < epoch_ means stale
-    ScanStrategy strategy = ScanStrategy::kUniform;
+  struct ScanState {
     std::uint64_t cursor = 0;       // sequential: next offset
     std::uint64_t subnet_base = 0;  // subnet: offset of the /24-equivalent block
   };
 
-  std::vector<SourceState> state_;
-  std::vector<Packet> buffer_;
+  mem::PoolVec<std::uint64_t> stamps_;  // epoch of last init; != epoch_ means stale
+  mem::PoolVec<ScanState> states_;
+  mem::PoolVec<Packet> buffer_;
   std::uint64_t epoch_ = 0;
 };
 

@@ -56,7 +56,8 @@ __attribute__((target("avx2"))) TrafficGenerator::ShardStats TrafficGenerator::s
   const std::uint64_t month = static_cast<std::uint64_t>(plan.month);
   const std::uint64_t stream_offset = shard * kShardStreamGamma;
 
-  scratch.state_.resize(active.size());
+  scratch.stamps_.resize(active.size());
+  scratch.states_.resize(active.size());
   ++scratch.epoch_;
   const std::uint64_t epoch = scratch.epoch_;
 
@@ -67,7 +68,7 @@ __attribute__((target("avx2"))) TrafficGenerator::ShardStats TrafficGenerator::s
 
   const std::uint64_t dark_size = config_.darkspace.size();
   const std::uint64_t block = std::min<std::uint64_t>(256, dark_size);
-  std::vector<Packet>& buffer = scratch.buffer_;
+  mem::PoolVec<Packet>& buffer = scratch.buffer_;
   buffer.clear();
   buffer.reserve(batch_packets);
 
@@ -159,26 +160,28 @@ __attribute__((target("avx2"))) TrafficGenerator::ShardStats TrafficGenerator::s
       Packet p;
       p.src = Ipv4(src[m]);
       const std::size_t source_index = active[pick[m]];
-      ShardScratch::SourceState& s = scratch.state_[pick[m]];
-      if (s.stamp != epoch) {
-        s.strategy = plan.strategies[pick[m]];
+      if (scratch.stamps_[pick[m]] != epoch) {
         Rng init(population_.config().seed,
                  std::uint64_t{0x900000000} + source_index * 31 + salt + stream_offset);
+        ShardScratch::ScanState& s = scratch.states_[pick[m]];
         s.cursor = init.uniform_u64(dark_size);
         s.subnet_base = (init.uniform_u64(dark_size) / block) * block;
-        s.stamp = epoch;
+        scratch.stamps_[pick[m]] = epoch;
         ++st.fresh_source_states;
       }
-      switch (s.strategy) {
+      switch (plan.strategies[pick[m]]) {
         case ScanStrategy::kUniform:
           p.dst = config_.darkspace.at(dst_rng.uniform_u64(dark_size));
           break;
-        case ScanStrategy::kSequential:
+        case ScanStrategy::kSequential: {
+          ShardScratch::ScanState& s = scratch.states_[pick[m]];
           p.dst = config_.darkspace.at(s.cursor);
           s.cursor = s.cursor + 1 == dark_size ? 0 : s.cursor + 1;
           break;
+        }
         case ScanStrategy::kSubnet:
-          p.dst = config_.darkspace.at(s.subnet_base + dst_rng.uniform_u64(block));
+          p.dst = config_.darkspace.at(scratch.states_[pick[m]].subnet_base +
+                                       dst_rng.uniform_u64(block));
           break;
       }
       ++st.valid;

@@ -28,6 +28,10 @@ constexpr const char* kCanonicalCounters[] = {
     "archive.frames_written",
     "archive.open_heap",
     "archive.open_mmap",
+    "mem.arena_bytes",
+    "mem.arena_resets",
+    "mem.pool_hits",
+    "mem.pool_misses",
     "netgen.packets_emitted",
     "netgen.rng_streams",
     "netgen.shards_generated",
@@ -48,6 +52,9 @@ constexpr const char* kCanonicalCounters[] = {
 };
 
 constexpr const char* kCanonicalGauges[] = {
+    "mem.arena_high_water",
+    "mem.hugepage_bytes",
+    "mem.pool_high_water",
     "simd.tier",
     "threadpool.queue_high_water",
 };

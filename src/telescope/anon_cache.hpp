@@ -11,7 +11,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "common/pool_alloc.hpp"
 
 namespace obscorr::telescope {
 
@@ -53,8 +54,10 @@ class AnonCache {
   }
   void grow();
 
-  std::vector<Slot> slots_;
-  std::vector<std::uint8_t> used_;
+  // Pool-backed: per-shard capture contexts build a fresh cache per
+  // window chunk, so the table arrays recycle instead of re-faulting.
+  mem::PoolVec<Slot> slots_;
+  mem::PoolVec<std::uint8_t> used_;
   std::size_t mask_ = 0;  // slots_.size() - 1 (power of two)
   std::size_t size_ = 0;
 };

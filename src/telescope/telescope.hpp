@@ -24,6 +24,7 @@
 
 #include "common/ipv4.hpp"
 #include "common/packet.hpp"
+#include "common/pool_alloc.hpp"
 #include "common/thread_pool.hpp"
 #include "crypt/cryptopan.hpp"
 #include "gbl/dcsr.hpp"
@@ -114,7 +115,7 @@ class Telescope {
   std::uint64_t discarded_ = 0;
   mutable AnonCache anon_cache_;  // original -> anon (hot, flat open addressing)
   mutable std::unordered_map<std::uint32_t, std::uint32_t> dictionary_;  // anon -> original
-  std::vector<std::uint64_t> batch_keys_;  // capture_block scratch
+  mem::PoolVec<std::uint64_t> batch_keys_;  // capture_block scratch (pool-recycled)
 };
 
 /// Capture context for one generation shard (or a worker's run of
@@ -152,7 +153,7 @@ class ShardCapture {
   std::uint64_t discarded_ = 0;
   AnonCache anon_cache_;
   std::unordered_map<std::uint32_t, std::uint32_t> dictionary_;
-  std::vector<std::uint64_t> batch_keys_;
+  mem::PoolVec<std::uint64_t> batch_keys_;  // capture_block scratch (pool-recycled)
 };
 
 }  // namespace obscorr::telescope

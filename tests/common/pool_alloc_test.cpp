@@ -1,0 +1,229 @@
+/// BufferPool behavior the pipeline depends on: power-of-two size-class
+/// rounding, block recycling (same pointer back, hit/miss accounting),
+/// the small-request bypass, forced hugepage fallback, the recycle
+/// kill-switch and trim, free-list depth capping, page alignment of
+/// pooled blocks, and thread-safety under concurrent churn.
+
+#include "common/pool_alloc.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace obscorr::mem {
+namespace {
+
+bool page_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % BufferPool::kBlockAlignment == 0;
+}
+
+TEST(PoolAllocTest, ClassBytesRoundsToEnclosingPowerOfTwo) {
+  EXPECT_EQ(BufferPool::class_bytes(BufferPool::kMinPooledBytes), BufferPool::kMinPooledBytes);
+  EXPECT_EQ(BufferPool::class_bytes(BufferPool::kMinPooledBytes + 1),
+            2 * BufferPool::kMinPooledBytes);
+  EXPECT_EQ(BufferPool::class_bytes((std::size_t{1} << 20) - 7), std::size_t{1} << 20);
+  EXPECT_EQ(BufferPool::class_bytes(std::size_t{1} << 20), std::size_t{1} << 20);
+  // Below the pooled floor and above the pooled ceiling: the request
+  // passes through unrounded (no size class reserves for it).
+  EXPECT_EQ(BufferPool::class_bytes(100), 100u);
+  EXPECT_EQ(BufferPool::class_bytes(BufferPool::kMaxPooledBytes + 1),
+            BufferPool::kMaxPooledBytes + 1);
+}
+
+TEST(PoolAllocTest, RecyclesBlocksWithHitMissAccounting) {
+  BufferPool pool({.hugepages = false});
+  const std::size_t bytes = BufferPool::kMinPooledBytes;
+  void* a = pool.allocate(bytes);
+  ASSERT_NE(a, nullptr);
+  std::memset(a, 0x42, bytes);  // the block must be fully usable
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  pool.deallocate(a, bytes);
+  EXPECT_EQ(pool.stats().cached_blocks, 1u);
+  void* b = pool.allocate(bytes);
+  EXPECT_EQ(b, a);  // served from the free list, warm pages and all
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.deallocate(b, bytes);
+}
+
+TEST(PoolAllocTest, DifferentRequestsInOneClassShareBlocks) {
+  BufferPool pool({.hugepages = false});
+  // 70,000 and 100,000 both round to the 128 KiB class.
+  void* a = pool.allocate(70'000);
+  pool.deallocate(a, 70'000);
+  void* b = pool.allocate(100'000);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  pool.deallocate(b, 100'000);
+}
+
+TEST(PoolAllocTest, SmallRequestsBypassThePool) {
+  BufferPool pool({.hugepages = false});
+  void* p = pool.allocate(1000);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x1, 1000);
+  pool.deallocate(p, 1000);
+  // Nothing pooled: no stats, no cached block to reuse.
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, 0u);
+  EXPECT_EQ(pool.stats().cached_blocks, 0u);
+}
+
+TEST(PoolAllocTest, PooledBlocksArePageAligned) {
+  BufferPool pool({.hugepages = false});
+  std::vector<std::pair<void*, std::size_t>> blocks;
+  for (const std::size_t bytes :
+       {BufferPool::kMinPooledBytes, std::size_t{1} << 20, std::size_t{1} << 22}) {
+    void* p = pool.allocate(bytes);
+    EXPECT_TRUE(page_aligned(p)) << bytes;
+    blocks.emplace_back(p, bytes);
+  }
+  for (auto [p, bytes] : blocks) pool.deallocate(p, bytes);
+}
+
+TEST(PoolAllocTest, HugepagesOffMeansNoneAdvised) {
+  BufferPool pool({.hugepages = false});
+  EXPECT_FALSE(pool.hugepages_enabled());
+  void* p = pool.allocate(BufferPool::kHugepageBytes);
+  std::memset(p, 0x7, BufferPool::kHugepageBytes);  // block works regardless
+  EXPECT_EQ(pool.stats().hugepage_bytes, 0u);
+  pool.deallocate(p, BufferPool::kHugepageBytes);
+}
+
+TEST(PoolAllocTest, HugepagesAdvisedForLargeClassesWhenEnabled) {
+  BufferPool pool({.hugepages = true});
+  // Below the hugepage floor: never advised even when enabled.
+  void* small = pool.allocate(BufferPool::kMinPooledBytes);
+  EXPECT_EQ(pool.stats().hugepage_bytes, 0u);
+  pool.deallocate(small, BufferPool::kMinPooledBytes);
+  void* big = pool.allocate(BufferPool::kHugepageBytes);
+  // Advised at most once per fresh block; 0 is the graceful fallback when
+  // the kernel rejects MADV_HUGEPAGE (e.g. THP compiled out).
+  EXPECT_TRUE(pool.stats().hugepage_bytes == 0 ||
+              pool.stats().hugepage_bytes == BufferPool::kHugepageBytes);
+  std::memset(big, 0x7, BufferPool::kHugepageBytes);
+  pool.deallocate(big, BufferPool::kHugepageBytes);
+}
+
+TEST(PoolAllocTest, RecycleOffReleasesEveryBlock) {
+  BufferPool pool({.hugepages = false, .recycle = false});
+  const std::size_t bytes = BufferPool::kMinPooledBytes;
+  void* a = pool.allocate(bytes);
+  pool.deallocate(a, bytes);
+  EXPECT_EQ(pool.stats().cached_blocks, 0u);
+  void* b = pool.allocate(bytes);
+  pool.deallocate(b, bytes);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(PoolAllocTest, SetRecycleFalseTrimsAndStopsCaching) {
+  BufferPool pool({.hugepages = false});
+  const std::size_t bytes = BufferPool::kMinPooledBytes;
+  void* a = pool.allocate(bytes);
+  pool.deallocate(a, bytes);
+  EXPECT_EQ(pool.stats().cached_blocks, 1u);
+  pool.set_recycle(false);
+  EXPECT_EQ(pool.stats().cached_blocks, 0u);
+  void* b = pool.allocate(bytes);
+  pool.deallocate(b, bytes);
+  EXPECT_EQ(pool.stats().cached_blocks, 0u);
+  pool.set_recycle(true);
+  void* c = pool.allocate(bytes);
+  pool.deallocate(c, bytes);
+  EXPECT_EQ(pool.stats().cached_blocks, 1u);
+}
+
+TEST(PoolAllocTest, TrimReleasesCachedBlocks) {
+  BufferPool pool({.hugepages = false});
+  const std::size_t bytes = BufferPool::kMinPooledBytes;
+  std::vector<void*> blocks(4);
+  for (void*& p : blocks) p = pool.allocate(bytes);
+  for (void* p : blocks) pool.deallocate(p, bytes);
+  EXPECT_EQ(pool.stats().cached_blocks, 4u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().cached_blocks, 0u);
+}
+
+TEST(PoolAllocTest, FreeListDepthIsCapped) {
+  BufferPool pool({.hugepages = false, .recycle = true, .max_cached_per_class = 2});
+  const std::size_t bytes = BufferPool::kMinPooledBytes;
+  std::vector<void*> blocks(5);
+  for (void*& p : blocks) p = pool.allocate(bytes);
+  for (void* p : blocks) pool.deallocate(p, bytes);
+  // Only the cap survives; the rest went back to the OS.
+  EXPECT_EQ(pool.stats().cached_blocks, 2u);
+}
+
+TEST(PoolAllocTest, OutstandingAndHighWaterTrackPooledBytes) {
+  BufferPool pool({.hugepages = false});
+  void* a = pool.allocate(BufferPool::kMinPooledBytes);
+  void* b = pool.allocate(std::size_t{1} << 20);
+  const std::uint64_t expect =
+      BufferPool::kMinPooledBytes + (std::uint64_t{1} << 20);
+  EXPECT_EQ(pool.stats().outstanding_bytes, expect);
+  pool.deallocate(a, BufferPool::kMinPooledBytes);
+  pool.deallocate(b, std::size_t{1} << 20);
+  EXPECT_EQ(pool.stats().outstanding_bytes, 0u);
+  EXPECT_EQ(pool.stats().high_water_bytes, expect);
+}
+
+TEST(PoolAllocTest, ConcurrentChurnIsRaceFree) {
+  // Drive the per-class mutexes and the shared atomics from several
+  // threads at once; TSan runs this suite.
+  BufferPool pool({.hugepages = false, .recycle = true, .max_cached_per_class = 4});
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      const std::size_t bytes = BufferPool::kMinPooledBytes << (t % 3);
+      for (int i = 0; i < kRounds; ++i) {
+        void* p = pool.allocate(bytes);
+        static_cast<std::uint8_t*>(p)[0] = static_cast<std::uint8_t>(i);
+        static_cast<std::uint8_t*>(p)[bytes - 1] = static_cast<std::uint8_t>(t);
+        pool.deallocate(p, bytes);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(pool.stats().outstanding_bytes, 0u);
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses,
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+TEST(PoolAllocTest, PoolVecRoundTripsLikeStdVector) {
+  // Allocator swaps are value-neutral: same elements, same comparisons.
+  PoolVec<std::uint64_t> v;
+  v.reserve(100'000);  // large enough to ride the pooled path
+  for (std::uint64_t i = 0; i < 100'000; ++i) v.push_back(i * i);
+  std::vector<std::uint64_t> ref(100'000);
+  for (std::uint64_t i = 0; i < 100'000; ++i) ref[i] = i * i;
+  ASSERT_EQ(v.size(), ref.size());
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), ref.begin()));
+  PoolVec<std::uint64_t> w = v;
+  EXPECT_EQ(v, w);
+  w.push_back(7);
+  EXPECT_NE(v, w);
+  const std::uint64_t sum = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, std::accumulate(ref.begin(), ref.end(), std::uint64_t{0}));
+}
+
+TEST(PoolAllocTest, ProcessInstanceIsSingletonAndUsable) {
+  BufferPool& a = BufferPool::instance();
+  BufferPool& b = BufferPool::instance();
+  EXPECT_EQ(&a, &b);
+  void* p = a.allocate(BufferPool::kMinPooledBytes);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(page_aligned(p));
+  a.deallocate(p, BufferPool::kMinPooledBytes);
+}
+
+}  // namespace
+}  // namespace obscorr::mem

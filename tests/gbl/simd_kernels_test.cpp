@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/prng.hpp"
 #include "common/simd.hpp"
 #include "gbl/types.hpp"
@@ -40,9 +41,9 @@ TEST(SimdKernelsTest, RadixSortMatchesScalarAndStdSort) {
     for (const int bits : {16, 33, 64}) {
       std::vector<std::uint64_t> base = random_keys(rng, n, bits);
       std::vector<std::uint64_t> a = base, b = base, c = base;
-      std::vector<std::uint64_t> scratch_a, scratch_b;
-      radix_sort_u64_scalar(a.data(), a.size(), scratch_a);
-      radix_sort_u64_avx2(b.data(), b.size(), scratch_b);
+      mem::Arena arena_a, arena_b;
+      radix_sort_u64_scalar(a.data(), a.size(), arena_a);
+      radix_sort_u64_avx2(b.data(), b.size(), arena_b);
       std::sort(c.begin(), c.end());
       EXPECT_EQ(a, c) << "scalar vs std::sort, n=" << n << " bits=" << bits;
       EXPECT_EQ(b, c) << "avx2 vs std::sort, n=" << n << " bits=" << bits;
@@ -161,8 +162,7 @@ TEST(SimdKernelsTest, DispatchedKernelsFollowForcedTier) {
   for (const simd::Tier tier : {simd::Tier::kScalar, simd::Tier::kAvx2}) {
     simd::set_tier(tier);
     std::vector<std::uint64_t> work = keys;
-    std::vector<std::uint64_t> scratch;
-    radix_sort_u64(work.data(), work.size(), scratch);
+    radix_sort_u64(work.data(), work.size(), mem::scratch_arena());
     EXPECT_EQ(work, expect) << "tier=" << tier_name(tier);
   }
   simd::set_tier(std::nullopt);

@@ -251,6 +251,10 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
       "archive.frames_written",
       "archive.open_heap",
       "archive.open_mmap",
+      "mem.arena_bytes",
+      "mem.arena_resets",
+      "mem.pool_hits",
+      "mem.pool_misses",
       "netgen.packets_emitted",
       "netgen.rng_streams",
       "netgen.shards_generated",
@@ -271,6 +275,9 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
   };
   EXPECT_EQ(canonical_counter_names(), expected_counters);
   const std::vector<std::string> expected_gauges = {
+      "mem.arena_high_water",
+      "mem.hugepage_bytes",
+      "mem.pool_high_water",
       "simd.tier",
       "threadpool.queue_high_water",
   };
@@ -283,7 +290,8 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
     for (const std::string& prefix : {std::string("netgen."), std::string("telescope."),
                                       std::string("archive."), std::string("threadpool."),
                                       std::string("study."), std::string("core."),
-                                      std::string("stats."), std::string("simd.")}) {
+                                      std::string("stats."), std::string("simd."),
+                                      std::string("mem.")}) {
       if (s.name.rfind(prefix, 0) == 0) {
         EXPECT_TRUE(canonical.count(s.name) == 1) << "non-canonical counter: " << s.name;
       }

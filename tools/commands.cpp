@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "archive/study_archive.hpp"
+#include "common/arena.hpp"
 #include "common/cli.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
@@ -140,6 +141,9 @@ void emit_telemetry(const TelemetryOptions& t, std::ostream& err) {
   if (t.timing) {
     err << "simd tier: " << simd::tier_name(simd::active_tier()) << " (detected "
         << simd::tier_name(simd::detected_tier()) << ")\n";
+    err << "peak rss: " << mem::peak_rss_bytes() / (1024 * 1024) << " MiB"
+        << ", arena high-water: "
+        << obs::gauge("mem.arena_high_water").value() / 1024 << " KiB\n";
     obs::write_timing_summary(err);
   }
 }
@@ -185,6 +189,9 @@ every command accepts --simd scalar|sse42|avx2|auto (default: OBSCORR_SIMD,
 then cpuid detection) to pin the kernel dispatch tier; outputs are
 byte-identical at any tier — the flag only changes wall-clock time
 (docs/performance.md "SIMD dispatch").
+scratch memory is recycled through hugepage-backed pools; set
+OBSCORR_NO_HUGEPAGES=1 or OBSCORR_NO_POOL=1 to opt out — results are
+byte-identical either way (docs/performance.md "Memory model").
 every command also accepts the telemetry flags (docs/observability.md):
   --timing            per-phase timing summary + per-window rates on stderr
   --metrics-out FILE  counter/gauge/span metrics as JSON (obscorr.metrics.v1)
