@@ -1,0 +1,61 @@
+#include "archive/live_archive.hpp"
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "gbl/matrix_view.hpp"
+#include "obs/telemetry.hpp"
+
+namespace obscorr::archive {
+
+LiveArchive::LiveArchive(const std::string& dir) : writer_(dir) {
+  OBSCORR_REQUIRE(std::filesystem::exists(std::filesystem::path(dir) / kManifestName),
+                  "live archive: " + dir +
+                      " is not a completed archive (run `obscorr archive` first)");
+  OBSCORR_REQUIRE(writer_.has_entry("scenario"),
+                  "live archive: " + dir + " has no scenario entry");
+  scenario_hash_ = scenario_fingerprint(decode_scenario(
+      std::span<const std::byte>(writer_.read_entry("scenario"))));
+  window_count_ = count_windows();
+  // Republish: frames recovered from the log become visible to readers
+  // even when the crashed run never got to its manifest rename.
+  writer_.finalize(scenario_hash_);
+}
+
+std::size_t LiveArchive::count_windows() const {
+  std::size_t w = 0;
+  while (writer_.has_entry(window_entry(w, "meta")) &&
+         writer_.has_entry(window_entry(w, "matrix")) &&
+         writer_.has_entry(window_entry(w, "sources"))) {
+    ++w;
+  }
+  return w;
+}
+
+void LiveArchive::append_window(const LiveWindowMeta& meta, const gbl::DcsrMatrix& matrix,
+                                const gbl::SparseVec& source_packets) {
+  OBSCORR_REQUIRE(meta.window == window_count_,
+                  "live archive: windows must be appended in order (expected " +
+                      std::to_string(window_count_) + ", got " +
+                      std::to_string(meta.window) + ")");
+  const std::size_t w = window_count_;
+  if (const auto name = window_entry(w, "meta"); !writer_.has_entry(name)) {
+    writer_.add_entry(name, encode_window_meta(meta));
+  }
+  if (const auto name = window_entry(w, "matrix"); !writer_.has_entry(name)) {
+    std::string payload;
+    gbl::append_matrix_v2(payload, matrix);
+    writer_.add_entry(name, payload);
+  }
+  if (const auto name = window_entry(w, "sources"); !writer_.has_entry(name)) {
+    writer_.add_entry(name, encode_source_vector(source_packets));
+  }
+  writer_.finalize(scenario_hash_);
+  ++window_count_;
+  if (obs::counters_enabled()) {
+    static obs::Counter& published = obs::counter("svc.windows_published");
+    published.add(1);
+  }
+}
+
+}  // namespace obscorr::archive

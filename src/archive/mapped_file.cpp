@@ -1,5 +1,6 @@
 #include "archive/mapped_file.hpp"
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 
@@ -48,6 +49,19 @@ std::vector<std::byte> read_whole_file(const std::string& path) {
   return buffer;
 }
 
+std::vector<std::byte> read_file_range(const std::string& path, std::size_t offset,
+                                       std::size_t length) {
+  std::ifstream is(path, std::ios::binary);
+  OBSCORR_REQUIRE(is.is_open(), "archive: cannot open " + path);
+  is.seekg(static_cast<std::streamoff>(offset));
+  std::vector<std::byte> buffer(length);
+  if (!buffer.empty()) {
+    is.read(reinterpret_cast<char*>(buffer.data()), static_cast<std::streamsize>(length));
+    OBSCORR_REQUIRE(is.good(), "archive: short read of " + path);
+  }
+  return buffer;
+}
+
 }  // namespace
 
 MappedFile MappedFile::open(const std::string& path, bool allow_mmap) {
@@ -81,6 +95,47 @@ MappedFile MappedFile::open(const std::string& path, bool allow_mmap) {
   (void)allow_mmap;
 #endif
   file.buffer_ = std::make_shared<std::vector<std::byte>>(read_whole_file(path));
+  file.bytes_ = {file.buffer_->data(), file.buffer_->size()};
+  return file;
+}
+
+MappedFile MappedFile::open_range(const std::string& path, std::size_t offset,
+                                  std::size_t length, bool allow_mmap) {
+  MappedFile file;
+  if (length == 0) return file;
+#ifdef OBSCORR_HAVE_MMAP
+  if (allow_mmap && !mmap_disabled_by_env()) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    OBSCORR_REQUIRE(fd >= 0, "archive: cannot open " + path);
+    struct stat st{};
+    const bool regular = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+    if (regular && static_cast<std::uint64_t>(st.st_size) >= offset + length) {
+      // mmap offsets must be page-aligned; map from the enclosing page
+      // boundary and expose exactly the requested window.
+      const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+      const std::size_t slop = offset % page;
+      const std::size_t map_length = length + slop;
+      void* addr = ::mmap(nullptr, map_length, PROT_READ, MAP_PRIVATE, fd,
+                          static_cast<off_t>(offset - slop));
+      ::close(fd);
+      if (addr != MAP_FAILED) {
+        file.mapping_ = std::make_shared<Mapping>();
+        file.mapping_->addr = addr;
+        file.mapping_->length = map_length;
+        file.bytes_ = {static_cast<const std::byte*>(addr) + slop, length};
+        return file;
+      }
+      // fall through to the streaming fallback on mmap failure
+    } else {
+      ::close(fd);
+      OBSCORR_REQUIRE(regular, "archive: cannot stat " + path);
+      OBSCORR_REQUIRE(false, "archive: " + path + " shorter than the requested range");
+    }
+  }
+#else
+  (void)allow_mmap;
+#endif
+  file.buffer_ = std::make_shared<std::vector<std::byte>>(read_file_range(path, offset, length));
   file.bytes_ = {file.buffer_->data(), file.buffer_->size()};
   return file;
 }

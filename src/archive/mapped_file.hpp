@@ -25,6 +25,15 @@ class MappedFile {
   /// globally.
   static MappedFile open(const std::string& path, bool allow_mmap = true);
 
+  /// Map (or read) exactly `[offset, offset + length)` of `path` — the
+  /// live-archive refresh path, which maps only the newly appended tail
+  /// of the entry log instead of remapping the whole file. Page
+  /// alignment of the mmap offset is handled internally; `bytes()` spans
+  /// exactly the requested range. Throws when the file is shorter than
+  /// `offset + length`.
+  static MappedFile open_range(const std::string& path, std::size_t offset, std::size_t length,
+                               bool allow_mmap = true);
+
   MappedFile() = default;
   MappedFile(MappedFile&&) noexcept = default;
   MappedFile& operator=(MappedFile&&) noexcept = default;

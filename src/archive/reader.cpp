@@ -17,12 +17,19 @@ constexpr std::string_view kManifestMagic = "OBSARCH1";
 constexpr std::uint32_t kManifestVersion = 1;
 constexpr std::uint32_t kMaxEntries = 1u << 20;
 
-}  // namespace
+/// A parsed, CRC-verified manifest.
+struct ParsedManifest {
+  std::uint64_t scenario_hash = 0;
+  std::uint64_t data_size = 0;
+  std::uint32_t log_crc = 0;
+  std::vector<EntryInfo> entries;
+};
 
-ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
-  const obs::Span span("archive.open", [&] { return dir; });
-  OBSCORR_REQUIRE(std::filesystem::is_directory(dir),
-                  "archive: " + dir + " is not an archive directory");
+/// Read and parse `dir`'s manifest; throws on a missing, truncated, or
+/// corrupt one. Shared by open and refresh — the manifest is published
+/// by atomic rename, so any successfully parsed read is a complete
+/// catalog, never a torn intermediate.
+ParsedManifest read_manifest(const std::string& dir) {
   const std::string manifest_path = dir + "/" + kManifestName;
   OBSCORR_REQUIRE(std::filesystem::is_regular_file(manifest_path),
                   "archive: " + dir + " has no manifest (incomplete or not an archive)");
@@ -48,11 +55,12 @@ ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
                   "archive: unsupported manifest version " + std::to_string(version));
   const std::uint32_t entry_count = r.u32();
   OBSCORR_REQUIRE(entry_count <= kMaxEntries, "archive: implausible entry count");
-  scenario_hash_ = r.u64();
-  const std::uint64_t data_size = r.u64();
-  const std::uint32_t log_crc = r.u32();
 
-  entries_.reserve(entry_count);
+  ParsedManifest out;
+  out.scenario_hash = r.u64();
+  out.data_size = r.u64();
+  out.log_crc = r.u32();
+  out.entries.reserve(entry_count);
   for (std::uint32_t i = 0; i < entry_count; ++i) {
     EntryInfo e;
     const std::uint32_t name_len = r.u32();
@@ -62,25 +70,44 @@ ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
     OBSCORR_REQUIRE(name_len >= 1 && name_len <= 4096, "archive: bad entry name length");
     const auto name = r.array<char>(name_len);
     e.name.assign(name.data(), name.size());
-    entries_.push_back(std::move(e));
+    out.entries.push_back(std::move(e));
   }
   OBSCORR_REQUIRE(r.done(), "archive: trailing bytes in manifest");
+  return out;
+}
+
+/// Catalog-row sanity against a log region `[region_begin, region_end)`.
+void check_entry_bounds(const EntryInfo& e, std::uint64_t region_begin,
+                        std::uint64_t region_end) {
+  OBSCORR_REQUIRE(e.offset % 8 == 0, "archive: misaligned entry " + e.name);
+  OBSCORR_REQUIRE(e.offset >= region_begin && e.offset <= region_end &&
+                      e.size <= region_end - e.offset,
+                  "archive: entry " + e.name + " exceeds the log");
+}
+
+}  // namespace
+
+ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
+  const obs::Span span("archive.open", [&] { return dir; });
+  OBSCORR_REQUIRE(std::filesystem::is_directory(dir),
+                  "archive: " + dir + " is not an archive directory");
+  ParsedManifest m = read_manifest(dir);
+  scenario_hash_ = m.scenario_hash;
+  data_size_ = m.data_size;
+  log_crc_ = m.log_crc;
+  entries_ = std::move(m.entries);
 
   // Map the entry log and validate the catalog against it.
   log_ = MappedFile::open(dir + "/" + kEntryLogName);
-  OBSCORR_REQUIRE(log_.size() >= data_size,
+  OBSCORR_REQUIRE(log_.size() >= data_size_,
                   "archive: entry log shorter than the manifest expects (truncated)");
-  for (const EntryInfo& e : entries_) {
-    OBSCORR_REQUIRE(e.offset % 8 == 0, "archive: misaligned entry " + e.name);
-    OBSCORR_REQUIRE(e.offset <= data_size && e.size <= data_size - e.offset,
-                    "archive: entry " + e.name + " exceeds the log");
-  }
+  for (const EntryInfo& e : entries_) check_entry_bounds(e, 0, data_size_);
   if (obs::counters_enabled()) {
     static obs::Counter& bytes_read = obs::counter("archive.bytes_read");
     static obs::Counter& frames_read = obs::counter("archive.frames_read");
     static obs::Counter& open_mmap = obs::counter("archive.open_mmap");
     static obs::Counter& open_heap = obs::counter("archive.open_heap");
-    bytes_read.add(data_size);
+    bytes_read.add(data_size_);
     frames_read.add(entries_.size());
     (log_.mapped() ? open_mmap : open_heap).add(1);
   }
@@ -91,7 +118,7 @@ ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
   // corruption of entries.dat fails here. Only then — on failure — is the
   // per-entry CRC scan run, to pin the corruption to a named entry in the
   // error message; the happy path checksums the log exactly once.
-  if (crc32c(log_.bytes().first(data_size)) != log_crc) {
+  if (crc32c(log_.bytes().first(data_size_)) != log_crc_) {
     for (const EntryInfo& e : entries_) {
       OBSCORR_REQUIRE(crc32c(log_.bytes().subspan(e.offset, e.size)) == e.crc32c,
                       "archive: checksum mismatch in entry " + e.name +
@@ -100,6 +127,56 @@ ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
     OBSCORR_REQUIRE(false, "archive: entry log checksum mismatch in " + dir +
                                " (corrupted archive metadata)");
   }
+}
+
+std::size_t ArchiveReader::refresh() {
+  ParsedManifest m = read_manifest(dir_);
+  OBSCORR_REQUIRE(m.scenario_hash == scenario_hash_,
+                  "archive: scenario changed under a live reader in " + dir_);
+  if (m.data_size == data_size_ && m.entries.size() == entries_.size()) return 0;
+  OBSCORR_REQUIRE(m.data_size >= data_size_ && m.entries.size() >= entries_.size(),
+                  "archive: manifest shrank on refresh (not an append) in " + dir_);
+  // The published log is append-only: every previously cataloged entry
+  // must reappear unchanged, in order.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const EntryInfo& a = entries_[i];
+    const EntryInfo& b = m.entries[i];
+    OBSCORR_REQUIRE(a.name == b.name && a.offset == b.offset && a.size == b.size &&
+                        a.crc32c == b.crc32c,
+                    "archive: published entry " + a.name + " changed on refresh");
+  }
+  for (std::size_t i = entries_.size(); i < m.entries.size(); ++i) {
+    check_entry_bounds(m.entries[i], data_size_, m.data_size);
+  }
+
+  // Map only the appended tail and extend the whole-log checksum over
+  // it: refresh cost is proportional to the new windows, not the
+  // archive. (The tail mapping is created now, so it sees the bytes the
+  // just-read manifest committed.)
+  TailSegment seg;
+  seg.base = data_size_;
+  seg.map = MappedFile::open_range(dir_ + "/" + kEntryLogName,
+                                   static_cast<std::size_t>(data_size_),
+                                   static_cast<std::size_t>(m.data_size - data_size_));
+  {
+    static obs::Counter& crc_ns = obs::counter("archive.crc_ns");
+    const obs::ScopedNsCounter crc_time(crc_ns);
+    OBSCORR_REQUIRE(crc32c(seg.map.bytes(), log_crc_) == m.log_crc,
+                    "archive: appended log bytes fail the manifest checksum in " + dir_);
+  }
+  if (obs::counters_enabled()) {
+    static obs::Counter& bytes_read = obs::counter("archive.bytes_read");
+    static obs::Counter& frames_read = obs::counter("archive.frames_read");
+    bytes_read.add(m.data_size - data_size_);
+    frames_read.add(m.entries.size() - entries_.size());
+  }
+
+  const std::size_t added = m.entries.size() - entries_.size();
+  entries_ = std::move(m.entries);
+  data_size_ = m.data_size;
+  log_crc_ = m.log_crc;
+  if (seg.map.size() > 0) tails_.push_back(std::move(seg));
+  return added;
 }
 
 bool ArchiveReader::has(std::string_view name) const {
@@ -111,6 +188,13 @@ std::span<const std::byte> ArchiveReader::payload(std::string_view name) const {
   const auto it = std::find_if(entries_.begin(), entries_.end(),
                                [&](const EntryInfo& e) { return e.name == name; });
   OBSCORR_REQUIRE(it != entries_.end(), "archive: no entry named " + std::string(name));
+  // Later tails start where earlier coverage ends, so every entry lies
+  // wholly inside exactly one segment (bounds-checked when cataloged).
+  for (auto seg = tails_.rbegin(); seg != tails_.rend(); ++seg) {
+    if (it->offset >= seg->base && it->offset - seg->base + it->size <= seg->map.size()) {
+      return seg->map.bytes().subspan(it->offset - seg->base, it->size);
+    }
+  }
   return log_.bytes().subspan(it->offset, it->size);
 }
 

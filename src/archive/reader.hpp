@@ -38,16 +38,43 @@ class ArchiveReader {
   /// start); throws when the entry does not exist.
   std::span<const std::byte> payload(std::string_view name) const;
 
+  /// Re-read the manifest and absorb entries appended (and published)
+  /// since this reader last looked, without remapping the already-served
+  /// prefix of the log: only the new tail `[old data size, new data
+  /// size)` is mapped, as an additional segment, and only the new bytes
+  /// are checksummed (the whole-log CRC extends incrementally). Returns
+  /// the number of new entries (0 when the manifest is unchanged).
+  ///
+  /// All-or-nothing: the manifest is published by atomic rename, so a
+  /// refresh sees either the previous complete catalog or the new one —
+  /// never a torn intermediate — and every span handed out before a
+  /// refresh stays valid afterwards (segments are only ever added).
+  ///
+  /// Not thread-safe against concurrent queries on the same object;
+  /// callers serving refresh concurrently with reads (the service) hold
+  /// a shared/exclusive lock around payload()/refresh().
+  std::size_t refresh();
+
   /// True when the entry log is served by mmap (false: owned buffer).
   bool mapped() const { return log_.mapped(); }
 
   const std::string& dir() const { return dir_; }
 
  private:
+  /// A mapping of `[base, base + map.size())` of the entry log, added by
+  /// refresh() for bytes beyond the prefix mapped at open.
+  struct TailSegment {
+    std::uint64_t base = 0;
+    MappedFile map;
+  };
+
   std::string dir_;
   std::uint64_t scenario_hash_ = 0;
   std::vector<EntryInfo> entries_;
   MappedFile log_;
+  std::uint64_t data_size_ = 0;  ///< published log bytes covered so far
+  std::uint32_t log_crc_ = 0;    ///< whole-log CRC at data_size_
+  std::vector<TailSegment> tails_;
 };
 
 }  // namespace obscorr::archive

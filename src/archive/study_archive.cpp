@@ -12,6 +12,7 @@
 #include "archive/format.hpp"
 #include "archive/writer.hpp"
 #include "common/error.hpp"
+#include "common/interrupt.hpp"
 #include "honeyfarm/honeyfarm.hpp"
 #include "telescope/telescope.hpp"
 
@@ -185,6 +186,42 @@ bool snapshot_complete(const ArchiveWriter& w, std::size_t k) {
 
 }  // namespace
 
+std::string window_entry(std::size_t w, const char* part) {
+  return "window/" + std::to_string(w) + "/" + part;
+}
+
+std::string encode_window_meta(const LiveWindowMeta& meta) {
+  PayloadWriter w;
+  w.u64(meta.window);
+  w.i32(meta.month_index);
+  w.u32(0);  // reserved
+  w.u64(meta.salt);
+  w.u64(meta.valid_packets);
+  w.u64(meta.discarded_packets);
+  w.f64(meta.start_sec);
+  w.f64(meta.duration_sec);
+  return w.take();
+}
+
+LiveWindowMeta decode_window_meta(std::span<const std::byte> bytes) {
+  PayloadReader r(bytes);
+  LiveWindowMeta meta;
+  meta.window = r.u64();
+  meta.month_index = r.i32();
+  const std::uint32_t reserved = r.u32();
+  OBSCORR_REQUIRE(reserved == 0, "archive: malformed window metadata");
+  meta.salt = r.u64();
+  meta.valid_packets = r.u64();
+  meta.discarded_packets = r.u64();
+  meta.start_sec = r.f64();
+  meta.duration_sec = r.f64();
+  OBSCORR_REQUIRE(r.done(), "archive: trailing bytes after window metadata");
+  OBSCORR_REQUIRE(meta.month_index >= 0, "archive: negative window month index");
+  return meta;
+}
+
+std::string encode_source_vector(const gbl::SparseVec& v) { return encode_sources(v); }
+
 std::string encode_scenario(const netgen::Scenario& s) {
   PayloadWriter w;
   w.u32(kScenarioVersion);
@@ -341,10 +378,19 @@ ArchiveStats archive_study(const netgen::Scenario& scenario, const std::string& 
     return *population;
   };
 
+  // SIGINT/SIGTERM checkpoints sit between entries: every complete
+  // snapshot/month is already flushed to the append-only log when the
+  // flag is observed, so an interrupted run leaves a resumable partial
+  // archive (no manifest) and the same command picks up where it
+  // stopped. The in-progress entry is abandoned, never half-written.
   for (std::size_t k = 0; k < scenario.snapshots.size(); ++k) {
     if (snapshot_complete(writer, k)) {
       ++stats.snapshots_reused;
       continue;
+    }
+    if (interrupt::stop_requested()) {
+      stats.interrupted = true;
+      return stats;
     }
     add_snapshot_entries(writer, k, core::run_snapshot(scenario, world(), k, pool));
   }
@@ -352,6 +398,10 @@ ArchiveStats archive_study(const netgen::Scenario& scenario, const std::string& 
     if (writer.has_entry(month_entry(m))) {
       ++stats.months_reused;
       continue;
+    }
+    if (interrupt::stop_requested()) {
+      stats.interrupted = true;
+      return stats;
     }
     writer.add_entry(month_entry(m), encode_month(core::run_month(scenario, world(), m)));
   }
@@ -380,6 +430,50 @@ StudyReader::StudyReader(const std::string& dir) : reader_(dir) {
   for (const std::string& name : expected_entries(scenario_)) {
     OBSCORR_REQUIRE(reader_.has(name), "archive: missing entry " + name);
   }
+  window_count_ = count_windows(0);
+}
+
+std::size_t StudyReader::count_windows(std::size_t from) const {
+  std::size_t w = from;
+  while (reader_.has(window_entry(w, "meta")) && reader_.has(window_entry(w, "matrix")) &&
+         reader_.has(window_entry(w, "sources"))) {
+    ++w;
+  }
+  return w;
+}
+
+std::size_t StudyReader::refresh() {
+  reader_.refresh();
+  const std::size_t before = window_count_;
+  window_count_ = count_windows(window_count_);
+  return window_count_ - before;
+}
+
+LiveWindowMeta StudyReader::window_meta(std::size_t w) const {
+  OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
+  return decode_window_meta(reader_.payload(window_entry(w, "meta")));
+}
+
+gbl::MatrixView StudyReader::window_matrix(std::size_t w) const {
+  OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
+  return gbl::MatrixView::from_bytes(reader_.payload(window_entry(w, "matrix")));
+}
+
+std::span<const gbl::Index> StudyReader::window_source_ids(std::size_t w) const {
+  OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
+  return decode_sources(reader_.payload(window_entry(w, "sources"))).ids;
+}
+
+std::span<const gbl::Value> StudyReader::window_source_counts(std::size_t w) const {
+  OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
+  return decode_sources(reader_.payload(window_entry(w, "sources"))).counts;
+}
+
+gbl::SparseVec StudyReader::window_source_packets(std::size_t w) const {
+  OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
+  const SourcesView v = decode_sources(reader_.payload(window_entry(w, "sources")));
+  return gbl::SparseVec(std::vector<gbl::Index>(v.ids.begin(), v.ids.end()),
+                        std::vector<gbl::Value>(v.counts.begin(), v.counts.end()));
 }
 
 gbl::MatrixView StudyReader::matrix(std::size_t k) const {

@@ -20,7 +20,10 @@
 ///    to what `core::run_study` returns for the archived scenario.
 ///
 /// Entry naming: "scenario", "snapshot/<k>/{meta,matrix,sources,assoc}",
-/// "month/<m>", with <k>/<m> 0-based decimal indices.
+/// "month/<m>", with <k>/<m> 0-based decimal indices. The resident
+/// service appends live capture windows on top of a completed archive as
+/// "window/<w>/{meta,matrix,sources}" (see live_archive.hpp); they are
+/// additive — every batch query over the completed prefix is untouched.
 
 #include <cstddef>
 #include <cstdint>
@@ -42,7 +45,34 @@ struct ArchiveStats {
   std::size_t months_total = 0;
   std::size_t months_reused = 0;
   bool already_complete = false;  ///< a finished archive for this scenario existed
+  /// A SIGINT/SIGTERM stopped the run between entries: everything
+  /// complete was flushed (the log is resumable) but no manifest was
+  /// committed. Rerunning the same command continues where it stopped.
+  bool interrupted = false;
 };
+
+/// Metadata for one live capture window appended by the resident
+/// service, entry "window/<w>/meta".
+struct LiveWindowMeta {
+  std::uint64_t window = 0;     ///< 0-based live window index
+  std::int32_t month_index = 0; ///< scenario month the window drew from
+  std::uint64_t salt = 0;       ///< traffic salt: the deterministic replay key
+  std::uint64_t valid_packets = 0;
+  std::uint64_t discarded_packets = 0;
+  double start_sec = 0.0;
+  double duration_sec = 0.0;
+};
+
+/// Entry name "window/<w>/<part>" for live windows (parts: meta, matrix,
+/// sources — live windows carry no deanonymized assoc array).
+std::string window_entry(std::size_t w, const char* part);
+
+std::string encode_window_meta(const LiveWindowMeta& meta);
+LiveWindowMeta decode_window_meta(std::span<const std::byte> bytes);
+
+/// The archive's source-reduction encoding (u64 nnz, u32[nnz] ids, pad8,
+/// f64[nnz] values) — shared by snapshot and live-window entries.
+std::string encode_source_vector(const gbl::SparseVec& v);
 
 /// Serialize a scenario to the archive's binary encoding / back. The
 /// encoding is canonical: byte-equality of encodings is scenario
@@ -113,14 +143,37 @@ class StudyReader {
   /// recompute.
   core::StudyData analysis_study() const;
 
+  /// Re-read the manifest and absorb live windows published since open
+  /// (or the last refresh) without remapping the already-served log —
+  /// only the appended tail is mapped and checksummed (see
+  /// ArchiveReader::refresh). Returns the number of newly visible
+  /// complete windows. Spans handed out earlier remain valid. Not
+  /// thread-safe against concurrent queries on the same object; the
+  /// service holds a shared/exclusive lock around queries/refresh.
+  std::size_t refresh();
+
+  /// Live capture windows ("window/<w>/...") appended by the resident
+  /// service on top of the completed campaign. Zero for batch archives.
+  std::size_t window_count() const { return window_count_; }
+  LiveWindowMeta window_meta(std::size_t w) const;
+  gbl::MatrixView window_matrix(std::size_t w) const;
+  std::span<const gbl::Index> window_source_ids(std::size_t w) const;
+  std::span<const gbl::Value> window_source_counts(std::size_t w) const;
+  gbl::SparseVec window_source_packets(std::size_t w) const;
+
   /// True when queries are served by mmap rather than a heap copy.
   bool mapped() const { return reader_.mapped(); }
 
   const std::string& dir() const { return reader_.dir(); }
 
  private:
+  /// First index >= `from` whose window entries are incomplete — i.e.
+  /// the count of contiguous complete windows.
+  std::size_t count_windows(std::size_t from) const;
+
   ArchiveReader reader_;
   netgen::Scenario scenario_;
+  std::size_t window_count_ = 0;
 };
 
 }  // namespace obscorr::archive

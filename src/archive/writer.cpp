@@ -72,6 +72,7 @@ ArchiveWriter::ArchiveWriter(std::string dir) : dir_(std::move(dir)) {
 void ArchiveWriter::recover() {
   entries_.clear();
   log_size_ = 0;
+  log_crc_ = 0;
   std::ifstream is(log_path_, std::ios::binary | std::ios::ate);
   if (!is.is_open()) return;  // no log yet: fresh archive
   const auto file_size = static_cast<std::uint64_t>(is.tellg());
@@ -115,6 +116,7 @@ void ArchiveWriter::recover() {
     pos = frame_end;
   }
   log_size_ = pos;
+  log_crc_ = crc32c(std::as_bytes(std::span<const char>(data.data(), pos)));
   if (log_size_ < file_size) {
     std::error_code ec;
     std::filesystem::resize_file(log_path_, log_size_, ec);
@@ -180,6 +182,7 @@ void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
 
   entries_.push_back({std::string(name), payload_at, payload.size(), payload_crc});
   log_size_ += block.size();
+  log_crc_ = crc32c(block, log_crc_);
   if (obs::counters_enabled()) {
     static obs::Counter& bytes_written = obs::counter("archive.bytes_written");
     static obs::Counter& frames_written = obs::counter("archive.frames_written");
@@ -191,29 +194,19 @@ void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
 void ArchiveWriter::reset() {
   entries_.clear();
   log_size_ = 0;
+  log_crc_ = 0;
   std::ofstream os(log_path_, std::ios::binary | std::ios::trunc);
   OBSCORR_REQUIRE(os.is_open(), "archive: cannot reset " + log_path_);
 }
 
 void ArchiveWriter::finalize(std::uint64_t scenario_hash) {
   const obs::Span span("archive.finalize", [&] { return dir_; });
-  // Checksum the entire log as written — frame headers and padding
-  // included — so readers can detect corruption anywhere in the file.
-  std::uint32_t log_crc = 0;
-  {
-    std::ifstream is(log_path_, std::ios::binary);
-    OBSCORR_REQUIRE(is.is_open() || log_size_ == 0,
-                    "archive: cannot read back " + log_path_);
-    std::vector<char> data(static_cast<std::size_t>(log_size_));
-    if (!data.empty()) {
-      is.read(data.data(), static_cast<std::streamsize>(data.size()));
-      OBSCORR_REQUIRE(is.good(), "archive: short read of " + log_path_);
-    }
-    static obs::Counter& crc_ns = obs::counter("archive.crc_ns");
-    const obs::ScopedNsCounter crc_time(crc_ns);
-    log_crc = crc32c(std::as_bytes(std::span<const char>(data)));
-  }
-  const std::string manifest = encode_manifest(scenario_hash, log_size_, log_crc, entries_);
+  // The whole-log checksum — frame headers and padding included, so
+  // readers can detect corruption anywhere in the file — is maintained
+  // incrementally as frames are appended (recover() rebuilds it from the
+  // validated prefix), so publication never re-reads the log: the live
+  // ingest path re-finalizes after every window.
+  const std::string manifest = encode_manifest(scenario_hash, log_size_, log_crc_, entries_);
   const std::string final_path = dir_ + "/" + kManifestName;
   const std::string tmp_path = final_path + ".tmp";
   {

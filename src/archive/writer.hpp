@@ -72,8 +72,20 @@ class ArchiveWriter {
   void reset();
 
   /// Write MANIFEST.obsar (tmp + rename). After this the archive is
-  /// complete and readable.
+  /// complete and readable. May be called repeatedly: the live ingest
+  /// path appends entries and re-finalizes after every window, so each
+  /// manifest publication is one atomic rename and readers opening
+  /// between publications see the previous complete catalog.
   void finalize(std::uint64_t scenario_hash);
+
+  /// Bytes of validated log content (header frames + padding included).
+  std::uint64_t log_size() const { return log_size_; }
+
+  /// Rolling CRC32C over the validated log bytes — what `finalize`
+  /// publishes as the whole-log checksum, maintained incrementally so a
+  /// publication after each appended window stays O(entries), not
+  /// O(log bytes).
+  std::uint32_t log_crc() const { return log_crc_; }
 
   const std::string& dir() const { return dir_; }
 
@@ -84,6 +96,7 @@ class ArchiveWriter {
   std::string log_path_;
   std::vector<EntryInfo> entries_;
   std::uint64_t log_size_ = 0;  ///< bytes of validated log content
+  std::uint32_t log_crc_ = 0;   ///< CRC32C of those bytes, kept rolling
 };
 
 /// Serialized manifest bytes for `entries` (exposed for tests):

@@ -1,0 +1,56 @@
+#include "common/interrupt.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OBSCORR_HAVE_SIGACTION 1
+#include <csignal>
+#include <unistd.h>
+#endif
+
+namespace obscorr::interrupt {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_wake_fd{-1};
+
+#ifdef OBSCORR_HAVE_SIGACTION
+extern "C" void obscorr_stop_handler(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // Best-effort: the loop also polls the flag, so a full pipe is fine.
+    [[maybe_unused]] const auto n = ::write(fd, &byte, 1);
+  }
+}
+#endif
+
+}  // namespace
+
+bool install_handlers() {
+#ifdef OBSCORR_HAVE_SIGACTION
+  struct sigaction sa = {};
+  sa.sa_handler = obscorr_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked syscalls return EINTR and re-check
+  return ::sigaction(SIGINT, &sa, nullptr) == 0 && ::sigaction(SIGTERM, &sa, nullptr) == 0;
+#else
+  return false;
+#endif
+}
+
+bool stop_requested() { return g_stop.load(std::memory_order_relaxed); }
+
+void request_stop() {
+#ifdef OBSCORR_HAVE_SIGACTION
+  obscorr_stop_handler(0);
+#else
+  g_stop.store(true, std::memory_order_relaxed);
+#endif
+}
+
+void reset() { g_stop.store(false, std::memory_order_relaxed); }
+
+void set_wake_fd(int fd) { g_wake_fd.store(fd, std::memory_order_relaxed); }
+
+}  // namespace obscorr::interrupt

@@ -1,0 +1,42 @@
+#pragma once
+/// \file interrupt.hpp
+/// Cooperative stop for long-running commands and the resident service.
+///
+/// A SIGINT/SIGTERM must never kill `obscorr archive` mid-frame or the
+/// `serve` daemon mid-window: the handler installed here only sets a
+/// process-wide flag (and pokes an optional wake fd so a blocked event
+/// loop notices immediately). Long loops poll `stop_requested()` at
+/// their natural checkpoint granularity — between archive entries,
+/// between capture batches, between epoll iterations — and unwind
+/// cleanly: flush what is complete, leave resumable state on disk, exit.
+///
+/// Everything the handler touches is async-signal-safe: one relaxed
+/// atomic store plus (optionally) a single `write(2)` to the registered
+/// eventfd/pipe. The flag is process-wide by design — a second SIGINT
+/// during a slow drain still only requests the same stop; delivery
+/// remains one-shot semantics at the checkpoints.
+
+#include <atomic>
+
+namespace obscorr::interrupt {
+
+/// Install the SIGINT/SIGTERM handlers (idempotent). Returns false when
+/// the handlers could not be installed (non-POSIX host); the stop flag
+/// still works through `request_stop()`.
+bool install_handlers();
+
+/// True once a stop was requested by signal or `request_stop()`.
+bool stop_requested();
+
+/// Request a stop programmatically (tests, admin shutdown queries).
+void request_stop();
+
+/// Clear the flag (tests and between embedded CLI invocations).
+void reset();
+
+/// Register a file descriptor the signal handler writes one byte to on
+/// delivery, so an epoll/select loop blocked in the kernel wakes up.
+/// Pass -1 to unregister. The fd must stay valid while registered.
+void set_wake_fd(int fd);
+
+}  // namespace obscorr::interrupt

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/interrupt.hpp"
 #include "core/parallel_capture.hpp"
 #include "netgen/traffic.hpp"
 #include "obs/span.hpp"
@@ -94,6 +95,10 @@ StudyData run_impl(const netgen::Scenario& scenario, ThreadPool& pool, bool with
   parallel_for(pool, 0, n_snapshots + n_months, [&](std::size_t b, std::size_t e) {
     std::optional<telescope::Telescope> scope;
     for (std::size_t i = b; i < e; ++i) {
+      // Cooperative stop between observations, never mid-frame: a
+      // SIGINT/SIGTERM skips the remaining windows and run_impl throws a
+      // clean diagnostic below instead of returning a partial study.
+      if (interrupt::stop_requested()) continue;
       if (i < n_snapshots) {
         if (!scope) scope.emplace(scope_config_for(scenario), pool);
         study.snapshots[i] =
@@ -105,6 +110,9 @@ StudyData run_impl(const netgen::Scenario& scenario, ThreadPool& pool, bool with
       }
     }
   });
+  OBSCORR_REQUIRE(!interrupt::stop_requested(),
+                  "study: interrupted — in-memory campaign discarded "
+                  "(use `obscorr archive`, which checkpoints and resumes)");
   return study;
 }
 

@@ -41,6 +41,16 @@ constexpr const char* kCanonicalCounters[] = {
     "simd.dispatch_merge",
     "simd.dispatch_radix",
     "simd.dispatch_reduce",
+    "svc.accepted",
+    "svc.bytes_in",
+    "svc.bytes_out",
+    "svc.errors",
+    "svc.ingest_packets",
+    "svc.refreshes",
+    "svc.requests",
+    "svc.shed",
+    "svc.timeouts",
+    "svc.windows_published",
     "telescope.anon_cache_hits",
     "telescope.anon_cache_misses",
     "telescope.discarded_packets",
@@ -54,8 +64,10 @@ constexpr const char* kCanonicalCounters[] = {
 constexpr const char* kCanonicalGauges[] = {
     "mem.arena_high_water",
     "mem.hugepage_bytes",
+    "mem.peak_rss",
     "mem.pool_high_water",
     "simd.tier",
+    "svc.connections_high_water",
     "threadpool.queue_high_water",
 };
 

@@ -1,0 +1,101 @@
+#include "svc/ingest.hpp"
+
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "archive/live_archive.hpp"
+#include "common/error.hpp"
+#include "common/interrupt.hpp"
+#include "netgen/traffic.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "telescope/capture_session.hpp"
+#include "telescope/telescope.hpp"
+
+namespace obscorr::svc {
+
+IngestLoop::IngestLoop(std::string dir, QueryEngine& engine, ThreadPool& pool,
+                       IngestConfig config)
+    : dir_(std::move(dir)), engine_(engine), pool_(pool), config_(config) {}
+
+IngestLoop::~IngestLoop() { stop_and_join(); }
+
+void IngestLoop::start() {
+  OBSCORR_REQUIRE(!thread_.joinable(), "ingest: already started");
+  thread_ = std::thread([this] { run(); });
+}
+
+void IngestLoop::stop_and_join() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+std::string IngestLoop::error() const {
+  const std::lock_guard lk(error_mu_);
+  return error_;
+}
+
+void IngestLoop::run() {
+  try {
+    archive::LiveArchive live(dir_);
+    const netgen::Scenario& scenario = engine_.scenario();
+    engine_.refresh();  // windows the LiveArchive open just republished
+
+    const netgen::Population population(scenario.population);
+    const netgen::TrafficGenerator generator(population, scenario.traffic);
+    // Same instrument configuration as the batch campaign (the
+    // cryptopan seed derivation must match tools/commands.cpp
+    // scope_config, or live matrices would anonymize differently than
+    // the archived snapshots).
+    telescope::TelescopeConfig scope_cfg;
+    scope_cfg.darkspace = scenario.traffic.darkspace;
+    scope_cfg.legit_prefixes = {scenario.traffic.legit_prefix};
+    scope_cfg.cryptopan_seed = scenario.population.seed ^ 0xCA1DAULL;
+    telescope::Telescope scope(scope_cfg, pool_);
+
+    while (!stop_.load(std::memory_order_relaxed) && !interrupt::stop_requested() &&
+           published_.load(std::memory_order_relaxed) < config_.max_windows) {
+      const std::size_t w = live.window_count();
+      const int month = static_cast<int>(w % scenario.months.size());
+      const std::uint64_t salt = config_.salt_base + w;
+      const obs::Span span("svc.ingest_window", [&] { return std::to_string(w); });
+
+      // One generator window == one capture window: the session closes
+      // its window on exactly the last valid packet streamed.
+      telescope::CaptureSessionConfig session_cfg;
+      session_cfg.window_packets = config_.window_packets;
+      session_cfg.mean_packet_rate = config_.mean_packet_rate;
+      session_cfg.timing_seed = salt;
+      telescope::CaptureSession session(scope, session_cfg);
+      std::optional<telescope::CaptureWindow> window;
+      const std::uint64_t streamed = generator.stream_window(
+          month, config_.window_packets, salt, [&](const Packet& p) {
+            session.offer(p, [&](telescope::CaptureWindow&& cw) { window = std::move(cw); });
+          });
+      OBSCORR_REQUIRE(window.has_value(), "ingest: capture window did not close");
+
+      archive::LiveWindowMeta meta;
+      meta.window = w;
+      meta.month_index = month;
+      meta.salt = salt;
+      meta.valid_packets = config_.window_packets;
+      meta.discarded_packets = window->discarded;
+      meta.start_sec = window->start_sec;
+      meta.duration_sec = window->duration_sec;
+      const gbl::SparseVec sources = window->matrix.reduce_rows(pool_);
+      live.append_window(meta, window->matrix, sources);
+      engine_.refresh();
+      published_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::counters_enabled()) {
+        static obs::Counter& packets = obs::counter("svc.ingest_packets");
+        packets.add(streamed);
+      }
+    }
+  } catch (const std::exception& e) {
+    const std::lock_guard lk(error_mu_);
+    error_ = e.what();
+  }
+}
+
+}  // namespace obscorr::svc

@@ -1,0 +1,85 @@
+#pragma once
+/// \file ingest.hpp
+/// The daemon's background capture loop: continuous telescope operation
+/// appending live windows to the archive the service is serving.
+///
+/// Each iteration streams one constant-packet generator window through a
+/// `telescope::CaptureSession` (Poisson arrival timing, same pipeline as
+/// the batch campaign), reduces it, appends it to the `LiveArchive`
+/// (atomic manifest publication), and nudges the `QueryEngine` to
+/// refresh — so a `degrees` query for window w starts answering the
+/// moment w's publication rename lands, with bytes identical to what a
+/// later batch CLI run over the same archive prints.
+///
+/// Determinism: window w always draws from scenario month `w %
+/// month_count` with salt `salt_base + w` and timing seed `salt_base +
+/// w`, so a crashed-and-restarted daemon regenerates byte-identical
+/// frames for any window it had partially appended (the resume path of
+/// LiveArchive::append_window relies on this).
+///
+/// The loop checks `interrupt::stop_requested()` (and the engine-side
+/// stop flag) at window boundaries only: a SIGTERM mid-window finishes
+/// and publishes that window, then exits — the paper's "never tear a
+/// window" drain semantics.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "netgen/scenario.hpp"
+#include "svc/queries.hpp"
+
+namespace obscorr::svc {
+
+struct IngestConfig {
+  /// Stop after publishing this many new windows (in addition to any
+  /// recovered ones); SIZE_MAX runs until shutdown.
+  std::size_t max_windows = static_cast<std::size_t>(-1);
+  std::uint64_t window_packets = 1 << 16;  ///< valid packets per live window
+  double mean_packet_rate = 1e6;           ///< Poisson arrival rate (packets/s)
+  /// Live-window salt/timing base; window w uses salt_base + w. Distinct
+  /// from every campaign snapshot salt.
+  std::uint64_t salt_base = 0x11E50000;
+};
+
+/// Background ingest thread over one archive directory.
+class IngestLoop {
+ public:
+  /// `dir` must hold a completed archive of `engine`'s scenario. The
+  /// engine, pool, and directory must outlive the loop.
+  IngestLoop(std::string dir, QueryEngine& engine, ThreadPool& pool, IngestConfig config);
+  ~IngestLoop();
+
+  /// Spawn the ingest thread. Call at most once.
+  void start();
+
+  /// Signal the loop to stop at the next window boundary and wait for
+  /// it to finish (idempotent; also triggered by the global interrupt
+  /// flag).
+  void stop_and_join();
+
+  /// Windows published by this loop so far (excludes recovered ones).
+  std::size_t published() const { return published_.load(std::memory_order_relaxed); }
+
+  /// Set when the loop died on an exception; serve surfaces it.
+  std::string error() const;
+
+ private:
+  void run();
+
+  std::string dir_;
+  QueryEngine& engine_;
+  ThreadPool& pool_;
+  IngestConfig config_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> published_{0};
+  mutable std::mutex error_mu_;
+  std::string error_;
+};
+
+}  // namespace obscorr::svc

@@ -1,0 +1,394 @@
+#include "svc/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace obscorr::svc {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number_raw(std::string raw) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::move(raw);
+  return v;
+}
+
+JsonValue JsonValue::number(std::int64_t n) { return number_raw(std::to_string(n)); }
+JsonValue JsonValue::number(std::uint64_t n) { return number_raw(std::to_string(n)); }
+
+JsonValue JsonValue::number(double d) {
+  OBSCORR_REQUIRE(std::isfinite(d), "json: non-finite number");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return number_raw(buf);
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  OBSCORR_REQUIRE(kind_ == Kind::kBool, "json: expected a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  OBSCORR_REQUIRE(kind_ == Kind::kNumber, "json: expected a number");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  OBSCORR_REQUIRE(kind_ == Kind::kNumber, "json: expected a number");
+  OBSCORR_REQUIRE(scalar_.find_first_of(".eE-") == std::string::npos,
+                  "json: expected a non-negative integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  OBSCORR_REQUIRE(errno == 0 && end == scalar_.c_str() + scalar_.size(),
+                  "json: integer out of range");
+  return v;
+}
+
+const std::string& JsonValue::as_string() const {
+  OBSCORR_REQUIRE(kind_ == Kind::kString, "json: expected a string");
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  OBSCORR_REQUIRE(kind_ == Kind::kArray, "json: expected an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  OBSCORR_REQUIRE(kind_ == Kind::kObject, "json: expected an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  OBSCORR_REQUIRE(kind_ == Kind::kArray, "json: push_back on a non-array");
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  OBSCORR_REQUIRE(kind_ == Kind::kObject, "json: set on a non-object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+const std::string& JsonValue::raw_number() const {
+  OBSCORR_REQUIRE(kind_ == Kind::kNumber, "json: expected a number");
+  return scalar_;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view. All failures throw;
+/// nothing reads past `end_`.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : cur_(text.data()), end_(text.data() + text.size()) {}
+
+  JsonValue parse() {
+    JsonValue v = value(0);
+    skip_ws();
+    OBSCORR_REQUIRE(cur_ == end_, "json: trailing bytes after value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (cur_ != end_ && (*cur_ == ' ' || *cur_ == '\t' || *cur_ == '\n' || *cur_ == '\r')) {
+      ++cur_;
+    }
+  }
+
+  char peek() {
+    OBSCORR_REQUIRE(cur_ != end_, "json: truncated input");
+    return *cur_;
+  }
+
+  char take() {
+    OBSCORR_REQUIRE(cur_ != end_, "json: truncated input");
+    return *cur_++;
+  }
+
+  void expect(char c) {
+    OBSCORR_REQUIRE(take() == c, std::string("json: expected '") + c + "'");
+  }
+
+  bool consume_if(char c) {
+    if (cur_ != end_ && *cur_ == c) {
+      ++cur_;
+      return true;
+    }
+    return false;
+  }
+
+  void literal(std::string_view word) {
+    for (const char c : word) expect(c);
+  }
+
+  JsonValue value(std::size_t depth) {
+    OBSCORR_REQUIRE(depth < kMaxJsonDepth, "json: nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case 'n': literal("null"); return JsonValue::null();
+      case 't': literal("true"); return JsonValue::boolean(true);
+      case 'f': literal("false"); return JsonValue::boolean(false);
+      case '"': return JsonValue::string(string_body());
+      case '[': return array_body(depth);
+      case '{': return object_body(depth);
+      default: return number_body();
+    }
+  }
+
+  JsonValue array_body(std::size_t depth) {
+    expect('[');
+    JsonValue v = JsonValue::array();
+    skip_ws();
+    if (consume_if(']')) return v;
+    while (true) {
+      v.push_back(value(depth + 1));
+      skip_ws();
+      if (consume_if(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue object_body(std::size_t depth) {
+    expect('{');
+    JsonValue v = JsonValue::object();
+    skip_ws();
+    if (consume_if('}')) return v;
+    while (true) {
+      skip_ws();
+      OBSCORR_REQUIRE(peek() == '"', "json: object key must be a string");
+      std::string key = string_body();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), value(depth + 1));
+      skip_ws();
+      if (consume_if('}')) return v;
+      expect(',');
+    }
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': append_codepoint(out); break;
+          default: OBSCORR_REQUIRE(false, "json: bad escape");
+        }
+      } else {
+        OBSCORR_REQUIRE(static_cast<unsigned char>(c) >= 0x20,
+                        "json: unescaped control character in string");
+        out += c;
+      }
+    }
+  }
+
+  std::uint32_t hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        OBSCORR_REQUIRE(false, "json: bad \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void append_codepoint(std::string& out) {
+    std::uint32_t cp = hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: require the pair
+      expect('\\');
+      expect('u');
+      const std::uint32_t lo = hex4();
+      OBSCORR_REQUIRE(lo >= 0xDC00 && lo <= 0xDFFF, "json: unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else {
+      OBSCORR_REQUIRE(!(cp >= 0xDC00 && cp <= 0xDFFF), "json: unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  JsonValue number_body() {
+    const char* start = cur_;
+    consume_if('-');
+    OBSCORR_REQUIRE(cur_ != end_ && *cur_ >= '0' && *cur_ <= '9', "json: malformed number");
+    if (*cur_ == '0') {
+      ++cur_;  // leading zeros are not JSON
+    } else {
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    if (consume_if('.')) {
+      OBSCORR_REQUIRE(cur_ != end_ && *cur_ >= '0' && *cur_ <= '9', "json: malformed number");
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    if (cur_ != end_ && (*cur_ == 'e' || *cur_ == 'E')) {
+      ++cur_;
+      if (cur_ != end_ && (*cur_ == '+' || *cur_ == '-')) ++cur_;
+      OBSCORR_REQUIRE(cur_ != end_ && *cur_ >= '0' && *cur_ <= '9', "json: malformed number");
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    return JsonValue::number_raw(std::string(start, static_cast<std::size_t>(cur_ - start)));
+  }
+
+  const char* cur_;
+  const char* end_;
+};
+
+void dump_value(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      out += v.raw_number();
+      return;
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        dump_value(member, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse(); }
+
+std::string dump_json(const JsonValue& v) {
+  std::string out;
+  dump_value(v, out);
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  static const char* hex = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obscorr::svc

@@ -1,0 +1,99 @@
+#pragma once
+/// \file json.hpp
+/// Minimal strict JSON for the service's newline-delimited protocol.
+///
+/// The parser is written for hostile input: recursive descent with a
+/// hard nesting-depth cap, full bounds checking, strict number/string
+/// grammar, and a single-value requirement (trailing bytes after the
+/// value are an error). Numbers are kept as their validated raw text,
+/// so a u64 counter round-trips through parse + dump without passing
+/// through a double (no precision loss above 2^53) — what the `metrics`
+/// query relies on when re-serializing the obscorr.metrics.v1 document
+/// into a compact single-line response.
+///
+/// Every error is a std::invalid_argument with a protocol-safe message;
+/// the parser never reads out of bounds and never recurses past
+/// kMaxJsonDepth frames regardless of input.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace obscorr::svc {
+
+/// Nesting-depth cap: a request is a flat object with one params level,
+/// so 32 is generous while keeping a hostile "[[[[..." line from
+/// consuming stack.
+inline constexpr std::size_t kMaxJsonDepth = 32;
+
+/// One JSON value. Objects preserve insertion order (dump is
+/// deterministic for a given parse).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  /// `raw` must be a valid JSON number token (the parser guarantees it;
+  /// programmatic construction uses the typed helpers below).
+  static JsonValue number_raw(std::string raw);
+  static JsonValue number(std::int64_t v);
+  static JsonValue number(std::uint64_t v);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::invalid_argument on kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  /// Integer in [0, 2^53]; throws on fractions, negatives, overflow —
+  /// the accessor for indices and counts arriving off the wire.
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member by key; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Append/insert (for building responses).
+  void push_back(JsonValue v);
+  void set(std::string key, JsonValue v);
+
+  /// Validated raw number text (numbers only).
+  const std::string& raw_number() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number raw text or string payload
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse exactly one JSON value spanning all of `text` (leading/trailing
+/// whitespace allowed); throws std::invalid_argument on any violation.
+JsonValue parse_json(std::string_view text);
+
+/// Compact single-line serialization (no spaces, members in insertion
+/// order, strings escaped; embedded newlines are escaped, so the result
+/// is always protocol-safe as one NDJSON line).
+std::string dump_json(const JsonValue& v);
+
+/// Escape `s` as the *contents* of a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace obscorr::svc

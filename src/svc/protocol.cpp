@@ -1,0 +1,45 @@
+#include "svc/protocol.hpp"
+
+#include "common/error.hpp"
+
+namespace obscorr::svc {
+
+Request parse_request(std::string_view line) {
+  const JsonValue v = parse_json(line);
+  OBSCORR_REQUIRE(v.is_object(), "request must be a JSON object");
+  Request req;
+  if (const JsonValue* id = v.find("id")) req.id = *id;
+  const JsonValue* query = v.find("query");
+  OBSCORR_REQUIRE(query != nullptr && query->is_string(),
+                  "request needs a string \"query\" member");
+  req.query = query->as_string();
+  OBSCORR_REQUIRE(!req.query.empty(), "request \"query\" must be non-empty");
+  if (const JsonValue* params = v.find("params")) {
+    OBSCORR_REQUIRE(params->is_object(), "request \"params\" must be an object");
+    req.params = *params;
+  } else {
+    req.params = JsonValue::object();
+  }
+  return req;
+}
+
+std::string make_ok(const JsonValue& id, JsonValue result) {
+  JsonValue resp = JsonValue::object();
+  resp.set("id", id);
+  resp.set("ok", JsonValue::boolean(true));
+  resp.set("result", std::move(result));
+  return dump_json(resp) + "\n";
+}
+
+std::string make_error(const JsonValue& id, std::string_view code, std::string_view message) {
+  JsonValue error = JsonValue::object();
+  error.set("code", JsonValue::string(std::string(code)));
+  error.set("message", JsonValue::string(std::string(message)));
+  JsonValue resp = JsonValue::object();
+  resp.set("id", id);
+  resp.set("ok", JsonValue::boolean(false));
+  resp.set("error", std::move(error));
+  return dump_json(resp) + "\n";
+}
+
+}  // namespace obscorr::svc

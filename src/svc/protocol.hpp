@@ -1,0 +1,54 @@
+#pragma once
+/// \file protocol.hpp
+/// The service's wire protocol: newline-delimited JSON over a stream
+/// socket. One request per line, one response line per request, answered
+/// in order (requests on one connection are handled serially; concurrency
+/// comes from concurrent connections).
+///
+/// Request line:
+///   {"id": <any value>, "query": "<type>", "params": {...}}
+/// `id` is optional and echoed verbatim; `params` is optional. Query
+/// types: lookup, report, degrees, scaling, stats, metrics.
+///
+/// Response line (always a single line, '\n'-terminated):
+///   {"id": <echoed>, "ok": true,  "result": {...}}
+///   {"id": <echoed>, "ok": false, "error": {"code": "...", "message": "..."}}
+///
+/// Error codes: bad_request (malformed JSON / unknown query / bad
+/// params), too_large (request line over the byte cap), timeout (the
+/// per-request deadline passed), shedding (connection cap reached),
+/// shutting_down (drain in progress).
+///
+/// See docs/service.md for the full schema and examples.
+
+#include <string>
+#include <string_view>
+
+#include "svc/json.hpp"
+
+namespace obscorr::svc {
+
+/// Hard cap on one request line (newline included). Far above any legal
+/// request; a line exceeding it is answered with `too_large` and the
+/// connection is closed without buffering the rest.
+inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+
+/// One parsed request.
+struct Request {
+  JsonValue id;        ///< echoed verbatim; null when absent
+  std::string query;   ///< query type (validated non-empty, not dispatched yet)
+  JsonValue params;    ///< parameter object; empty object when absent
+};
+
+/// Parse one request line (without the trailing newline). Throws
+/// std::invalid_argument on malformed JSON, a non-object request, a
+/// missing/non-string "query", or a non-object "params".
+Request parse_request(std::string_view line);
+
+/// Serialize a success response line (terminating '\n' included).
+std::string make_ok(const JsonValue& id, JsonValue result);
+
+/// Serialize an error response line (terminating '\n' included).
+std::string make_error(const JsonValue& id, std::string_view code, std::string_view message);
+
+}  // namespace obscorr::svc

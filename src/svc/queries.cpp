@@ -1,0 +1,186 @@
+#include "svc/queries.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <sstream>
+
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "common/ipv4.hpp"
+#include "core/scaling_analysis.hpp"
+#include "obs/export.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "svc/render.hpp"
+
+namespace obscorr::svc {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+JsonValue text_result(std::string text) {
+  JsonValue result = JsonValue::object();
+  result.set("text", JsonValue::string(std::move(text)));
+  return result;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const std::string& dir, ThreadPool& pool)
+    : reader_(dir), pool_(pool) {}
+
+std::string QueryEngine::execute(const Request& req) {
+  const obs::Span span("svc.query", [&] { return req.query; });
+  if (obs::counters_enabled()) {
+    static obs::Counter& requests = obs::counter("svc.requests");
+    requests.add(1);
+  }
+  try {
+    const std::shared_lock lock(data_mu_);
+    return make_ok(req.id, dispatch(req));
+  } catch (const std::exception& e) {
+    if (obs::counters_enabled()) {
+      static obs::Counter& errors = obs::counter("svc.errors");
+      errors.add(1);
+    }
+    return make_error(req.id, "bad_request", e.what());
+  }
+}
+
+std::size_t QueryEngine::refresh() {
+  const std::unique_lock lock(data_mu_);
+  const std::size_t added = reader_.refresh();
+  if (added > 0 && obs::counters_enabled()) {
+    static obs::Counter& refreshes = obs::counter("svc.refreshes");
+    refreshes.add(1);
+  }
+  return added;
+}
+
+std::size_t QueryEngine::window_count() {
+  const std::shared_lock lock(data_mu_);
+  return reader_.window_count();
+}
+
+JsonValue QueryEngine::dispatch(const Request& req) {
+  if (req.query == "lookup") return q_lookup(req.params);
+  if (req.query == "report") return q_report();
+  if (req.query == "degrees") return q_degrees(req.params);
+  if (req.query == "scaling") return q_scaling();
+  if (req.query == "stats") return q_stats();
+  if (req.query == "metrics") return q_metrics();
+  OBSCORR_REQUIRE(false, "unknown query type \"" + req.query + "\"");
+  return JsonValue::null();  // unreachable
+}
+
+std::string QueryEngine::cached(const std::string& key,
+                                const std::function<std::string()>& render) {
+  std::shared_future<std::string> future;
+  {
+    const std::lock_guard lk(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      future = it->second;
+    } else if (cache_.size() < kMaxCacheEntries) {
+      // Deferred: the first get() below runs the render on that caller's
+      // thread; every racer blocks on the same shared state, so the
+      // render runs exactly once per key.
+      future = std::async(std::launch::deferred, render).share();
+      cache_.emplace(key, future);
+    }
+  }
+  if (future.valid()) return future.get();
+  return render();  // cache full: serve uncached rather than evict
+}
+
+const honeyfarm::Database& QueryEngine::database() {
+  std::call_once(db_once_, [&] {
+    db_ = std::make_unique<honeyfarm::Database>(reader_.months());
+  });
+  return *db_;
+}
+
+JsonValue QueryEngine::q_lookup(const JsonValue& params) {
+  const JsonValue* ip = params.find("ip");
+  OBSCORR_REQUIRE(ip != nullptr && ip->is_string(), "lookup needs params.ip (string)");
+  const std::string& ip_text = ip->as_string();
+  OBSCORR_REQUIRE(Ipv4::parse(ip_text).has_value(), "lookup: malformed address " + ip_text);
+  return text_result(cached("lookup/" + ip_text, [&] {
+    std::ostringstream out;
+    render_lookup(database(), ip_text, out);
+    return std::move(out).str();
+  }));
+}
+
+JsonValue QueryEngine::q_report() {
+  return text_result(cached("report", [&] {
+    std::ostringstream out;
+    render_study(reader_.analysis_study(), out);
+    return std::move(out).str();
+  }));
+}
+
+JsonValue QueryEngine::q_degrees(const JsonValue& params) {
+  const JsonValue* snapshot = params.find("snapshot");
+  const JsonValue* window = params.find("window");
+  OBSCORR_REQUIRE(snapshot == nullptr || window == nullptr,
+                  "degrees takes params.snapshot or params.window, not both");
+  std::string key;
+  gbl::SparseVec sources;
+  if (window != nullptr) {
+    const std::uint64_t w = window->as_uint();
+    key = "degrees/w/" + std::to_string(w);
+    sources = reader_.window_source_packets(static_cast<std::size_t>(w));
+  } else {
+    const std::uint64_t k = snapshot != nullptr ? snapshot->as_uint() : 0;
+    key = "degrees/s/" + std::to_string(k);
+    sources = reader_.source_packets(static_cast<std::size_t>(k));
+  }
+  return text_result(cached(key, [&] {
+    std::ostringstream out;
+    render_degrees(sources, out);
+    return std::move(out).str();
+  }));
+}
+
+JsonValue QueryEngine::q_scaling() {
+  return text_result(cached("scaling", [&] {
+    const netgen::Scenario& scenario = reader_.scenario();
+    const int ladder_top = static_cast<int>(scenario.population.log2_nv);
+    const auto analysis = core::scaling_analysis(scenario, 0, 10, ladder_top, pool_);
+    std::ostringstream out;
+    render_scaling(analysis, out);
+    return std::move(out).str();
+  }));
+}
+
+JsonValue QueryEngine::q_stats() {
+  JsonValue result = JsonValue::object();
+  result.set("archive", JsonValue::string(reader_.dir()));
+  result.set("scenario_hash", JsonValue::string(hex64(reader_.scenario_hash())));
+  result.set("snapshots", JsonValue::number(static_cast<std::uint64_t>(reader_.snapshot_count())));
+  result.set("months", JsonValue::number(static_cast<std::uint64_t>(reader_.month_count())));
+  result.set("windows", JsonValue::number(static_cast<std::uint64_t>(reader_.window_count())));
+  result.set("log2_nv",
+             JsonValue::number(static_cast<std::uint64_t>(reader_.scenario().population.log2_nv)));
+  result.set("mapped", JsonValue::boolean(reader_.mapped()));
+  return result;
+}
+
+JsonValue QueryEngine::q_metrics() {
+  // Snapshot the live registry as the canonical obscorr.metrics.v1
+  // document, then re-serialize it compact: the writer's output is
+  // multiline, and protocol responses must be one NDJSON line. Numbers
+  // survive the round-trip verbatim (raw-text number storage).
+  obs::gauge("mem.peak_rss").record_max(static_cast<std::uint64_t>(mem::peak_rss_bytes()));
+  std::ostringstream os;
+  obs::write_metrics_json(os);
+  return parse_json(std::move(os).str());
+}
+
+}  // namespace obscorr::svc

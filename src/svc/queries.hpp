@@ -1,0 +1,86 @@
+#pragma once
+/// \file queries.hpp
+/// The service's query engine: dispatches parsed protocol requests over
+/// a live `StudyReader`. Thread-safe — many connections execute queries
+/// concurrently while the ingest loop publishes new windows:
+///
+///  * a shared/exclusive lock separates queries (shared) from
+///    `refresh()` (exclusive), so a refresh never swaps the catalog
+///    under a reader mid-query;
+///  * rendered query outputs are cached by key behind deferred shared
+///    futures, so an expensive render (scaling, report) runs exactly
+///    once no matter how many clients race for it, and repeat queries
+///    are a string copy;
+///  * the completed campaign prefix is immutable, so cached entries for
+///    it are valid forever; per-window entries are keyed by index and
+///    windows are immutable once published.
+///
+/// Rendering goes through svc/render.hpp — the same functions the batch
+/// CLI prints with — which is what makes responses byte-identical to the
+/// corresponding `obscorr <cmd> --from DIR` stdout.
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "archive/study_archive.hpp"
+#include "common/thread_pool.hpp"
+#include "honeyfarm/database.hpp"
+#include "svc/protocol.hpp"
+
+namespace obscorr::svc {
+
+/// Dispatches requests over one archive; shared by every connection.
+class QueryEngine {
+ public:
+  /// Open the archive; throws on a missing/corrupt one. `pool` is used
+  /// for the scaling ladder (and must outlive the engine).
+  QueryEngine(const std::string& dir, ThreadPool& pool);
+
+  /// Execute one parsed request and return the full response line.
+  /// Never throws: failures become protocol error responses.
+  std::string execute(const Request& req);
+
+  /// Absorb windows published since open/last refresh (exclusive lock);
+  /// returns the number of newly visible windows.
+  std::size_t refresh();
+
+  /// Currently visible live windows (shared lock).
+  std::size_t window_count();
+
+  const netgen::Scenario& scenario() const { return reader_.scenario(); }
+
+ private:
+  JsonValue dispatch(const Request& req);
+  JsonValue q_lookup(const JsonValue& params);
+  JsonValue q_report();
+  JsonValue q_degrees(const JsonValue& params);
+  JsonValue q_scaling();
+  JsonValue q_stats();
+  JsonValue q_metrics();
+
+  /// Rendered-output cache: compute `render()` once per key, share the
+  /// result. Bounded: past kMaxCacheEntries new keys compute uncached.
+  std::string cached(const std::string& key, const std::function<std::string()>& render);
+
+  /// Lazily built honeyfarm database over the completed campaign's
+  /// months (immutable under live ingest); built once, first use.
+  const honeyfarm::Database& database();
+
+  static constexpr std::size_t kMaxCacheEntries = 256;
+
+  archive::StudyReader reader_;
+  ThreadPool& pool_;
+  std::shared_mutex data_mu_;  // queries shared, refresh exclusive
+  std::mutex cache_mu_;
+  std::unordered_map<std::string, std::shared_future<std::string>> cache_;
+  std::once_flag db_once_;
+  std::unique_ptr<honeyfarm::Database> db_;
+};
+
+}  // namespace obscorr::svc

@@ -1,0 +1,35 @@
+#pragma once
+/// \file render.hpp
+/// The one rendering path for analysis output. Each function here
+/// produces exactly the bytes the corresponding CLI subcommand prints on
+/// stdout; both `tools/commands.cpp` and the service's query engine call
+/// these, which is what makes a `serve` response over a fixed window
+/// range byte-identical to the batch CLI run — same code, same bytes, by
+/// construction rather than by parallel maintenance.
+
+#include <ostream>
+
+#include "core/scaling_analysis.hpp"
+#include "core/study.hpp"
+#include "gbl/sparse_vec.hpp"
+#include "honeyfarm/database.hpp"
+
+namespace obscorr::svc {
+
+/// `obscorr degrees` stdout for a source-packet reduction: the
+/// differential-cumulative table plus Zipf-Mandelbrot and power-law
+/// fits. Throws when `sources` is empty.
+void render_degrees(const gbl::SparseVec& sources, std::ostream& out);
+
+/// `obscorr study` stdout for a materialized study: campaign inventory,
+/// same-month overlap by brightness, and the temporal fit headline.
+void render_study(const core::StudyData& study, std::ostream& out);
+
+/// `obscorr lookup` stdout: the database summary line plus the profile
+/// (or "never observed") for `ip`, which must already be validated.
+void render_lookup(const honeyfarm::Database& db, const std::string& ip, std::ostream& out);
+
+/// `obscorr scaling` stdout: the ladder table plus the fitted exponent.
+void render_scaling(const core::ScalingAnalysis& analysis, std::ostream& out);
+
+}  // namespace obscorr::svc

@@ -264,6 +264,16 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
       "simd.dispatch_merge",
       "simd.dispatch_radix",
       "simd.dispatch_reduce",
+      "svc.accepted",
+      "svc.bytes_in",
+      "svc.bytes_out",
+      "svc.errors",
+      "svc.ingest_packets",
+      "svc.refreshes",
+      "svc.requests",
+      "svc.shed",
+      "svc.timeouts",
+      "svc.windows_published",
       "telescope.anon_cache_hits",
       "telescope.anon_cache_misses",
       "telescope.discarded_packets",
@@ -277,8 +287,10 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
   const std::vector<std::string> expected_gauges = {
       "mem.arena_high_water",
       "mem.hugepage_bytes",
+      "mem.peak_rss",
       "mem.pool_high_water",
       "simd.tier",
+      "svc.connections_high_water",
       "threadpool.queue_high_water",
   };
   EXPECT_EQ(canonical_gauge_names(), expected_gauges);
@@ -291,7 +303,7 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
                                       std::string("archive."), std::string("threadpool."),
                                       std::string("study."), std::string("core."),
                                       std::string("stats."), std::string("simd."),
-                                      std::string("mem.")}) {
+                                      std::string("mem."), std::string("svc.")}) {
       if (s.name.rfind(prefix, 0) == 0) {
         EXPECT_TRUE(canonical.count(s.name) == 1) << "non-canonical counter: " << s.name;
       }

@@ -1,0 +1,108 @@
+/// Strict-JSON level: round trips, raw-number precision, and the hostile
+/// inputs the wire can deliver — truncation, depth bombs, bad escapes,
+/// trailing garbage. Mirrors the archive suite's malformed-input style:
+/// every rejection is a clean std::invalid_argument, never a crash or an
+/// out-of-bounds read (the ASan job replays this file).
+
+#include "svc/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace obscorr::svc {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("-12.5e2").as_double(), -1250.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  42  ").as_uint(), 42u);
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrderThroughDump) {
+  const JsonValue v = parse_json(R"({"b":1,"a":[true,null,"x"],"c":{"d":2}})");
+  EXPECT_EQ(dump_json(v), R"({"b":1,"a":[true,null,"x"],"c":{"d":2}})");
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->items().size(), 3u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonTest, U64CountersRoundTripWithoutDoubleConversion) {
+  // 2^63 + 1 is not representable as a double; raw-text numbers must
+  // survive parse + dump bit-exactly (the metrics query depends on it).
+  const std::string big = "9223372036854775809";
+  EXPECT_EQ(dump_json(parse_json(big)), big);
+  EXPECT_EQ(parse_json("9007199254740992").as_uint(), 9007199254740992u);
+}
+
+TEST(JsonTest, AsUintRejectsNonIntegers) {
+  EXPECT_THROW(parse_json("1.5").as_uint(), std::invalid_argument);
+  EXPECT_THROW(parse_json("-3").as_uint(), std::invalid_argument);
+  EXPECT_THROW(parse_json("1e3").as_uint(), std::invalid_argument);
+  EXPECT_THROW(parse_json("\"7\"").as_uint(), std::invalid_argument);
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t\u0041")").as_string(), "a\"b\\c/d\n\tA");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("\uD83D\uDE00")").as_string(), "\xF0\x9F\x98\x80");
+  // Control characters re-escape on dump so output stays one line.
+  EXPECT_EQ(dump_json(JsonValue::string("a\nb\x01")), R"("a\nb\u0001")");
+}
+
+TEST(JsonTest, RejectsTruncatedInput) {
+  for (const char* bad : {"", "{", "[1,", "\"unterminated", "{\"a\":", "tru", "12e",
+                          "-", "[1 2]", "{\"a\" 1}", "\"\\u12\""}) {
+    EXPECT_THROW(parse_json(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_json("1 2"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{} x"), std::invalid_argument);
+  EXPECT_THROW(parse_json(std::string_view("null\0extra", 10)), std::invalid_argument);
+}
+
+TEST(JsonTest, RejectsStrictGrammarViolations) {
+  for (const char* bad : {"01", "+1", ".5", "1.", "NaN", "Infinity", "'single'",
+                          "{a:1}", "[1,]", "{\"a\":1,}", "\"tab\there\""}) {
+    EXPECT_THROW(parse_json(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonTest, DepthBombIsRejectedNotRecursedInto) {
+  std::string bomb;
+  for (int i = 0; i < 10000; ++i) bomb += '[';
+  EXPECT_THROW(parse_json(bomb), std::invalid_argument);
+  // Exactly at the cap still parses.
+  std::string deep;
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) deep += '[';
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) deep += ']';
+  EXPECT_NO_THROW(parse_json(deep));
+  EXPECT_THROW(parse_json("[" + deep + "]"), std::invalid_argument);
+}
+
+TEST(JsonTest, LoneSurrogatesAreRejected) {
+  EXPECT_THROW(parse_json(R"("\uD83D")"), std::invalid_argument);
+  EXPECT_THROW(parse_json(R"("\uD83Dx")"), std::invalid_argument);
+  EXPECT_THROW(parse_json(R"("\uDE00")"), std::invalid_argument);
+}
+
+TEST(JsonTest, BuildersProduceCompactDeterministicOutput) {
+  JsonValue obj = JsonValue::object();
+  obj.set("n", JsonValue::number(std::uint64_t{18446744073709551615u}));
+  obj.set("i", JsonValue::number(std::int64_t{-7}));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue::boolean(true));
+  arr.push_back(JsonValue::null());
+  obj.set("a", std::move(arr));
+  EXPECT_EQ(dump_json(obj), R"({"n":18446744073709551615,"i":-7,"a":[true,null]})");
+}
+
+}  // namespace
+}  // namespace obscorr::svc

@@ -1,0 +1,86 @@
+/// Protocol level: request-line validation and response framing. The
+/// hostile cases here are what a confused or adversarial client actually
+/// sends — wrong top-level kinds, missing/typed-wrong fields, ids of
+/// every JSON kind that must echo verbatim.
+
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace obscorr::svc {
+namespace {
+
+TEST(ProtocolTest, ParsesMinimalRequest) {
+  const Request r = parse_request(R"({"query":"stats"})");
+  EXPECT_TRUE(r.id.is_null());
+  EXPECT_EQ(r.query, "stats");
+  EXPECT_TRUE(r.params.is_object());
+  EXPECT_TRUE(r.params.members().empty());
+}
+
+TEST(ProtocolTest, ParsesFullRequest) {
+  const Request r =
+      parse_request(R"({"id":"req-9","query":"degrees","params":{"snapshot":2}})");
+  EXPECT_EQ(r.id.as_string(), "req-9");
+  EXPECT_EQ(r.query, "degrees");
+  ASSERT_NE(r.params.find("snapshot"), nullptr);
+  EXPECT_EQ(r.params.find("snapshot")->as_uint(), 2u);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  for (const char* bad : {
+           "",                              // empty line
+           "not json",                      // not JSON at all
+           "[1,2,3]",                       // not an object
+           "42",                            // not an object
+           R"({"params":{}})",              // missing query
+           R"({"query":42})",               // non-string query
+           R"({"query":""})",               // empty query
+           R"({"query":"stats","params":[]})",  // non-object params
+           R"({"query":"stats"} trailing)",     // trailing garbage
+       }) {
+    EXPECT_THROW(parse_request(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ProtocolTest, ResponsesAreSingleTerminatedLines) {
+  JsonValue result = JsonValue::object();
+  result.set("text", JsonValue::string("line one\nline two"));
+  const std::string ok = make_ok(JsonValue::number(std::int64_t{3}), std::move(result));
+  EXPECT_EQ(ok, "{\"id\":3,\"ok\":true,\"result\":{\"text\":\"line one\\nline two\"}}\n");
+  // Exactly one newline, at the very end: NDJSON framing.
+  EXPECT_EQ(ok.find('\n'), ok.size() - 1);
+}
+
+TEST(ProtocolTest, ErrorResponsesCarryCodeAndMessage) {
+  const std::string e = make_error(JsonValue::null(), "too_large", "line over 65536 bytes");
+  EXPECT_EQ(e,
+            "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"too_large\","
+            "\"message\":\"line over 65536 bytes\"}}\n");
+  // Hostile bytes in the message must be escaped, never break framing.
+  const std::string hostile = make_error(JsonValue::null(), "bad_request", "a\nb\"c");
+  EXPECT_EQ(hostile.find('\n'), hostile.size() - 1);
+}
+
+TEST(ProtocolTest, IdEchoesVerbatimForEveryKind) {
+  for (const char* id : {"null", "true", "\"abc\"", "18446744073709551615", "[1,2]",
+                         "{\"k\":1}"}) {
+    const Request r = parse_request(std::string(R"({"id":)") + id + R"(,"query":"stats"})");
+    const std::string resp = make_ok(r.id, JsonValue::object());
+    EXPECT_EQ(resp.substr(0, 6 + std::string(id).size()), std::string("{\"id\":") + id) << id;
+  }
+}
+
+TEST(ProtocolTest, MaxRequestBytesIsGenerous) {
+  // The cap exists for hostile lines; a maximal legitimate request is
+  // far below it.
+  const Request r = parse_request(R"({"id":1,"query":"lookup","params":{"ip":"255.255.255.255"}})");
+  EXPECT_EQ(r.query, "lookup");
+  EXPECT_GT(kMaxRequestBytes, 4096u);
+}
+
+}  // namespace
+}  // namespace obscorr::svc

@@ -1,0 +1,386 @@
+/// Service end-to-end: a real epoll server over a real (tiny) archive,
+/// exercised through real sockets. Covers the acceptance criteria
+/// directly — concurrent queries during live ingest with byte-identical
+/// responses — plus the hostile-client posture: oversized lines,
+/// slow-loris fragments, connection-cap shedding, pipelining, and the
+/// drain-and-flush shutdown. The ASan and TSan CI jobs both replay this
+/// binary (leaks and torn reads are exactly what they catch).
+
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/study_archive.hpp"
+#include "common/interrupt.hpp"
+#include "common/thread_pool.hpp"
+#include "svc/ingest.hpp"
+#include "svc/json.hpp"
+#include "svc/render.hpp"
+
+namespace obscorr::svc {
+namespace {
+
+/// One completed archive shared by every test in this binary (building
+/// it is the expensive part; all tests read it concurrently, which is
+/// itself the access pattern under test).
+const std::string& shared_archive() {
+  static const std::string dir = [] {
+    const std::string d = ::testing::TempDir() + "/svc_server_archive";
+    std::filesystem::remove_all(d);
+    ThreadPool pool(2);
+    archive::archive_study(netgen::Scenario::paper(/*log2_nv=*/10, /*seed=*/7), d, pool);
+    return d;
+  }();
+  return dir;
+}
+
+/// Minimal blocking test client against 127.0.0.1:port.
+class Client {
+ public:
+  explicit Client(int port, double timeout_sec = 10.0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    const timeval tv{static_cast<time_t>(timeout_sec), 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return connected_; }
+
+  bool send_raw(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next '\n'-terminated line (newline stripped); nullopt on EOF/timeout.
+  std::optional<std::string> read_line() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return std::nullopt;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True when the peer has closed (EOF) with nothing left to read.
+  bool at_eof() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) == 0;
+  }
+
+  std::optional<JsonValue> query(std::string_view line) {
+    if (!send_raw(std::string(line) + "\n")) return std::nullopt;
+    const auto resp = read_line();
+    if (!resp.has_value()) return std::nullopt;
+    return parse_json(*resp);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+/// Server + engine + pool running on a background thread for one test.
+class RunningServer {
+ public:
+  explicit RunningServer(ServerConfig cfg, std::size_t threads = 4)
+      : pool_(threads), engine_(shared_archive(), pool_) {
+    interrupt::reset();
+    cfg.host = "127.0.0.1";
+    cfg.port = 0;  // ephemeral
+    server_.emplace(std::move(cfg), engine_, pool_);
+    server_->bind();
+    thread_ = std::thread([this] { rc_ = server_->serve(); });
+  }
+
+  ~RunningServer() { stop(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      server_->request_stop();
+      thread_.join();
+    }
+  }
+
+  int port() const { return server_->port(); }
+  int exit_code() const { return rc_; }
+  QueryEngine& engine() { return engine_; }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+  QueryEngine engine_;
+  std::optional<Server> server_;
+  std::thread thread_;
+  int rc_ = -1;
+};
+
+std::string expected_degrees_text(std::size_t snapshot) {
+  const archive::StudyReader reader(shared_archive());
+  std::ostringstream os;
+  render_degrees(reader.source_packets(snapshot), os);
+  return os.str();
+}
+
+TEST(SvcServerTest, AnswersQueriesByteIdenticalToBatchRender) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+
+  const auto stats = c.query(R"({"id":1,"query":"stats"})");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->find("ok")->as_bool());
+  EXPECT_EQ(stats->find("id")->as_uint(), 1u);
+  EXPECT_EQ(stats->find("result")->find("snapshots")->as_uint(), 5u);
+  EXPECT_EQ(stats->find("result")->find("months")->as_uint(), 15u);
+
+  const auto degrees = c.query(R"({"id":2,"query":"degrees","params":{"snapshot":0}})");
+  ASSERT_TRUE(degrees.has_value());
+  ASSERT_TRUE(degrees->find("ok")->as_bool());
+  // The acceptance criterion: the service response carries exactly the
+  // bytes the batch CLI prints for the same archive.
+  EXPECT_EQ(degrees->find("result")->find("text")->as_string(), expected_degrees_text(0));
+
+  const auto lookup = c.query(R"({"id":3,"query":"lookup","params":{"ip":"10.0.0.1"}})");
+  ASSERT_TRUE(lookup.has_value());
+  EXPECT_TRUE(lookup->find("ok")->as_bool());
+
+  const auto metrics = c.query(R"({"id":4,"query":"metrics"})");
+  ASSERT_TRUE(metrics.has_value());
+  ASSERT_TRUE(metrics->find("ok")->as_bool());
+  EXPECT_EQ(metrics->find("result")->find("schema")->as_string(), "obscorr.metrics.v1");
+
+  rs.stop();
+  EXPECT_EQ(rs.exit_code(), 0);
+}
+
+TEST(SvcServerTest, MalformedRequestsGetErrorsAndConnectionSurvives) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+
+  for (const char* bad : {"not json", "[1,2]", R"({"params":{}})", R"({"query":"nope"})",
+                          R"({"query":"degrees","params":{"snapshot":99}})"}) {
+    const auto resp = c.query(bad);
+    ASSERT_TRUE(resp.has_value()) << bad;
+    EXPECT_FALSE(resp->find("ok")->as_bool()) << bad;
+    EXPECT_EQ(resp->find("error")->find("code")->as_string(), "bad_request") << bad;
+  }
+  // The connection is still perfectly usable afterwards.
+  const auto good = c.query(R"({"id":9,"query":"stats"})");
+  ASSERT_TRUE(good.has_value());
+  EXPECT_TRUE(good->find("ok")->as_bool());
+}
+
+TEST(SvcServerTest, PipelinedRequestsAnswerInOrder) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.send_raw("{\"id\":1,\"query\":\"stats\"}\n"
+                         "{\"id\":2,\"query\":\"stats\"}\n"
+                         "\r\n"  // blank keep-alive line is ignored
+                         "{\"id\":3,\"query\":\"stats\"}\n"));
+  for (std::uint64_t want = 1; want <= 3; ++want) {
+    const auto line = c.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(parse_json(*line).find("id")->as_uint(), want);
+  }
+}
+
+TEST(SvcServerTest, OversizedRequestLineIsRejectedAndClosed) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  std::string huge(kMaxRequestBytes + 100, 'x');
+  huge += '\n';
+  ASSERT_TRUE(c.send_raw(huge));
+  const auto resp = c.read_line();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(parse_json(*resp).find("error")->find("code")->as_string(), "too_large");
+  EXPECT_TRUE(c.at_eof());
+}
+
+TEST(SvcServerTest, SlowLorisFragmentTimesOut) {
+  ServerConfig cfg;
+  cfg.request_timeout_sec = 0.2;
+  RunningServer rs(cfg);
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  // A partial line that never completes: the deadline runs from the
+  // fragment's start, so the server answers `timeout` and closes.
+  ASSERT_TRUE(c.send_raw(R"({"query":"sta)"));
+  const auto resp = c.read_line();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(parse_json(*resp).find("error")->find("code")->as_string(), "timeout");
+  EXPECT_TRUE(c.at_eof());
+}
+
+TEST(SvcServerTest, ConnectionCapShedsWithErrorLine) {
+  ServerConfig cfg;
+  cfg.max_connections = 2;
+  RunningServer rs(cfg);
+  Client a(rs.port()), b(rs.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  // Make sure both are registered before the third arrives.
+  ASSERT_TRUE(a.query(R"({"query":"stats"})").has_value());
+  ASSERT_TRUE(b.query(R"({"query":"stats"})").has_value());
+
+  Client shed(rs.port());
+  ASSERT_TRUE(shed.connected());
+  const auto resp = shed.read_line();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(parse_json(*resp).find("error")->find("code")->as_string(), "shedding");
+  EXPECT_TRUE(shed.at_eof());
+
+  // The two admitted connections keep working.
+  EXPECT_TRUE(a.query(R"({"query":"stats"})")->find("ok")->as_bool());
+  EXPECT_TRUE(b.query(R"({"query":"stats"})")->find("ok")->as_bool());
+}
+
+TEST(SvcServerTest, ConcurrentClientsDuringLiveIngest) {
+  // Fresh archive copy: this test appends windows to it.
+  const std::string dir = ::testing::TempDir() + "/svc_ingest_archive";
+  std::filesystem::remove_all(dir);
+  std::filesystem::copy(shared_archive(), dir);
+
+  interrupt::reset();
+  ThreadPool pool(4);
+  QueryEngine engine(dir, pool);
+  ServerConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = 0;
+  Server server(cfg, engine, pool);
+  server.bind();
+  std::thread serve_thread([&] { server.serve(); });
+
+  IngestConfig icfg;
+  icfg.max_windows = 3;
+  icfg.window_packets = 1024;
+  IngestLoop ingest(dir, engine, pool, icfg);
+  ingest.start();
+
+  // Clients hammer the query surface while windows are publishing.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      Client c(server.port());
+      if (!c.connected()) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < 20; ++r) {
+        const char* line = (t + r) % 2 == 0 ? R"({"query":"stats"})"
+                                            : R"({"query":"degrees","params":{"snapshot":0}})";
+        const auto resp = c.query(line);
+        if (!resp.has_value() || !resp->find("ok")->as_bool()) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Wait for every window to publish, then verify a window query answers
+  // with exactly the bytes a batch render over the same archive produces.
+  for (int spin = 0; spin < 600 && engine.window_count() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ingest.stop_and_join();
+  EXPECT_EQ(ingest.error(), "");
+  ASSERT_GE(engine.window_count(), 3u);
+
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+  const auto resp = c.query(R"({"query":"degrees","params":{"window":1}})");
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->find("ok")->as_bool());
+  const archive::StudyReader fresh(dir);
+  ASSERT_GE(fresh.window_count(), 2u);
+  std::ostringstream want;
+  render_degrees(fresh.window_source_packets(1), want);
+  EXPECT_EQ(resp->find("result")->find("text")->as_string(), want.str());
+
+  server.request_stop();
+  serve_thread.join();
+}
+
+TEST(SvcServerTest, DrainFlushesInFlightResponseThenRefusesNewWork) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  // Queue a request and immediately request shutdown: the response must
+  // still arrive (drain-and-flush), then the connection closes.
+  ASSERT_TRUE(c.send_raw(R"({"id":77,"query":"degrees","params":{"snapshot":1}})"
+                         "\n"));
+  rs.stop();
+  const auto resp = c.read_line();
+  ASSERT_TRUE(resp.has_value());
+  const JsonValue v = parse_json(*resp);
+  EXPECT_EQ(v.find("id")->as_uint(), 77u);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_TRUE(c.at_eof());
+  EXPECT_EQ(rs.exit_code(), 0);
+
+  // A connect after drain is refused outright.
+  Client late(rs.port());
+  EXPECT_TRUE(!late.connected() || late.at_eof());
+}
+
+TEST(SvcServerTest, RequestStopViaInterruptFlag) {
+  // The signal path: the global interrupt flag (what SIGINT/SIGTERM set)
+  // must drain the loop without an explicit request_stop().
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.query(R"({"query":"stats"})").has_value());
+  interrupt::request_stop();
+  for (int spin = 0; spin < 300 && !c.at_eof(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(c.at_eof());
+  rs.stop();
+  EXPECT_EQ(rs.exit_code(), 0);
+  interrupt::reset();
+}
+
+}  // namespace
+}  // namespace obscorr::svc

@@ -11,6 +11,7 @@
 #include "common/cli.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/interrupt.hpp"
 #include "common/simd.hpp"
 #include "common/table.hpp"
 #include "core/correlation.hpp"
@@ -26,9 +27,10 @@
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
-#include "stats/histogram.hpp"
-#include "stats/powerlaw.hpp"
-#include "stats/zipf.hpp"
+#include "svc/ingest.hpp"
+#include "svc/queries.hpp"
+#include "svc/render.hpp"
+#include "svc/server.hpp"
 #include "telescope/telescope.hpp"
 #include "telescope/trace.hpp"
 
@@ -124,6 +126,9 @@ TelemetryOptions telemetry_options(const CliArgs& args) {
 /// end of each subcommand, after the result data is already on `out`.
 void emit_telemetry(const TelemetryOptions& t, std::ostream& err) {
   if (!t.active()) return;
+  // The exported document always carries the process peak RSS; the
+  // daemon additionally refreshes it on every periodic snapshot.
+  obs::gauge("mem.peak_rss").record_max(static_cast<std::uint64_t>(mem::peak_rss_bytes()));
   obs::set_level(obs::Level::kOff);
   if (t.trace_out.has_value()) {
     std::ofstream os(*t.trace_out, std::ios::trunc);
@@ -176,6 +181,12 @@ commands:
                 --matrix FILE | --from DIR [--snapshot K=0]  [--length L=16]
   archive     run the full campaign and persist it as a study archive
                 --out DIR [--log2-nv K=16] [--seed S]
+  serve       resident daemon over an archive: NDJSON query API + live ingest
+                --from DIR (--unix PATH | --port N, 0 = ephemeral) [--host H]
+                [--max-conns C=256] [--ingest-windows W=-1, 0 disables]
+                [--window-packets P=65536] [--packet-rate R=1e6]
+                [--request-timeout S=10] [--idle-timeout S=300]
+                [--drain-timeout S=10] [--metrics-interval S=1]
   help        this text
 
 environment: results are deterministic per --seed; sizes scale with --log2-nv.
@@ -184,7 +195,11 @@ concurrency); outputs are byte-identical at any thread count — the flag
 only changes wall-clock time.
 --from DIR reads a completed `obscorr archive` directory instead of
 recomputing; the archived scenario then supplies --log2-nv / --seed.
-a killed `archive` run resumes from its finished snapshots/months.
+a killed `archive` run resumes from its finished snapshots/months; SIGINT/
+SIGTERM stop `study`/`archive`/`serve` cleanly at the next window boundary.
+`serve` speaks newline-delimited JSON (docs/service.md): lookup, report,
+degrees, scaling, stats, metrics — responses over a fixed window range are
+byte-identical to the matching batch subcommand.
 every command accepts --simd scalar|sse42|avx2|auto (default: OBSCORR_SIMD,
 then cpuid detection) to pin the kernel dispatch tier; outputs are
 byte-identical at any tier — the flag only changes wall-clock time
@@ -285,41 +300,32 @@ int cmd_degrees(const std::vector<std::string>& args, std::ostream& out, std::os
   const TelemetryOptions topt = telemetry_options(cli);
   const auto path = cli.get("matrix");
   const auto from = cli.get("from");
-  const auto snapshot = static_cast<std::size_t>(cli.get_int("snapshot", 0));
+  const auto snapshot = cli.get("snapshot");
+  const auto window = cli.get("window");
   OBSCORR_REQUIRE(path.has_value() != from.has_value(),
                   "degrees: exactly one of --matrix FILE or --from DIR is required");
+  OBSCORR_REQUIRE(!window.has_value() || from.has_value(), "degrees: --window needs --from DIR");
+  OBSCORR_REQUIRE(!(snapshot.has_value() && window.has_value()),
+                  "degrees: --snapshot and --window are mutually exclusive");
   const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
   gbl::SparseVec sources;
   if (from.has_value()) {
     // The archive already holds the Table II reduction: no matrix
-    // deserialization, no reduce_rows recompute.
-    sources = archive::StudyReader(*from).source_packets(snapshot);
+    // deserialization, no reduce_rows recompute. `--window` reads a
+    // live-ingested window appended by `obscorr serve`.
+    const archive::StudyReader reader(*from);
+    if (window.has_value()) {
+      sources = reader.window_source_packets(static_cast<std::size_t>(cli.get_int("window", 0)));
+    } else {
+      sources = reader.source_packets(static_cast<std::size_t>(cli.get_int("snapshot", 0)));
+    }
   } else {
     ThreadPool pool(threads);
     sources = gbl::load_matrix(*path).reduce_rows(pool);
   }
-  const auto hist = stats::LogHistogram::from_sparse_vec(sources);
-  OBSCORR_REQUIRE(hist.total() > 0, "degrees: matrix has no sources");
-  const auto dcp = hist.differential_cumulative();
-
-  TextTable table("source-packet differential cumulative probability");
-  table.set_header({"d bin", "sources", "D(d)"});
-  for (int b = 0; b < hist.bin_count(); ++b) {
-    table.add_row({"2^" + std::to_string(b), fmt_count(hist.count(b)),
-                   fmt_sci(dcp[static_cast<std::size_t>(b)], 3)});
-  }
-  table.print(out);
-
-  const auto zm = stats::fit_zipf_mandelbrot(hist);
-  out << "\nZipf-Mandelbrot: p(d) ~ 1/(d + " << fmt_double(zm.model.delta, 2) << ")^"
-      << fmt_double(zm.model.alpha, 3) << "  (| |^(1/2) residual " << fmt_double(zm.residual, 3)
-      << ")\n";
-  const std::vector<double> degrees(sources.values().begin(), sources.values().end());
-  const auto pl = stats::fit_power_law(degrees, 25);
-  out << "power-law MLE:   alpha=" << fmt_double(pl.alpha, 3) << " for d >= " << pl.d_min
-      << "  (KS " << fmt_double(pl.ks, 4) << ", tail n=" << fmt_count(pl.tail_count) << ")\n";
+  svc::render_degrees(sources, out);
   emit_telemetry(topt, err);
   return 0;
 }
@@ -336,40 +342,15 @@ int cmd_study(const std::vector<std::string>& args, std::ostream& out, std::ostr
   if (from.has_value()) {
     study = load_archived_study(*from);
   } else {
+    // A long fresh campaign stops cleanly on SIGINT/SIGTERM: run_study
+    // exits at the next window boundary with a pointer at the resumable
+    // path (`obscorr archive`) instead of dying mid-frame.
+    interrupt::install_handlers();
     ThreadPool pool(threads);
     study = core::run_study(netgen::Scenario::paper(c.log2_nv, c.seed), pool);
   }
 
-  TextTable inventory("campaign inventory (Table I shape)");
-  inventory.set_header({"month", "GreyNoise sources", "CAIDA snapshot", "CAIDA sources"});
-  for (std::size_t m = 0; m < study.months.size(); ++m) {
-    std::string snap_label, snap_sources;
-    for (const auto& snap : study.snapshots) {
-      if (snap.month_index == static_cast<int>(m)) {
-        snap_label = snap.spec.start_label;
-        snap_sources = fmt_count(snap.sources.row_keys().size());
-      }
-    }
-    inventory.add_row({study.months[m].month.to_string(),
-                       fmt_count(study.months[m].total_sources()), snap_label, snap_sources});
-  }
-  inventory.print(out);
-
-  out << "\nsame-month overlap by brightness (Fig. 4 shape):\n";
-  for (const auto& b : core::peak_correlation_all(study)) {
-    if (b.caida_sources < 50) continue;
-    out << "  d in [2^" << b.bin << ",2^" << b.bin + 1 << "): " << fmt_percent(b.fraction, 1)
-        << " seen (log-law " << fmt_percent(b.model, 1) << ")\n";
-  }
-
-  const int bin = static_cast<int>(study.half_log_nv()) - 2;
-  const auto curve = core::temporal_correlation(study.snapshots[0], study, bin, 10);
-  if (curve) {
-    out << "\ntemporal fit for d in [2^" << bin << ",2^" << bin + 1
-        << "): modified Cauchy alpha=" << fmt_double(curve->modified_cauchy.model.alpha, 2)
-        << " beta=" << fmt_double(curve->modified_cauchy.model.beta, 2) << " (one-month drop "
-        << fmt_percent(curve->modified_cauchy.model.one_month_drop(), 1) << ")\n";
-  }
+  svc::render_study(study, out);
 
   // Surface the telescope bookkeeping the capture accumulated. Derived
   // from StudyData only, so fresh and --from runs print the same line.
@@ -428,21 +409,7 @@ int cmd_lookup(const std::vector<std::string>& args, std::ostream& out, std::ost
     }
   }
   const honeyfarm::Database db(std::move(months));
-  out << "database: " << fmt_count(db.distinct_sources()) << " distinct sources over "
-      << db.month_count() << " months\n";
-
-  const auto profile = db.lookup(*ip_text);
-  if (!profile) {
-    out << *ip_text << ": never observed\n";
-    emit_telemetry(topt, err);
-    return 0;
-  }
-  out << profile->ip << ": seen in " << profile->months_seen << " months ("
-      << profile->first_seen->to_string() << " .. " << profile->last_seen->to_string()
-      << "), classification=" << profile->classification
-      << (profile->intent.empty() ? "" : ", intent=" + profile->intent)
-      << ", peak contacts=" << fmt_count(static_cast<std::uint64_t>(profile->peak_contacts))
-      << '\n';
+  svc::render_lookup(db, *ip_text, out);
   emit_telemetry(topt, err);
   return 0;
 }
@@ -460,16 +427,7 @@ int cmd_scaling(const std::vector<std::string>& args, std::ostream& out, std::os
                                          : netgen::Scenario::paper(c.log2_nv, c.seed);
   const int ladder_top = static_cast<int>(scenario.population.log2_nv);
   const auto analysis = core::scaling_analysis(scenario, 0, 10, ladder_top, pool);
-  TextTable table("window-size scaling");
-  table.set_header({"N_V", "unique sources", "sources/sqrt(N_V)"});
-  for (const auto& p : analysis.points) {
-    table.add_row({"2^" + std::to_string(p.log2_nv), fmt_count(p.unique_sources),
-                   fmt_double(static_cast<double>(p.unique_sources) /
-                                  std::exp2(static_cast<double>(p.log2_nv) / 2.0), 1)});
-  }
-  table.print(out);
-  out << "fitted source exponent: " << fmt_double(analysis.source_exponent, 3)
-      << "  (paper: ~0.5)\n";
+  svc::render_scaling(analysis, out);
   emit_telemetry(topt, err);
   return 0;
 }
@@ -627,9 +585,19 @@ int cmd_archive(const std::vector<std::string>& args, std::ostream& out, std::os
   const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
+  // SIGINT/SIGTERM during a long campaign stops between archive entries:
+  // every finished snapshot/month is already flushed to the entry log, so
+  // re-running the same command resumes where the signal landed.
+  interrupt::install_handlers();
   ThreadPool pool(threads);
   const auto stats =
       archive::archive_study(netgen::Scenario::paper(c.log2_nv, c.seed), *dir, pool);
+  if (stats.interrupted) {
+    err << "interrupted: every completed snapshot/month is flushed to " << *dir << '\n'
+        << "re-run the same command to resume\n";
+    emit_telemetry(topt, err);
+    return 130;
+  }
   if (stats.already_complete) {
     err << "archive already complete at " << *dir << '\n';
     emit_telemetry(topt, err);
@@ -641,6 +609,80 @@ int cmd_archive(const std::vector<std::string>& args, std::ostream& out, std::os
       << "query it with --from " << *dir << '\n';
   emit_telemetry(topt, err);
   return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  (void)out;  // protocol responses go to client sockets, diagnostics to err
+  const CliArgs cli = CliArgs::parse(args, kSwitches);
+  const TelemetryOptions topt = telemetry_options(cli);
+  const auto from = cli.get("from");
+  OBSCORR_REQUIRE(from.has_value(), "serve: --from DIR is required (a completed archive)");
+
+  svc::ServerConfig scfg;
+  scfg.unix_path = cli.get_or("unix", "");
+  scfg.host = cli.get_or("host", "127.0.0.1");
+  scfg.port = static_cast<int>(cli.get_int("port", -1));
+  OBSCORR_REQUIRE(!scfg.unix_path.empty() || scfg.port >= 0,
+                  "serve: --unix PATH or --port N (0 = ephemeral) is required");
+  OBSCORR_REQUIRE(scfg.unix_path.empty() || scfg.port < 0,
+                  "serve: --unix and --port are mutually exclusive");
+  if (scfg.port < 0) scfg.port = 0;
+  scfg.max_connections = static_cast<std::size_t>(cli.get_int("max-conns", 256));
+  scfg.request_timeout_sec = cli.get_double("request-timeout", 10.0);
+  scfg.idle_timeout_sec = cli.get_double("idle-timeout", 300.0);
+  scfg.drain_timeout_sec = cli.get_double("drain-timeout", 10.0);
+  if (topt.metrics_out.has_value()) scfg.metrics_out = *topt.metrics_out;
+  scfg.metrics_interval_sec = cli.get_double("metrics-interval", 1.0);
+
+  svc::IngestConfig icfg;
+  const std::int64_t ingest_windows = cli.get_int("ingest-windows", -1);
+  icfg.max_windows = ingest_windows < 0 ? static_cast<std::size_t>(-1)
+                                        : static_cast<std::size_t>(ingest_windows);
+  icfg.window_packets = static_cast<std::uint64_t>(cli.get_int("window-packets", 1 << 16));
+  icfg.mean_packet_rate = cli.get_double("packet-rate", 1e6);
+  const std::size_t threads = thread_option(cli);
+  reject_unused(cli);
+
+  // The daemon always runs with the counter registry armed: the svc.*
+  // counters and the `metrics` query are part of the service surface,
+  // not an opt-in diagnostic. Telemetry flags still arm full spans.
+  const bool armed_here = !topt.active();
+  if (armed_here) obs::set_level(obs::Level::kCounters);
+
+  interrupt::reset();
+  interrupt::install_handlers();
+
+  int rc = 0;
+  {
+    ThreadPool pool(threads);
+    svc::QueryEngine engine(*from, pool);
+    svc::Server server(scfg, engine, pool);
+    server.bind();
+    err << "listening on " << server.endpoint() << " (archive " << *from << ", "
+        << engine.window_count() << " live windows)\n";
+    err.flush();
+
+    std::optional<svc::IngestLoop> ingest;
+    if (icfg.max_windows > 0) {
+      ingest.emplace(*from, engine, pool, icfg);
+      ingest->start();
+    }
+    rc = server.serve();
+    if (ingest.has_value()) {
+      ingest->stop_and_join();
+      if (!ingest->error().empty()) {
+        err << "ingest error: " << ingest->error() << '\n';
+        if (rc == 0) rc = 1;
+      } else {
+        err << "ingest: published " << ingest->published() << " windows ("
+            << engine.window_count() << " total in archive)\n";
+      }
+    }
+    err << "drained cleanly\n";
+  }
+  emit_telemetry(topt, err);
+  if (armed_here) obs::set_level(obs::Level::kOff);
+  return rc;
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -665,6 +707,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (command == "report") return cmd_report(rest, out, err);
     if (command == "prefixes") return cmd_prefixes(rest, out, err);
     if (command == "archive") return cmd_archive(rest, out, err);
+    if (command == "serve") return cmd_serve(rest, out, err);
   } catch (const std::invalid_argument& e) {
     obs::set_level(obs::Level::kOff);  // a failed command must not leave tracing armed
     err << "error: " << e.what() << '\n';

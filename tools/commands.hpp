@@ -42,6 +42,7 @@ int cmd_scaling(const std::vector<std::string>& args, std::ostream& out, std::os
 int cmd_report(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 int cmd_archive(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 /// The usage text printed by `obscorr help` and on errors.
 std::string usage();

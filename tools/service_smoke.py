@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for `obscorr serve` (docs/service.md).
+
+Boots the daemon over a copy of a completed archive, drives every query
+type through the NDJSON socket, and diffs each text-bearing response
+byte-for-byte against the matching batch subcommand's stdout — the
+service's core promise. Then waits for live ingest to publish windows,
+checks window queries against the batch CLI over the same (now grown)
+archive, and shuts the daemon down with SIGTERM, requiring a clean
+drain and exit 0.
+
+usage: service_smoke.py --obscorr BIN --archive DIR [--workdir DIR]
+                        [--bots BIN --bench-out FILE]
+
+The archive is copied first; the source directory is never mutated.
+With --bots, the load harness runs against the live daemon mid-check
+and its JSON report lands at --bench-out.
+"""
+
+import argparse
+import json
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def batch_stdout(obscorr, *args):
+    r = subprocess.run([obscorr, *args], capture_output=True, text=True)
+    if r.returncode != 0:
+        fail(f"batch {' '.join(args)} exited {r.returncode}: {r.stderr}")
+    return r.stdout
+
+
+class Client:
+    def __init__(self, path, timeout=60.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(path)
+        self.buf = b""
+
+    def query(self, obj):
+        self.sock.sendall(json.dumps(obj).encode() + b"\n")
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail("connection closed mid-response")
+            self.buf += chunk
+        line, _, self.buf = self.buf.partition(b"\n")
+        return json.loads(line)
+
+    def ok(self, obj):
+        resp = self.query(obj)
+        if not resp.get("ok"):
+            fail(f"query {obj} failed: {resp.get('error')}")
+        return resp["result"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--obscorr", required=True)
+    ap.add_argument("--archive", required=True, help="completed archive (copied, not mutated)")
+    ap.add_argument("--workdir", default="service_smoke_work")
+    ap.add_argument("--bots", help="obscorr-bots binary: run the load harness mid-check")
+    ap.add_argument("--bench-out", default="BENCH_service.json")
+    ap.add_argument("--ingest-windows", type=int, default=2)
+    args = ap.parse_args()
+
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    archive = f"{args.workdir}/archive"
+    shutil.copytree(args.archive, archive)
+    sock_path = f"{args.workdir}/obscorr.sock"
+
+    # Batch references first: the daemon must reproduce these bytes.
+    ref = {
+        "report": batch_stdout(args.obscorr, "study", "--from", archive),
+        "degrees": batch_stdout(args.obscorr, "degrees", "--from", archive, "--snapshot", "0"),
+        "scaling": batch_stdout(args.obscorr, "scaling", "--from", archive),
+        "lookup": batch_stdout(args.obscorr, "lookup", "--ip", "10.0.0.1", "--from", archive),
+    }
+
+    serve = subprocess.Popen(
+        [args.obscorr, "serve", "--from", archive, "--unix", sock_path,
+         "--ingest-windows", str(args.ingest_windows), "--window-packets", "4096",
+         "--metrics-out", f"{args.workdir}/serve_metrics.json"],
+        stderr=subprocess.PIPE, text=True)
+    try:
+        for _ in range(600):
+            try:
+                c = Client(sock_path)
+                break
+            except OSError:
+                if serve.poll() is not None:
+                    fail(f"serve exited early: {serve.stderr.read()}")
+                time.sleep(0.05)
+        else:
+            fail("serve socket never appeared")
+
+        stats = c.ok({"id": 1, "query": "stats"})
+        print(f"stats: {stats['snapshots']} snapshots, {stats['months']} months, "
+              f"{stats['windows']} live windows")
+
+        checks = [
+            ("report", {"query": "report"}),
+            ("degrees", {"query": "degrees", "params": {"snapshot": 0}}),
+            ("scaling", {"query": "scaling"}),
+            ("lookup", {"query": "lookup", "params": {"ip": "10.0.0.1"}}),
+        ]
+        for name, req in checks:
+            text = c.ok({"id": name, **req})["text"]
+            if text != ref[name]:
+                fail(f"{name}: service response differs from batch CLI stdout")
+            print(f"{name}: byte-identical to batch CLI ({len(text)} bytes)")
+
+        metrics = c.ok({"id": "m", "query": "metrics"})
+        if metrics.get("schema") != "obscorr.metrics.v1":
+            fail(f"metrics schema: {metrics.get('schema')}")
+        print("metrics: schema obscorr.metrics.v1")
+
+        bad = c.query({"id": "x", "query": "no-such-query"})
+        if bad.get("ok") or bad["error"]["code"] != "bad_request":
+            fail(f"unknown query not rejected: {bad}")
+        print("unknown query: bad_request as expected")
+
+        # Live ingest: wait for every requested window to publish.
+        deadline = time.monotonic() + 300
+        while True:
+            windows = c.ok({"query": "stats"})["windows"]
+            if windows >= args.ingest_windows:
+                break
+            if time.monotonic() > deadline:
+                fail(f"ingest published only {windows}/{args.ingest_windows} windows")
+            time.sleep(0.2)
+        print(f"ingest: {windows} windows published")
+
+        # Window queries against the live archive must match the batch
+        # CLI reading the same grown directory.
+        for w in range(args.ingest_windows):
+            got = c.ok({"query": "degrees", "params": {"window": w}})["text"]
+            want = batch_stdout(args.obscorr, "degrees", "--from", archive,
+                                "--window", str(w))
+            if got != want:
+                fail(f"window {w}: service response differs from batch CLI")
+        print(f"windows 0..{args.ingest_windows - 1}: byte-identical to batch CLI")
+
+        if args.bots:
+            r = subprocess.run(
+                [args.bots, "--unix", sock_path, "--clients", "200",
+                 "--requests", "30", "--heavy", "--out", args.bench_out],
+                capture_output=True, text=True)
+            sys.stderr.write(r.stderr)
+            print(r.stdout, end="")
+            if r.returncode != 0:
+                fail(f"obscorr-bots exited {r.returncode}")
+            # Queries issued mid-run must still verify afterwards.
+            if c.ok({"query": "degrees", "params": {"snapshot": 0}})["text"] != ref["degrees"]:
+                fail("degrees changed under load")
+            print(f"load harness: report at {args.bench_out}")
+
+        serve.send_signal(signal.SIGTERM)
+        try:
+            rc = serve.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            serve.kill()
+            fail("serve did not drain within 60s of SIGTERM")
+        err = serve.stderr.read()
+        sys.stderr.write(err)
+        if rc != 0:
+            fail(f"serve exited {rc} after SIGTERM")
+        if "drained cleanly" not in err:
+            fail("serve stderr missing 'drained cleanly'")
+        print("shutdown: SIGTERM drained cleanly, exit 0")
+        print("service smoke: PASS")
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait()
+
+
+if __name__ == "__main__":
+    main()
