@@ -1,0 +1,93 @@
+/// AVX2 bodies for the codec decode kernels (see codec.hpp). Compiled
+/// with a per-function target attribute so the translation unit builds
+/// on any x86-64 baseline; callers reach these only through the
+/// runtime-dispatched wrappers in codec.cpp.
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "archive/codec.hpp"
+
+namespace obscorr::archive::codec {
+
+__attribute__((target("avx2"))) void unpack_f64_avx2(std::span<const std::byte> packed,
+                                                     unsigned width, std::size_t count,
+                                                     double* out) {
+  // The vector body gathers 8-byte windows; widths above 31 (or byte
+  // offsets beyond i32 gather range) stay on the scalar path via the
+  // dispatch wrapper, so the only residual here is the span tail.
+  const std::uint64_t mask = (1ULL << width) - 1;
+  std::size_t i = 0;
+  if (packed.size() > 8 && packed.size() - 8 <= 0x7FFFFFFFULL) {
+    const auto* base = reinterpret_cast<const char*>(packed.data());
+    const std::size_t last_safe_byte = packed.size() - 8;
+    const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+    const __m256i low_dwords = _mm256_set_epi32(7, 5, 3, 1, 6, 4, 2, 0);
+    for (; i + 4 <= count; i += 4) {
+      const std::size_t bit = i * width;
+      const std::size_t b0 = bit >> 3;
+      const std::size_t b1 = (bit + width) >> 3;
+      const std::size_t b2 = (bit + 2 * width) >> 3;
+      const std::size_t b3 = (bit + 3 * width) >> 3;
+      if (b3 > last_safe_byte) break;
+      const __m128i offsets =
+          _mm_set_epi32(static_cast<int>(b3), static_cast<int>(b2), static_cast<int>(b1),
+                        static_cast<int>(b0));
+      __m256i window = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(base), offsets, 1);
+      const __m256i shifts = _mm256_set_epi64x(
+          static_cast<long long>((bit + 3 * width) & 7), static_cast<long long>((bit + 2 * width) & 7),
+          static_cast<long long>((bit + width) & 7), static_cast<long long>(bit & 7));
+      window = _mm256_and_si256(_mm256_srlv_epi64(window, shifts), vmask);
+      // Values are < 2^31, so the low dword of each qword is the whole
+      // value and is non-negative under the signed i32 -> f64 convert.
+      const __m256i packed32 = _mm256_permutevar8x32_epi32(window, low_dwords);
+      _mm256_storeu_pd(out + i, _mm256_cvtepi32_pd(_mm256_castsi256_si128(packed32)));
+    }
+  }
+  for (std::size_t bit = i * width; i < count; ++i, bit += width) {
+    const std::size_t byte = bit >> 3;
+    std::uint64_t window = 0;
+    std::memcpy(&window, packed.data() + byte,
+                packed.size() - byte < 8 ? packed.size() - byte : 8);
+    out[i] = static_cast<double>((window >> (bit & 7)) & mask);
+  }
+}
+
+__attribute__((target("avx2"))) void unzigzag_prefix_u32_avx2(
+    std::span<const std::uint32_t> zz, std::uint32_t* out) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi32(1);
+  const __m256i bcast_hi = _mm256_set1_epi32(3);
+  std::uint32_t acc = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= zz.size(); i += 8) {
+    const __m256i z = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(zz.data() + i));
+    // unzigzag: (z >> 1) ^ -(z & 1)
+    __m256i d = _mm256_xor_si256(_mm256_srli_epi32(z, 1),
+                                 _mm256_sub_epi32(zero, _mm256_and_si256(z, ones)));
+    // In-register inclusive prefix sum: within each 128-bit half, then
+    // carry the low half's total into the high half.
+    d = _mm256_add_epi32(d, _mm256_slli_si256(d, 4));
+    d = _mm256_add_epi32(d, _mm256_slli_si256(d, 8));
+    __m256i carry = _mm256_permutevar8x32_epi32(d, bcast_hi);
+    carry = _mm256_blend_epi32(zero, carry, 0xF0);
+    d = _mm256_add_epi32(d, carry);
+    d = _mm256_add_epi32(d, _mm256_set1_epi32(static_cast<int>(acc)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), d);
+    acc = static_cast<std::uint32_t>(_mm256_extract_epi32(d, 7));
+  }
+  for (; i < zz.size(); ++i) {
+    const std::uint32_t z = zz[i];
+    acc += (z >> 1) ^ (~(z & 1) + 1);
+    out[i] = acc;
+  }
+}
+
+}  // namespace obscorr::archive::codec
+
+#endif  // defined(__x86_64__)

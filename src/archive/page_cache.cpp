@@ -1,0 +1,116 @@
+#include "archive/page_cache.hpp"
+
+#include <atomic>
+
+#include "common/env.hpp"
+#include "obs/telemetry.hpp"
+
+namespace obscorr::archive {
+
+namespace {
+
+constexpr std::uint64_t kDefaultCacheBytes = 256ULL << 20;
+
+/// -1 = no override; >= 0 = forced budget. Relaxed is enough: the
+/// override is configuration, set before readers are built.
+std::atomic<std::int64_t> g_cache_override{-1};
+
+/// Resident bytes across every live cache, feeding the cache.bytes
+/// high-water gauge.
+std::atomic<std::uint64_t> g_resident_total{0};
+
+void note_resident(std::int64_t delta) {
+  const std::uint64_t now =
+      g_resident_total.fetch_add(static_cast<std::uint64_t>(delta),
+                                 std::memory_order_relaxed) +
+      static_cast<std::uint64_t>(delta);
+  if (obs::counters_enabled()) {
+    static obs::Gauge& bytes = obs::gauge("cache.bytes");
+    bytes.record_max(now);
+  }
+}
+
+}  // namespace
+
+std::uint64_t resolve_cache_bytes() {
+  const std::int64_t forced = g_cache_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<std::uint64_t>(forced);
+  const std::int64_t env = env_int("OBSCORR_CACHE_BYTES", -1);
+  if (env >= 0) return static_cast<std::uint64_t>(env);
+  return kDefaultCacheBytes;
+}
+
+void set_cache_bytes(std::optional<std::uint64_t> bytes) {
+  g_cache_override.store(bytes ? static_cast<std::int64_t>(*bytes) : -1,
+                         std::memory_order_relaxed);
+}
+
+PageCache::PageCache(std::uint64_t budget_bytes)
+    : budget_(budget_bytes), shard_budget_(budget_bytes / kShards) {}
+
+CachePage PageCache::find(std::uint64_t key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    if (obs::counters_enabled()) {
+      static obs::Counter& misses = obs::counter("cache.misses");
+      misses.add(1);
+    }
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  if (obs::counters_enabled()) {
+    static obs::Counter& hits = obs::counter("cache.hits");
+    hits.add(1);
+  }
+  return it->second->page;
+}
+
+CachePage PageCache::insert(std::uint64_t key, CachePage page) {
+  if (!page) return page;
+  const std::uint64_t size = page->size();
+  if (size > shard_budget_) return page;  // zero budget lands here too
+  Shard& s = shard_for(key);
+  std::uint64_t evicted = 0;
+  std::int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      // Racing decoders can insert the same page twice; keep the
+      // incumbent and just refresh recency.
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return it->second->page;
+    }
+    while (s.bytes + size > shard_budget_ && !s.lru.empty()) {
+      const Entry& victim = s.lru.back();
+      s.bytes -= victim.page->size();
+      delta -= static_cast<std::int64_t>(victim.page->size());
+      s.index.erase(victim.key);
+      s.lru.pop_back();
+      ++evicted;
+    }
+    s.lru.push_front(Entry{key, page});
+    s.index.emplace(key, s.lru.begin());
+    s.bytes += size;
+    delta += static_cast<std::int64_t>(size);
+  }
+  note_resident(delta);
+  if (evicted > 0 && obs::counters_enabled()) {
+    static obs::Counter& evictions = obs::counter("cache.evictions");
+    evictions.add(evicted);
+  }
+  return page;
+}
+
+std::uint64_t PageCache::resident_bytes() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.bytes;
+  }
+  return total;
+}
+
+}  // namespace obscorr::archive

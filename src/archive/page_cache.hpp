@@ -1,0 +1,89 @@
+#pragma once
+/// \file page_cache.hpp
+/// Sharded LRU cache of decompressed archive pages.
+///
+/// Compressed OBSAENT2 entries decode into heap pages; hot windows are
+/// re-read constantly by `report --from`, the svc QueryEngine, and
+/// refresh-driven re-renders, so each ArchiveReader keeps decoded pages
+/// in an LRU bounded by a byte budget. Pages are handed out as
+/// shared_ptr<const std::vector<std::byte>>: eviction drops the cache's
+/// reference but never invalidates a payload view an earlier caller
+/// still holds.
+///
+/// The budget resolves, in priority order: the process-wide
+/// set_cache_bytes() override (the CLI's --cache-bytes), the
+/// OBSCORR_CACHE_BYTES environment variable, then a 256 MiB default.
+/// A budget of zero disables caching (every lookup is a miss and
+/// nothing is retained) — the CI cache-off leg runs the whole suite
+/// that way to prove reads do not depend on cache state.
+///
+/// Counters (canonical catalogue): cache.hits, cache.misses,
+/// cache.evictions; gauge cache.bytes tracks the high-water resident
+/// total across all cache instances.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace obscorr::archive {
+
+/// A decoded page: immutable once inserted, shared between the cache
+/// and any outstanding payload views.
+using CachePage = std::shared_ptr<const std::vector<std::byte>>;
+
+/// Resolve the page-cache byte budget from override > env > default.
+std::uint64_t resolve_cache_bytes();
+
+/// Process-wide budget override (nullopt restores env/default
+/// resolution). Takes effect for caches constructed afterwards.
+void set_cache_bytes(std::optional<std::uint64_t> bytes);
+
+class PageCache {
+ public:
+  /// Budget is split evenly across shards; a page bigger than its
+  /// shard's slice is served but never retained.
+  explicit PageCache(std::uint64_t budget_bytes);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Look up `key`; bumps the page to most-recently-used on hit.
+  CachePage find(std::uint64_t key);
+
+  /// Insert (or refresh) `key`; evicts least-recently-used pages until
+  /// the shard fits its budget slice. Returns the retained page (or
+  /// `page` unchanged when the budget excludes it).
+  CachePage insert(std::uint64_t key, CachePage page);
+
+  std::uint64_t budget_bytes() const { return budget_; }
+
+  /// Resident bytes summed over all shards (test/diagnostic use).
+  std::uint64_t resident_bytes() const;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Entry {
+    std::uint64_t key = 0;
+    CachePage page;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t bytes = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) { return shards_[(key >> 4) % kShards]; }
+
+  std::uint64_t budget_ = 0;
+  std::uint64_t shard_budget_ = 0;
+  Shard shards_[kShards];
+};
+
+}  // namespace obscorr::archive

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "archive/checksum.hpp"
+#include "archive/codec.hpp"
 #include "archive/format.hpp"
 #include "common/error.hpp"
 #include "obs/span.hpp"
@@ -12,69 +13,6 @@
 namespace obscorr::archive {
 
 namespace {
-
-constexpr std::string_view kManifestMagic = "OBSARCH1";
-constexpr std::uint32_t kManifestVersion = 1;
-constexpr std::uint32_t kMaxEntries = 1u << 20;
-
-/// A parsed, CRC-verified manifest.
-struct ParsedManifest {
-  std::uint64_t scenario_hash = 0;
-  std::uint64_t data_size = 0;
-  std::uint32_t log_crc = 0;
-  std::vector<EntryInfo> entries;
-};
-
-/// Read and parse `dir`'s manifest; throws on a missing, truncated, or
-/// corrupt one. Shared by open and refresh — the manifest is published
-/// by atomic rename, so any successfully parsed read is a complete
-/// catalog, never a torn intermediate.
-ParsedManifest read_manifest(const std::string& dir) {
-  const std::string manifest_path = dir + "/" + kManifestName;
-  OBSCORR_REQUIRE(std::filesystem::is_regular_file(manifest_path),
-                  "archive: " + dir + " has no manifest (incomplete or not an archive)");
-
-  // The manifest is small; read it whole and checksum before parsing.
-  const MappedFile manifest_file = MappedFile::open(manifest_path, /*allow_mmap=*/false);
-  const auto manifest = manifest_file.bytes();
-  OBSCORR_REQUIRE(manifest.size() >= 8 + 4 + 4 + 8 + 8 + 4 + 4,
-                  "archive: manifest truncated in " + dir);
-  const std::size_t body_size = manifest.size() - 4;
-  PayloadReader tail(manifest.subspan(body_size));
-  const std::uint32_t stored_crc = tail.u32();
-  OBSCORR_REQUIRE(crc32c(manifest.first(body_size)) == stored_crc,
-                  "archive: manifest checksum mismatch in " + dir +
-                      " (corrupted or torn manifest)");
-
-  PayloadReader r(manifest.first(body_size));
-  const auto magic = r.array<char>(8);
-  OBSCORR_REQUIRE(std::string_view(magic.data(), magic.size()) == kManifestMagic,
-                  "archive: bad manifest magic in " + dir);
-  const std::uint32_t version = r.u32();
-  OBSCORR_REQUIRE(version == kManifestVersion,
-                  "archive: unsupported manifest version " + std::to_string(version));
-  const std::uint32_t entry_count = r.u32();
-  OBSCORR_REQUIRE(entry_count <= kMaxEntries, "archive: implausible entry count");
-
-  ParsedManifest out;
-  out.scenario_hash = r.u64();
-  out.data_size = r.u64();
-  out.log_crc = r.u32();
-  out.entries.reserve(entry_count);
-  for (std::uint32_t i = 0; i < entry_count; ++i) {
-    EntryInfo e;
-    const std::uint32_t name_len = r.u32();
-    e.crc32c = r.u32();
-    e.offset = r.u64();
-    e.size = r.u64();
-    OBSCORR_REQUIRE(name_len >= 1 && name_len <= 4096, "archive: bad entry name length");
-    const auto name = r.array<char>(name_len);
-    e.name.assign(name.data(), name.size());
-    out.entries.push_back(std::move(e));
-  }
-  OBSCORR_REQUIRE(r.done(), "archive: trailing bytes in manifest");
-  return out;
-}
 
 /// Catalog-row sanity against a log region `[region_begin, region_end)`.
 void check_entry_bounds(const EntryInfo& e, std::uint64_t region_begin,
@@ -85,20 +23,39 @@ void check_entry_bounds(const EntryInfo& e, std::uint64_t region_begin,
                   "archive: entry " + e.name + " exceeds the log");
 }
 
+/// Page-cache key: generation in the top bits, 8-aligned offset below —
+/// exact and collision-free, so a key can never serve another entry's
+/// (or another generation's) bytes. Offsets at or beyond 2^43 (8 TiB)
+/// don't fit; such pages are simply never cached.
+constexpr std::uint64_t kCacheOffsetBits = 40;
+
+bool cache_key(std::uint32_t generation, std::uint64_t offset, std::uint64_t* key) {
+  const std::uint64_t slot = offset >> 3;
+  if (slot >> kCacheOffsetBits != 0) return false;
+  *key = (static_cast<std::uint64_t>(generation) << kCacheOffsetBits) | slot;
+  return true;
+}
+
 }  // namespace
 
-ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
+ArchiveReader::ArchiveReader(const std::string& dir)
+    : dir_(dir), cache_(std::make_unique<PageCache>(resolve_cache_bytes())) {
   const obs::Span span("archive.open", [&] { return dir; });
   OBSCORR_REQUIRE(std::filesystem::is_directory(dir),
                   "archive: " + dir + " is not an archive directory");
-  ParsedManifest m = read_manifest(dir);
+  attach(read_manifest(dir));
+}
+
+void ArchiveReader::attach(ParsedManifest m) {
   scenario_hash_ = m.scenario_hash;
+  generation_ = m.generation;
   data_size_ = m.data_size;
   log_crc_ = m.log_crc;
   entries_ = std::move(m.entries);
+  tails_.clear();
 
   // Map the entry log and validate the catalog against it.
-  log_ = MappedFile::open(dir + "/" + kEntryLogName);
+  log_ = MappedFile::open(dir_ + "/" + log_file_name(generation_));
   OBSCORR_REQUIRE(log_.size() >= data_size_,
                   "archive: entry log shorter than the manifest expects (truncated)");
   for (const EntryInfo& e : entries_) check_entry_bounds(e, 0, data_size_);
@@ -115,16 +72,16 @@ ArchiveReader::ArchiveReader(const std::string& dir) : dir_(dir) {
   const obs::ScopedNsCounter crc_time(crc_ns);
   // One integrity pass over the whole log: the manifest's log checksum
   // covers payloads, frame headers and padding alike, so any single-byte
-  // corruption of entries.dat fails here. Only then — on failure — is the
-  // per-entry CRC scan run, to pin the corruption to a named entry in the
-  // error message; the happy path checksums the log exactly once.
+  // corruption of the entry log fails here. Only then — on failure — is
+  // the per-entry CRC scan run, to pin the corruption to a named entry in
+  // the error message; the happy path checksums the log exactly once.
   if (crc32c(log_.bytes().first(data_size_)) != log_crc_) {
     for (const EntryInfo& e : entries_) {
       OBSCORR_REQUIRE(crc32c(log_.bytes().subspan(e.offset, e.size)) == e.crc32c,
                       "archive: checksum mismatch in entry " + e.name +
                           " (corrupted archive data)");
     }
-    OBSCORR_REQUIRE(false, "archive: entry log checksum mismatch in " + dir +
+    OBSCORR_REQUIRE(false, "archive: entry log checksum mismatch in " + dir_ +
                                " (corrupted archive metadata)");
   }
 }
@@ -133,16 +90,30 @@ std::size_t ArchiveReader::refresh() {
   ParsedManifest m = read_manifest(dir_);
   OBSCORR_REQUIRE(m.scenario_hash == scenario_hash_,
                   "archive: scenario changed under a live reader in " + dir_);
+  if (m.generation != generation_) {
+    // `archive compact` republished the catalog over a new log file.
+    // Entry layout changed wholesale (offsets, sizes, compression), so
+    // reopen against the new generation; the superseded mappings are
+    // retired, not unmapped, keeping previously served spans valid.
+    const std::size_t before = entries_.size();
+    retired_.push_back(std::move(log_));
+    for (TailSegment& seg : tails_) retired_.push_back(std::move(seg.map));
+    attach(std::move(m));
+    return entries_.size() > before ? entries_.size() - before : 0;
+  }
   if (m.data_size == data_size_ && m.entries.size() == entries_.size()) return 0;
   OBSCORR_REQUIRE(m.data_size >= data_size_ && m.entries.size() >= entries_.size(),
                   "archive: manifest shrank on refresh (not an append) in " + dir_);
-  // The published log is append-only: every previously cataloged entry
-  // must reappear unchanged, in order.
+  // The published log is append-only within a generation: every
+  // previously cataloged entry must reappear unchanged, in order —
+  // including its frame version (flags) and decoded size, since a mixed
+  // raw/compressed catalog is legal after a compaction.
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const EntryInfo& a = entries_[i];
     const EntryInfo& b = m.entries[i];
     OBSCORR_REQUIRE(a.name == b.name && a.offset == b.offset && a.size == b.size &&
-                        a.crc32c == b.crc32c,
+                        a.crc32c == b.crc32c && a.flags == b.flags &&
+                        a.raw_size == b.raw_size,
                     "archive: published entry " + a.name + " changed on refresh");
   }
   for (std::size_t i = entries_.size(); i < m.entries.size(); ++i) {
@@ -155,7 +126,7 @@ std::size_t ArchiveReader::refresh() {
   // just-read manifest committed.)
   TailSegment seg;
   seg.base = data_size_;
-  seg.map = MappedFile::open_range(dir_ + "/" + kEntryLogName,
+  seg.map = MappedFile::open_range(dir_ + "/" + log_file_name(generation_),
                                    static_cast<std::size_t>(data_size_),
                                    static_cast<std::size_t>(m.data_size - data_size_));
   {
@@ -184,18 +155,48 @@ bool ArchiveReader::has(std::string_view name) const {
                      [&](const EntryInfo& e) { return e.name == name; });
 }
 
-std::span<const std::byte> ArchiveReader::payload(std::string_view name) const {
+const EntryInfo& ArchiveReader::find_entry(std::string_view name) const {
   const auto it = std::find_if(entries_.begin(), entries_.end(),
                                [&](const EntryInfo& e) { return e.name == name; });
   OBSCORR_REQUIRE(it != entries_.end(), "archive: no entry named " + std::string(name));
+  return *it;
+}
+
+std::span<const std::byte> ArchiveReader::locate(const EntryInfo& e) const {
   // Later tails start where earlier coverage ends, so every entry lies
   // wholly inside exactly one segment (bounds-checked when cataloged).
   for (auto seg = tails_.rbegin(); seg != tails_.rend(); ++seg) {
-    if (it->offset >= seg->base && it->offset - seg->base + it->size <= seg->map.size()) {
-      return seg->map.bytes().subspan(it->offset - seg->base, it->size);
+    if (e.offset >= seg->base && e.offset - seg->base + e.size <= seg->map.size()) {
+      return seg->map.bytes().subspan(e.offset - seg->base, e.size);
     }
   }
-  return log_.bytes().subspan(it->offset, it->size);
+  return log_.bytes().subspan(e.offset, e.size);
+}
+
+std::span<const std::byte> ArchiveReader::stored_payload(std::string_view name) const {
+  return locate(find_entry(name));
+}
+
+PayloadView ArchiveReader::payload(std::string_view name) const {
+  const EntryInfo& e = find_entry(name);
+  const auto stored = locate(e);
+  if ((e.flags & kEntryFlagCompressed) == 0) return {stored, nullptr};
+
+  std::uint64_t key = 0;
+  const bool cacheable = cache_key(generation_, e.offset, &key);
+  if (cacheable) {
+    if (CachePage page = cache_->find(key)) {
+      return {{page->data(), page->size()}, std::move(page)};
+    }
+  }
+  const obs::Span span("archive.decode", [&] { return e.name; });
+  std::vector<std::byte> decoded = codec::decompress_payload(stored);
+  OBSCORR_REQUIRE(decoded.size() == e.raw_size,
+                  "archive: entry " + e.name +
+                      " decoded size disagrees with the manifest");
+  auto page = std::make_shared<const std::vector<std::byte>>(std::move(decoded));
+  if (cacheable) page = cache_->insert(key, std::move(page));
+  return {{page->data(), page->size()}, std::move(page)};
 }
 
 }  // namespace obscorr::archive

@@ -456,44 +456,38 @@ LiveWindowMeta StudyReader::window_meta(std::size_t w) const {
 
 gbl::MatrixView StudyReader::window_matrix(std::size_t w) const {
   OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
-  return gbl::MatrixView::from_bytes(reader_.payload(window_entry(w, "matrix")));
+  const PayloadView p = reader_.payload(window_entry(w, "matrix"));
+  return gbl::MatrixView::from_bytes(p, p.page);
 }
 
-std::span<const gbl::Index> StudyReader::window_source_ids(std::size_t w) const {
+StudyReader::SourcesRef StudyReader::window_sources(std::size_t w) const {
   OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
-  return decode_sources(reader_.payload(window_entry(w, "sources"))).ids;
-}
-
-std::span<const gbl::Value> StudyReader::window_source_counts(std::size_t w) const {
-  OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
-  return decode_sources(reader_.payload(window_entry(w, "sources"))).counts;
+  const PayloadView p = reader_.payload(window_entry(w, "sources"));
+  const SourcesView v = decode_sources(p);
+  return {v.ids, v.counts, p.page};
 }
 
 gbl::SparseVec StudyReader::window_source_packets(std::size_t w) const {
-  OBSCORR_REQUIRE(w < window_count_, "archive: window index out of range");
-  const SourcesView v = decode_sources(reader_.payload(window_entry(w, "sources")));
+  const SourcesRef v = window_sources(w);
   return gbl::SparseVec(std::vector<gbl::Index>(v.ids.begin(), v.ids.end()),
                         std::vector<gbl::Value>(v.counts.begin(), v.counts.end()));
 }
 
 gbl::MatrixView StudyReader::matrix(std::size_t k) const {
   OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
-  return gbl::MatrixView::from_bytes(reader_.payload(snapshot_entry(k, "matrix")));
+  const PayloadView p = reader_.payload(snapshot_entry(k, "matrix"));
+  return gbl::MatrixView::from_bytes(p, p.page);
 }
 
-std::span<const gbl::Index> StudyReader::source_ids(std::size_t k) const {
+StudyReader::SourcesRef StudyReader::sources(std::size_t k) const {
   OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
-  return decode_sources(reader_.payload(snapshot_entry(k, "sources"))).ids;
-}
-
-std::span<const gbl::Value> StudyReader::source_counts(std::size_t k) const {
-  OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
-  return decode_sources(reader_.payload(snapshot_entry(k, "sources"))).counts;
+  const PayloadView p = reader_.payload(snapshot_entry(k, "sources"));
+  const SourcesView v = decode_sources(p);
+  return {v.ids, v.counts, p.page};
 }
 
 gbl::SparseVec StudyReader::source_packets(std::size_t k) const {
-  OBSCORR_REQUIRE(k < snapshot_count(), "archive: snapshot index out of range");
-  const SourcesView v = decode_sources(reader_.payload(snapshot_entry(k, "sources")));
+  const SourcesRef v = sources(k);
   return gbl::SparseVec(std::vector<gbl::Index>(v.ids.begin(), v.ids.end()),
                         std::vector<gbl::Value>(v.counts.begin(), v.counts.end()));
 }

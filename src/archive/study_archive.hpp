@@ -114,14 +114,24 @@ class StudyReader {
     return static_cast<double>(scenario_.population.log2_nv) / 2.0;
   }
 
-  /// Snapshot k's traffic matrix as a validated view over the mapped
-  /// log — no copy of the DCSR arrays.
+  /// Snapshot k's traffic matrix as a validated view — straight over
+  /// the mapped log for raw entries, over a cache-retained decoded page
+  /// for compressed ones (the view shares ownership of the page, so it
+  /// stays valid regardless of eviction). No copy of the DCSR arrays
+  /// either way.
   gbl::MatrixView matrix(std::size_t k) const;
 
-  /// Snapshot k's Table II source-packet reduction (A·1) as spans over
-  /// the mapped log.
-  std::span<const gbl::Index> source_ids(std::size_t k) const;
-  std::span<const gbl::Value> source_counts(std::size_t k) const;
+  /// A Table II source-packet reduction (A·1) served as spans plus the
+  /// page (if any) that keeps them alive: hold the ref as long as the
+  /// spans are in use.
+  struct SourcesRef {
+    std::span<const gbl::Index> ids;
+    std::span<const gbl::Value> counts;
+    std::shared_ptr<const void> owner;  ///< null when mmap-backed
+  };
+
+  /// Snapshot k's source reduction, zero-copy (see SourcesRef).
+  SourcesRef sources(std::size_t k) const;
 
   /// Owning copy of the source reduction (for APIs taking SparseVec).
   gbl::SparseVec source_packets(std::size_t k) const;
@@ -157,8 +167,7 @@ class StudyReader {
   std::size_t window_count() const { return window_count_; }
   LiveWindowMeta window_meta(std::size_t w) const;
   gbl::MatrixView window_matrix(std::size_t w) const;
-  std::span<const gbl::Index> window_source_ids(std::size_t w) const;
-  std::span<const gbl::Value> window_source_counts(std::size_t w) const;
+  SourcesRef window_sources(std::size_t w) const;
   gbl::SparseVec window_source_packets(std::size_t w) const;
 
   /// True when queries are served by mmap rather than a heap copy.

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "archive/checksum.hpp"
+#include "archive/codec.hpp"
 #include "archive/format.hpp"
 #include "common/error.hpp"
 #include "obs/span.hpp"
@@ -15,19 +16,21 @@ namespace obscorr::archive {
 namespace {
 
 constexpr std::string_view kFrameMagic = "OBSAENT1";
+constexpr std::string_view kFrameMagic2 = "OBSAENT2";
 constexpr std::string_view kManifestMagic = "OBSARCH1";
-constexpr std::uint32_t kManifestVersion = 1;
-constexpr std::size_t kFrameHeaderBytes = 32;
+constexpr std::uint32_t kManifestVersion2 = 2;
 constexpr std::uint32_t kMaxNameLen = 4096;
+constexpr std::uint32_t kMaxEntries = 1u << 20;
+constexpr std::size_t kFrameHeaderBytes = 32;
 
 std::size_t padded8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
 
 /// Header bytes [magic, name_len, reserved, payload_size, payload_crc]
 /// in frame order — the region the header CRC covers (with the name).
-std::string frame_header_prefix(std::string_view name, std::uint64_t payload_size,
-                                std::uint32_t payload_crc) {
+std::string frame_header_prefix(std::string_view magic, std::string_view name,
+                                std::uint64_t payload_size, std::uint32_t payload_crc) {
   PayloadWriter w;
-  w.array(std::span<const char>(kFrameMagic.data(), kFrameMagic.size()));
+  w.array(std::span<const char>(magic.data(), magic.size()));
   w.u32(static_cast<std::uint32_t>(name.size()));
   w.u32(0);
   w.u64(payload_size);
@@ -37,20 +40,37 @@ std::string frame_header_prefix(std::string_view name, std::uint64_t payload_siz
 
 }  // namespace
 
+std::string log_file_name(std::uint32_t generation) {
+  if (generation == 0) return kEntryLogName;
+  return "entries." + std::to_string(generation) + ".dat";
+}
+
 std::string encode_manifest(std::uint64_t scenario_hash, std::uint64_t data_size,
-                            std::uint32_t log_crc, std::span<const EntryInfo> entries) {
+                            std::uint32_t log_crc, std::span<const EntryInfo> entries,
+                            std::uint32_t generation) {
+  // Version 1 manifests predate compression; emitting them for the
+  // shapes they can represent keeps pre-existing archives (notably the
+  // committed golden study) byte-identical across this code.
+  const bool all_raw = std::all_of(entries.begin(), entries.end(),
+                                   [](const EntryInfo& e) { return e.flags == 0; });
+  const std::uint32_t version = (generation == 0 && all_raw) ? 1 : kManifestVersion2;
   PayloadWriter w;
   w.array(std::span<const char>(kManifestMagic.data(), kManifestMagic.size()));
-  w.u32(kManifestVersion);
+  w.u32(version);
   w.u32(static_cast<std::uint32_t>(entries.size()));
   w.u64(scenario_hash);
   w.u64(data_size);
   w.u32(log_crc);
+  if (version >= 2) w.u32(generation);
   for (const EntryInfo& e : entries) {
     w.u32(static_cast<std::uint32_t>(e.name.size()));
     w.u32(e.crc32c);
     w.u64(e.offset);
     w.u64(e.size);
+    if (version >= 2) {
+      w.u32(e.flags);
+      w.u64(e.raw_size);
+    }
     w.array(std::span<const char>(e.name.data(), e.name.size()));
   }
   std::string bytes = w.take();
@@ -61,12 +81,99 @@ std::string encode_manifest(std::uint64_t scenario_hash, std::uint64_t data_size
   return bytes;
 }
 
+ParsedManifest read_manifest(const std::string& dir) {
+  const std::string manifest_path = dir + "/" + kManifestName;
+  OBSCORR_REQUIRE(std::filesystem::is_regular_file(manifest_path),
+                  "archive: " + dir + " has no manifest (incomplete or not an archive)");
+
+  // The manifest is small; read it whole and checksum before parsing.
+  std::ifstream is(manifest_path, std::ios::binary | std::ios::ate);
+  OBSCORR_REQUIRE(is.is_open(), "archive: cannot open manifest in " + dir);
+  const auto file_size = static_cast<std::size_t>(is.tellg());
+  std::vector<std::byte> data(file_size);
+  is.seekg(0);
+  if (!data.empty()) {
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  }
+  OBSCORR_REQUIRE(is.good() || data.empty(), "archive: cannot read manifest in " + dir);
+  const std::span<const std::byte> manifest(data);
+  OBSCORR_REQUIRE(manifest.size() >= 8 + 4 + 4 + 8 + 8 + 4 + 4,
+                  "archive: manifest truncated in " + dir);
+  const std::size_t body_size = manifest.size() - 4;
+  PayloadReader tail(manifest.subspan(body_size));
+  const std::uint32_t stored_crc = tail.u32();
+  OBSCORR_REQUIRE(crc32c(manifest.first(body_size)) == stored_crc,
+                  "archive: manifest checksum mismatch in " + dir +
+                      " (corrupted or torn manifest)");
+
+  PayloadReader r(manifest.first(body_size));
+  const auto magic = r.array<char>(8);
+  OBSCORR_REQUIRE(std::string_view(magic.data(), magic.size()) == kManifestMagic,
+                  "archive: bad manifest magic in " + dir);
+  const std::uint32_t version = r.u32();
+  OBSCORR_REQUIRE(version == 1 || version == kManifestVersion2,
+                  "archive: unsupported manifest version " + std::to_string(version));
+  const std::uint32_t entry_count = r.u32();
+  OBSCORR_REQUIRE(entry_count <= kMaxEntries, "archive: implausible entry count");
+
+  ParsedManifest out;
+  out.scenario_hash = r.u64();
+  out.data_size = r.u64();
+  out.log_crc = r.u32();
+  if (version >= 2) out.generation = r.u32();
+  out.entries.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    EntryInfo e;
+    const std::uint32_t name_len = r.u32();
+    e.crc32c = r.u32();
+    e.offset = r.u64();
+    e.size = r.u64();
+    if (version >= 2) {
+      e.flags = r.u32();
+      e.raw_size = r.u64();
+      OBSCORR_REQUIRE((e.flags & ~kEntryFlagCompressed) == 0,
+                      "archive: unknown entry flags in manifest");
+      OBSCORR_REQUIRE(e.flags != 0 || e.raw_size == e.size,
+                      "archive: raw entry with mismatched decoded size in manifest");
+    } else {
+      e.raw_size = e.size;
+    }
+    OBSCORR_REQUIRE(name_len >= 1 && name_len <= kMaxNameLen,
+                    "archive: bad entry name length");
+    const auto name = r.array<char>(name_len);
+    e.name.assign(name.data(), name.size());
+    out.entries.push_back(std::move(e));
+  }
+  OBSCORR_REQUIRE(r.done(), "archive: trailing bytes in manifest");
+  return out;
+}
+
 ArchiveWriter::ArchiveWriter(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   OBSCORR_REQUIRE(!ec, "archive: cannot create directory " + dir_);
-  log_path_ = dir_ + "/" + kEntryLogName;
+  // Appends go to the generation the last published manifest names; an
+  // absent or unreadable manifest means generation 0 (fresh archive, or
+  // a pre-manifest crash — which can only leave a generation-0 log).
+  try {
+    generation_ = read_manifest(dir_).generation;
+  } catch (const std::invalid_argument&) {
+    generation_ = 0;
+  }
+  log_path_ = dir_ + "/" + log_file_name(generation_);
   recover();
+}
+
+ArchiveWriter::ArchiveWriter(std::string dir, std::uint32_t generation)
+    : dir_(std::move(dir)), generation_(generation) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  OBSCORR_REQUIRE(!ec, "archive: cannot create directory " + dir_);
+  log_path_ = dir_ + "/" + log_file_name(generation_);
+  // A crashed compaction may have left a stale log at this generation;
+  // it was never named by a manifest, so start it over.
+  reset();
 }
 
 void ArchiveWriter::recover() {
@@ -88,7 +195,9 @@ void ArchiveWriter::recover() {
   std::uint64_t pos = 0;
   while (pos + kFrameHeaderBytes <= data.size()) {
     const std::span<const char> head(data.data() + pos, kFrameHeaderBytes);
-    if (std::string_view(head.data(), 8) != kFrameMagic) break;
+    const std::string_view magic(head.data(), 8);
+    const bool compressed = magic == kFrameMagic2;
+    if (!compressed && magic != kFrameMagic) break;
     PayloadReader r(std::as_bytes(head.subspan(8)));
     const std::uint32_t name_len = r.u32();
     const std::uint32_t reserved = r.u32();
@@ -100,7 +209,7 @@ void ArchiveWriter::recover() {
     if (name_end > data.size()) break;
     const std::string_view name(data.data() + pos + kFrameHeaderBytes, name_len);
     const std::string covered =
-        frame_header_prefix(name, payload_size, payload_crc) + std::string(name);
+        frame_header_prefix(magic, name, payload_size, payload_crc) + std::string(name);
     if (crc32c(covered) != header_crc) break;
     // Overflow-safe bounds (a hostile log can carry a valid header_crc for
     // any payload_size, so `payload_at + payload_size` must never wrap).
@@ -112,7 +221,17 @@ void ArchiveWriter::recover() {
     const std::uint64_t frame_end = padded8(payload_at + payload_size);
     if (frame_end > data.size()) break;
     if (has_entry(name)) break;  // duplicate frames never come from us: corrupt
-    entries_.push_back({std::string(name), payload_at, payload_size, payload_crc});
+    std::uint64_t raw_size = payload_size;
+    if (compressed) {
+      // The container header self-declares the decoded size; a frame
+      // whose payload checksums but is not a valid container is corrupt.
+      const auto declared = codec::decoded_size(std::as_bytes(
+          std::span<const char>(payload.data(), payload.size())));
+      if (!declared) break;
+      raw_size = *declared;
+    }
+    entries_.push_back({std::string(name), payload_at, payload_size, payload_crc,
+                        compressed ? kEntryFlagCompressed : 0, raw_size});
     pos = frame_end;
   }
   log_size_ = pos;
@@ -145,10 +264,12 @@ std::vector<std::byte> ArchiveWriter::read_entry(std::string_view name) const {
                                                     std::string(name));
   OBSCORR_REQUIRE(crc32c({payload.data(), payload.size()}) == it->crc32c,
                   "archive: checksum mismatch reading back entry " + std::string(name));
+  if (it->flags & kEntryFlagCompressed) return codec::decompress_payload(payload);
   return payload;
 }
 
-void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
+void ArchiveWriter::append_frame(std::string_view magic, std::string_view name,
+                                 std::string_view payload, EntryInfo info) {
   OBSCORR_REQUIRE(!name.empty() && name.size() <= kMaxNameLen,
                   "archive: entry name must be 1..4096 bytes");
   OBSCORR_REQUIRE(!has_entry(name), "archive: duplicate entry " + std::string(name));
@@ -160,7 +281,7 @@ void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
   {
     const obs::ScopedNsCounter crc_time(crc_ns);
     payload_crc = crc32c(payload);
-    prefix = frame_header_prefix(name, payload.size(), payload_crc);
+    prefix = frame_header_prefix(magic, name, payload.size(), payload_crc);
     // The header CRC covers the 28-byte prefix plus the name; it sits as
     // the last 4 bytes of the 32-byte fixed header, before the name bytes.
     header_crc = crc32c(prefix + std::string(name));
@@ -180,15 +301,38 @@ void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
   os.flush();
   OBSCORR_REQUIRE(os.good(), "archive: write failure on " + log_path_);
 
-  entries_.push_back({std::string(name), payload_at, payload.size(), payload_crc});
+  info.name = std::string(name);
+  info.offset = payload_at;
+  info.size = payload.size();
+  info.crc32c = payload_crc;
+  entries_.push_back(std::move(info));
   log_size_ += block.size();
   log_crc_ = crc32c(block, log_crc_);
   if (obs::counters_enabled()) {
     static obs::Counter& bytes_written = obs::counter("archive.bytes_written");
     static obs::Counter& frames_written = obs::counter("archive.frames_written");
+    static obs::Counter& raw_bytes = obs::counter("archive.raw_bytes");
+    static obs::Counter& stored_bytes = obs::counter("archive.stored_bytes");
     bytes_written.add(block.size());
     frames_written.add(1);
+    raw_bytes.add(entries_.back().raw_size);
+    stored_bytes.add(payload.size());
   }
+}
+
+void ArchiveWriter::add_entry(std::string_view name, std::string_view payload) {
+  EntryInfo info;
+  info.flags = 0;
+  info.raw_size = payload.size();
+  append_frame(kFrameMagic, name, payload, std::move(info));
+}
+
+void ArchiveWriter::add_entry_compressed(std::string_view name, std::string_view stored,
+                                         std::uint64_t raw_size) {
+  EntryInfo info;
+  info.flags = kEntryFlagCompressed;
+  info.raw_size = raw_size;
+  append_frame(kFrameMagic2, name, stored, std::move(info));
 }
 
 void ArchiveWriter::reset() {
@@ -206,7 +350,8 @@ void ArchiveWriter::finalize(std::uint64_t scenario_hash) {
   // incrementally as frames are appended (recover() rebuilds it from the
   // validated prefix), so publication never re-reads the log: the live
   // ingest path re-finalizes after every window.
-  const std::string manifest = encode_manifest(scenario_hash, log_size_, log_crc_, entries_);
+  const std::string manifest =
+      encode_manifest(scenario_hash, log_size_, log_crc_, entries_, generation_);
   const std::string final_path = dir_ + "/" + kManifestName;
   const std::string tmp_path = final_path + ".tmp";
   {

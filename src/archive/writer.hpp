@@ -2,8 +2,10 @@
 /// \file writer.hpp
 /// The archive's write side. An archive directory holds two files:
 ///
-///   entries.dat     append-only log of named, checksummed entry frames
-///   MANIFEST.obsar  catalog written last, atomically (tmp + rename)
+///   entries.dat      append-only log of named, checksummed entry frames
+///                    (generation G > 0 logs are named entries.G.dat —
+///                    see "log generations" below)
+///   MANIFEST.obsar   catalog written last, atomically (tmp + rename)
 ///
 /// Frames are appended one at a time; each frame carries its own header
 /// checksum, so a writer killed mid-frame leaves a recoverable log: the
@@ -14,18 +16,28 @@
 /// queried, only resumed.
 ///
 /// Frame layout (all little-endian, frame start 8-byte aligned):
-///   u64  magic "OBSAENT1"
+///   u64  magic "OBSAENT1" (raw payload) or "OBSAENT2" (compressed)
 ///   u32  name length
 ///   u32  reserved (0)
-///   u64  payload size
-///   u32  payload CRC32C
+///   u64  payload size (stored bytes — the compressed size for ENT2)
+///   u32  payload CRC32C (over the stored bytes)
 ///   u32  header CRC32C (over the 28 bytes above + the name bytes)
 ///   name bytes, zero-padded to an 8-byte file offset
 ///   payload bytes, zero-padded to an 8-byte file offset
 ///
-/// The 8-byte alignment of payload starts is what makes the mmap read
-/// path zero-copy: typed spans over u64/f64 sections are naturally
-/// aligned inside the mapping.
+/// An OBSAENT2 payload is a codec container (archive/codec.hpp) whose
+/// own header declares the decoded size and raw CRC; the frame-level
+/// CRC covers the compressed bytes, so log integrity never requires a
+/// decode. The 8-byte alignment of payload starts is what makes the
+/// mmap read path zero-copy for raw frames: typed spans over u64/f64
+/// sections are naturally aligned inside the mapping.
+///
+/// Log generations: `obscorr archive compact` rewrites the archive into
+/// a brand-new log file (generation G+1), then publishes one manifest
+/// naming that generation — the rename is the whole commit, so a crash
+/// mid-compact leaves the previous generation fully readable. The
+/// append path (live ingest, resumed studies) always writes raw ENT1
+/// frames to the tail of the current generation's log.
 
 #include <cstdint>
 #include <span>
@@ -35,37 +47,76 @@
 
 namespace obscorr::archive {
 
-/// Catalog row: where one named payload lives inside entries.dat.
+/// EntryInfo.flags bit: payload is an OBSAENT2 codec container.
+inline constexpr std::uint32_t kEntryFlagCompressed = 1;
+
+/// Catalog row: where one named payload lives inside the entry log.
 struct EntryInfo {
   std::string name;
-  std::uint64_t offset = 0;  ///< payload byte offset in entries.dat
-  std::uint64_t size = 0;    ///< payload byte size
-  std::uint32_t crc32c = 0;  ///< payload checksum
+  std::uint64_t offset = 0;    ///< payload byte offset in the entry log
+  std::uint64_t size = 0;      ///< stored payload byte size
+  std::uint32_t crc32c = 0;    ///< stored payload checksum
+  std::uint32_t flags = 0;     ///< kEntryFlagCompressed or 0
+  std::uint64_t raw_size = 0;  ///< decoded payload size (== size when raw)
 };
 
 /// File names inside an archive directory.
 inline constexpr const char* kEntryLogName = "entries.dat";
 inline constexpr const char* kManifestName = "MANIFEST.obsar";
 
+/// Entry-log file name for a compaction generation ("entries.dat" for
+/// generation 0, "entries.G.dat" otherwise).
+std::string log_file_name(std::uint32_t generation);
+
+/// A parsed, CRC-verified manifest.
+struct ParsedManifest {
+  std::uint64_t scenario_hash = 0;
+  std::uint64_t data_size = 0;
+  std::uint32_t log_crc = 0;
+  std::uint32_t generation = 0;
+  std::vector<EntryInfo> entries;
+};
+
+/// Read and parse `dir`'s manifest; throws on a missing, truncated, or
+/// corrupt one. Shared by the reader's open/refresh and the writer's
+/// generation pickup — the manifest is published by atomic rename, so
+/// any successfully parsed read is a complete catalog, never a torn
+/// intermediate.
+ParsedManifest read_manifest(const std::string& dir);
+
 /// Appends checksummed entry frames and commits the manifest.
 class ArchiveWriter {
  public:
-  /// Open `dir` for writing, creating it if needed. An existing entry
-  /// log is scanned for complete frames (crash recovery); the torn tail,
-  /// if any, is truncated away.
+  /// Open `dir` for writing, creating it if needed. The generation is
+  /// picked up from an existing manifest (0 when absent or unreadable);
+  /// that generation's entry log is scanned for complete frames (crash
+  /// recovery) and the torn tail, if any, is truncated away.
   explicit ArchiveWriter(std::string dir);
+
+  /// Open `dir` writing a fresh log at an explicit `generation`
+  /// (truncating any stale log left by a crashed compaction). Used by
+  /// `archive compact`, which builds generation G+1 beside the live
+  /// generation and commits it with one manifest publication.
+  ArchiveWriter(std::string dir, std::uint32_t generation);
 
   /// Entries recovered from a previous run plus those added since.
   const std::vector<EntryInfo>& entries() const { return entries_; }
   bool has_entry(std::string_view name) const;
 
-  /// Payload bytes of an already-present entry (recovered or added),
-  /// read back from the log; throws when absent.
+  /// Decoded payload bytes of an already-present entry (recovered or
+  /// added), read back from the log — compressed entries are verified
+  /// and decompressed; throws when absent.
   std::vector<std::byte> read_entry(std::string_view name) const;
 
-  /// Append one entry frame and flush it to disk. Duplicate names are
-  /// rejected — resume logic must check has_entry() first.
+  /// Append one raw (OBSAENT1) entry frame and flush it to disk.
+  /// Duplicate names are rejected — resume logic must check has_entry()
+  /// first.
   void add_entry(std::string_view name, std::string_view payload);
+
+  /// Append one compressed (OBSAENT2) entry frame whose payload is an
+  /// already-encoded codec container for `raw_size` decoded bytes.
+  void add_entry_compressed(std::string_view name, std::string_view stored,
+                            std::uint64_t raw_size);
 
   /// Drop every recovered entry and restart the log from scratch (used
   /// when the on-disk scenario no longer matches the requested one).
@@ -87,13 +138,18 @@ class ArchiveWriter {
   /// O(log bytes).
   std::uint32_t log_crc() const { return log_crc_; }
 
+  std::uint32_t generation() const { return generation_; }
+
   const std::string& dir() const { return dir_; }
 
  private:
   void recover();
+  void append_frame(std::string_view magic, std::string_view name,
+                    std::string_view payload, EntryInfo info);
 
   std::string dir_;
   std::string log_path_;
+  std::uint32_t generation_ = 0;
   std::vector<EntryInfo> entries_;
   std::uint64_t log_size_ = 0;  ///< bytes of validated log content
   std::uint32_t log_crc_ = 0;   ///< CRC32C of those bytes, kept rolling
@@ -101,13 +157,20 @@ class ArchiveWriter {
 
 /// Serialized manifest bytes for `entries` (exposed for tests):
 ///   8 bytes "OBSARCH1", u32 version, u32 entry count, u64 scenario
-///   hash, u64 log data size, u32 CRC32C of the whole entry log, then
-///   per entry {u32 name len, u32 payload CRC32C, u64 offset, u64 size,
-///   name bytes}, and a trailing u32 CRC32C over all preceding bytes.
+///   hash, u64 log data size, u32 CRC32C of the whole entry log,
+///   [v2 only: u32 log generation], then per entry {u32 name len, u32
+///   payload CRC32C, u64 offset, u64 size, [v2 only: u32 flags, u64
+///   decoded size], name bytes}, and a trailing u32 CRC32C over all
+///   preceding bytes.
+/// Version 1 is emitted for generation-0 all-raw archives — the only
+/// shape that existed before compression — so such archives (including
+/// the committed golden study) stay byte-identical; anything with a
+/// compressed entry or a compacted log is version 2.
 /// The whole-log CRC covers frame headers and padding too, so *any*
-/// single-byte corruption of entries.dat is detected at open, not just
-/// flips inside payloads.
+/// single-byte corruption of the entry log is detected at open, not
+/// just flips inside payloads.
 std::string encode_manifest(std::uint64_t scenario_hash, std::uint64_t data_size,
-                            std::uint32_t log_crc, std::span<const EntryInfo> entries);
+                            std::uint32_t log_crc, std::span<const EntryInfo> entries,
+                            std::uint32_t generation = 0);
 
 }  // namespace obscorr::archive

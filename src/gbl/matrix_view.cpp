@@ -61,7 +61,8 @@ void append_matrix_v2(std::string& out, const DcsrMatrix& m) {
   append_array(out, m.val());
 }
 
-MatrixView MatrixView::from_bytes(std::span<const std::byte> bytes) {
+MatrixView MatrixView::from_bytes(std::span<const std::byte> bytes,
+                                  std::shared_ptr<const void> owner) {
   OBSCORR_REQUIRE(reinterpret_cast<std::uintptr_t>(bytes.data()) % 8 == 0,
                   "matrix view: payload must start 8-byte aligned");
   OBSCORR_REQUIRE(bytes.size() >= kHeaderBytes, "matrix view: truncated header");
@@ -78,6 +79,7 @@ MatrixView MatrixView::from_bytes(std::span<const std::byte> bytes) {
                   "matrix view: declared counts exceed the payload size");
 
   MatrixView v;
+  v.owner_ = std::move(owner);
   std::size_t pos = kHeaderBytes;
   v.row_ids_ = take_array<Index>(bytes, pos, static_cast<std::size_t>(rows));
   skip_pad8(bytes, pos);

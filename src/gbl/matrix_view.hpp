@@ -27,6 +27,7 @@
 /// matrix.
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -44,9 +45,13 @@ class MatrixView {
   MatrixView() = default;
 
   /// Validate and wrap a format-v2 payload. `bytes.data()` must be
-  /// 8-byte aligned (archive payload starts are). Throws
-  /// std::invalid_argument on any malformation.
-  static MatrixView from_bytes(std::span<const std::byte> bytes);
+  /// 8-byte aligned (archive payload starts are, mapped and decoded
+  /// alike). Throws std::invalid_argument on any malformation. When
+  /// `owner` is given the view shares ownership of the buffer — how the
+  /// archive hands out views over cache pages that may be evicted while
+  /// the view is live; untyped because gbl sits below the archive.
+  static MatrixView from_bytes(std::span<const std::byte> bytes,
+                               std::shared_ptr<const void> owner = {});
 
   /// Borrow the arrays of an in-memory matrix (no serialization); used
   /// to share the reduction kernels between the view and owning types.
@@ -84,6 +89,7 @@ class MatrixView {
   std::span<const std::uint64_t> row_ptr_;
   std::span<const Index> col_;
   std::span<const Value> val_;
+  std::shared_ptr<const void> owner_;  ///< keeps a decoded page alive
 };
 
 /// Serialize `m` in format v2 (the layout MatrixView reads), appending

@@ -28,6 +28,11 @@ constexpr const char* kCanonicalCounters[] = {
     "archive.frames_written",
     "archive.open_heap",
     "archive.open_mmap",
+    "archive.raw_bytes",
+    "archive.stored_bytes",
+    "cache.evictions",
+    "cache.hits",
+    "cache.misses",
     "mem.arena_bytes",
     "mem.arena_resets",
     "mem.pool_hits",
@@ -37,6 +42,7 @@ constexpr const char* kCanonicalCounters[] = {
     "netgen.shards_generated",
     "netgen.valid_packets",
     "netgen.windows_planned",
+    "simd.dispatch_codec",
     "simd.dispatch_ingest",
     "simd.dispatch_merge",
     "simd.dispatch_radix",
@@ -62,6 +68,7 @@ constexpr const char* kCanonicalCounters[] = {
 };
 
 constexpr const char* kCanonicalGauges[] = {
+    "cache.bytes",
     "mem.arena_high_water",
     "mem.hugepage_bytes",
     "mem.peak_rss",

@@ -206,8 +206,9 @@ TEST(StudyArchiveTest, StudyReaderServesZeroCopyViewsMatchingMaterialized) {
     EXPECT_TRUE(view.materialize() == want);
     // The span accessors are the SparseVec, without the copy.
     const gbl::SparseVec& sp = direct.snapshots[k].source_packets;
-    const auto ids = reader.source_ids(k);
-    const auto counts = reader.source_counts(k);
+    const auto src = reader.sources(k);
+    const auto ids = src.ids;
+    const auto counts = src.counts;
     ASSERT_EQ(ids.size(), sp.indices().size());
     EXPECT_TRUE(std::equal(ids.begin(), ids.end(), sp.indices().begin()));
     EXPECT_TRUE(std::equal(counts.begin(), counts.end(), sp.values().begin()));

@@ -251,6 +251,11 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
       "archive.frames_written",
       "archive.open_heap",
       "archive.open_mmap",
+      "archive.raw_bytes",
+      "archive.stored_bytes",
+      "cache.evictions",
+      "cache.hits",
+      "cache.misses",
       "mem.arena_bytes",
       "mem.arena_resets",
       "mem.pool_hits",
@@ -260,6 +265,7 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
       "netgen.shards_generated",
       "netgen.valid_packets",
       "netgen.windows_planned",
+      "simd.dispatch_codec",
       "simd.dispatch_ingest",
       "simd.dispatch_merge",
       "simd.dispatch_radix",
@@ -285,6 +291,7 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
   };
   EXPECT_EQ(canonical_counter_names(), expected_counters);
   const std::vector<std::string> expected_gauges = {
+      "cache.bytes",
       "mem.arena_high_water",
       "mem.hugepage_bytes",
       "mem.peak_rss",
@@ -303,7 +310,8 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
                                       std::string("archive."), std::string("threadpool."),
                                       std::string("study."), std::string("core."),
                                       std::string("stats."), std::string("simd."),
-                                      std::string("mem."), std::string("svc.")}) {
+                                      std::string("mem."), std::string("svc."),
+                                      std::string("cache.")}) {
       if (s.name.rfind(prefix, 0) == 0) {
         EXPECT_TRUE(canonical.count(s.name) == 1) << "non-canonical counter: " << s.name;
       }

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <string_view>
 
+#include "archive/compact.hpp"
+#include "archive/page_cache.hpp"
 #include "archive/study_archive.hpp"
 #include "common/arena.hpp"
 #include "common/cli.hpp"
@@ -78,6 +80,18 @@ void simd_option(const CliArgs& args) {
   simd::set_tier(*tier);
 }
 
+/// Decoded-page cache budget for archive reads: --cache-bytes N beats
+/// OBSCORR_CACHE_BYTES beats the 256 MiB default; 0 disables caching.
+/// Outputs are byte-identical at any budget — the flag only changes
+/// speed. Must run before any StudyReader is built, so it rides with
+/// the shared option plumbing.
+void cache_option(const CliArgs& args) {
+  if (!args.get("cache-bytes").has_value()) return;
+  const std::int64_t bytes = args.get_int("cache-bytes", -1);
+  OBSCORR_REQUIRE(bytes >= 0, "--cache-bytes must be a non-negative byte count");
+  archive::set_cache_bytes(static_cast<std::uint64_t>(bytes));
+}
+
 void reject_unused(const CliArgs& args) {
   const auto stray = args.unused();
   OBSCORR_REQUIRE(stray.empty(), "unknown option --" + (stray.empty() ? "" : stray.front()));
@@ -110,6 +124,7 @@ struct TelemetryOptions {
 
 TelemetryOptions telemetry_options(const CliArgs& args) {
   simd_option(args);
+  cache_option(args);
   TelemetryOptions t;
   t.timing = args.has("timing");
   t.metrics_out = args.get("metrics-out");
@@ -181,6 +196,11 @@ commands:
                 --matrix FILE | --from DIR [--snapshot K=0]  [--length L=16]
   archive     run the full campaign and persist it as a study archive
                 --out DIR [--log2-nv K=16] [--seed S]
+  archive compact
+              rewrite an archive with old windows block-compressed
+              (recent windows stay raw for zero-copy reads); reads stay
+              byte-identical, typically >=3x smaller (docs/archive.md)
+                --dir DIR [--keep-recent N=8] [--all] [--stats]
   serve       resident daemon over an archive: NDJSON query API + live ingest
                 --from DIR (--unix PATH | --port N, 0 = ephemeral) [--host H]
                 [--max-conns C=256] [--ingest-windows W=-1, 0 disables]
@@ -204,6 +224,9 @@ every command accepts --simd scalar|sse42|avx2|auto (default: OBSCORR_SIMD,
 then cpuid detection) to pin the kernel dispatch tier; outputs are
 byte-identical at any tier — the flag only changes wall-clock time
 (docs/performance.md "SIMD dispatch").
+compressed archive entries decode through an LRU page cache; every command
+accepts --cache-bytes N (default: OBSCORR_CACHE_BYTES, then 256 MiB; 0
+disables) — results are byte-identical at any budget (docs/archive.md).
 scratch memory is recycled through hugepage-backed pools; set
 OBSCORR_NO_HUGEPAGES=1 or OBSCORR_NO_POOL=1 to opt out — results are
 byte-identical either way (docs/performance.md "Memory model").
@@ -554,8 +577,8 @@ int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out, std::o
     // Zero-copy: the span overload aggregates straight over the mapped
     // archive entry.
     const archive::StudyReader reader(*from);
-    analysis = core::analyze_prefixes(reader.source_ids(snapshot),
-                                      reader.source_counts(snapshot), length);
+    const auto src = reader.sources(snapshot);
+    analysis = core::analyze_prefixes(src.ids, src.counts, length);
   } else {
     analysis = core::analyze_prefixes(gbl::load_matrix(*path).reduce_rows(), length);
   }
@@ -575,7 +598,43 @@ int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out, std::o
   return 0;
 }
 
+int cmd_archive_compact(const std::vector<std::string>& args, std::ostream& out,
+                        std::ostream& err) {
+  static const std::vector<std::string> kCompactSwitches = {"timing", "all", "stats"};
+  const CliArgs cli = CliArgs::parse(args, kCompactSwitches);
+  const TelemetryOptions topt = telemetry_options(cli);
+  const auto dir = cli.get("dir");
+  OBSCORR_REQUIRE(dir.has_value(), "archive compact: --dir DIR is required");
+  archive::CompactOptions opts;
+  const std::int64_t keep = cli.get_int("keep-recent", 8);
+  OBSCORR_REQUIRE(keep >= 0, "archive compact: --keep-recent must be >= 0");
+  opts.keep_recent = static_cast<std::size_t>(keep);
+  opts.compress_all = cli.has("all");
+  const bool print_stats = cli.has("stats");
+  (void)thread_option(cli);  // the rewrite is a serial pass; flag accepted for uniformity
+  reject_unused(cli);
+
+  const archive::CompactStats stats = archive::compact_archive(*dir, opts);
+  if (print_stats) {
+    out << "entries: " << fmt_count(stats.entries_total) << " ("
+        << fmt_count(stats.entries_compressed) << " compressed)\n"
+        << "raw bytes: " << fmt_count(stats.raw_bytes) << "\n"
+        << "stored bytes: " << fmt_count(stats.stored_bytes_before) << " -> "
+        << fmt_count(stats.stored_bytes_after) << "\n"
+        << "compression ratio: " << fmt_double(stats.ratio(), 2) << "x (raw / stored)\n"
+        << "generation: " << stats.generation << "\n";
+  }
+  err << "compacted " << *dir << " to generation " << stats.generation << " ("
+      << fmt_count(stats.entries_compressed) << " of " << fmt_count(stats.entries_total)
+      << " entries compressed, " << fmt_double(stats.ratio(), 2) << "x)\n";
+  emit_telemetry(topt, err);
+  return 0;
+}
+
 int cmd_archive(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (!args.empty() && args.front() == "compact") {
+    return cmd_archive_compact({args.begin() + 1, args.end()}, out, err);
+  }
   (void)out;  // archive writes its result to --out DIR, not stdout
   const CliArgs cli = CliArgs::parse(args, kSwitches);
   const Common c = common_options(cli, 16);
