@@ -1,0 +1,123 @@
+/// \file bench_perf_analysis.cpp
+/// Hot paths of the anomaly/correlation subsystem feeding `obscorr
+/// correlate` and the service's `watch` push.
+///
+///  * BM_RankCorrelations — rank the full 14-series catalogue over a
+///    synthetic store with netdata framing (highlight = trailing fifth,
+///    baseline = preceding 4×), swept over method × history length.
+///    This is the per-request cost of an uncached `correlate` query.
+///  * BM_DetectorObserve — one DetectorBank::observe() per window
+///    (rolling z-score + EWMA over every series, plus the
+///    degree-histogram shift detector), the per-window cost the ingest
+///    thread pays inside on_publish before the event push.
+///
+/// Inputs are deterministic (fixed-seed mt19937); no archive I/O, so
+/// the numbers isolate the analysis math itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "analysis/correlate.hpp"
+#include "analysis/detectors.hpp"
+#include "analysis/window_series.hpp"
+
+namespace {
+
+using namespace obscorr;
+
+/// A plausible window sample stream: stationary noise around paper-ish
+/// magnitudes, with a 4x surge over the trailing tenth so the ranking
+/// has a real signal to find.
+analysis::WindowSample synth_sample(std::mt19937_64& rng, std::size_t w, std::size_t windows) {
+  std::uniform_real_distribution<double> noise(0.9, 1.1);
+  const double surge = w >= windows - windows / 10 ? 4.0 : 1.0;
+  analysis::WindowSample s;
+  s.q.valid_packets = 65536.0 * surge * noise(rng);
+  s.q.unique_links = static_cast<std::uint64_t>(20000.0 * surge * noise(rng));
+  s.q.max_link_packets = 48.0 * noise(rng);
+  s.q.unique_sources = static_cast<std::uint64_t>(4000.0 * noise(rng));
+  s.q.max_source_packets = 1200.0 * surge * noise(rng);
+  s.q.max_source_fanout = 800.0 * noise(rng);
+  s.q.unique_destinations = static_cast<std::uint64_t>(9000.0 * noise(rng));
+  s.q.max_destination_packets = 300.0 * noise(rng);
+  s.q.max_destination_fanin = 150.0 * noise(rng);
+  s.discarded_packets = static_cast<std::uint64_t>(500.0 * noise(rng));
+  s.duration_sec = 0.065 * noise(rng);
+  s.source_gini = 0.62 * noise(rng);
+  return s;
+}
+
+analysis::SeriesStore synth_store(std::size_t windows) {
+  std::mt19937_64 rng(0x0b5c0e500ULL);
+  analysis::SeriesStore store;
+  for (std::size_t w = 0; w < windows; ++w) store.append(synth_sample(rng, w, windows));
+  return store;
+}
+
+void BM_RankCorrelations(benchmark::State& state) {
+  const auto method = state.range(0) == 0 ? analysis::Method::kKs2 : analysis::Method::kVolume;
+  const auto windows = static_cast<std::size_t>(state.range(1));
+  const analysis::SeriesStore store = synth_store(windows);
+  const analysis::WindowRange highlight = analysis::default_highlight(windows);
+  const analysis::WindowRange baseline = analysis::default_baseline(highlight);
+
+  for (auto _ : state) {
+    std::vector<analysis::MetricScore> ranked =
+        analysis::rank_series(store, baseline, highlight, method);
+    benchmark::DoNotOptimize(ranked.data());
+  }
+  state.counters["series"] = static_cast<double>(store.series_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.series_count()) *
+                          static_cast<std::int64_t>(windows));
+}
+BENCHMARK(BM_RankCorrelations)
+    ->ArgNames({"method", "windows"})
+    ->ArgsProduct({{0, 1}, {256, 4096}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DetectorObserve(benchmark::State& state) {
+  const auto degree_n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(0xdec0deULL);
+  // Pre-build a long stationary stream of rows + heavy-tailed degree
+  // vectors; the bank cycles through it so state keeps evolving instead
+  // of re-warming on every iteration.
+  constexpr std::size_t kStream = 512;
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> degrees;
+  rows.reserve(kStream);
+  degrees.reserve(kStream);
+  std::exponential_distribution<double> tail(1.0 / 16.0);
+  for (std::size_t w = 0; w < kStream; ++w) {
+    rows.push_back(analysis::metric_row(synth_sample(rng, w, kStream + 1)));
+    std::vector<double> d(degree_n);
+    for (double& v : d) v = 1.0 + tail(rng);
+    degrees.push_back(std::move(d));
+  }
+
+  analysis::DetectorBank bank;
+  std::uint64_t window = 0;
+  std::size_t fired = 0;
+  for (auto _ : state) {
+    const std::size_t i = static_cast<std::size_t>(window % kStream);
+    std::vector<analysis::AnomalyEvent> events = bank.observe(window, rows[i], degrees[i]);
+    fired += events.size();
+    benchmark::DoNotOptimize(events.data());
+    ++window;
+  }
+  state.counters["degree_n"] = static_cast<double>(degree_n);
+  state.counters["events"] = static_cast<double>(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(analysis::metric_count()));
+}
+BENCHMARK(BM_DetectorObserve)
+    ->ArgNames({"degree_n"})
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

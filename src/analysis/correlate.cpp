@@ -1,0 +1,95 @@
+#include "analysis/correlate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/ks_test.hpp"
+
+namespace obscorr::analysis {
+
+Method parse_method(std::string_view name) {
+  if (name == "ks2") return Method::kKs2;
+  if (name == "volume") return Method::kVolume;
+  throw std::invalid_argument("unknown correlation method '" + std::string(name) +
+                              "' (want ks2|volume)");
+}
+
+const char* method_name(Method m) {
+  return m == Method::kKs2 ? "ks2" : "volume";
+}
+
+WindowRange default_highlight(std::size_t window_count) {
+  OBSCORR_REQUIRE(window_count > 0, "default_highlight: empty series");
+  const std::size_t len = std::max<std::size_t>(1, window_count / 5);
+  return WindowRange{window_count - len, window_count - 1};
+}
+
+WindowRange default_baseline(WindowRange highlight) {
+  const std::size_t want = 4 * highlight.length();
+  const std::size_t first = highlight.first > want ? highlight.first - want : 0;
+  OBSCORR_REQUIRE(highlight.first > 0, "default_baseline: no windows before highlight");
+  return WindowRange{first, highlight.first - 1};
+}
+
+namespace {
+
+double range_mean(std::span<const double> s, WindowRange r) {
+  double sum = 0.0;
+  for (std::size_t w = r.first; w <= r.last; ++w) sum += s[w];
+  return sum / static_cast<double>(r.length());
+}
+
+/// netdata's Volume heuristic, normalized: the change in range averages
+/// relative to the larger magnitude, so a flat series scores 0 and a
+/// from-zero (or to-zero) step scores 1.
+double volume_score(double baseline_mean, double highlight_mean) {
+  const double denom = std::max(std::abs(baseline_mean), std::abs(highlight_mean));
+  if (denom == 0.0) return 0.0;
+  return std::abs(highlight_mean - baseline_mean) / denom;
+}
+
+void check_range(const SeriesStore& store, WindowRange r, const char* what) {
+  OBSCORR_REQUIRE(r.first <= r.last, std::string(what) + ": range must be ordered");
+  OBSCORR_REQUIRE(r.last < store.window_count(),
+                  std::string(what) + ": range exceeds window count");
+}
+
+}  // namespace
+
+std::vector<MetricScore> rank_series(const SeriesStore& store, WindowRange baseline,
+                                     WindowRange highlight, Method method) {
+  check_range(store, baseline, "baseline");
+  check_range(store, highlight, "highlight");
+
+  std::vector<MetricScore> scores;
+  scores.reserve(store.series_count());
+  for (std::size_t i = 0; i < store.series_count(); ++i) {
+    const std::span<const double> s = store.series(i);
+    MetricScore ms;
+    ms.name = store.names()[i];
+    const stats::KsResult ks =
+        stats::two_sample_ks(s.subspan(baseline.first, baseline.length()),
+                             s.subspan(highlight.first, highlight.length()));
+    ms.ks_statistic = ks.statistic;
+    ms.ks_p = ks.p_value;
+    ms.baseline_mean = range_mean(s, baseline);
+    ms.highlight_mean = range_mean(s, highlight);
+    ms.volume = volume_score(ms.baseline_mean, ms.highlight_mean);
+    ms.score = method == Method::kKs2 ? 1.0 - ms.ks_p : ms.volume;
+    scores.push_back(std::move(ms));
+  }
+
+  // Deterministic ranking: an injected event typically separates several
+  // metrics completely (KS statistic 1, identical p), so the tie-break
+  // chain matters as much as the score.
+  std::sort(scores.begin(), scores.end(), [](const MetricScore& a, const MetricScore& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.ks_statistic != b.ks_statistic) return a.ks_statistic > b.ks_statistic;
+    if (a.volume != b.volume) return a.volume > b.volume;
+    return a.name < b.name;
+  });
+  return scores;
+}
+
+}  // namespace obscorr::analysis

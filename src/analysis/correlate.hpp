@@ -1,0 +1,68 @@
+#pragma once
+/// \file correlate.hpp
+/// Metric correlations over window series, after netdata's Metric
+/// Correlations design: given a *baseline* window range (normal
+/// behaviour) and a *highlight* range (the suspected event), score every
+/// registered series by how much its distribution changed between the
+/// two, and rank. Two scoring methods:
+///
+///  * KS2 — two-sample Kolmogorov–Smirnov between the baseline and
+///    highlight samples of each series (stats/ks_test); score is
+///    1 − p-value, so fully separated distributions score 1.
+///  * Volume — netdata's cheap heuristic on the percentage change of
+///    range averages, normalized to [0, 1].
+///
+/// Ranking is deterministic: the score is computed from serial
+/// reductions only, and ties (common when an injected event fully
+/// separates several metrics at KS statistic 1) break by KS statistic,
+/// then volume, then metric name.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/window_series.hpp"
+
+namespace obscorr::analysis {
+
+/// Scoring method, netdata's two.
+enum class Method { kKs2, kVolume };
+
+/// Parse "ks2" | "volume" (throws std::invalid_argument otherwise).
+Method parse_method(std::string_view name);
+const char* method_name(Method m);
+
+/// Inclusive window range [first, last].
+struct WindowRange {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::size_t length() const { return last - first + 1; }
+};
+
+/// netdata's default framing: the highlight is the trailing fifth of the
+/// series (at least one window), the baseline the preceding stretch of
+/// 4× the highlight length (clamped to what exists).
+WindowRange default_highlight(std::size_t window_count);
+WindowRange default_baseline(WindowRange highlight);
+
+/// One series' change score between baseline and highlight.
+struct MetricScore {
+  std::string name;
+  double score = 0.0;          ///< ranking key for the chosen method, in [0, 1]
+  double ks_statistic = 0.0;   ///< sup |F̂_b − F̂_h|
+  double ks_p = 1.0;           ///< asymptotic p-value
+  double baseline_mean = 0.0;
+  double highlight_mean = 0.0;
+  double volume = 0.0;         ///< normalized |Δmean| in [0, 1]
+};
+
+/// Score and rank every series in `store`. Both ranges must be
+/// non-empty, ordered, and within the store's window count (throws
+/// std::invalid_argument otherwise); overlap is legal but usually a
+/// caller mistake. All fields of every MetricScore are filled whichever
+/// method drives the ranking.
+std::vector<MetricScore> rank_series(const SeriesStore& store, WindowRange baseline,
+                                     WindowRange highlight, Method method);
+
+}  // namespace obscorr::analysis

@@ -1,0 +1,136 @@
+#include "analysis/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "analysis/window_series.hpp"
+#include "common/error.hpp"
+#include "obs/telemetry.hpp"
+#include "stats/histogram.hpp"
+
+namespace obscorr::analysis {
+
+namespace {
+
+/// Shortest-faithful double text (JSON number), deterministic for a
+/// given value — the watch stream and sidecar log must replay
+/// byte-identically.
+std::string num_text(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+/// Effective stddev with the relative floor applied.
+double floored_sigma(double stddev, double mean, double floor) {
+  return std::max(stddev, floor * std::max(std::abs(mean), 1.0));
+}
+
+}  // namespace
+
+std::string event_json(const AnomalyEvent& e) {
+  std::ostringstream os;
+  os << "{\"event\":\"anomaly\",\"window\":" << e.window << ",\"metric\":\"" << e.metric
+     << "\",\"detector\":\"" << e.detector << "\",\"value\":" << num_text(e.value)
+     << ",\"expected\":" << num_text(e.expected) << ",\"score\":" << num_text(e.score) << "}";
+  return os.str();
+}
+
+DetectorBank::DetectorBank(DetectorConfig cfg) : cfg_(cfg), metrics_(metric_count()) {
+  OBSCORR_REQUIRE(cfg_.history >= 2, "detector history must hold at least 2 windows");
+  OBSCORR_REQUIRE(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0, "ewma_alpha in (0, 1]");
+  OBSCORR_REQUIRE(cfg_.shift_alpha > 0.0 && cfg_.shift_alpha <= 1.0, "shift_alpha in (0, 1]");
+}
+
+std::vector<AnomalyEvent> DetectorBank::observe(std::uint64_t window,
+                                                std::span<const double> row,
+                                                std::span<const double> degrees) {
+  OBSCORR_REQUIRE(row.size() == metrics_.size(), "row size must match the metric catalogue");
+  const bool alerting = observed_ >= cfg_.warmup;
+  const std::vector<std::string>& names = metric_names();
+  std::vector<AnomalyEvent> events;
+
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const double x = row[i];
+    MetricState& m = metrics_[i];
+
+    if (alerting && !m.ring.empty()) {
+      const double n = static_cast<double>(m.ring.size());
+      const double mean = m.ring_sum / n;
+      const double var = std::max(0.0, m.ring_sq / n - mean * mean);
+      const double sigma = floored_sigma(std::sqrt(var), mean, cfg_.sigma_floor);
+      const double z = (x - mean) / sigma;
+      if (std::abs(z) >= cfg_.z_threshold) {
+        events.push_back({window, names[i], "zscore", x, mean, z});
+      }
+    }
+    m.ring.push_back(x);
+    m.ring_sum += x;
+    m.ring_sq += x * x;
+    if (m.ring.size() > cfg_.history) {
+      const double old = m.ring.front();
+      m.ring.pop_front();
+      m.ring_sum -= old;
+      m.ring_sq -= old * old;
+    }
+
+    if (!m.ewma_primed) {
+      m.ewma_mean = x;
+      m.ewma_var = 0.0;
+      m.ewma_primed = true;
+    } else {
+      if (alerting) {
+        const double sigma =
+            floored_sigma(std::sqrt(std::max(0.0, m.ewma_var)), m.ewma_mean, cfg_.sigma_floor);
+        const double z = (x - m.ewma_mean) / sigma;
+        if (std::abs(z) >= cfg_.ewma_threshold) {
+          events.push_back({window, names[i], "ewma", x, m.ewma_mean, z});
+        }
+      }
+      const double d = x - m.ewma_mean;
+      m.ewma_mean += cfg_.ewma_alpha * d;
+      m.ewma_var = (1.0 - cfg_.ewma_alpha) * (m.ewma_var + cfg_.ewma_alpha * d * d);
+    }
+  }
+
+  // Degree-distribution shift: total-variation distance between this
+  // window's binary-log degree distribution and the EWMA reference.
+  const std::vector<double> p =
+      stats::LogHistogram::from_degrees(degrees).differential_cumulative();
+  if (!p.empty()) {
+    if (!ref_primed_) {
+      ref_hist_ = p;
+      ref_primed_ = true;
+    } else {
+      const std::size_t bins = std::max(ref_hist_.size(), p.size());
+      ref_hist_.resize(bins, 0.0);
+      double tv = 0.0;
+      for (std::size_t b = 0; b < bins; ++b) {
+        const double pb = b < p.size() ? p[b] : 0.0;
+        tv += std::abs(pb - ref_hist_[b]);
+      }
+      tv *= 0.5;
+      if (alerting && tv >= cfg_.shift_threshold) {
+        events.push_back({window, "degree.histogram", "degree_shift", tv,
+                          cfg_.shift_threshold, tv});
+      }
+      for (std::size_t b = 0; b < bins; ++b) {
+        const double pb = b < p.size() ? p[b] : 0.0;
+        ref_hist_[b] = (1.0 - cfg_.shift_alpha) * ref_hist_[b] + cfg_.shift_alpha * pb;
+      }
+    }
+  }
+
+  ++observed_;
+  static obs::Counter& c_windows = obs::counter("analysis.windows_observed");
+  static obs::Counter& c_anomalies = obs::counter("analysis.anomalies");
+  if (obs::counters_enabled()) {
+    c_windows.add(1);
+    if (!events.empty()) c_anomalies.add(events.size());
+  }
+  return events;
+}
+
+}  // namespace obscorr::analysis

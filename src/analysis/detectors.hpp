@@ -1,0 +1,92 @@
+#pragma once
+/// \file detectors.hpp
+/// Streaming anomaly detectors over the window metric series: the
+/// online half of the analysis layer. Three detectors, all O(metrics)
+/// per window with O(history) state:
+///
+///  * zscore — each new value scored against the rolling mean/stddev of
+///    the last `history` windows; catches step changes like the
+///    scenario's 2020-03 config-change surge.
+///  * ewma — exponentially-weighted mean/variance tracker; reacts to
+///    sustained level shifts the rolling window has already absorbed.
+///  * degree_shift — total-variation distance between the current
+///    window's binary-log degree distribution and an EWMA reference
+///    distribution; catches destination-strategy shifts that leave the
+///    aggregate counters flat but reshape the histogram.
+///
+/// Both value detectors use a relative sigma floor so that perfectly
+/// flat series (deterministic replay makes several metrics exactly
+/// constant) neither divide by zero nor alert on float jitter.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace obscorr::analysis {
+
+/// Tuning knobs; defaults are calibrated for the scenario studies
+/// (docs/observability.md discusses how to retune).
+struct DetectorConfig {
+  std::size_t warmup = 4;       ///< windows observed before any alert
+  std::size_t history = 32;     ///< rolling-window length for zscore
+  double z_threshold = 6.0;     ///< |z| that fires the zscore detector
+  double ewma_alpha = 0.3;      ///< EWMA smoothing for mean/variance
+  double ewma_threshold = 6.0;  ///< |z| that fires the ewma detector
+  double sigma_floor = 0.02;    ///< relative stddev floor (× max(|mean|, 1))
+  double shift_threshold = 0.25;  ///< TV distance that fires degree_shift
+  double shift_alpha = 0.2;       ///< EWMA smoothing for the reference histogram
+};
+
+/// One structured anomaly event; serialized as NDJSON on the `watch`
+/// stream and in the archive's anomaly sidecar log.
+struct AnomalyEvent {
+  std::uint64_t window = 0;  ///< window index the event fired at
+  std::string metric;        ///< series name, or "degree.histogram"
+  std::string detector;      ///< "zscore" | "ewma" | "degree_shift"
+  double value = 0.0;        ///< observed value (TV distance for shifts)
+  double expected = 0.0;     ///< detector's expectation before observing
+  double score = 0.0;        ///< sigmas over threshold basis, or TV distance
+};
+
+/// {"event":"anomaly","window":...,"metric":...,...} — one line, no
+/// trailing newline. Hand-rolled so the analysis layer stays free of a
+/// svc dependency.
+std::string event_json(const AnomalyEvent& e);
+
+/// The detector state for one stream of windows. Feed every published
+/// window in order via observe(); not internally synchronized (single
+/// observer thread by construction).
+class DetectorBank {
+ public:
+  explicit DetectorBank(DetectorConfig cfg = {});
+
+  /// Observe one window: `row` in metric_row() catalogue order,
+  /// `degrees` the window's per-source packet counts (degree histogram
+  /// input; may be empty). Returns the events fired, ordered by metric.
+  std::vector<AnomalyEvent> observe(std::uint64_t window, std::span<const double> row,
+                                    std::span<const double> degrees);
+
+  std::size_t observed() const { return observed_; }
+  const DetectorConfig& config() const { return cfg_; }
+
+ private:
+  struct MetricState {
+    std::deque<double> ring;  ///< last `history` values
+    double ring_sum = 0.0;
+    double ring_sq = 0.0;
+    double ewma_mean = 0.0;
+    double ewma_var = 0.0;
+    bool ewma_primed = false;
+  };
+
+  DetectorConfig cfg_;
+  std::vector<MetricState> metrics_;
+  std::vector<double> ref_hist_;  ///< EWMA reference degree distribution
+  bool ref_primed_ = false;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace obscorr::analysis

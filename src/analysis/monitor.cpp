@@ -1,0 +1,51 @@
+#include "analysis/monitor.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace obscorr::analysis {
+
+std::string window_event_json(const archive::LiveWindowMeta& meta) {
+  std::ostringstream os;
+  os << "{\"event\":\"window\",\"window\":" << meta.window
+     << ",\"month_index\":" << meta.month_index
+     << ",\"valid_packets\":" << meta.valid_packets
+     << ",\"discarded_packets\":" << meta.discarded_packets << "}";
+  return os.str();
+}
+
+Monitor::Monitor(MonitorConfig cfg) : cfg_(std::move(cfg)), bank_(cfg_.detectors) {}
+
+std::vector<AnomalyEvent> Monitor::prime(const archive::StudyReader& reader, Domain domain) {
+  std::vector<AnomalyEvent> all;
+  const std::size_t n =
+      domain == Domain::kSnapshots ? reader.snapshot_count() : reader.window_count();
+  for (std::size_t w = 0; w < n; ++w) {
+    const WindowSample sample = domain == Domain::kSnapshots ? sample_snapshot(reader, w)
+                                                             : sample_window(reader, w);
+    // Degree values for the shift detector, from the stored reduction.
+    const gbl::SparseVec sources = domain == Domain::kSnapshots
+                                       ? reader.source_packets(w)
+                                       : reader.window_source_packets(w);
+    store_.append(sample);
+    std::vector<AnomalyEvent> events =
+        bank_.observe(w, metric_row(sample), sources.values());
+    all.insert(all.end(), std::make_move_iterator(events.begin()),
+               std::make_move_iterator(events.end()));
+  }
+  return all;
+}
+
+std::vector<AnomalyEvent> Monitor::observe_window(std::uint64_t window,
+                                                  const WindowSample& sample,
+                                                  std::span<const double> degrees) {
+  store_.append(sample);
+  std::vector<AnomalyEvent> events = bank_.observe(window, metric_row(sample), degrees);
+  if (!events.empty() && !cfg_.event_log_path.empty()) {
+    std::ofstream log(cfg_.event_log_path, std::ios::app);
+    for (const AnomalyEvent& e : events) log << event_json(e) << '\n';
+  }
+  return events;
+}
+
+}  // namespace obscorr::analysis

@@ -93,6 +93,41 @@ void write_metrics_json(std::ostream& os) {
   os << "\n  },\n  \"dropped_span_events\": " << dropped_span_events() << "\n}\n";
 }
 
+namespace {
+
+/// `svc.bytes_in` → `obscorr_svc_bytes_in`. Catalogue names are
+/// [a-z0-9._]-only so dots→underscores is the whole mapping.
+std::string prom_name(const std::string& name) {
+  std::string out = "obscorr_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) out += (c == '.') ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_prometheus(std::ostream& os) {
+  for (const MetricSample& c : counters_snapshot()) {
+    const std::string n = prom_name(c.name);
+    os << "# TYPE " << n << " counter\n" << n << "_total " << c.value << '\n';
+  }
+  for (const MetricSample& g : gauges_snapshot()) {
+    const std::string n = prom_name(g.name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << g.value << '\n';
+  }
+  for (const SpanAggregate& a : aggregate_spans()) {
+    const std::string n = prom_name(std::string("span.") + a.name);
+    os << "# TYPE " << n << " summary\n"
+       << n << "_count " << a.count << '\n'
+       << n << "_seconds_sum " << seconds_text(a.total_ns, 9) << '\n';
+  }
+  {
+    const std::string n = prom_name("dropped_span_events");
+    os << "# TYPE " << n << " counter\n" << n << "_total " << dropped_span_events() << '\n';
+  }
+  os << "# EOF\n";
+}
+
 void write_timing_summary(std::ostream& os) {
   os << "-- telemetry timing summary --\n";
   const std::vector<SpanAggregate> spans = aggregate_spans();

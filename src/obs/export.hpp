@@ -27,6 +27,14 @@ void write_chrome_trace(std::ostream& os);
 ///     "dropped_span_events": u64 }
 void write_metrics_json(std::ostream& os);
 
+/// Prometheus/OpenMetrics text exposition of the same registry
+/// (`--metrics-format prom`, svc `metrics` with format=prom). Metric
+/// names are the catalogue names with dots mapped to underscores under
+/// an `obscorr_` prefix; counters get the OpenMetrics `_total` suffix,
+/// span aggregates become `_count` / `_seconds_sum` pairs. Ends with
+/// `# EOF` per the OpenMetrics framing rules.
+void write_metrics_prometheus(std::ostream& os);
+
 /// Human-readable summary (for `--timing` on stderr): span aggregates
 /// and the non-zero counters.
 void write_timing_summary(std::ostream& os);

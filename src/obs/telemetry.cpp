@@ -21,6 +21,8 @@ namespace {
 /// or adding an entry must update the golden schema test too — that is
 /// the point.
 constexpr const char* kCanonicalCounters[] = {
+    "analysis.anomalies",
+    "analysis.windows_observed",
     "archive.bytes_read",
     "archive.bytes_written",
     "archive.crc_ns",
@@ -56,6 +58,7 @@ constexpr const char* kCanonicalCounters[] = {
     "svc.requests",
     "svc.shed",
     "svc.timeouts",
+    "svc.watch_events",
     "svc.windows_published",
     "telescope.anon_cache_hits",
     "telescope.anon_cache_misses",
@@ -75,6 +78,7 @@ constexpr const char* kCanonicalGauges[] = {
     "mem.pool_high_water",
     "simd.tier",
     "svc.connections_high_water",
+    "svc.watchers_high_water",
     "threadpool.queue_high_water",
 };
 

@@ -1,5 +1,6 @@
 #include "stats/histogram.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/binning.hpp"
@@ -9,18 +10,20 @@ namespace obscorr::stats {
 
 LogHistogram LogHistogram::from_degrees(std::span<const double> degrees) {
   LogHistogram h;
-  for (double d : degrees) {
-    if (d < 1.0) continue;
-    OBSCORR_REQUIRE(std::isfinite(d), "degree values must be finite");
-    const int bin = log2_bin(static_cast<std::uint64_t>(d));
-    if (h.counts_.size() <= static_cast<std::size_t>(bin)) {
-      h.counts_.resize(static_cast<std::size_t>(bin) + 1, 0);
-    }
-    ++h.counts_[static_cast<std::size_t>(bin)];
-    ++h.total_;
-    h.max_degree_ = std::max(h.max_degree_, static_cast<std::uint64_t>(d));
-  }
+  for (double d : degrees) h.add(d);
   return h;
+}
+
+void LogHistogram::add(double value) {
+  if (value < 1.0) return;
+  OBSCORR_REQUIRE(std::isfinite(value), "degree values must be finite");
+  const int bin = log2_bin(static_cast<std::uint64_t>(value));
+  if (counts_.size() <= static_cast<std::size_t>(bin)) {
+    counts_.resize(static_cast<std::size_t>(bin) + 1, 0);
+  }
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+  max_degree_ = std::max(max_degree_, static_cast<std::uint64_t>(value));
 }
 
 LogHistogram LogHistogram::from_sparse_vec(const gbl::SparseVec& vec) {
@@ -50,6 +53,28 @@ std::vector<double> LogHistogram::cumulative() const {
     c[i] = run / static_cast<double>(total_);
   }
   return c;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = std::max(1.0, q * static_cast<double>(total_));
+  double run = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c > 0.0 && run + c >= target) {
+      const double lo = std::exp2(static_cast<double>(i));
+      // The top bin's occupied range ends at the observed maximum, not
+      // the bin's nominal upper edge — keeps p99 from overshooting when
+      // the tail bin is nearly empty.
+      const double hi = std::min(std::exp2(static_cast<double>(i + 1)),
+                                 static_cast<double>(max_degree_) + 1.0);
+      const double frac = (target - run) / c;
+      return lo + frac * (std::max(hi, lo) - lo);
+    }
+    run += c;
+  }
+  return static_cast<double>(max_degree_);
 }
 
 }  // namespace obscorr::stats

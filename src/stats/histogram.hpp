@@ -24,6 +24,12 @@ class LogHistogram {
   static LogHistogram from_degrees(std::span<const double> degrees);
   static LogHistogram from_sparse_vec(const gbl::SparseVec& vec);
 
+  /// Incrementally count one observation (same semantics as
+  /// from_degrees: values < 1 are ignored, non-finite values throw).
+  /// This is what streaming consumers — the service's per-query latency
+  /// recorder, the live anomaly detectors — use instead of batching.
+  void add(double value);
+
   /// Raw count in bin i (0 when out of range).
   std::uint64_t count(int bin) const;
 
@@ -42,6 +48,13 @@ class LogHistogram {
 
   /// Cumulative probability P_t at each bin upper edge.
   std::vector<double> cumulative() const;
+
+  /// Approximate quantile (q clamped to [0, 1]) by locating the bin
+  /// holding the q-th ranked observation and interpolating linearly
+  /// inside its [2^i, 2^(i+1)) range. Exact to within one binary-log
+  /// bin — the right precision/footprint trade for latency percentiles.
+  /// Returns 0 for an empty histogram.
+  double quantile(double q) const;
 
  private:
   std::vector<std::uint64_t> counts_;

@@ -8,6 +8,22 @@
 
 namespace obscorr::stats {
 
+namespace {
+
+/// Sorted copy with NaNs dropped (they carry no ordering information and
+/// would make the ECDF comparison ill-defined).
+std::vector<double> sorted_finite_or_inf(std::span<const double> s) {
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (const double v : s) {
+    if (!std::isnan(v)) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
 double kolmogorov_tail(double lambda) {
   OBSCORR_REQUIRE(lambda >= 0.0, "kolmogorov_tail: lambda must be non-negative");
   if (lambda < 1e-3) return 1.0;
@@ -23,11 +39,9 @@ double kolmogorov_tail(double lambda) {
 }
 
 KsResult two_sample_ks(std::span<const double> a, std::span<const double> b) {
-  OBSCORR_REQUIRE(!a.empty() && !b.empty(), "two_sample_ks: empty sample");
-  std::vector<double> sa(a.begin(), a.end());
-  std::vector<double> sb(b.begin(), b.end());
-  std::sort(sa.begin(), sa.end());
-  std::sort(sb.begin(), sb.end());
+  const std::vector<double> sa = sorted_finite_or_inf(a);
+  const std::vector<double> sb = sorted_finite_or_inf(b);
+  OBSCORR_REQUIRE(!sa.empty() && !sb.empty(), "two_sample_ks: empty (or all-NaN) sample");
 
   const double na = static_cast<double>(sa.size());
   const double nb = static_cast<double>(sb.size());

@@ -6,6 +6,20 @@
 /// quantitative: the KS statistic between two degree samples plus the
 /// asymptotic significance level (Smirnov's formula), usable for any two
 /// network-quantity samples.
+///
+/// The correlation engine (src/analysis/correlate.hpp) feeds this with
+/// arbitrary window-metric series, so the edge cases are part of the
+/// contract rather than undefined behaviour:
+///
+///  * NaN observations are dropped before comparison (a missing window
+///    sample must not poison the whole score); a sample that is empty
+///    after dropping NaNs throws.
+///  * Constant series compare exactly: identical constants give
+///    statistic 0 / p-value 1, distinct constants give statistic 1.
+///  * Tiny samples (n < 5) are legal; the asymptotic p-value is a rough
+///    upper bound there (it cannot reach significance with one or two
+///    observations, by design of the small-sample correction).
+///  * ±infinity sorts as an extreme value and is compared like any other.
 
 #include <span>
 
@@ -21,7 +35,9 @@ struct KsResult {
 double kolmogorov_tail(double lambda);
 
 /// Two-sample KS test between samples `a` and `b` (unsorted, any sizes
-/// ≥ 1). Ties are handled; returns statistic and asymptotic p-value.
+/// ≥ 1 after NaN filtering). Ties are handled; returns statistic and
+/// asymptotic p-value. Throws std::invalid_argument when either sample
+/// is empty or all-NaN.
 KsResult two_sample_ks(std::span<const double> a, std::span<const double> b);
 
 }  // namespace obscorr::stats

@@ -61,16 +61,26 @@ void IngestLoop::run() {
       const std::uint64_t salt = config_.salt_base + w;
       const obs::Span span("svc.ingest_window", [&] { return std::to_string(w); });
 
+      // The injected surge scales the packet budget for a contiguous
+      // window range; keyed off the archive-global index, it replays
+      // identically after a crash-restart.
+      const bool surging =
+          w >= config_.surge_start && w < config_.surge_start + config_.surge_len;
+      const std::uint64_t wp =
+          surging ? static_cast<std::uint64_t>(
+                        static_cast<double>(config_.window_packets) * config_.surge_factor)
+                  : config_.window_packets;
+
       // One generator window == one capture window: the session closes
       // its window on exactly the last valid packet streamed.
       telescope::CaptureSessionConfig session_cfg;
-      session_cfg.window_packets = config_.window_packets;
+      session_cfg.window_packets = wp;
       session_cfg.mean_packet_rate = config_.mean_packet_rate;
       session_cfg.timing_seed = salt;
       telescope::CaptureSession session(scope, session_cfg);
       std::optional<telescope::CaptureWindow> window;
       const std::uint64_t streamed = generator.stream_window(
-          month, config_.window_packets, salt, [&](const Packet& p) {
+          month, wp, salt, [&](const Packet& p) {
             session.offer(p, [&](telescope::CaptureWindow&& cw) { window = std::move(cw); });
           });
       OBSCORR_REQUIRE(window.has_value(), "ingest: capture window did not close");
@@ -79,7 +89,7 @@ void IngestLoop::run() {
       meta.window = w;
       meta.month_index = month;
       meta.salt = salt;
-      meta.valid_packets = config_.window_packets;
+      meta.valid_packets = wp;
       meta.discarded_packets = window->discarded;
       meta.start_sec = window->start_sec;
       meta.duration_sec = window->duration_sec;
@@ -90,6 +100,9 @@ void IngestLoop::run() {
       if (obs::counters_enabled()) {
         static obs::Counter& packets = obs::counter("svc.ingest_packets");
         packets.add(streamed);
+      }
+      if (config_.on_publish) {
+        config_.on_publish(PublishedWindow{meta, window->matrix, sources, streamed});
       }
     }
   } catch (const std::exception& e) {

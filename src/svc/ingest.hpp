@@ -25,15 +25,30 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "archive/live_archive.hpp"
 #include "common/thread_pool.hpp"
+#include "gbl/dcsr.hpp"
+#include "gbl/sparse_vec.hpp"
 #include "netgen/scenario.hpp"
 #include "svc/queries.hpp"
 
 namespace obscorr::svc {
+
+/// One freshly published live window, handed to IngestConfig::on_publish
+/// on the ingest thread right after the publication rename lands and the
+/// engine refreshed. The matrix/sources references are valid only for
+/// the duration of the callback.
+struct PublishedWindow {
+  archive::LiveWindowMeta meta;
+  const gbl::DcsrMatrix& matrix;
+  const gbl::SparseVec& sources;
+  std::uint64_t streamed = 0;  ///< generator packets offered (valid + discarded)
+};
 
 struct IngestConfig {
   /// Stop after publishing this many new windows (in addition to any
@@ -44,6 +59,21 @@ struct IngestConfig {
   /// Live-window salt/timing base; window w uses salt_base + w. Distinct
   /// from every campaign snapshot salt.
   std::uint64_t salt_base = 0x11E50000;
+
+  /// Deterministic injected anomaly: windows [surge_start, surge_start +
+  /// surge_len) stream `surge_factor ×` the usual packet budget — a
+  /// 2020-03-style traffic surge the detectors and `correlate` should
+  /// flag. Off by default (surge_start = SIZE_MAX). Window index is the
+  /// archive-global index, so the surge lands at the same windows across
+  /// restarts.
+  std::size_t surge_start = static_cast<std::size_t>(-1);
+  std::size_t surge_len = 1;
+  double surge_factor = 4.0;
+
+  /// Called on the ingest thread once per published window, after the
+  /// engine refresh — the serve command chains the anomaly monitor and
+  /// the server's event push here. Must not throw.
+  std::function<void(const PublishedWindow&)> on_publish;
 };
 
 /// Background ingest thread over one archive directory.

@@ -8,11 +8,22 @@
 /// Request line:
 ///   {"id": <any value>, "query": "<type>", "params": {...}}
 /// `id` is optional and echoed verbatim; `params` is optional. Query
-/// types: lookup, report, degrees, scaling, stats, metrics.
+/// types: lookup, report, degrees, scaling, correlate, stats, metrics,
+/// watch.
 ///
 /// Response line (always a single line, '\n'-terminated):
 ///   {"id": <echoed>, "ok": true,  "result": {...}}
 ///   {"id": <echoed>, "ok": false, "error": {"code": "...", "message": "..."}}
+///
+/// `watch` upgrades the connection to a push subscription: after the
+/// acknowledgement line ({"subscribed":true,"windows":N}), the server
+/// pushes one NDJSON event line per published window —
+///   {"event":"window","window":W,...}
+/// optionally followed by that window's anomaly events —
+///   {"event":"anomaly","window":W,"metric":"...","detector":"...",...}
+/// — in publication order, each event delivered exactly once per
+/// subscriber. The connection stays request-capable; subscribers that
+/// stop reading are disconnected once their backlog exceeds a bound.
 ///
 /// Error codes: bad_request (malformed JSON / unknown query / bad
 /// params), too_large (request line over the byte cap), timeout (the

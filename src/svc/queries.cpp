@@ -1,8 +1,10 @@
 #include "svc/queries.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/arena.hpp"
 #include "common/error.hpp"
@@ -40,9 +42,22 @@ std::string QueryEngine::execute(const Request& req) {
     static obs::Counter& requests = obs::counter("svc.requests");
     requests.add(1);
   }
+  const std::uint64_t start_ns = obs::now_ns();
   try {
-    const std::shared_lock lock(data_mu_);
-    return make_ok(req.id, dispatch(req));
+    std::string resp;
+    {
+      const std::shared_lock lock(data_mu_);
+      resp = make_ok(req.id, dispatch(req));
+    }
+    // Latency is recorded per successfully dispatched query type, so the
+    // key set is bounded by the dispatch table (a hostile client cannot
+    // grow the map with invented query names).
+    {
+      const double us = static_cast<double>(obs::now_ns() - start_ns) / 1000.0;
+      const std::lock_guard lk(latency_mu_);
+      latency_us_[req.query].add(std::max(1.0, us));
+    }
+    return resp;
   } catch (const std::exception& e) {
     if (obs::counters_enabled()) {
       static obs::Counter& errors = obs::counter("svc.errors");
@@ -50,6 +65,16 @@ std::string QueryEngine::execute(const Request& req) {
     }
     return make_error(req.id, "bad_request", e.what());
   }
+}
+
+std::vector<QueryLatency> QueryEngine::latency_snapshot() {
+  const std::lock_guard lk(latency_mu_);
+  std::vector<QueryLatency> out;
+  out.reserve(latency_us_.size());
+  for (const auto& [query, hist] : latency_us_) {
+    out.push_back({query, hist.total(), hist.quantile(0.5), hist.quantile(0.99)});
+  }
+  return out;
 }
 
 std::size_t QueryEngine::refresh() {
@@ -72,8 +97,9 @@ JsonValue QueryEngine::dispatch(const Request& req) {
   if (req.query == "report") return q_report();
   if (req.query == "degrees") return q_degrees(req.params);
   if (req.query == "scaling") return q_scaling();
+  if (req.query == "correlate") return q_correlate(req.params);
   if (req.query == "stats") return q_stats();
-  if (req.query == "metrics") return q_metrics();
+  if (req.query == "metrics") return q_metrics(req.params);
   OBSCORR_REQUIRE(false, "unknown query type \"" + req.query + "\"");
   return JsonValue::null();  // unreachable
 }
@@ -148,6 +174,85 @@ JsonValue QueryEngine::q_degrees(const JsonValue& params) {
   }));
 }
 
+namespace {
+
+/// Parse a "first:last" window-range parameter.
+analysis::WindowRange parse_range(const JsonValue& v, const char* what) {
+  OBSCORR_REQUIRE(v.is_string(), std::string(what) + " must be a \"first:last\" string");
+  const std::string& text = v.as_string();
+  const std::size_t colon = text.find(':');
+  OBSCORR_REQUIRE(colon != std::string::npos && colon > 0 && colon + 1 < text.size(),
+                  std::string(what) + ": want \"first:last\"");
+  analysis::WindowRange r;
+  try {
+    r.first = std::stoull(text.substr(0, colon));
+    r.last = std::stoull(text.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(what) + ": want \"first:last\" integers");
+  }
+  OBSCORR_REQUIRE(r.first <= r.last, std::string(what) + ": range must be ordered");
+  return r;
+}
+
+}  // namespace
+
+JsonValue QueryEngine::q_correlate(const JsonValue& params) {
+  // Domain defaults to live windows when any exist — the population the
+  // resident service is watching — falling back to archived snapshots.
+  const JsonValue* domain_param = params.find("domain");
+  std::string domain_text;
+  if (domain_param != nullptr) {
+    OBSCORR_REQUIRE(domain_param->is_string(), "correlate: domain must be a string");
+    domain_text = domain_param->as_string();
+    OBSCORR_REQUIRE(domain_text == "windows" || domain_text == "snapshots",
+                    "correlate: domain must be windows|snapshots");
+  } else {
+    domain_text = reader_.window_count() > 0 ? "windows" : "snapshots";
+  }
+  const analysis::Domain domain =
+      domain_text == "windows" ? analysis::Domain::kWindows : analysis::Domain::kSnapshots;
+  const std::size_t n =
+      domain == analysis::Domain::kWindows ? reader_.window_count() : reader_.snapshot_count();
+  OBSCORR_REQUIRE(n >= 2, "correlate: need at least 2 " + domain_text);
+
+  const JsonValue* method_param = params.find("method");
+  analysis::Method method = analysis::Method::kKs2;
+  if (method_param != nullptr) {
+    OBSCORR_REQUIRE(method_param->is_string(), "correlate: method must be a string");
+    method = analysis::parse_method(method_param->as_string());
+  }
+
+  const JsonValue* highlight_param = params.find("highlight");
+  const JsonValue* baseline_param = params.find("baseline");
+  const analysis::WindowRange highlight = highlight_param != nullptr
+                                              ? parse_range(*highlight_param, "highlight")
+                                              : analysis::default_highlight(n);
+  const analysis::WindowRange baseline = baseline_param != nullptr
+                                             ? parse_range(*baseline_param, "baseline")
+                                             : analysis::default_baseline(highlight);
+
+  const JsonValue* top_param = params.find("top");
+  const std::uint64_t top = top_param != nullptr ? top_param->as_uint() : 10;
+
+  // Ranges are immutable data once published, so a fully range-qualified
+  // key stays valid forever — default ranges are resolved before keying.
+  const std::string key = "correlate/" + domain_text + "/" + std::to_string(baseline.first) +
+                          ":" + std::to_string(baseline.last) + "/" +
+                          std::to_string(highlight.first) + ":" +
+                          std::to_string(highlight.last) + "/" + analysis::method_name(method) +
+                          "/" + std::to_string(top);
+  return parse_json(cached(key, [&] {
+    const analysis::SeriesStore store = analysis::store_from_reader(reader_, domain);
+    const std::vector<analysis::MetricScore> ranked =
+        analysis::rank_series(store, baseline, highlight, method);
+    JsonValue result = correlate_json(ranked, method, baseline, highlight);
+    std::ostringstream out;
+    render_correlate(ranked, method, baseline, highlight, static_cast<std::size_t>(top), out);
+    result.set("text", JsonValue::string(std::move(out).str()));
+    return dump_json(result);
+  }));
+}
+
 JsonValue QueryEngine::q_scaling() {
   return text_result(cached("scaling", [&] {
     const netgen::Scenario& scenario = reader_.scenario();
@@ -169,15 +274,40 @@ JsonValue QueryEngine::q_stats() {
   result.set("log2_nv",
              JsonValue::number(static_cast<std::uint64_t>(reader_.scenario().population.log2_nv)));
   result.set("mapped", JsonValue::boolean(reader_.mapped()));
+  JsonValue latency = JsonValue::object();
+  for (const QueryLatency& ql : latency_snapshot()) {
+    JsonValue digest = JsonValue::object();
+    digest.set("count", JsonValue::number(ql.count));
+    digest.set("p50_us", JsonValue::number(ql.p50_us));
+    digest.set("p99_us", JsonValue::number(ql.p99_us));
+    latency.set(ql.query, std::move(digest));
+  }
+  result.set("latency", std::move(latency));
   return result;
 }
 
-JsonValue QueryEngine::q_metrics() {
+JsonValue QueryEngine::q_metrics(const JsonValue& params) {
+  obs::gauge("mem.peak_rss").record_max(static_cast<std::uint64_t>(mem::peak_rss_bytes()));
+  const JsonValue* format = params.find("format");
+  if (format != nullptr) {
+    OBSCORR_REQUIRE(format->is_string() &&
+                        (format->as_string() == "json" || format->as_string() == "prom"),
+                    "metrics: format must be json|prom");
+    if (format->as_string() == "prom") {
+      // Prometheus exposition is a text artifact; ship it as one field so
+      // the response stays a single NDJSON line.
+      std::ostringstream os;
+      obs::write_metrics_prometheus(os);
+      JsonValue result = JsonValue::object();
+      result.set("format", JsonValue::string("prom"));
+      result.set("text", JsonValue::string(std::move(os).str()));
+      return result;
+    }
+  }
   // Snapshot the live registry as the canonical obscorr.metrics.v1
   // document, then re-serialize it compact: the writer's output is
   // multiline, and protocol responses must be one NDJSON line. Numbers
   // survive the round-trip verbatim (raw-text number storage).
-  obs::gauge("mem.peak_rss").record_max(static_cast<std::uint64_t>(mem::peak_rss_bytes()));
   std::ostringstream os;
   obs::write_metrics_json(os);
   return parse_json(std::move(os).str());

@@ -20,20 +20,33 @@
 /// corresponding `obscorr <cmd> --from DIR` stdout.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "archive/study_archive.hpp"
 #include "common/thread_pool.hpp"
 #include "honeyfarm/database.hpp"
+#include "stats/histogram.hpp"
 #include "svc/protocol.hpp"
 
 namespace obscorr::svc {
+
+/// One query type's service-latency digest (microseconds, log-binned
+/// percentiles — exact to within one binary-log bin).
+struct QueryLatency {
+  std::string query;
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
 
 /// Dispatches requests over one archive; shared by every connection.
 class QueryEngine {
@@ -53,6 +66,10 @@ class QueryEngine {
   /// Currently visible live windows (shared lock).
   std::size_t window_count();
 
+  /// Per-query-type latency digests, sorted by query name. Populated by
+  /// execute(); `--timing` and the svc `stats` query surface these.
+  std::vector<QueryLatency> latency_snapshot();
+
   const netgen::Scenario& scenario() const { return reader_.scenario(); }
 
  private:
@@ -61,8 +78,9 @@ class QueryEngine {
   JsonValue q_report();
   JsonValue q_degrees(const JsonValue& params);
   JsonValue q_scaling();
+  JsonValue q_correlate(const JsonValue& params);
   JsonValue q_stats();
-  JsonValue q_metrics();
+  JsonValue q_metrics(const JsonValue& params);
 
   /// Rendered-output cache: compute `render()` once per key, share the
   /// result. Bounded: past kMaxCacheEntries new keys compute uncached.
@@ -79,6 +97,8 @@ class QueryEngine {
   std::shared_mutex data_mu_;  // queries shared, refresh exclusive
   std::mutex cache_mu_;
   std::unordered_map<std::string, std::shared_future<std::string>> cache_;
+  std::mutex latency_mu_;
+  std::map<std::string, stats::LogHistogram> latency_us_;  // by query type
   std::once_flag db_once_;
   std::unique_ptr<honeyfarm::Database> db_;
 };

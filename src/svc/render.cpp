@@ -1,5 +1,6 @@
 #include "svc/render.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -96,6 +97,65 @@ void render_scaling(const core::ScalingAnalysis& analysis, std::ostream& out) {
   table.print(out);
   out << "fitted source exponent: " << fmt_double(analysis.source_exponent, 3)
       << "  (paper: ~0.5)\n";
+}
+
+namespace {
+
+std::string range_text(analysis::WindowRange r) {
+  return std::to_string(r.first) + ":" + std::to_string(r.last);
+}
+
+}  // namespace
+
+void render_correlate(const std::vector<analysis::MetricScore>& ranked,
+                      analysis::Method method, analysis::WindowRange baseline,
+                      analysis::WindowRange highlight, std::size_t top, std::ostream& out) {
+  out << "metric correlations (" << analysis::method_name(method) << "), baseline "
+      << range_text(baseline) << " vs highlight " << range_text(highlight) << ":\n";
+  TextTable table("ranked by change score");
+  table.set_header({"#", "metric", "score", "KS", "p", "base mean", "high mean", "volume"});
+  const std::size_t limit =
+      top == 0 ? ranked.size() : std::min<std::size_t>(top, ranked.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const analysis::MetricScore& ms = ranked[i];
+    table.add_row({std::to_string(i + 1), ms.name, fmt_double(ms.score, 4),
+                   fmt_double(ms.ks_statistic, 4), fmt_sci(ms.ks_p, 3),
+                   fmt_double(ms.baseline_mean, 3), fmt_double(ms.highlight_mean, 3),
+                   fmt_double(ms.volume, 4)});
+  }
+  table.print(out);
+  if (limit < ranked.size()) {
+    out << "(" << ranked.size() - limit << " lower-scoring metrics not shown)\n";
+  }
+}
+
+JsonValue correlate_json(const std::vector<analysis::MetricScore>& ranked,
+                         analysis::Method method, analysis::WindowRange baseline,
+                         analysis::WindowRange highlight) {
+  JsonValue result = JsonValue::object();
+  result.set("method", JsonValue::string(analysis::method_name(method)));
+  JsonValue b = JsonValue::object();
+  b.set("first", JsonValue::number(static_cast<std::uint64_t>(baseline.first)));
+  b.set("last", JsonValue::number(static_cast<std::uint64_t>(baseline.last)));
+  result.set("baseline", std::move(b));
+  JsonValue h = JsonValue::object();
+  h.set("first", JsonValue::number(static_cast<std::uint64_t>(highlight.first)));
+  h.set("last", JsonValue::number(static_cast<std::uint64_t>(highlight.last)));
+  result.set("highlight", std::move(h));
+  JsonValue list = JsonValue::array();
+  for (const analysis::MetricScore& ms : ranked) {
+    JsonValue row = JsonValue::object();
+    row.set("metric", JsonValue::string(ms.name));
+    row.set("score", JsonValue::number(ms.score));
+    row.set("ks_statistic", JsonValue::number(ms.ks_statistic));
+    row.set("ks_p", JsonValue::number(ms.ks_p));
+    row.set("baseline_mean", JsonValue::number(ms.baseline_mean));
+    row.set("highlight_mean", JsonValue::number(ms.highlight_mean));
+    row.set("volume", JsonValue::number(ms.volume));
+    list.push_back(std::move(row));
+  }
+  result.set("ranked", std::move(list));
+  return result;
 }
 
 }  // namespace obscorr::svc

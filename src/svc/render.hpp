@@ -7,12 +7,16 @@
 /// range byte-identical to the batch CLI run — same code, same bytes, by
 /// construction rather than by parallel maintenance.
 
+#include <cstddef>
 #include <ostream>
+#include <vector>
 
+#include "analysis/correlate.hpp"
 #include "core/scaling_analysis.hpp"
 #include "core/study.hpp"
 #include "gbl/sparse_vec.hpp"
 #include "honeyfarm/database.hpp"
+#include "svc/json.hpp"
 
 namespace obscorr::svc {
 
@@ -31,5 +35,21 @@ void render_lookup(const honeyfarm::Database& db, const std::string& ip, std::os
 
 /// `obscorr scaling` stdout: the ladder table plus the fitted exponent.
 void render_scaling(const core::ScalingAnalysis& analysis, std::ostream& out);
+
+/// `obscorr correlate` stdout: the ranked metric-correlation table for
+/// one baseline/highlight framing, truncated to the `top` strongest
+/// changes (0 prints every metric).
+void render_correlate(const std::vector<analysis::MetricScore>& ranked,
+                      analysis::Method method, analysis::WindowRange baseline,
+                      analysis::WindowRange highlight, std::size_t top, std::ostream& out);
+
+/// The machine-readable ranked result — the CLI `--json` artifact and
+/// the svc `correlate` result payload share this structure:
+///   {"method","baseline":{"first","last"},"highlight":{...},
+///    "ranked":[{"metric","score","ks_statistic","ks_p",
+///               "baseline_mean","highlight_mean","volume"},...]}
+JsonValue correlate_json(const std::vector<analysis::MetricScore>& ranked,
+                         analysis::Method method, analysis::WindowRange baseline,
+                         analysis::WindowRange highlight);
 
 }  // namespace obscorr::svc

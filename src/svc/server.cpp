@@ -74,8 +74,13 @@ struct Server::Impl {
     Clock::time_point out_since;  ///< when `out` last became non-empty
     bool busy = false;
     bool close_after_flush = false;
+    bool watching = false;  ///< subscribed to pushed window/anomaly events
     Clock::time_point last_activity;
   };
+
+  /// A watcher whose unread output (responses + pushed events) exceeds
+  /// this is disconnected rather than buffered without bound.
+  static constexpr std::size_t kMaxWatchBacklogBytes = 4 * 1024 * 1024;
   std::unordered_map<std::uint64_t, Conn> conns;
   std::uint64_t next_id = 1;
 
@@ -86,6 +91,11 @@ struct Server::Impl {
   std::mutex done_mu;
   std::vector<std::pair<std::uint64_t, std::string>> done;
   std::size_t inflight = 0;
+
+  /// Event lines queued by publish_event() (any thread), fanned out to
+  /// watchers by the loop thread.
+  std::mutex events_mu;
+  std::vector<std::string> pending_events;
 
   Clock::time_point next_metrics;
 
@@ -281,15 +291,15 @@ struct Server::Impl {
     update_events(id, conn);
   }
 
-  void dispatch_line(std::uint64_t id, std::string line) {
+  void dispatch_request(std::uint64_t id, Request req) {
     ++inflight;
-    // The task owns only its line; results come back through `done`.
-    // Tasks must not throw (ThreadPool contract), so every failure is
-    // converted to a protocol error response here.
-    pool.submit([this, id, line = std::move(line)] {
+    // The task owns only its request; results come back through `done`.
+    // Tasks must not throw (ThreadPool contract) — execute() converts
+    // failures to protocol error responses itself, the catch is a belt.
+    pool.submit([this, id, req = std::move(req)] {
       std::string resp;
       try {
-        resp = engine.execute(parse_request(line));
+        resp = engine.execute(req);
       } catch (const std::exception& e) {
         resp = make_error(JsonValue::null(), "bad_request", e.what());
       } catch (...) {
@@ -303,8 +313,29 @@ struct Server::Impl {
     });
   }
 
+  /// Handle a `watch` subscription inline on the loop thread: mark the
+  /// connection, acknowledge with the current window count so the
+  /// client knows which window the stream starts after. May erase the
+  /// conn (a dead socket fails the ack flush).
+  void subscribe_watch(std::uint64_t id, Conn& conn, const Request& req) {
+    conn.watching = true;
+    JsonValue result = JsonValue::object();
+    result.set("subscribed", JsonValue::boolean(true));
+    result.set("windows",
+               JsonValue::number(static_cast<std::uint64_t>(engine.window_count())));
+    if (obs::counters_enabled()) {
+      std::size_t watchers = 0;
+      for (const auto& [cid, c] : conns) watchers += c.watching ? 1u : 0u;
+      obs::gauge("svc.watchers_high_water").record_max(static_cast<std::uint64_t>(watchers));
+    }
+    append_out(id, conn, make_ok(req.id, std::move(result)));
+  }
+
   /// Consume complete request lines from the connection's buffer. One
-  /// request in flight per connection; the rest stay buffered.
+  /// request in flight per connection; the rest stay buffered. Parsing
+  /// happens here on the loop thread (cheap — requests are one small
+  /// line) so `watch` can be recognized and handled without a pool
+  /// round-trip; everything else dispatches to the pool as before.
   void process_lines(std::uint64_t id, Conn& conn) {
     while (!conn.busy && !conn.close_after_flush) {
       const std::size_t nl = conn.in.find('\n');
@@ -325,8 +356,23 @@ struct Server::Impl {
                                              std::to_string(kMaxRequestBytes) + " bytes");
         return;
       }
+      Request req;
+      try {
+        req = parse_request(line);
+      } catch (const std::exception& e) {
+        append_out(id, conn, make_error(JsonValue::null(), "bad_request", e.what()));
+        const auto again = conns.find(id);
+        if (again == conns.end()) return;  // dead socket: flush erased it
+        continue;
+      }
+      if (req.query == "watch") {
+        subscribe_watch(id, conn, req);
+        const auto again = conns.find(id);
+        if (again == conns.end()) return;
+        continue;
+      }
       conn.busy = true;
-      dispatch_line(id, std::move(line));
+      dispatch_request(id, std::move(req));
     }
   }
 
@@ -390,6 +436,49 @@ struct Server::Impl {
     }
   }
 
+  void publish_event(std::string line) {
+    if (line.empty()) return;
+    if (line.back() != '\n') line += '\n';
+    {
+      const std::lock_guard lk(events_mu);
+      pending_events.push_back(std::move(line));
+    }
+    wake();
+  }
+
+  /// Fan pending events out to every watcher, in publication order.
+  /// Each event reaches each subscriber exactly once: the queue is
+  /// swapped out under the lock and appended to every watcher's output
+  /// in one pass. May erase conns (backlog overflow, parting flush).
+  void deliver_events() {
+    std::vector<std::string> batch;
+    {
+      const std::lock_guard lk(events_mu);
+      batch.swap(pending_events);
+    }
+    if (batch.empty()) return;
+    std::string payload;
+    for (const std::string& e : batch) payload += e;
+    std::vector<std::uint64_t> watchers;
+    for (const auto& [id, conn] : conns) {
+      if (conn.watching && !conn.close_after_flush) watchers.push_back(id);
+    }
+    for (const std::uint64_t id : watchers) {
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      Conn& conn = it->second;
+      if (conn.out.size() - conn.out_pos + payload.size() > kMaxWatchBacklogBytes) {
+        close_conn(id);  // stuck consumer: cut it loose, keep the daemon bounded
+        continue;
+      }
+      if (obs::counters_enabled()) {
+        static obs::Counter& watch_events = obs::counter("svc.watch_events");
+        watch_events.add(batch.size());
+      }
+      append_out(id, conn, payload);
+    }
+  }
+
   void sweep_deadlines() {
     const auto now = Clock::now();
     std::vector<std::uint64_t> to_close;
@@ -413,8 +502,11 @@ struct Server::Impl {
                                            std::to_string(cfg.request_timeout_sec) + "s");
         continue;
       }
-      if (!out_pending && conn.in.empty() &&
+      if (!out_pending && conn.in.empty() && !conn.watching &&
           seconds_since(conn.last_activity, now) > cfg.idle_timeout_sec) {
+        // Watchers are exempt: a subscriber is quiet by design; the
+        // stalled-write deadline above still covers one that stops
+        // reading.
         to_close.push_back(id);
       }
     }
@@ -511,6 +603,7 @@ struct Server::Impl {
         }
       }
       deliver_completions();
+      deliver_events();
       sweep_deadlines();
       if (!cfg.metrics_out.empty() && Clock::now() >= next_metrics) {
         write_metrics_snapshot();
@@ -542,6 +635,8 @@ void Server::request_stop() {
   impl_->wake();
 }
 
+void Server::publish_event(std::string line) { impl_->publish_event(std::move(line)); }
+
 #else  // !OBSCORR_HAVE_EPOLL
 
 struct Server::Impl {
@@ -568,6 +663,8 @@ int Server::serve() {
 }
 
 void Server::request_stop() {}
+
+void Server::publish_event(std::string) {}
 
 #endif
 

@@ -25,6 +25,15 @@
 ///    responses in request order; concurrency comes from many
 ///    connections.
 ///
+/// `watch` subscriptions: a connection that sends {"query":"watch"} is
+/// acknowledged inline and marked as a subscriber; every line handed to
+/// `publish_event()` (the ingest thread calls it per published window)
+/// is pushed to all subscribers in publication order, exactly once
+/// each. Watchers are exempt from the idle reaper but not from the
+/// stalled-write deadline, and a watcher whose unread backlog exceeds
+/// kMaxWatchBacklogBytes is disconnected — a stuck consumer cannot pin
+/// daemon memory.
+///
 /// Shutdown (SIGINT/SIGTERM via common/interrupt.hpp, or
 /// `request_stop()`): stop accepting, let in-flight requests finish,
 /// flush every pending response, then return from `serve()`. The wake
@@ -87,6 +96,12 @@ class Server {
   /// Ask a running serve() to shut down (thread-safe; also triggered by
   /// SIGINT/SIGTERM through common/interrupt.hpp).
   void request_stop();
+
+  /// Queue one event line for every `watch` subscriber (thread-safe; a
+  /// missing trailing newline is added). Delivered by the event loop in
+  /// publication order; dropped when no subscriber is connected. No-op
+  /// on hosts without epoll.
+  void publish_event(std::string line);
 
  private:
   struct Impl;

@@ -1,0 +1,140 @@
+/// Correlation engine: netdata's KS2 and Volume scoring over
+/// baseline-vs-highlight window ranges, with deterministic ranking.
+
+#include "analysis/correlate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace obscorr::analysis {
+namespace {
+
+/// Store of `n` windows where every metric is flat except
+/// table2.valid_packets (steps ×`factor` from window `step_at` on) and
+/// the metrics derived from it (ingest packets, mean source packets).
+SeriesStore stepped_store(std::size_t n, std::size_t step_at, double factor) {
+  SeriesStore store;
+  for (std::size_t w = 0; w < n; ++w) {
+    WindowSample s;
+    s.q.valid_packets = (w >= step_at ? factor : 1.0) * 1000.0;
+    s.q.unique_links = 50;
+    s.q.max_link_packets = 9.0;
+    s.q.unique_sources = 40;
+    s.q.max_source_packets = 30.0;
+    s.q.max_source_fanout = 5.0;
+    s.q.unique_destinations = 20;
+    s.q.max_destination_packets = 60.0;
+    s.q.max_destination_fanin = 7.0;
+    s.discarded_packets = 11;
+    s.duration_sec = 3.5;
+    s.source_gini = 0.5;
+    store.append(s);
+  }
+  return store;
+}
+
+TEST(CorrelateTest, ParseMethodRoundTrips) {
+  EXPECT_EQ(parse_method("ks2"), Method::kKs2);
+  EXPECT_EQ(parse_method("volume"), Method::kVolume);
+  EXPECT_STREQ(method_name(Method::kKs2), "ks2");
+  EXPECT_STREQ(method_name(Method::kVolume), "volume");
+  EXPECT_THROW(parse_method("pearson"), std::invalid_argument);
+}
+
+TEST(CorrelateTest, DefaultRangesFollowNetdataFraming) {
+  // Highlight = trailing fifth, baseline = preceding 4× stretch.
+  const WindowRange h = default_highlight(25);
+  EXPECT_EQ(h.first, 20u);
+  EXPECT_EQ(h.last, 24u);
+  const WindowRange b = default_baseline(h);
+  EXPECT_EQ(b.first, 0u);
+  EXPECT_EQ(b.last, 19u);
+
+  // Short series: at least one highlight window, baseline clamps to 0.
+  const WindowRange h3 = default_highlight(3);
+  EXPECT_EQ(h3.first, 2u);
+  EXPECT_EQ(h3.last, 2u);
+  const WindowRange b3 = default_baseline(h3);
+  EXPECT_EQ(b3.first, 0u);
+  EXPECT_EQ(b3.last, 1u);
+
+  EXPECT_THROW(default_highlight(0), std::invalid_argument);
+  EXPECT_THROW(default_baseline(WindowRange{0, 0}), std::invalid_argument);
+}
+
+TEST(CorrelateTest, ValidatesRanges) {
+  const SeriesStore store = stepped_store(10, 8, 4.0);
+  const WindowRange ok{0, 7};
+  EXPECT_THROW(rank_series(store, WindowRange{5, 3}, ok, Method::kKs2),
+               std::invalid_argument);
+  EXPECT_THROW(rank_series(store, ok, WindowRange{8, 10}, Method::kKs2),
+               std::invalid_argument);
+}
+
+TEST(CorrelateTest, StepChangeDrivesRankingByBothMethods) {
+  const SeriesStore store = stepped_store(10, 8, 4.0);
+  const WindowRange baseline{0, 7};
+  const WindowRange highlight{8, 9};
+
+  for (const Method m : {Method::kKs2, Method::kVolume}) {
+    const std::vector<MetricScore> ranked = rank_series(store, baseline, highlight, m);
+    ASSERT_EQ(ranked.size(), metric_count());
+    // The stepped metric and its two derivatives occupy the top 3; every
+    // flat metric scores 0.
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(ranked[i].name == "table2.valid_packets" ||
+                  ranked[i].name == "window.ingest_packets" ||
+                  ranked[i].name == "degree.mean_source_packets")
+          << method_name(m) << " rank " << i << ": " << ranked[i].name;
+      EXPECT_GT(ranked[i].score, 0.5) << ranked[i].name;
+      EXPECT_DOUBLE_EQ(ranked[i].ks_statistic, 1.0) << ranked[i].name;
+    }
+    for (std::size_t i = 3; i < ranked.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ranked[i].score, 0.0) << ranked[i].name;
+    }
+  }
+
+  // Volume details: a clean 4× step has |Δ|/max = 3/4. The tied top
+  // group breaks by name, so locate the valid_packets entry explicitly.
+  const std::vector<MetricScore> by_volume =
+      rank_series(store, baseline, highlight, Method::kVolume);
+  const auto vp = std::find_if(by_volume.begin(), by_volume.end(), [](const MetricScore& ms) {
+    return ms.name == "table2.valid_packets";
+  });
+  ASSERT_NE(vp, by_volume.end());
+  EXPECT_NEAR(vp->volume, 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(vp->baseline_mean, 1000.0);
+  EXPECT_DOUBLE_EQ(vp->highlight_mean, 4000.0);
+}
+
+TEST(CorrelateTest, RankingIsDeterministicUnderTies) {
+  // Fully-separated metrics tie on every score component except the
+  // name; repeated runs must produce the identical order.
+  const SeriesStore store = stepped_store(12, 9, 6.0);
+  const WindowRange baseline{0, 8};
+  const WindowRange highlight{9, 11};
+  const std::vector<MetricScore> a = rank_series(store, baseline, highlight, Method::kKs2);
+  const std::vector<MetricScore> b = rank_series(store, baseline, highlight, Method::kKs2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name) << i;
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << i;
+  }
+}
+
+TEST(CorrelateTest, FlatSeriesScoreZeroWithFullConfidenceP) {
+  const SeriesStore store = stepped_store(10, 99, 1.0);  // no step at all
+  const std::vector<MetricScore> ranked =
+      rank_series(store, WindowRange{0, 7}, WindowRange{8, 9}, Method::kKs2);
+  for (const MetricScore& ms : ranked) {
+    EXPECT_DOUBLE_EQ(ms.ks_statistic, 0.0) << ms.name;
+    EXPECT_NEAR(ms.ks_p, 1.0, 1e-9) << ms.name;
+    EXPECT_DOUBLE_EQ(ms.volume, 0.0) << ms.name;
+  }
+}
+
+}  // namespace
+}  // namespace obscorr::analysis

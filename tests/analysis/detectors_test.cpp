@@ -1,0 +1,136 @@
+/// Streaming detectors: rolling z-score, EWMA, and the degree-histogram
+/// shift detector, plus the structured event serialization.
+
+#include "analysis/detectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/window_series.hpp"
+#include "obs/telemetry.hpp"
+
+namespace obscorr::analysis {
+namespace {
+
+/// Flat row with valid_packets (and derived metrics) at `scale`.
+std::vector<double> flat_row(double scale = 1.0) {
+  WindowSample s;
+  s.q.valid_packets = 1000.0 * scale;
+  s.q.unique_links = 50;
+  s.q.max_link_packets = 9.0;
+  s.q.unique_sources = 40;
+  s.q.max_source_packets = 30.0;
+  s.q.max_source_fanout = 5.0;
+  s.q.unique_destinations = 20;
+  s.q.max_destination_packets = 60.0;
+  s.q.max_destination_fanin = 7.0;
+  s.discarded_packets = 11;
+  s.duration_sec = 3.5;
+  s.source_gini = 0.5;
+  return metric_row(s);
+}
+
+/// Degree sample: `n` sources of degree `d`.
+std::vector<double> degrees_of(std::size_t n, double d) {
+  return std::vector<double>(n, d);
+}
+
+bool has_event(const std::vector<AnomalyEvent>& events, const std::string& metric,
+               const std::string& detector) {
+  for (const AnomalyEvent& e : events) {
+    if (e.metric == metric && e.detector == detector) return true;
+  }
+  return false;
+}
+
+TEST(DetectorBankTest, WarmupSuppressesEarlyAlerts) {
+  DetectorConfig cfg;
+  cfg.warmup = 4;
+  DetectorBank bank(cfg);
+  // A huge step inside the warmup period stays silent.
+  EXPECT_TRUE(bank.observe(0, flat_row(), degrees_of(40, 4.0)).empty());
+  EXPECT_TRUE(bank.observe(1, flat_row(100.0), degrees_of(40, 4.0)).empty());
+  EXPECT_TRUE(bank.observe(2, flat_row(), degrees_of(40, 4.0)).empty());
+  EXPECT_EQ(bank.observed(), 3u);
+}
+
+TEST(DetectorBankTest, StepFiresZscoreAndEwmaAtTheRightWindow) {
+  DetectorBank bank;
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    EXPECT_TRUE(bank.observe(w, flat_row(), degrees_of(40, 4.0)).empty()) << w;
+  }
+  // Window 8: everything packet-scaled jumps 8×.
+  const std::vector<AnomalyEvent> events = bank.observe(8, flat_row(8.0), degrees_of(40, 32.0));
+  EXPECT_TRUE(has_event(events, "table2.valid_packets", "zscore"));
+  EXPECT_TRUE(has_event(events, "table2.valid_packets", "ewma"));
+  EXPECT_TRUE(has_event(events, "window.ingest_packets", "zscore"));
+  // Constant metrics stay quiet even during the surge.
+  EXPECT_FALSE(has_event(events, "table2.unique_sources", "zscore"));
+  EXPECT_FALSE(has_event(events, "window.duration_sec", "zscore"));
+  for (const AnomalyEvent& e : events) {
+    EXPECT_EQ(e.window, 8u);
+    EXPECT_GT(std::abs(e.score), 0.0);
+  }
+}
+
+TEST(DetectorBankTest, FlatSeriesNeverAlerts) {
+  DetectorBank bank;
+  for (std::uint64_t w = 0; w < 50; ++w) {
+    EXPECT_TRUE(bank.observe(w, flat_row(), degrees_of(40, 4.0)).empty()) << w;
+  }
+}
+
+TEST(DetectorBankTest, DegreeShiftDetectsHistogramReshape) {
+  DetectorBank bank;
+  // Stable bimodal-ish distribution during warmup and after.
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    std::vector<double> degrees = degrees_of(30, 2.0);
+    const std::vector<double> heavy = degrees_of(10, 64.0);
+    degrees.insert(degrees.end(), heavy.begin(), heavy.end());
+    EXPECT_FALSE(has_event(bank.observe(w, flat_row(), degrees), "degree.histogram",
+                           "degree_shift"))
+        << w;
+  }
+  // The strategy shift: the same packet budget concentrated on one bin.
+  const std::vector<AnomalyEvent> events =
+      bank.observe(8, flat_row(), degrees_of(40, 1024.0));
+  EXPECT_TRUE(has_event(events, "degree.histogram", "degree_shift"));
+}
+
+TEST(DetectorBankTest, RowSizeIsValidated) {
+  DetectorBank bank;
+  const std::vector<double> short_row(3, 1.0);
+  EXPECT_THROW(bank.observe(0, short_row, {}), std::invalid_argument);
+}
+
+TEST(DetectorBankTest, TelemetryCountsWindowsAndAnomalies) {
+  obs::reset();
+  obs::set_level(obs::Level::kCounters);
+  DetectorBank bank;
+  for (std::uint64_t w = 0; w < 8; ++w) bank.observe(w, flat_row(), degrees_of(40, 4.0));
+  bank.observe(8, flat_row(10.0), degrees_of(40, 40.0));
+  obs::set_level(obs::Level::kOff);
+  EXPECT_EQ(obs::counter("analysis.windows_observed").value(), 9u);
+  EXPECT_GT(obs::counter("analysis.anomalies").value(), 0u);
+  obs::reset();
+}
+
+TEST(DetectorEventTest, EventJsonIsOneStructuredLine) {
+  AnomalyEvent e;
+  e.window = 12;
+  e.metric = "table2.valid_packets";
+  e.detector = "zscore";
+  e.value = 8000.0;
+  e.expected = 1000.0;
+  e.score = 350.5;
+  const std::string json = event_json(e);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json, "{\"event\":\"anomaly\",\"window\":12,"
+                  "\"metric\":\"table2.valid_packets\",\"detector\":\"zscore\","
+                  "\"value\":8000,\"expected\":1000,\"score\":350.5}");
+}
+
+}  // namespace
+}  // namespace obscorr::analysis

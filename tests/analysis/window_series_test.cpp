@@ -1,0 +1,161 @@
+/// WindowSeries store: the pinned metric catalogue, row flattening, and
+/// archive-backed loading for both domains (snapshots, live windows).
+
+#include "analysis/window_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "archive/live_archive.hpp"
+#include "archive/study_archive.hpp"
+#include "common/thread_pool.hpp"
+#include "gbl/dcsr.hpp"
+#include "netgen/scenario.hpp"
+
+namespace obscorr::analysis {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string completed_archive(const std::string& name) {
+  const std::string dir = temp_dir(name);
+  ThreadPool pool(2);
+  archive::archive_study(netgen::Scenario::paper(/*log2_nv=*/10, /*seed=*/7), dir, pool);
+  return dir;
+}
+
+/// Deterministic synthetic live window: `scale` multiplies every packet
+/// count, modelling a config-change surge.
+gbl::DcsrMatrix window_matrix(std::size_t w, double scale = 1.0) {
+  std::vector<gbl::Tuple> tuples;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    tuples.push_back({static_cast<gbl::Index>(w * 100 + i), i, scale * double(i + 1)});
+    tuples.push_back({static_cast<gbl::Index>(w * 100 + i), i + 8, scale * 2.0});
+  }
+  return gbl::DcsrMatrix::from_tuples(std::move(tuples));
+}
+
+void append_window(archive::LiveArchive& live, std::size_t w, double scale = 1.0) {
+  archive::LiveWindowMeta meta;
+  meta.window = w;
+  meta.month_index = static_cast<std::int32_t>(w % 15);
+  meta.salt = 0x11E50000ull + w;
+  const gbl::DcsrMatrix m = window_matrix(w, scale);
+  meta.valid_packets = static_cast<std::uint64_t>(m.reduce_sum());
+  meta.discarded_packets = 3 * w;
+  meta.start_sec = 3.5 * double(w);
+  meta.duration_sec = 3.5;
+  live.append_window(meta, m, m.reduce_rows());
+}
+
+TEST(SeriesStoreTest, CatalogueIsPinned) {
+  // The catalogue is part of the ranked-output contract: a rename or
+  // reorder must be a deliberate edit here and in docs/observability.md.
+  const std::vector<std::string> expected = {
+      "table2.valid_packets",
+      "table2.unique_links",
+      "table2.max_link_packets",
+      "table2.unique_sources",
+      "table2.max_source_packets",
+      "table2.max_source_fanout",
+      "table2.unique_destinations",
+      "table2.max_destination_packets",
+      "table2.max_destination_fanin",
+      "window.discarded_packets",
+      "window.duration_sec",
+      "window.ingest_packets",
+      "degree.source_gini",
+      "degree.mean_source_packets",
+  };
+  EXPECT_EQ(metric_names(), expected);
+  EXPECT_EQ(metric_count(), expected.size());
+}
+
+TEST(SeriesStoreTest, MetricRowFollowsCatalogueOrder) {
+  WindowSample s;
+  s.q.valid_packets = 100.0;
+  s.q.unique_links = 7;
+  s.q.unique_sources = 4;
+  s.discarded_packets = 25;
+  s.duration_sec = 3.5;
+  s.source_gini = 0.42;
+  const std::vector<double> row = metric_row(s);
+  ASSERT_EQ(row.size(), metric_count());
+  const SeriesStore store;
+  EXPECT_DOUBLE_EQ(row[store.find("table2.valid_packets")], 100.0);
+  EXPECT_DOUBLE_EQ(row[store.find("table2.unique_links")], 7.0);
+  EXPECT_DOUBLE_EQ(row[store.find("window.discarded_packets")], 25.0);
+  EXPECT_DOUBLE_EQ(row[store.find("window.ingest_packets")], 125.0);
+  EXPECT_DOUBLE_EQ(row[store.find("window.duration_sec")], 3.5);
+  EXPECT_DOUBLE_EQ(row[store.find("degree.source_gini")], 0.42);
+  EXPECT_DOUBLE_EQ(row[store.find("degree.mean_source_packets")], 25.0);  // 100 / 4
+  EXPECT_EQ(store.find("no.such.metric"), SeriesStore::npos);
+}
+
+TEST(SeriesStoreTest, AppendsColumnwise) {
+  SeriesStore store;
+  EXPECT_EQ(store.window_count(), 0u);
+  for (int w = 0; w < 3; ++w) {
+    WindowSample s;
+    s.q.valid_packets = 10.0 * (w + 1);
+    store.append(s);
+  }
+  EXPECT_EQ(store.window_count(), 3u);
+  const std::span<const double> valid = store.series(store.find("table2.valid_packets"));
+  ASSERT_EQ(valid.size(), 3u);
+  EXPECT_DOUBLE_EQ(valid[0], 10.0);
+  EXPECT_DOUBLE_EQ(valid[2], 30.0);
+  EXPECT_THROW(store.series(metric_count()), std::invalid_argument);
+}
+
+TEST(SeriesStoreTest, SnapshotDomainLoadsEveryArchivedSnapshot) {
+  const std::string dir = completed_archive("series_snapshots");
+  const archive::StudyReader reader(dir);
+  const SeriesStore store = store_from_reader(reader, Domain::kSnapshots);
+  ASSERT_EQ(store.window_count(), reader.snapshot_count());
+  const std::span<const double> valid = store.series(store.find("table2.valid_packets"));
+  const std::span<const double> sources = store.series(store.find("table2.unique_sources"));
+  for (std::size_t k = 0; k < store.window_count(); ++k) {
+    EXPECT_GT(valid[k], 0.0) << k;
+    EXPECT_GT(sources[k], 0.0) << k;
+    // The aggregate must agree with the archived capture metadata.
+    const core::SnapshotData snap = reader.snapshot(k, /*with_matrix=*/false);
+    EXPECT_DOUBLE_EQ(valid[k], static_cast<double>(snap.valid_packets)) << k;
+  }
+}
+
+TEST(SeriesStoreTest, WindowDomainTracksLiveWindows) {
+  const std::string dir = completed_archive("series_windows");
+  {
+    archive::LiveArchive live(dir);
+    for (std::size_t w = 0; w < 4; ++w) append_window(live, w, w == 3 ? 8.0 : 1.0);
+  }
+  archive::StudyReader reader(dir);
+  ASSERT_EQ(reader.window_count(), 4u);
+  const SeriesStore store = store_from_reader(reader, Domain::kWindows);
+  ASSERT_EQ(store.window_count(), 4u);
+
+  const std::span<const double> valid = store.series(store.find("table2.valid_packets"));
+  const std::span<const double> discarded =
+      store.series(store.find("window.discarded_packets"));
+  // Scaling every packet count by 8 scales the aggregate by 8.
+  EXPECT_DOUBLE_EQ(valid[3], 8.0 * valid[0]);
+  EXPECT_DOUBLE_EQ(discarded[2], 6.0);
+
+  // sample_window agrees with a by-hand aggregate of the same matrix.
+  const WindowSample s = sample_window(reader, 1);
+  const gbl::AggregateQuantities q = gbl::aggregate_quantities(window_matrix(1));
+  EXPECT_DOUBLE_EQ(s.q.valid_packets, q.valid_packets);
+  EXPECT_EQ(s.q.unique_sources, q.unique_sources);
+  EXPECT_DOUBLE_EQ(s.duration_sec, 3.5);
+}
+
+}  // namespace
+}  // namespace obscorr::analysis

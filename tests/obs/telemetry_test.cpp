@@ -244,6 +244,8 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
 
   // The canonical catalogue, pinned. A rename lands here on purpose.
   const std::vector<std::string> expected_counters = {
+      "analysis.anomalies",
+      "analysis.windows_observed",
       "archive.bytes_read",
       "archive.bytes_written",
       "archive.crc_ns",
@@ -279,6 +281,7 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
       "svc.requests",
       "svc.shed",
       "svc.timeouts",
+      "svc.watch_events",
       "svc.windows_published",
       "telescope.anon_cache_hits",
       "telescope.anon_cache_misses",
@@ -298,6 +301,7 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
       "mem.pool_high_water",
       "simd.tier",
       "svc.connections_high_water",
+      "svc.watchers_high_water",
       "threadpool.queue_high_water",
   };
   EXPECT_EQ(canonical_gauge_names(), expected_gauges);
@@ -311,11 +315,60 @@ TEST_F(TelemetryExportTest, MetricsJsonSchemaAndCanonicalCatalogue) {
                                       std::string("study."), std::string("core."),
                                       std::string("stats."), std::string("simd."),
                                       std::string("mem."), std::string("svc."),
-                                      std::string("cache.")}) {
+                                      std::string("cache."), std::string("analysis.")}) {
       if (s.name.rfind(prefix, 0) == 0) {
         EXPECT_TRUE(canonical.count(s.name) == 1) << "non-canonical counter: " << s.name;
       }
     }
+  }
+}
+
+TEST_F(TelemetryExportTest, PrometheusExpositionSchema) {
+  // The prom exposition pins the same canonical catalogue under the
+  // obscorr_ prefix with dots mapped to underscores: counters carry the
+  // OpenMetrics _total suffix, gauges the bare name, and the document
+  // ends with the "# EOF" framing line.
+  set_level(Level::kFull);
+  counter("svc.requests").add(42);
+  gauge("svc.connections_high_water").record_max(3);
+  { const Span span("test.prom_span"); }
+  set_level(Level::kOff);
+  std::ostringstream os;
+  write_metrics_prometheus(os);
+  const std::string text = os.str();
+
+  for (const std::string& name : canonical_counter_names()) {
+    std::string prom = "obscorr_";
+    for (const char c : name) prom += (c == '.') ? '_' : c;
+    EXPECT_NE(text.find("# TYPE " + prom + " counter\n" + prom + "_total "), std::string::npos)
+        << name;
+  }
+  for (const std::string& name : canonical_gauge_names()) {
+    std::string prom = "obscorr_";
+    for (const char c : name) prom += (c == '.') ? '_' : c;
+    EXPECT_NE(text.find("# TYPE " + prom + " gauge\n" + prom + " "), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("obscorr_svc_requests_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("obscorr_svc_connections_high_water 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obscorr_span_test_prom_span summary\n"), std::string::npos);
+  EXPECT_NE(text.find("obscorr_span_test_prom_span_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("obscorr_span_test_prom_span_seconds_sum "), std::string::npos);
+  EXPECT_NE(text.find("obscorr_dropped_span_events_total 0\n"), std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+
+  // Exposition-format hygiene: every line is a comment or `name value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string metric = line.substr(0, space);
+    EXPECT_EQ(metric.rfind("obscorr_", 0), 0u) << line;
+    EXPECT_EQ(metric.find_first_not_of("abcdefghijklmnopqrstuvwxyz0123456789_"),
+              std::string::npos)
+        << line;
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/prng.hpp"
@@ -85,6 +87,54 @@ TEST(LogHistogramTest, FromSparseVecMatchesDegreeList) {
 TEST(LogHistogramTest, RejectsNonFiniteDegrees) {
   const std::vector<double> bad{1.0, std::numeric_limits<double>::infinity()};
   EXPECT_THROW(LogHistogram::from_degrees(bad), std::invalid_argument);
+}
+
+TEST(LogHistogramTest, IncrementalAddMatchesBatch) {
+  const std::vector<double> degrees{1, 1, 2, 3, 4, 7, 8, 1024, 0.5};
+  const LogHistogram batch = LogHistogram::from_degrees(degrees);
+  LogHistogram inc;
+  for (double d : degrees) inc.add(d);
+  EXPECT_EQ(inc.total(), batch.total());
+  EXPECT_EQ(inc.max_degree(), batch.max_degree());
+  ASSERT_EQ(inc.bin_count(), batch.bin_count());
+  for (int i = 0; i < batch.bin_count(); ++i) EXPECT_EQ(inc.count(i), batch.count(i));
+  EXPECT_THROW(inc.add(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+}
+
+TEST(LogHistogramTest, QuantileEmptyAndSingle) {
+  const LogHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  LogHistogram one;
+  one.add(5.0);
+  // A single observation in [4, 8) answers every quantile within its bin.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(one.quantile(q), 4.0) << q;
+    EXPECT_LE(one.quantile(q), 8.0) << q;
+  }
+}
+
+TEST(LogHistogramTest, QuantileIsMonotoneAndBinAccurate) {
+  Rng rng(7);
+  LogHistogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = static_cast<double>(1 + rng.uniform_u64(100000));
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  double prev = 0.0;
+  for (double q = 0.05; q <= 0.999; q += 0.05) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, prev) << q;
+    prev = est;
+    // Within one binary-log bin of the exact sample quantile.
+    const double exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_GE(est * 2.0, exact) << q;
+    EXPECT_LE(est, exact * 2.0 + 1.0) << q;
+  }
+  // The extreme tail never exceeds the observed maximum.
+  EXPECT_LE(h.quantile(1.0), static_cast<double>(h.max_degree()) + 1.0);
 }
 
 }  // namespace

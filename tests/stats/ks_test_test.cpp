@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/prng.hpp"
 
 namespace obscorr::stats {
@@ -92,6 +94,63 @@ TEST(TwoSampleKsTest, RejectsEmpty) {
   const std::vector<double> a{1.0};
   EXPECT_THROW(two_sample_ks(a, {}), std::invalid_argument);
   EXPECT_THROW(two_sample_ks({}, a), std::invalid_argument);
+}
+
+TEST(TwoSampleKsTest, NanObservationsAreDropped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> clean{1, 2, 3, 4, 5};
+  const std::vector<double> dirty{1, nan, 2, 3, nan, 4, 5};
+  const KsResult r = two_sample_ks(clean, dirty);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(TwoSampleKsTest, AllNanSampleThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> bad{nan, nan, nan};
+  EXPECT_THROW(two_sample_ks(a, bad), std::invalid_argument);
+  EXPECT_THROW(two_sample_ks(bad, a), std::invalid_argument);
+}
+
+TEST(TwoSampleKsTest, IdenticalConstantSeries) {
+  // A flat metric compared against itself: no change, full confidence.
+  const std::vector<double> a{7.0, 7.0, 7.0, 7.0};
+  const KsResult r = two_sample_ks(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(TwoSampleKsTest, DistinctConstantSeries) {
+  // A flat metric that steps to a new level: fully separated ECDFs.
+  const std::vector<double> a{7.0, 7.0, 7.0, 7.0};
+  const std::vector<double> b{9.0, 9.0, 9.0};
+  const KsResult r = two_sample_ks(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(TwoSampleKsTest, TinySamplesAreLegal) {
+  // n < 5 per side: the correlation engine's shortest highlight ranges.
+  const KsResult same = two_sample_ks(std::vector<double>{1.0}, std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(same.statistic, 0.0);
+  const KsResult diff = two_sample_ks(std::vector<double>{1.0, 2.0}, std::vector<double>{3.0});
+  EXPECT_DOUBLE_EQ(diff.statistic, 1.0);
+  // One observation per side can never be significant.
+  const KsResult single = two_sample_ks(std::vector<double>{1.0}, std::vector<double>{100.0});
+  EXPECT_GT(single.p_value, 0.05);
+}
+
+TEST(TwoSampleKsTest, InfinitySortsAsExtremeValue) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> a{1, 2, 3, inf};
+  const std::vector<double> b{1, 2, 3, -inf};
+  const KsResult r = two_sample_ks(a, b);
+  EXPECT_GE(r.statistic, 0.0);
+  EXPECT_LE(r.statistic, 1.0);
+  // Matching infinities behave like any other tie.
+  const KsResult same = two_sample_ks(a, a);
+  EXPECT_DOUBLE_EQ(same.statistic, 0.0);
 }
 
 }  // namespace

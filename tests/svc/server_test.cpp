@@ -18,8 +18,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -27,12 +29,16 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/monitor.hpp"
+#include "analysis/window_series.hpp"
 #include "archive/compact.hpp"
 #include "archive/page_cache.hpp"
 #include "archive/study_archive.hpp"
 #include "common/interrupt.hpp"
+#include "gbl/quantities.hpp"
 #include "obs/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "stats/summary.hpp"
 #include "svc/ingest.hpp"
 #include "svc/json.hpp"
 #include "svc/render.hpp"
@@ -509,6 +515,255 @@ TEST(SvcServerTest, DrainFlushesInFlightResponseThenRefusesNewWork) {
     EXPECT_TRUE(!late.connected() || late.at_eof());
     break;
   }
+}
+
+/// The serve command's on_publish wiring, reproduced for tests: sample
+/// the published window, run the monitor, push the heartbeat plus any
+/// anomaly events to watchers.
+std::function<void(const PublishedWindow&)> monitor_publisher(Server& server,
+                                                              analysis::Monitor& monitor) {
+  return [&server, &monitor](const PublishedWindow& pw) {
+    analysis::WindowSample s;
+    s.q = gbl::aggregate_quantities(pw.matrix);
+    s.discarded_packets = pw.meta.discarded_packets;
+    s.duration_sec = pw.meta.duration_sec;
+    s.source_gini =
+        pw.sources.values().empty() ? 0.0 : stats::gini_coefficient(pw.sources.values());
+    const auto events = monitor.observe_window(pw.meta.window, s, pw.sources.values());
+    server.publish_event(analysis::window_event_json(pw.meta));
+    for (const auto& ev : events) server.publish_event(analysis::event_json(ev));
+  };
+}
+
+TEST(SvcServerTest, WatchDeliversEveryWindowExactlyOnceWithAnomalies) {
+  // The tentpole acceptance path: a watcher subscribed before ingest
+  // sees every published window's heartbeat exactly once, in order, and
+  // the injected surge's anomaly events arrive within the window that
+  // produced them. A second watcher connecting mid-ingest sees a suffix
+  // only, also exactly once; churning clients must not perturb either.
+  const std::string dir = ::testing::TempDir() + "/svc_watch_archive";
+  std::filesystem::remove_all(dir);
+  std::filesystem::copy(shared_archive(), dir);
+
+  interrupt::reset();
+  ThreadPool pool(4);
+  QueryEngine engine(dir, pool);
+  ServerConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = 0;
+  Server server(cfg, engine, pool);
+  server.bind();
+  std::thread serve_thread([&] { server.serve(); });
+
+  Client early(server.port(), /*timeout_sec=*/30.0);
+  ASSERT_TRUE(early.connected());
+  const auto ack = early.query(R"({"id":1,"query":"watch"})");
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(ack->find("ok")->as_bool());
+  EXPECT_TRUE(ack->find("result")->find("subscribed")->as_bool());
+  EXPECT_EQ(ack->find("result")->find("windows")->as_uint(), 0u);
+
+  analysis::Monitor monitor;  // fresh archive has no live windows to prime
+  IngestConfig icfg;
+  icfg.max_windows = 10;
+  icfg.window_packets = 1024;
+  icfg.surge_start = 8;
+  icfg.surge_len = 2;
+  icfg.surge_factor = 8.0;
+  icfg.on_publish = monitor_publisher(server, monitor);
+  IngestLoop ingest(dir, engine, pool, icfg);
+  ingest.start();
+
+  // Churn: watchers that subscribe and immediately vanish, mid-stream.
+  for (int k = 0; k < 3; ++k) {
+    Client churn(server.port());
+    ASSERT_TRUE(churn.connected());
+    ASSERT_TRUE(churn.send_raw("{\"query\":\"watch\"}\n"));
+  }
+
+  // A late watcher connecting mid-ingest sees a strict suffix.
+  for (int spin = 0; spin < 600 && engine.window_count() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Client late(server.port(), /*timeout_sec=*/30.0);
+  ASSERT_TRUE(late.connected());
+  const auto late_ack = late.query(R"({"id":2,"query":"watch"})");
+  ASSERT_TRUE(late_ack.has_value());
+  const std::uint64_t late_windows = late_ack->find("result")->find("windows")->as_uint();
+  EXPECT_GE(late_windows, 3u);
+
+  // Drain the early watcher's stream until the final heartbeat.
+  std::vector<std::uint64_t> seen;
+  std::vector<std::uint64_t> anomaly_windows;
+  bool valid_packets_flagged_at_8 = false;
+  while (true) {
+    const auto line = early.read_line();
+    ASSERT_TRUE(line.has_value()) << "watch stream ended before window 9";
+    const JsonValue ev = parse_json(*line);
+    const std::string kind = ev.find("event")->as_string();
+    if (kind == "window") {
+      seen.push_back(ev.find("window")->as_uint());
+      if (seen.back() == 9) break;
+    } else if (kind == "anomaly") {
+      anomaly_windows.push_back(ev.find("window")->as_uint());
+      if (ev.find("window")->as_uint() == 8 &&
+          ev.find("metric")->as_string() == "table2.valid_packets") {
+        valid_packets_flagged_at_8 = true;
+      }
+    }
+  }
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::uint64_t w = 0; w < 10; ++w) EXPECT_EQ(seen[w], w);  // in order, exactly once
+  ASSERT_FALSE(anomaly_windows.empty());
+  for (const std::uint64_t w : anomaly_windows) EXPECT_GE(w, 8u);
+  // The surge's driving metric is flagged in the surge window itself —
+  // "within 1 published window" of the event.
+  EXPECT_TRUE(valid_packets_flagged_at_8);
+
+  // The late watcher sees a strict, duplicate-free suffix of the stream.
+  std::vector<std::uint64_t> late_seen;
+  while (true) {
+    const auto line = late.read_line();
+    ASSERT_TRUE(line.has_value());
+    const JsonValue ev = parse_json(*line);
+    if (ev.find("event")->as_string() != "window") continue;
+    late_seen.push_back(ev.find("window")->as_uint());
+    if (late_seen.back() == 9) break;
+  }
+  ASSERT_FALSE(late_seen.empty());
+  EXPECT_GE(late_seen.front(), late_windows >= 1 ? late_windows - 1 : 0);
+  for (std::size_t i = 1; i < late_seen.size(); ++i) {
+    EXPECT_EQ(late_seen[i], late_seen[i - 1] + 1);
+  }
+
+  ingest.stop_and_join();
+  EXPECT_EQ(ingest.error(), "");
+
+  // Drain: watchers get a clean EOF, the loop exits 0. Window 9's
+  // anomaly events may still trail in the stream — consume them first.
+  server.request_stop();
+  serve_thread.join();
+  while (early.read_line().has_value()) {
+  }
+  while (late.read_line().has_value()) {
+  }
+  EXPECT_TRUE(early.at_eof());
+  EXPECT_TRUE(late.at_eof());
+}
+
+TEST(SvcServerTest, WatcherDisconnectsCleanlyDuringDrain) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  const auto ack = c.query(R"({"query":"watch"})");
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(ack->find("ok")->as_bool());
+  // A watcher is idle by design; drain must still close it promptly.
+  rs.stop();
+  EXPECT_TRUE(c.at_eof());
+  EXPECT_EQ(rs.exit_code(), 0);
+}
+
+TEST(SvcServerTest, WatcherStaysRequestCapableAndSurvivesIdleSweep) {
+  ServerConfig cfg;
+  cfg.idle_timeout_sec = 0.1;  // reap idle conns almost immediately
+  RunningServer rs(cfg);
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.query(R"({"query":"watch"})")->find("ok")->as_bool());
+  // Long past the idle deadline, the subscription is still alive and
+  // still answers ordinary queries on the same connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const auto stats = c.query(R"({"id":5,"query":"stats"})");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->find("ok")->as_bool());
+
+  // A non-watching control connection opened now is reaped.
+  Client idle(rs.port());
+  ASSERT_TRUE(idle.connected());
+  ASSERT_TRUE(idle.query(R"({"query":"stats"})").has_value());
+  for (int spin = 0; spin < 300 && !idle.at_eof(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(idle.at_eof());
+}
+
+TEST(SvcServerTest, CorrelateQueryRanksSnapshotSeries) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+
+  const auto resp =
+      c.query(R"({"id":1,"query":"correlate","params":{"method":"volume","top":3}})");
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->find("ok")->as_bool());
+  const JsonValue* result = resp->find("result");
+  EXPECT_EQ(result->find("method")->as_string(), "volume");
+  // No live windows in the shared archive: the domain defaults to the 5
+  // snapshots, netdata framing = baseline 0:3 vs highlight 4:4.
+  EXPECT_EQ(result->find("baseline")->find("first")->as_uint(), 0u);
+  EXPECT_EQ(result->find("baseline")->find("last")->as_uint(), 3u);
+  EXPECT_EQ(result->find("highlight")->find("first")->as_uint(), 4u);
+  EXPECT_EQ(result->find("highlight")->find("last")->as_uint(), 4u);
+  EXPECT_EQ(result->find("ranked")->items().size(), analysis::metric_count());
+  EXPECT_FALSE(result->find("text")->as_string().empty());
+
+  // Deterministic and cached: the repeat answers byte-identically.
+  const auto again =
+      c.query(R"({"id":2,"query":"correlate","params":{"method":"volume","top":3}})");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(dump_json(*again->find("result")), dump_json(*resp->find("result")));
+
+  const auto bad = c.query(R"({"query":"correlate","params":{"method":"pearson"}})");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->find("ok")->as_bool());
+}
+
+TEST(SvcServerTest, StatsCarriesPerQueryLatencyDigests) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.query(R"({"query":"degrees","params":{"snapshot":0}})")->find("ok")->as_bool());
+  ASSERT_TRUE(c.query(R"({"query":"stats"})")->find("ok")->as_bool());
+
+  // The second stats call reports both earlier query types.
+  const auto resp = c.query(R"({"query":"stats"})");
+  ASSERT_TRUE(resp.has_value());
+  const JsonValue* latency = resp->find("result")->find("latency");
+  ASSERT_NE(latency, nullptr);
+  const JsonValue* degrees = latency->find("degrees");
+  ASSERT_NE(degrees, nullptr);
+  EXPECT_EQ(degrees->find("count")->as_uint(), 1u);
+  EXPECT_GT(degrees->find("p99_us")->as_double(), 0.0);
+  const JsonValue* stats_lat = latency->find("stats");
+  ASSERT_NE(stats_lat, nullptr);
+  EXPECT_GE(stats_lat->find("count")->as_uint(), 1u);
+
+  // The engine-side snapshot agrees (what `--timing` prints).
+  const auto snap = rs.engine().latency_snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  for (const auto& ql : snap) {
+    EXPECT_GT(ql.count, 0u);
+    EXPECT_GE(ql.p99_us, ql.p50_us);
+  }
+}
+
+TEST(SvcServerTest, MetricsQueryServesPrometheusFormat) {
+  RunningServer rs({});
+  Client c(rs.port());
+  ASSERT_TRUE(c.connected());
+  const auto resp = c.query(R"({"query":"metrics","params":{"format":"prom"}})");
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_TRUE(resp->find("ok")->as_bool());
+  EXPECT_EQ(resp->find("result")->find("format")->as_string(), "prom");
+  const std::string text = resp->find("result")->find("text")->as_string();
+  EXPECT_NE(text.find("# TYPE obscorr_svc_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("obscorr_svc_requests_total "), std::string::npos);
+  EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+
+  const auto bad = c.query(R"({"query":"metrics","params":{"format":"xml"}})");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->find("ok")->as_bool());
 }
 
 TEST(SvcServerTest, RequestStopViaInterruptFlag) {

@@ -457,6 +457,107 @@ TEST(CliToolTest, UsageDocumentsCompactAndCacheBytes) {
   EXPECT_NE(help.str().find("OBSCORR_CACHE_BYTES"), std::string::npos);
 }
 
+TEST(CliToolTest, CorrelateUsageErrors) {
+  std::ostringstream no_from;
+  EXPECT_EQ(run({"correlate"}, no_from), 2);
+  EXPECT_NE(no_from.str().find("--from"), std::string::npos);
+
+  std::ostringstream bad_method;
+  EXPECT_EQ(run({"correlate", "--from", temp("x"), "--method", "pearson"}, bad_method), 2);
+  EXPECT_NE(bad_method.str().find("method"), std::string::npos);
+
+  std::ostringstream bad_domain;
+  EXPECT_EQ(run({"correlate", "--from", temp("x"), "--domain", "galaxies"}, bad_domain), 2);
+
+  std::ostringstream bad_top;
+  EXPECT_EQ(run({"correlate", "--from", temp("x"), "--top", "-3"}, bad_top), 2);
+  EXPECT_NE(bad_top.str().find("top"), std::string::npos);
+
+  std::ostringstream missing;
+  EXPECT_EQ(run({"correlate", "--from", temp("no_such_archive")}, missing), 2);
+  EXPECT_NE(missing.str().find("error:"), std::string::npos);
+}
+
+TEST(CliToolTest, CorrelateRanksArchiveDeterministically) {
+  const std::string dir = temp("cli_correlate");
+  std::filesystem::remove_all(dir);
+  std::ostringstream io;
+  ASSERT_EQ(run({"archive", "--out", dir, "--log2-nv", "12", "--seed", "5"}, io), 0);
+
+  // Ranked output carries the netdata-style table, and --threads is
+  // plumbing only: both worker counts print byte-identical results.
+  std::ostringstream serial, pooled;
+  ASSERT_EQ(run({"correlate", "--from", dir, "--top", "0", "--threads", "1"}, serial), 0);
+  ASSERT_EQ(run({"correlate", "--from", dir, "--top", "0", "--threads", "4"}, pooled), 0);
+  EXPECT_EQ(serial.str(), pooled.str());
+  EXPECT_NE(serial.str().find("metric correlations (ks2)"), std::string::npos);
+  EXPECT_NE(serial.str().find("table2.valid_packets"), std::string::npos);
+  EXPECT_NE(serial.str().find("5 snapshots"), std::string::npos);
+
+  // Both methods work over explicit ranges, and --events replays the
+  // streaming detectors over the archived history.
+  std::ostringstream volume;
+  ASSERT_EQ(run({"correlate", "--from", dir, "--method", "volume", "--baseline", "0:2",
+                 "--highlight", "3:4", "--events"},
+                volume),
+            0);
+  EXPECT_NE(volume.str().find("metric correlations (volume)"), std::string::npos);
+  EXPECT_NE(volume.str().find("anomaly events ("), std::string::npos);
+
+  // The --json artifact is machine-parseable and self-describing.
+  const std::string json_path = temp("cli_correlate.json");
+  std::ostringstream json_out, json_err;
+  ASSERT_EQ(run({"correlate", "--from", dir, "--json", json_path}, json_out, json_err), 0);
+  EXPECT_NE(json_err.str().find("wrote ranked correlations"), std::string::npos);
+  std::ifstream jf(json_path);
+  ASSERT_TRUE(jf.is_open());
+  std::stringstream js;
+  js << jf.rdbuf();
+  EXPECT_NE(js.str().find("\"method\":\"ks2\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"ranked\":["), std::string::npos);
+  EXPECT_NE(js.str().find("\"baseline\":"), std::string::npos);
+
+  std::remove(json_path.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliToolTest, MetricsFormatPromWritesOpenMetricsText) {
+  const std::string metrics = temp("cli_metrics.prom");
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"study", "--log2-nv", "12", "--seed", "5", "--metrics-out", metrics,
+                 "--metrics-format", "prom"},
+                out, err),
+            0);
+  EXPECT_NE(err.str().find("(prom)"), std::string::npos);
+
+  std::ifstream mf(metrics);
+  ASSERT_TRUE(mf.is_open());
+  std::stringstream m;
+  m << mf.rdbuf();
+  const std::string text = m.str();
+  EXPECT_NE(text.find("# TYPE obscorr_"), std::string::npos);
+  EXPECT_NE(text.find("obscorr_netgen_packets_emitted_total "), std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  std::remove(metrics.c_str());
+
+  std::ostringstream bad;
+  EXPECT_EQ(run({"study", "--log2-nv", "12", "--metrics-out", metrics, "--metrics-format",
+                 "xml"},
+                bad),
+            2);
+  EXPECT_NE(bad.str().find("metrics-format"), std::string::npos);
+}
+
+TEST(CliToolTest, UsageDocumentsCorrelateAndServeAnomalyFlags) {
+  std::ostringstream help;
+  ASSERT_EQ(run({"help"}, help), 0);
+  EXPECT_NE(help.str().find("correlate"), std::string::npos);
+  EXPECT_NE(help.str().find("--surge-start"), std::string::npos);
+  EXPECT_NE(help.str().find("--metrics-format"), std::string::npos);
+  EXPECT_NE(help.str().find("watch"), std::string::npos);
+}
+
 TEST(CliToolTest, ArchiveRequiresOutAndUsageMentionsIt) {
   std::ostringstream out;
   EXPECT_EQ(run({"archive"}, out), 2);

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the anomaly/correlation surface
+(docs/observability.md, docs/service.md).
+
+Boots `obscorr serve` over a copy of a completed archive with a
+deterministic traffic surge injected into live ingest (--surge-*),
+subscribes a `watch` client before the surge windows publish, and
+requires:
+
+  * every anomaly event arrives within one published window of the
+    window that fired it (the heartbeat/event interleaving contract);
+  * the detectors flag the surge's driving metric
+    (table2.valid_packets) at the first surge window;
+  * the service `correlate` query ranks the driving metric in the
+    top-5 by BOTH methods (ks2 and volume) over an explicit
+    pre-surge-baseline vs surge-highlight framing, and repeated
+    queries return byte-identical text;
+  * after a clean SIGTERM drain, the batch CLI over the grown archive
+    agrees: `correlate --threads 1` and `--threads 4` print
+    byte-identical rankings, and the --json artifact (uploaded by CI)
+    carries the driving metric in its top-5 for both methods.
+
+usage: anomaly_smoke.py --obscorr BIN --archive DIR [--workdir DIR]
+                        [--json-out FILE]
+
+The archive is copied first; the source directory is never mutated.
+"""
+
+import argparse
+import json
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+SURGE_START = 4
+SURGE_LEN = 2
+SURGE_FACTOR = 8.0
+INGEST_WINDOWS = 8
+WINDOW_PACKETS = 262144
+DRIVER = "table2.valid_packets"
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Client:
+    def __init__(self, path, timeout=120.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(path)
+        self.buf = b""
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail("connection closed mid-stream")
+            self.buf += chunk
+        line, _, self.buf = self.buf.partition(b"\n")
+        return json.loads(line)
+
+    def query(self, obj):
+        self.sock.sendall(json.dumps(obj).encode() + b"\n")
+        return self.read_line()
+
+    def ok(self, obj):
+        resp = self.query(obj)
+        if not resp.get("ok"):
+            fail(f"query {obj} failed: {resp.get('error')}")
+        return resp["result"]
+
+
+def correlate_params(method, top=5):
+    surge_last = SURGE_START + SURGE_LEN - 1
+    return {
+        "domain": "windows",
+        "method": method,
+        "baseline": f"0:{SURGE_START - 1}",
+        "highlight": f"{SURGE_START}:{surge_last}",
+        "top": top,
+    }
+
+
+def check_top5(ranked, method):
+    names = [row["metric"] for row in ranked[:5]]
+    if DRIVER not in names:
+        fail(f"{method}: {DRIVER} not in top-5 (got {names})")
+    print(f"correlate[{method}]: top-5 {names}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--obscorr", required=True)
+    ap.add_argument("--archive", required=True, help="completed archive (copied, not mutated)")
+    ap.add_argument("--workdir", default="anomaly_smoke_work")
+    ap.add_argument("--json-out", default="anomaly_correlations.json")
+    args = ap.parse_args()
+
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    archive = f"{args.workdir}/archive"
+    shutil.copytree(args.archive, archive)
+    sock_path = f"{args.workdir}/obscorr.sock"
+
+    serve = subprocess.Popen(
+        [args.obscorr, "serve", "--from", archive, "--unix", sock_path,
+         "--ingest-windows", str(INGEST_WINDOWS),
+         "--window-packets", str(WINDOW_PACKETS),
+         "--surge-start", str(SURGE_START), "--surge-len", str(SURGE_LEN),
+         "--surge-factor", str(SURGE_FACTOR)],
+        stderr=subprocess.PIPE, text=True)
+    try:
+        for _ in range(600):
+            try:
+                watch = Client(sock_path)
+                break
+            except OSError:
+                if serve.poll() is not None:
+                    fail(f"serve exited early: {serve.stderr.read()}")
+                time.sleep(0.05)
+        else:
+            fail("serve socket never appeared")
+
+        # Subscribe before the surge windows publish; the ack reports how
+        # many windows we may have already missed.
+        ack = watch.query({"id": "w", "query": "watch"})
+        if not ack.get("ok") or not ack["result"].get("subscribed"):
+            fail(f"watch subscription rejected: {ack}")
+        missed = ack["result"]["windows"]
+        if missed >= SURGE_START:
+            fail(f"subscribed after {missed} windows, surge at {SURGE_START} already "
+                 f"published — raise WINDOW_PACKETS")
+        print(f"watch: subscribed at window {missed}")
+
+        # Consume the push stream through the final window's heartbeat,
+        # recording the newest heartbeat seen when each anomaly arrives.
+        heartbeat = None
+        anomalies = []
+        while heartbeat != INGEST_WINDOWS - 1:
+            ev = watch.read_line()
+            if ev.get("event") == "window":
+                heartbeat = ev["window"]
+            elif ev.get("event") == "anomaly":
+                anomalies.append((ev, heartbeat))
+        if not anomalies:
+            fail("no anomaly events on the watch stream")
+        for ev, hb in anomalies:
+            if ev["window"] < SURGE_START:
+                fail(f"anomaly before the surge: {ev}")
+            if hb is None or hb - ev["window"] > 1:
+                fail(f"anomaly for window {ev['window']} arrived {hb - ev['window']} "
+                     f"windows late: {ev}")
+        first_metrics = {ev["metric"] for ev, _ in anomalies if ev["window"] == SURGE_START}
+        if DRIVER not in first_metrics:
+            fail(f"{DRIVER} not flagged at surge window {SURGE_START} (got {first_metrics})")
+        print(f"watch: {len(anomalies)} anomalies, all within 1 window of publication; "
+              f"window {SURGE_START} flagged {sorted(first_metrics)}")
+
+        # On-demand correlation over the live archive: the surge's driving
+        # metric must rank top-5 by both methods, and a repeat of the same
+        # query must return byte-identical text.
+        control = Client(sock_path)
+        for method in ("ks2", "volume"):
+            result = control.ok({"query": "correlate", "params": correlate_params(method)})
+            check_top5(result["ranked"], method)
+            again = control.ok({"query": "correlate", "params": correlate_params(method)})
+            if again["text"] != result["text"]:
+                fail(f"{method}: repeated correlate text differs")
+
+        serve.send_signal(signal.SIGTERM)
+        try:
+            rc = serve.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            serve.kill()
+            fail("serve did not drain within 120s of SIGTERM")
+        err = serve.stderr.read()
+        sys.stderr.write(err)
+        if rc != 0:
+            fail(f"serve exited {rc} after SIGTERM")
+        if "drained cleanly" not in err:
+            fail("serve stderr missing 'drained cleanly'")
+        print("shutdown: SIGTERM drained cleanly, exit 0")
+
+        # Batch CLI over the grown archive: thread count must not move a
+        # byte, and the JSON artifact carries the same top-5 verdict.
+        surge_last = SURGE_START + SURGE_LEN - 1
+        base_args = ["correlate", "--from", archive, "--domain", "windows",
+                     "--baseline", f"0:{SURGE_START - 1}",
+                     "--highlight", f"{SURGE_START}:{surge_last}", "--top", "5"]
+        outs = {}
+        for threads in ("1", "4"):
+            r = subprocess.run([args.obscorr, *base_args, "--threads", threads],
+                               capture_output=True, text=True)
+            if r.returncode != 0:
+                fail(f"correlate --threads {threads} exited {r.returncode}: {r.stderr}")
+            outs[threads] = r.stdout
+        if outs["1"] != outs["4"]:
+            fail("correlate stdout differs between --threads 1 and --threads 4")
+        print("cli: correlate byte-identical across --threads 1/4")
+
+        merged = {}
+        for method in ("ks2", "volume"):
+            r = subprocess.run(
+                [args.obscorr, *base_args, "--method", method, "--json",
+                 f"{args.workdir}/{method}.json"],
+                capture_output=True, text=True)
+            if r.returncode != 0:
+                fail(f"correlate --method {method} exited {r.returncode}: {r.stderr}")
+            with open(f"{args.workdir}/{method}.json") as f:
+                doc = json.load(f)
+            check_top5(doc["ranked"], f"cli-{method}")
+            merged[method] = doc
+        with open(args.json_out, "w") as f:
+            json.dump(merged, f, indent=1)
+        print(f"artifact: ranked correlations at {args.json_out}")
+        print("anomaly smoke: PASS")
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait()
+
+
+if __name__ == "__main__":
+    main()

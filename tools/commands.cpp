@@ -6,6 +6,9 @@
 #include <ostream>
 #include <string_view>
 
+#include "analysis/correlate.hpp"
+#include "analysis/monitor.hpp"
+#include "analysis/window_series.hpp"
 #include "archive/compact.hpp"
 #include "archive/page_cache.hpp"
 #include "archive/study_archive.hpp"
@@ -29,7 +32,9 @@
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "stats/summary.hpp"
 #include "svc/ingest.hpp"
+#include "svc/json.hpp"
 #include "svc/queries.hpp"
 #include "svc/render.hpp"
 #include "svc/server.hpp"
@@ -118,6 +123,7 @@ core::StudyData load_archived_study(const std::string& dir) {
 struct TelemetryOptions {
   bool timing = false;
   std::optional<std::string> metrics_out;
+  std::string metrics_format = "json";  ///< "json" (obscorr.metrics.v1) or "prom"
   std::optional<std::string> trace_out;
   bool active() const { return timing || metrics_out.has_value() || trace_out.has_value(); }
 };
@@ -128,6 +134,9 @@ TelemetryOptions telemetry_options(const CliArgs& args) {
   TelemetryOptions t;
   t.timing = args.has("timing");
   t.metrics_out = args.get("metrics-out");
+  t.metrics_format = args.get_or("metrics-format", "json");
+  OBSCORR_REQUIRE(t.metrics_format == "json" || t.metrics_format == "prom",
+                  "--metrics-format must be json or prom");
   t.trace_out = args.get("trace-out");
   if (t.active()) {
     obs::reset();
@@ -155,8 +164,12 @@ void emit_telemetry(const TelemetryOptions& t, std::ostream& err) {
   if (t.metrics_out.has_value()) {
     std::ofstream os(*t.metrics_out, std::ios::trunc);
     OBSCORR_REQUIRE(os.is_open(), "telemetry: cannot write metrics to " + *t.metrics_out);
-    obs::write_metrics_json(os);
-    err << "wrote metrics to " << *t.metrics_out << '\n';
+    if (t.metrics_format == "prom") {
+      obs::write_metrics_prometheus(os);
+    } else {
+      obs::write_metrics_json(os);
+    }
+    err << "wrote metrics to " << *t.metrics_out << " (" << t.metrics_format << ")\n";
   }
   if (t.timing) {
     err << "simd tier: " << simd::tier_name(simd::active_tier()) << " (detected "
@@ -194,6 +207,11 @@ commands:
                 --out DIR [--log2-nv K=16] [--seed S] [--from DIR]
   prefixes    prefix-level concentration of an archived matrix's sources
                 --matrix FILE | --from DIR [--snapshot K=0]  [--length L=16]
+  correlate   rank every window metric by baseline-vs-highlight change
+              (netdata-style metric correlations; docs/observability.md)
+                --from DIR [--domain windows|snapshots] [--method ks2|volume]
+                [--baseline A:B] [--highlight A:B] [--top N=10, 0 = all]
+                [--json FILE] [--events]
   archive     run the full campaign and persist it as a study archive
                 --out DIR [--log2-nv K=16] [--seed S]
   archive compact
@@ -207,6 +225,10 @@ commands:
                 [--window-packets P=65536] [--packet-rate R=1e6]
                 [--request-timeout S=10] [--idle-timeout S=300]
                 [--drain-timeout S=10] [--metrics-interval S=1]
+                [--surge-start W] [--surge-len N=1] [--surge-factor F=4]
+              (the surge flags inject a deterministic traffic anomaly for
+              smoke-testing the detectors; anomaly events stream to `watch`
+              subscribers and to DIR/anomalies.ndjson)
   help        this text
 
 environment: results are deterministic per --seed; sizes scale with --log2-nv.
@@ -218,8 +240,9 @@ recomputing; the archived scenario then supplies --log2-nv / --seed.
 a killed `archive` run resumes from its finished snapshots/months; SIGINT/
 SIGTERM stop `study`/`archive`/`serve` cleanly at the next window boundary.
 `serve` speaks newline-delimited JSON (docs/service.md): lookup, report,
-degrees, scaling, stats, metrics — responses over a fixed window range are
-byte-identical to the matching batch subcommand.
+degrees, scaling, correlate, stats, metrics, watch — responses over a fixed
+window range are byte-identical to the matching batch subcommand; `watch`
+streams window/anomaly events as ingest publishes.
 every command accepts --simd scalar|sse42|avx2|auto (default: OBSCORR_SIMD,
 then cpuid detection) to pin the kernel dispatch tier; outputs are
 byte-identical at any tier — the flag only changes wall-clock time
@@ -232,7 +255,8 @@ OBSCORR_NO_HUGEPAGES=1 or OBSCORR_NO_POOL=1 to opt out — results are
 byte-identical either way (docs/performance.md "Memory model").
 every command also accepts the telemetry flags (docs/observability.md):
   --timing            per-phase timing summary + per-window rates on stderr
-  --metrics-out FILE  counter/gauge/span metrics as JSON (obscorr.metrics.v1)
+  --metrics-out FILE  counter/gauge/span metrics (obscorr.metrics.v1 JSON)
+  --metrics-format F  json (default) or prom (Prometheus/OpenMetrics text)
   --trace-out FILE    Chrome trace-event JSON (chrome://tracing, Perfetto)
 telemetry never touches stdout and never changes any result byte.
 )";
@@ -598,6 +622,92 @@ int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out, std::o
   return 0;
 }
 
+namespace {
+
+/// Parse a --baseline/--highlight "A:B" range flag.
+analysis::WindowRange parse_range_flag(const std::string& text, const char* flag) {
+  const std::size_t colon = text.find(':');
+  OBSCORR_REQUIRE(colon != std::string::npos && colon > 0 && colon + 1 < text.size(),
+                  std::string("correlate: --") + flag + " wants FIRST:LAST");
+  analysis::WindowRange r;
+  try {
+    r.first = std::stoull(text.substr(0, colon));
+    r.last = std::stoull(text.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("correlate: --") + flag + " wants FIRST:LAST integers");
+  }
+  OBSCORR_REQUIRE(r.first <= r.last, std::string("correlate: --") + flag + " range must be ordered");
+  return r;
+}
+
+}  // namespace
+
+int cmd_correlate(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  static const std::vector<std::string> kCorrelateSwitches = {"timing", "events"};
+  const CliArgs cli = CliArgs::parse(args, kCorrelateSwitches);
+  const TelemetryOptions topt = telemetry_options(cli);
+  const auto from = cli.get("from");
+  OBSCORR_REQUIRE(from.has_value(), "correlate: --from DIR is required (a completed archive)");
+  const auto domain_flag = cli.get("domain");
+  const auto baseline_flag = cli.get("baseline");
+  const auto highlight_flag = cli.get("highlight");
+  const analysis::Method method = analysis::parse_method(cli.get_or("method", "ks2"));
+  const std::int64_t top = cli.get_int("top", 10);
+  OBSCORR_REQUIRE(top >= 0, "correlate: --top must be >= 0");
+  const auto json_path = cli.get("json");
+  const bool events = cli.has("events");
+  (void)thread_option(cli);  // sampling is serial by design (determinism); accepted for uniformity
+  reject_unused(cli);
+
+  const archive::StudyReader reader(*from);
+  analysis::Domain domain;
+  std::string domain_text;
+  if (domain_flag.has_value()) {
+    OBSCORR_REQUIRE(*domain_flag == "windows" || *domain_flag == "snapshots",
+                    "correlate: --domain must be windows or snapshots");
+    domain_text = *domain_flag;
+  } else {
+    domain_text = reader.window_count() > 0 ? "windows" : "snapshots";
+  }
+  domain = domain_text == "windows" ? analysis::Domain::kWindows : analysis::Domain::kSnapshots;
+  const std::size_t n =
+      domain == analysis::Domain::kWindows ? reader.window_count() : reader.snapshot_count();
+  OBSCORR_REQUIRE(n >= 2, "correlate: archive has fewer than 2 " + domain_text);
+
+  // netdata framing when unspecified: highlight = the trailing fifth,
+  // baseline = the preceding 4x stretch.
+  const analysis::WindowRange highlight = highlight_flag.has_value()
+                                              ? parse_range_flag(*highlight_flag, "highlight")
+                                              : analysis::default_highlight(n);
+  const analysis::WindowRange baseline = baseline_flag.has_value()
+                                             ? parse_range_flag(*baseline_flag, "baseline")
+                                             : analysis::default_baseline(highlight);
+
+  const analysis::SeriesStore store = analysis::store_from_reader(reader, domain);
+  const std::vector<analysis::MetricScore> ranked =
+      analysis::rank_series(store, baseline, highlight, method);
+  out << "archive: " << *from << " (" << n << " " << domain_text << ")\n";
+  svc::render_correlate(ranked, method, baseline, highlight, static_cast<std::size_t>(top), out);
+
+  if (events) {
+    // Replay the same windows through the streaming detectors and print
+    // the anomaly stream a live `watch` subscriber would have seen.
+    analysis::Monitor monitor;
+    const std::vector<analysis::AnomalyEvent> fired = monitor.prime(reader, domain);
+    out << "\nanomaly events (" << fired.size() << "):\n";
+    for (const analysis::AnomalyEvent& ev : fired) out << analysis::event_json(ev) << '\n';
+  }
+
+  if (json_path.has_value()) {
+    std::ofstream os(*json_path, std::ios::trunc);
+    OBSCORR_REQUIRE(os.is_open(), "correlate: cannot write " + *json_path);
+    os << svc::dump_json(svc::correlate_json(ranked, method, baseline, highlight)) << '\n';
+    err << "wrote ranked correlations to " << *json_path << '\n';
+  }
+  emit_telemetry(topt, err);
+  return 0;
+}
+
 int cmd_archive_compact(const std::vector<std::string>& args, std::ostream& out,
                         std::ostream& err) {
   static const std::vector<std::string> kCompactSwitches = {"timing", "all", "stats"};
@@ -699,6 +809,15 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out, std::ostr
                                         : static_cast<std::size_t>(ingest_windows);
   icfg.window_packets = static_cast<std::uint64_t>(cli.get_int("window-packets", 1 << 16));
   icfg.mean_packet_rate = cli.get_double("packet-rate", 1e6);
+  const std::int64_t surge_start = cli.get_int("surge-start", -1);
+  if (surge_start >= 0) {
+    icfg.surge_start = static_cast<std::size_t>(surge_start);
+    const std::int64_t surge_len = cli.get_int("surge-len", 1);
+    OBSCORR_REQUIRE(surge_len > 0, "serve: --surge-len must be > 0");
+    icfg.surge_len = static_cast<std::size_t>(surge_len);
+    icfg.surge_factor = cli.get_double("surge-factor", 4.0);
+    OBSCORR_REQUIRE(icfg.surge_factor > 0.0, "serve: --surge-factor must be > 0");
+  }
   const std::size_t threads = thread_option(cli);
   reject_unused(cli);
 
@@ -721,6 +840,33 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out, std::ostr
         << engine.window_count() << " live windows)\n";
     err.flush();
 
+    // The anomaly monitor rides the ingest thread: primed here (before
+    // the thread exists) over the windows already in the archive, then
+    // fed exclusively from on_publish. Events are pushed to `watch`
+    // subscribers and appended to the archive's NDJSON sidecar.
+    analysis::MonitorConfig mcfg;
+    mcfg.event_log_path = *from + "/anomalies.ndjson";
+    analysis::Monitor monitor(mcfg);
+    {
+      const archive::StudyReader replay(*from);
+      const auto primed = monitor.prime(replay, analysis::Domain::kWindows);
+      err << "monitor: primed over " << monitor.store().window_count() << " windows ("
+          << primed.size() << " historical anomalies)\n";
+    }
+    icfg.on_publish = [&server, &monitor](const svc::PublishedWindow& pw) {
+      analysis::WindowSample s;
+      s.q = gbl::aggregate_quantities(pw.matrix);
+      s.discarded_packets = pw.meta.discarded_packets;
+      s.duration_sec = pw.meta.duration_sec;
+      s.source_gini =
+          pw.sources.values().empty() ? 0.0 : stats::gini_coefficient(pw.sources.values());
+      const auto events = monitor.observe_window(pw.meta.window, s, pw.sources.values());
+      // Window heartbeat first, then its anomalies: a watcher always
+      // learns about an anomaly within the window that produced it.
+      server.publish_event(analysis::window_event_json(pw.meta));
+      for (const auto& ev : events) server.publish_event(analysis::event_json(ev));
+    };
+
     std::optional<svc::IngestLoop> ingest;
     if (icfg.max_windows > 0) {
       ingest.emplace(*from, engine, pool, icfg);
@@ -735,6 +881,18 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out, std::ostr
       } else {
         err << "ingest: published " << ingest->published() << " windows ("
             << engine.window_count() << " total in archive)\n";
+      }
+    }
+    if (topt.timing) {
+      const auto latencies = engine.latency_snapshot();
+      if (!latencies.empty()) {
+        TextTable lat("service latency by query type (us)");
+        lat.set_header({"query", "count", "p50", "p99"});
+        for (const auto& ql : latencies) {
+          lat.add_row({ql.query, fmt_count(ql.count), fmt_double(ql.p50_us, 1),
+                       fmt_double(ql.p99_us, 1)});
+        }
+        lat.print(err);
       }
     }
     err << "drained cleanly\n";
@@ -765,6 +923,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (command == "scaling") return cmd_scaling(rest, out, err);
     if (command == "report") return cmd_report(rest, out, err);
     if (command == "prefixes") return cmd_prefixes(rest, out, err);
+    if (command == "correlate") return cmd_correlate(rest, out, err);
     if (command == "archive") return cmd_archive(rest, out, err);
     if (command == "serve") return cmd_serve(rest, out, err);
   } catch (const std::invalid_argument& e) {

@@ -41,6 +41,7 @@ int cmd_lookup(const std::vector<std::string>& args, std::ostream& out, std::ost
 int cmd_scaling(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 int cmd_report(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 int cmd_prefixes(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+int cmd_correlate(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 int cmd_archive(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
